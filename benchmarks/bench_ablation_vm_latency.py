@@ -1,0 +1,33 @@
+"""Ablation A2 — sensitivity of the configuration time to VM creation latency.
+
+VM cloning/booting dominates RouteFlow's automatic configuration time (it is
+also the step the manual baseline charges 5 minutes per switch for).  The
+sweep varies the per-VM boot latency and reports the resulting end-to-end
+configuration time on a 16-switch ring.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_ablation_table, run_vm_latency_ablation
+
+BOOT_DELAYS = (1.0, 5.0, 10.0, 30.0, 60.0)
+
+
+def test_ablation_vm_creation_latency(benchmark, print_section):
+    results = run_once(benchmark, run_vm_latency_ablation,
+                       boot_delays=BOOT_DELAYS, num_switches=16, max_time=7200.0)
+    print_section(
+        "Ablation A2 — per-VM boot latency (ring of 16 switches)",
+        render_ablation_table(results, "automatic configuration time by VM boot delay")
+        + "\n\nExpected shape: configuration time grows roughly linearly with the "
+          "per-VM latency (VMs are cloned one at a time), approaching the manual "
+          "baseline only for absurdly slow VM creation.")
+    times = [r.auto_seconds for r in results]
+    assert all(t is not None for t in times)
+    # Monotone non-decreasing in the boot delay.
+    assert all(earlier <= later for earlier, later in zip(times, times[1:]))
+    # Serialised creation: 16 switches at 60 s each must cost at least 16 min.
+    assert times[-1] >= 16 * 60
+    # And the fast end stays well under the manual baseline of 4 hours.
+    assert times[0] < 600

@@ -1,0 +1,34 @@
+"""Demonstration (§3) — video over the auto-configured pan-European network.
+
+Paper result: streaming starts at t = 0 against an unconfigured
+RF-controller; the video reaches the remote client after around 4 minutes,
+and the GUI shows all 28 switches turning from red to green as the RPC
+server configures them.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_demo_report, run_demo
+
+
+def test_demo_video_over_pan_european_topology(benchmark, print_section):
+    result = run_once(benchmark, run_demo, max_time=1800.0)
+    timeline = "\n".join(f"  {when:7.1f} s  switch {dpid:2d} turned green"
+                         for when, dpid in result.green_timeline[:5])
+    report = render_demo_report(result)
+    print_section(
+        "Demo — video delivery over the 28-node pan-European topology",
+        report + "\n\nFirst five GUI transitions:\n" + timeline)
+    # Shape assertions against the paper's narrative.
+    assert result.num_switches == 28
+    assert result.video_start_seconds is not None
+    # "within 4 minutes" — allow head-room up to 6 minutes for the simulated
+    # substrate, but it must be minutes, not hours.
+    assert result.video_start_seconds <= 6 * 60
+    assert result.video_start_seconds >= 30  # configuration is not free
+    assert result.manual_seconds == 28 * 15 * 60
+    assert result.video_start_seconds < result.manual_seconds / 50
+    # Every switch ended green.
+    assert len(result.green_timeline) == 28
+    assert result.frames_received > 0

@@ -1,0 +1,41 @@
+"""Abstract claim — manual configuration takes about 7 hours for 28 switches.
+
+The paper's abstract states that an administrator "needs to devote a lot of
+time (typically 7 hours for 28 switches) in manual configurations"; §2.1
+breaks that down into 5 + 2 + 8 minutes per switch.  This benchmark
+regenerates the manual-cost table used in Figure 3.
+"""
+
+from __future__ import annotations
+
+from benchmarks.conftest import run_once
+from repro.core import ManualConfigurationModel
+from repro.experiments import format_table
+
+
+def build_manual_table(sizes):
+    model = ManualConfigurationModel()
+    rows = []
+    for size in sizes:
+        breakdown = model.breakdown_for(size)
+        rows.append([size,
+                     f"{breakdown['vm_creation']:.0f} min",
+                     f"{breakdown['interface_mapping']:.0f} min",
+                     f"{breakdown['routing_configuration']:.0f} min",
+                     f"{model.hours_for(size):.2f} h"])
+    return model, rows
+
+
+def test_manual_configuration_cost_model(benchmark, print_section):
+    sizes = (4, 8, 12, 16, 20, 24, 28, 100, 1000)
+    model, rows = run_once(benchmark, build_manual_table, sizes)
+    table = format_table(
+        ["switches", "VM creation", "interface mapping", "routing configs", "total"],
+        rows)
+    print_section("Manual configuration cost model (paper §2.1 constants)",
+                  table + "\n\nPaper claims: ~7 hours for 28 switches; 'many days' for 1000.")
+    assert model.hours_for(28) == 7.0
+    # "For a large topology (typically for 1000 switches), it may take many
+    # days": 1000 switches at 15 min each is over 10 working days.
+    assert model.hours_for(1000) / 24.0 > 10
+    assert model.minutes_per_switch == 15.0

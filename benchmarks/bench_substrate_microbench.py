@@ -1,0 +1,71 @@
+"""Substrate micro-benchmarks.
+
+Not a paper figure: these time the hot paths of the substrates (OpenFlow
+codec, flow-table lookup, OSPF SPF) so that regressions in the simulator
+itself are visible separately from the experiment-level numbers.
+"""
+
+from __future__ import annotations
+
+from repro.net import Ethernet, EtherType, IPv4, IPv4Address, MACAddress, UDP
+from repro.net.ipv4 import IPProtocol
+from repro.openflow import (
+    FlowEntry,
+    FlowMod,
+    FlowTable,
+    Match,
+    OpenFlowMessage,
+    OutputAction,
+    PacketFields,
+)
+from repro.quagga.ospf import RouterLSA, RouterLink, compute_routes
+from repro.quagga.ospf.lsdb import LSDB
+
+
+def _sample_frame() -> bytes:
+    packet = IPv4(src=IPv4Address("10.0.0.1"), dst=IPv4Address("10.0.200.4"),
+                  protocol=IPProtocol.UDP, payload=UDP(5004, 5004, b"x" * 64))
+    return Ethernet(src=MACAddress(1), dst=MACAddress(2),
+                    ethertype=EtherType.IPV4, payload=packet).encode()
+
+
+def test_openflow_flow_mod_codec_roundtrip(benchmark):
+    message = FlowMod(match=Match.for_destination_prefix(IPv4Address("10.1.0.0"), 16),
+                      actions=[OutputAction(3)], priority=1000).encode()
+    result = benchmark(lambda: OpenFlowMessage.decode(message).encode())
+    assert result == message
+
+
+def test_ethernet_ipv4_udp_decode(benchmark):
+    frame = _sample_frame()
+    decoded = benchmark(lambda: Ethernet.decode(frame))
+    assert decoded.ethertype == EtherType.IPV4
+
+
+def test_flow_table_lookup_with_500_entries(benchmark):
+    table = FlowTable()
+    for index in range(500):
+        prefix = IPv4Address((10 << 24) | (index << 8))
+        table.add(FlowEntry(Match.for_destination_prefix(prefix, 24),
+                            [OutputAction(1)], priority=100 + (index % 7)))
+    fields = PacketFields.from_frame(_sample_frame(), in_port=1)
+    entry = benchmark(lambda: table.lookup(fields))
+    assert entry is not None
+
+
+def test_spf_on_64_router_ring(benchmark):
+    lsdb = LSDB()
+    count = 64
+    for index in range(count):
+        rid = IPv4Address(0x0A000000 + index + 1)
+        left = IPv4Address(0x0A000000 + (index - 1) % count + 1)
+        right = IPv4Address(0x0A000000 + (index + 1) % count + 1)
+        links = [
+            RouterLink.point_to_point(left, IPv4Address(0xAC100001 + index * 4), 10),
+            RouterLink.point_to_point(right, IPv4Address(0xAC100002 + index * 4), 10),
+            RouterLink.stub(IPv4Address(0xC0A80000 + index * 256),
+                            IPv4Address("255.255.255.0"), 10),
+        ]
+        lsdb.install(RouterLSA.originate(router_id=rid, sequence=0x80000001, links=links))
+    routes = benchmark(lambda: compute_routes(lsdb, IPv4Address(0x0A000001)))
+    assert len(routes) == count

@@ -1,0 +1,33 @@
+"""Shared helpers for the benchmark harness.
+
+Each benchmark regenerates one table or figure of the paper: it runs the
+corresponding experiment once inside pytest-benchmark (one round — the
+experiments are deterministic simulations, so repeated rounds only re-time
+the same computation) and prints the resulting rows so the numbers can be
+compared against the paper side by side.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+
+def run_once(benchmark, function, *args, **kwargs):
+    """Run an experiment exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(function, args=args, kwargs=kwargs,
+                              rounds=1, iterations=1, warmup_rounds=0)
+
+
+@pytest.fixture
+def print_section(capsys):
+    """Print a titled block that survives pytest's output capturing."""
+
+    def _print(title: str, body: str) -> None:
+        with capsys.disabled():
+            print()
+            print("=" * 72)
+            print(title)
+            print("=" * 72)
+            print(body)
+
+    return _print

@@ -1,0 +1,33 @@
+#!/usr/bin/env python3
+"""Figure 3 reproduction: configuration time as the ring topology grows.
+
+Sweeps ring topologies from 4 to 28 switches, automatically configuring each
+from scratch, and prints the automatic-vs-manual comparison table the paper
+plots in Figure 3.
+
+Run with:  python examples/ring_scaling.py [max_switches]
+"""
+
+from __future__ import annotations
+
+import sys
+
+from repro.experiments import render_config_time_table, run_config_time_sweep
+
+
+def main() -> None:
+    max_switches = int(sys.argv[1]) if len(sys.argv) > 1 else 28
+    sizes = [size for size in (4, 8, 12, 16, 20, 24, 28) if size <= max_switches]
+    print(f"Running the configuration-time sweep for ring sizes {sizes} ...")
+    results = run_config_time_sweep(ring_sizes=sizes)
+    print()
+    print(render_config_time_table(results))
+    print()
+    largest = results[-1]
+    print(f"At {largest.num_switches} switches the automatic framework needs "
+          f"{largest.auto_minutes:.1f} minutes; the manual procedure needs "
+          f"{largest.manual_minutes / 60:.1f} hours.")
+
+
+if __name__ == "__main__":
+    main()

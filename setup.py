@@ -1,0 +1,10 @@
+"""Setuptools entry point.
+
+The pinned toolchain in the reproduction environment lacks the ``wheel``
+package, so editable installs go through the legacy ``setup.py develop``
+path; all real metadata lives in ``pyproject.toml``/``setup.cfg``.
+"""
+
+from setuptools import setup
+
+setup()

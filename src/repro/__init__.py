@@ -1,0 +1,44 @@
+"""Reproduction of "Automatic Configuration of Routing Control Platforms in
+OpenFlow Networks" (Sharma et al., SIGCOMM 2013 demo).
+
+The package is organised by substrate:
+
+* :mod:`repro.sim` — discrete-event simulation kernel
+* :mod:`repro.net` — addresses, packet codecs, links, hosts
+* :mod:`repro.openflow` — OpenFlow 1.0 codec, flow tables, software switch
+* :mod:`repro.controller` — controller framework + LLDP topology discovery
+* :mod:`repro.flowvisor` — flowspace-based slicing proxy
+* :mod:`repro.quagga` — zebra RIB, OSPFv2, simplified BGP, config files
+* :mod:`repro.routeflow` — VMs, RFClient/RFServer/RFProxy, virtual switch
+* :mod:`repro.core` — the paper's automatic-configuration framework
+* :mod:`repro.topology` — topology generators, pan-European map, emulator
+* :mod:`repro.app` — video streaming, ping, traffic generators
+* :mod:`repro.experiments` — harness reproducing Figure 3 and the demo
+"""
+
+from repro.core.autoconfig import AutoConfigFramework, FrameworkConfig
+from repro.core.ipam import IPAddressManager
+from repro.core.manual_model import ManualConfigurationModel
+from repro.experiments.config_time import run_config_time_sweep, run_single_configuration
+from repro.experiments.demo import run_demo
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+from repro.topology.generators import ring_topology
+from repro.topology.pan_european import pan_european_topology
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "AutoConfigFramework",
+    "EmulatedNetwork",
+    "FrameworkConfig",
+    "IPAddressManager",
+    "ManualConfigurationModel",
+    "Simulator",
+    "__version__",
+    "pan_european_topology",
+    "ring_topology",
+    "run_config_time_sweep",
+    "run_demo",
+    "run_single_configuration",
+]

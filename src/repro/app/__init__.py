@@ -1,0 +1,25 @@
+"""End-host applications: video streaming, ping, traffic generators."""
+
+from repro.app.ping import PingApp, PingStats
+from repro.app.streaming import (
+    DEFAULT_REPORT_PORT,
+    DEFAULT_STREAM_PORT,
+    StreamStats,
+    VideoStreamClient,
+    VideoStreamServer,
+)
+from repro.app.traffic import ConstantBitRateSource, PoissonSource, SinkStats, UDPSink
+
+__all__ = [
+    "ConstantBitRateSource",
+    "DEFAULT_REPORT_PORT",
+    "DEFAULT_STREAM_PORT",
+    "PingApp",
+    "PingStats",
+    "PoissonSource",
+    "SinkStats",
+    "StreamStats",
+    "UDPSink",
+    "VideoStreamClient",
+    "VideoStreamServer",
+]

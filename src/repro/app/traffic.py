@@ -1,0 +1,103 @@
+"""Generic UDP traffic generators and sinks for the wider experiments."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.net.addresses import IPv4Address
+from repro.net.host import Host
+from repro.sim import PeriodicTask, SeededRandom, Simulator
+
+
+@dataclass
+class SinkStats:
+    """What a traffic sink observed."""
+
+    packets: int = 0
+    bytes: int = 0
+    first_arrival: Optional[float] = None
+    last_arrival: Optional[float] = None
+
+
+class UDPSink:
+    """Counts datagrams arriving on a UDP port."""
+
+    def __init__(self, sim: Simulator, host: Host, port: int) -> None:
+        self.sim = sim
+        self.host = host
+        self.port = port
+        self.stats = SinkStats()
+        host.bind_udp(port, self._on_datagram)
+
+    def _on_datagram(self, _src_ip: IPv4Address, _src_port: int, payload: bytes) -> None:
+        now = self.sim.now
+        self.stats.packets += 1
+        self.stats.bytes += len(payload)
+        if self.stats.first_arrival is None:
+            self.stats.first_arrival = now
+        self.stats.last_arrival = now
+
+
+class ConstantBitRateSource:
+    """Sends fixed-size datagrams at a fixed rate."""
+
+    def __init__(self, sim: Simulator, host: Host, target: IPv4Address, port: int,
+                 rate_pps: float = 10.0, payload_size: int = 512) -> None:
+        self.sim = sim
+        self.host = host
+        self.target = IPv4Address(target)
+        self.port = port
+        self.payload_size = payload_size
+        self.packets_sent = 0
+        self._task = PeriodicTask(sim, 1.0 / rate_pps, self._send,
+                                  name=f"cbr:{host.name}")
+
+    def start(self) -> None:
+        self._task.start(fire_immediately=True)
+
+    def stop(self) -> None:
+        self._task.stop()
+
+    def _send(self) -> None:
+        self.host.send_udp(self.target, self.port, bytes(self.payload_size),
+                           src_port=self.port)
+        self.packets_sent += 1
+
+
+class PoissonSource:
+    """Sends datagrams with exponentially distributed inter-arrival times."""
+
+    def __init__(self, sim: Simulator, host: Host, target: IPv4Address, port: int,
+                 mean_rate_pps: float = 10.0, payload_size: int = 512,
+                 seed: int = 0) -> None:
+        self.sim = sim
+        self.host = host
+        self.target = IPv4Address(target)
+        self.port = port
+        self.mean_rate_pps = mean_rate_pps
+        self.payload_size = payload_size
+        self.rng = SeededRandom(seed)
+        self.packets_sent = 0
+        self._running = False
+
+    def start(self) -> None:
+        if self._running:
+            return
+        self._running = True
+        self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+
+    def _schedule_next(self) -> None:
+        delay = self.rng.expovariate(self.mean_rate_pps)
+        self.sim.schedule(delay, self._send, name=f"poisson:{self.host.name}")
+
+    def _send(self) -> None:
+        if not self._running:
+            return
+        self.host.send_udp(self.target, self.port, bytes(self.payload_size),
+                           src_port=self.port)
+        self.packets_sent += 1
+        self._schedule_next()

@@ -1,0 +1,157 @@
+"""Command-line interface for the reproduction.
+
+Exposes the experiments as subcommands so the paper's figures can be
+regenerated without writing any Python:
+
+* ``repro quickstart [--switches N]`` — auto-configure a ring and show the
+  milestones, GUI and one routing table.
+* ``repro fig3 [--sizes 4 8 ...]`` — the Figure 3 configuration-time sweep.
+* ``repro demo`` — the §3 pan-European video demonstration.
+* ``repro manual [--switches N]`` — the manual-configuration cost model.
+* ``repro ablation {split,vm-latency,ospf-timers}`` — the design ablations.
+
+Also reachable as ``python -m repro``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager, ManualConfigurationModel
+from repro.experiments import (
+    format_table,
+    render_ablation_table,
+    render_config_time_table,
+    render_demo_report,
+    run_config_time_sweep,
+    run_controller_split_ablation,
+    run_demo,
+    run_ospf_timer_ablation,
+    run_vm_latency_ablation,
+)
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+from repro.topology.generators import ring_topology
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the top-level argument parser."""
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Automatic Configuration of Routing "
+                    "Control Platforms in OpenFlow Networks' (SIGCOMM 2013)")
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser(
+        "quickstart", help="auto-configure a ring topology and show the result")
+    quickstart.add_argument("--switches", type=int, default=4,
+                            help="number of switches in the ring (default: 4)")
+    quickstart.add_argument("--vm-boot-delay", type=float, default=5.0,
+                            help="per-VM clone/boot latency in seconds")
+
+    fig3 = subparsers.add_parser(
+        "fig3", help="Figure 3: automatic vs manual configuration time sweep")
+    fig3.add_argument("--sizes", type=int, nargs="+",
+                      default=[4, 8, 12, 16, 20, 24, 28],
+                      help="ring sizes to sweep")
+
+    subparsers.add_parser(
+        "demo", help="the paper's demo: video over the 28-node pan-European network")
+
+    manual = subparsers.add_parser(
+        "manual", help="the manual-configuration cost model")
+    manual.add_argument("--switches", type=int, default=28)
+
+    ablation = subparsers.add_parser(
+        "ablation", help="design ablations (A1-A3)")
+    ablation.add_argument("which", choices=["split", "vm-latency", "ospf-timers"])
+
+    return parser
+
+
+def _command_quickstart(args: argparse.Namespace) -> int:
+    sim = Simulator()
+    ipam = IPAddressManager()
+    config = FrameworkConfig(vm_boot_delay=args.vm_boot_delay,
+                             detect_edge_ports=False)
+    framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+    network = EmulatedNetwork(sim, ring_topology(args.switches), ipam=ipam)
+    framework.attach(network)
+    configured_at = framework.run_until_configured(max_time=7200.0, settle=5.0)
+    if configured_at is None:
+        print("configuration did not complete within the deadline", file=sys.stderr)
+        return 1
+    print(format_table(["milestone", "time (s)"],
+                       [[name, f"{when:.1f}"]
+                        for name, when in sorted(framework.milestones.items(),
+                                                 key=lambda item: item[1])]))
+    print()
+    print(framework.gui.render_text())
+    print()
+    print(framework.rfserver.vm(1).zebra.show_ip_route())
+    print()
+    manual = framework.manual_model.seconds_for(args.switches)
+    print(f"automatic: {configured_at:.1f} s   manual baseline: {manual / 60:.0f} min")
+    return 0
+
+
+def _command_fig3(args: argparse.Namespace) -> int:
+    results = run_config_time_sweep(ring_sizes=args.sizes)
+    print(render_config_time_table(results))
+    return 0
+
+
+def _command_demo(_args: argparse.Namespace) -> int:
+    result = run_demo(max_time=1800.0)
+    print(render_demo_report(result))
+    return 0 if result.video_started else 1
+
+
+def _command_manual(args: argparse.Namespace) -> int:
+    model = ManualConfigurationModel()
+    breakdown = model.breakdown_for(args.switches)
+    print(format_table(
+        ["activity", "minutes"],
+        [["create VMs", f"{breakdown['vm_creation']:.0f}"],
+         ["map interfaces", f"{breakdown['interface_mapping']:.0f}"],
+         ["write routing configs", f"{breakdown['routing_configuration']:.0f}"],
+         ["total", f"{breakdown['total']:.0f}"]]))
+    print(f"\n{args.switches} switches -> {model.hours_for(args.switches):.1f} hours of manual work")
+    return 0
+
+
+def _command_ablation(args: argparse.Namespace) -> int:
+    if args.which == "split":
+        results = run_controller_split_ablation()
+        title = "A1: separate topology controller + FlowVisor vs single controller"
+    elif args.which == "vm-latency":
+        results = run_vm_latency_ablation()
+        title = "A2: per-VM creation latency"
+    else:
+        results = run_ospf_timer_ablation()
+        title = "A3: OSPF hello interval"
+    print(render_ablation_table(results, title))
+    return 0
+
+
+_COMMANDS = {
+    "quickstart": _command_quickstart,
+    "fig3": _command_fig3,
+    "demo": _command_demo,
+    "manual": _command_manual,
+    "ablation": _command_ablation,
+}
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    handler = _COMMANDS[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,12 @@
+"""Controller framework and the LLDP topology-discovery application."""
+
+from repro.controller.base import Controller, ControllerApp, DatapathConnection
+from repro.controller.discovery import DiscoveredLink, TopologyDiscovery
+
+__all__ = [
+    "Controller",
+    "ControllerApp",
+    "DatapathConnection",
+    "DiscoveredLink",
+    "TopologyDiscovery",
+]

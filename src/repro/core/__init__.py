@@ -1,0 +1,39 @@
+"""The paper's contribution: automatic configuration of RouteFlow."""
+
+from repro.core.autoconfig import AutoConfigFramework, FrameworkConfig
+from repro.core.config_messages import (
+    ConfigMessage,
+    ConfigMessageError,
+    EdgePortConfigMessage,
+    LinkConfigMessage,
+    SwitchConfigMessage,
+    SwitchRemovedMessage,
+)
+from repro.core.gui import ConfigurationGUI, SwitchColor, SwitchView
+from repro.core.ipam import EdgeAddressing, IPAddressManager, IPAMError, LinkAddressing
+from repro.core.manual_model import ManualConfigurationModel
+from repro.core.rpc import RPCClient, RPCServer
+from repro.core.topology_controller import TopologyControllerApp, build_topology_controller
+
+__all__ = [
+    "AutoConfigFramework",
+    "ConfigMessage",
+    "ConfigMessageError",
+    "ConfigurationGUI",
+    "EdgeAddressing",
+    "EdgePortConfigMessage",
+    "FrameworkConfig",
+    "IPAMError",
+    "IPAddressManager",
+    "LinkAddressing",
+    "LinkConfigMessage",
+    "ManualConfigurationModel",
+    "RPCClient",
+    "RPCServer",
+    "SwitchColor",
+    "SwitchConfigMessage",
+    "SwitchRemovedMessage",
+    "SwitchView",
+    "TopologyControllerApp",
+    "build_topology_controller",
+]

@@ -1,0 +1,225 @@
+"""The automatic-configuration framework (the paper's contribution).
+
+:class:`AutoConfigFramework` assembles the five components of Figure 2 —
+RF-controller (running RouteFlow), topology controller (running the
+discovery module), RPC client, RPC server and FlowVisor — wires them
+together, attaches them to an emulated OpenFlow network and tracks the
+milestones the paper reports: every switch configured (GUI all green),
+every VM running, and the routing protocol converged.
+
+The framework can also be built without FlowVisor and with discovery
+co-located on the RF-controller (``use_flowvisor=False``), which is the
+single-controller deployment the paper argues against; ablation A1
+compares the two.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Dict, List, Optional
+
+from repro.controller.base import Controller
+from repro.controller.discovery import TopologyDiscovery
+from repro.core.gui import ConfigurationGUI
+from repro.core.ipam import IPAddressManager
+from repro.core.manual_model import ManualConfigurationModel
+from repro.core.rpc import RPCClient, RPCServer
+from repro.core.topology_controller import TopologyControllerApp, build_topology_controller
+from repro.flowvisor import FlowVisor, build_paper_flowspace
+from repro.routeflow.rfproxy import RFProxy
+from repro.routeflow.rfserver import RFServer
+from repro.sim import EventLog, PeriodicTask, Simulator
+from repro.topology.emulator import EmulatedNetwork
+
+LOG = logging.getLogger(__name__)
+
+
+@dataclass
+class FrameworkConfig:
+    """Tunable parameters of the framework (defaults match the paper setup)."""
+
+    #: LXC clone/boot latency per VM — the dominant automatic-configuration cost.
+    vm_boot_delay: float = 5.0
+    #: Clone/boot VMs one at a time on the RF-controller host (the realistic
+    #: default) or all in parallel (ablation A4).
+    serialize_vm_creation: bool = True
+    #: OSPF timers written into every generated ospfd.conf.
+    ospf_hello_interval: int = 10
+    ospf_dead_interval: int = 40
+    #: LLDP probe period of the discovery module.
+    discovery_probe_interval: float = 5.0
+    #: How long a port must stay link-less before it is declared an edge port.
+    edge_port_grace: float = 12.0
+    #: Whether to look for edge (host-facing) ports at all.
+    detect_edge_ports: bool = True
+    #: One-way latency of the RPC client -> RPC server transport.
+    rpc_network_delay: float = 0.01
+    #: Deploy FlowVisor plus a separate topology controller (the paper's
+    #: design) or co-locate discovery on the RF-controller (ablation A1).
+    use_flowvisor: bool = True
+    #: Also generate bgpd.conf files (the paper lists bgp.conf among the
+    #: generated files even though the experiments only exercise OSPF).
+    generate_bgp: bool = True
+    #: How often the convergence monitor samples the milestone predicates.
+    monitor_interval: float = 1.0
+
+
+class AutoConfigFramework:
+    """The assembled automatic-configuration framework."""
+
+    TOPOLOGY_SLICE = "topology"
+    ROUTEFLOW_SLICE = "routeflow"
+
+    def __init__(self, sim: Simulator, config: Optional[FrameworkConfig] = None,
+                 ipam: Optional[IPAddressManager] = None) -> None:
+        self.sim = sim
+        self.config = config if config is not None else FrameworkConfig()
+        self.ipam = ipam if ipam is not None else IPAddressManager()
+        self.event_log = EventLog(sim)
+        self.gui = ConfigurationGUI(sim)
+        self.manual_model = ManualConfigurationModel()
+
+        # RF-controller: the OpenFlow controller hosting RouteFlow's proxy.
+        self.rf_controller = Controller(sim, name="rf-controller")
+        self.rfproxy = RFProxy()
+        self.rf_controller.register_app(self.rfproxy)
+        self.rfserver = RFServer(sim, self.rfproxy,
+                                 vm_boot_delay=self.config.vm_boot_delay,
+                                 event_log=self.event_log,
+                                 serialize_vm_creation=self.config.serialize_vm_creation)
+
+        # RPC server (inside the RF-controller) and RPC client.
+        self.rpc_server = RPCServer(
+            sim, self.rfserver, ipam=self.ipam, event_log=self.event_log,
+            generate_bgp=self.config.generate_bgp,
+            ospf_hello_interval=self.config.ospf_hello_interval,
+            ospf_dead_interval=self.config.ospf_dead_interval)
+        self.rpc_server.on_switch_configured(self.gui.mark_configured)
+        self.rpc_client = RPCClient(sim, self.rpc_server,
+                                    network_delay=self.config.rpc_network_delay)
+
+        # Topology controller (discovery + configuration-message generation).
+        if self.config.use_flowvisor:
+            (self.topology_controller, self.discovery,
+             self.topology_app) = build_topology_controller(
+                sim, self.rpc_client, ipam=self.ipam,
+                probe_interval=self.config.discovery_probe_interval,
+                edge_port_grace=self.config.edge_port_grace,
+                detect_edge_ports=self.config.detect_edge_ports)
+            flowspace = build_paper_flowspace(self.TOPOLOGY_SLICE, self.ROUTEFLOW_SLICE)
+            self.flowvisor: Optional[FlowVisor] = FlowVisor(sim, flowspace)
+            self.flowvisor.add_slice(self.TOPOLOGY_SLICE, self.topology_controller)
+            self.flowvisor.add_slice(self.ROUTEFLOW_SLICE, self.rf_controller)
+        else:
+            # Single-controller deployment: discovery runs on the RF-controller
+            # and switches connect to it directly.
+            (self.topology_controller, self.discovery,
+             self.topology_app) = build_topology_controller(
+                sim, self.rpc_client, ipam=self.ipam,
+                probe_interval=self.config.discovery_probe_interval,
+                edge_port_grace=self.config.edge_port_grace,
+                controller=self.rf_controller,
+                detect_edge_ports=self.config.detect_edge_ports)
+            self.flowvisor = None
+
+        # Milestone tracking.
+        self.milestones: Dict[str, float] = {}
+        self._expected_switches = 0
+        self._expected_links = 0
+        self._monitor = PeriodicTask(sim, self.config.monitor_interval,
+                                     self._sample_milestones, name="framework:monitor")
+        self.network: Optional[EmulatedNetwork] = None
+
+    # ------------------------------------------------------------------ wiring
+    def attach(self, network: EmulatedNetwork) -> None:
+        """Connect an emulated network's switches to the control plane."""
+        if self.network is not None:
+            raise RuntimeError("framework is already attached to a network")
+        self.network = network
+        self._expected_switches = network.num_switches
+        self._expected_links = network.num_links
+        for node in network.topology.nodes:
+            self.gui.add_switch(node.node_id, label=node.name)
+        for link in network.topology.links:
+            self.gui.add_link(link.node_a, link.node_b)
+        if self.flowvisor is not None:
+            network.connect_control_plane(self.flowvisor.accept_switch_channel,
+                                          self.flowvisor)
+        else:
+            network.connect_control_plane(self.rf_controller.accept_channel,
+                                          self.rf_controller)
+        self._monitor.start()
+        self.event_log.record("attach", f"attached to {network.topology.name}",
+                              switches=self._expected_switches,
+                              links=self._expected_links)
+
+    # -------------------------------------------------------------- milestones
+    def _sample_milestones(self) -> None:
+        self._check_milestone("all_switches_discovered",
+                              len(self.topology_app.known_switches) >= self._expected_switches)
+        self._check_milestone("all_links_discovered",
+                              self.topology_app.known_link_count >= self._expected_links)
+        self._check_milestone("all_switches_configured",
+                              self.gui.all_green
+                              and len(self.gui.green_switches) >= self._expected_switches)
+        self._check_milestone("all_vms_running",
+                              self.rfserver.vm_count >= self._expected_switches
+                              and self.rfserver.all_vms_running())
+        self._check_milestone("ospf_converged",
+                              self.rfserver.vm_count >= self._expected_switches
+                              and self.rpc_server.configured_link_count >= self._expected_links
+                              and self.rfserver.ospf_converged())
+
+    def _check_milestone(self, name: str, reached: bool) -> None:
+        if reached and name not in self.milestones:
+            self.milestones[name] = self.sim.now
+            self.event_log.record("milestone", name, time=self.sim.now)
+            LOG.info("framework: milestone %s at t=%.1fs", name, self.sim.now)
+
+    @property
+    def configuration_complete(self) -> bool:
+        """The paper's definition of "configured": routing is up everywhere."""
+        return "ospf_converged" in self.milestones
+
+    @property
+    def configuration_time(self) -> Optional[float]:
+        """Simulated seconds from start to full configuration, if reached."""
+        return self.milestones.get("ospf_converged")
+
+    def run_until_configured(self, max_time: float = 3600.0,
+                             settle: float = 0.0) -> Optional[float]:
+        """Run the simulation until the framework is fully configured.
+
+        Returns the configuration time (or None when ``max_time`` elapsed
+        first).  ``settle`` runs the simulation a bit longer afterwards so
+        post-convergence activity (flow installation, data traffic) happens.
+        """
+        step = max(self.config.monitor_interval, 1.0)
+        while self.sim.now < max_time and not self.configuration_complete:
+            self.sim.run(until=min(self.sim.now + step, max_time))
+        result = self.configuration_time
+        if result is not None and settle > 0:
+            self.sim.run(until=result + settle)
+        return result
+
+    # ------------------------------------------------------------------ report
+    def summary(self) -> Dict[str, object]:
+        """A serialisable summary of the configuration run."""
+        return {
+            "topology": self.network.topology.name if self.network else None,
+            "switches": self._expected_switches,
+            "links": self._expected_links,
+            "use_flowvisor": self.config.use_flowvisor,
+            "vm_boot_delay": self.config.vm_boot_delay,
+            "milestones": dict(self.milestones),
+            "configuration_time_s": self.configuration_time,
+            "manual_time_s": self.manual_model.seconds_for(self._expected_switches),
+            "green_switches": len(self.gui.green_switches),
+            "vms": self.rfserver.vm_count,
+            "flows_installed": self.rfproxy.flows_installed,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<AutoConfigFramework switches={self._expected_switches} "
+                f"milestones={sorted(self.milestones)}>")

@@ -1,0 +1,100 @@
+"""Configuration messages exchanged between the topology controller and the
+RPC server.
+
+The paper defines two message contents explicitly — "the ID of the switch
+and the number of switch ports" on switch detection, and the computed
+interface addresses on link detection — and we add the analogous message
+for edge (host-facing) ports.  Messages serialise to JSON, which is what
+the RPC transport actually carries.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Dict, Type
+
+
+class ConfigMessageError(ValueError):
+    """Raised when a configuration message cannot be parsed."""
+
+
+@dataclass
+class ConfigMessage:
+    """Base class providing JSON (de)serialisation via a ``kind`` tag."""
+
+    KIND = "base"
+
+    def to_json(self) -> str:
+        payload = {"kind": self.KIND}
+        payload.update(asdict(self))
+        return json.dumps(payload, sort_keys=True)
+
+    @staticmethod
+    def from_json(text: str) -> "ConfigMessage":
+        try:
+            data = json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ConfigMessageError(f"malformed JSON: {exc}") from exc
+        kind = data.pop("kind", None)
+        klass = _MESSAGE_KINDS.get(kind)
+        if klass is None:
+            raise ConfigMessageError(f"unknown configuration message kind: {kind!r}")
+        try:
+            return klass(**data)
+        except TypeError as exc:
+            raise ConfigMessageError(f"bad fields for {kind}: {exc}") from exc
+
+
+@dataclass
+class SwitchConfigMessage(ConfigMessage):
+    """Sent on detection of a new switch: create the mirroring VM."""
+
+    KIND = "switch_config"
+
+    switch_id: int
+    num_ports: int
+
+
+@dataclass
+class LinkConfigMessage(ConfigMessage):
+    """Sent on detection of a new link: configure both VM interfaces."""
+
+    KIND = "link_config"
+
+    dpid_a: int
+    port_a: int
+    address_a: str
+    dpid_b: int
+    port_b: int
+    address_b: str
+    prefix_len: int
+
+
+@dataclass
+class EdgePortConfigMessage(ConfigMessage):
+    """Sent for a host-facing port: configure the gateway interface."""
+
+    KIND = "edge_port_config"
+
+    datapath_id: int
+    port_no: int
+    gateway: str
+    prefix_len: int
+
+
+@dataclass
+class SwitchRemovedMessage(ConfigMessage):
+    """Sent when a switch disappears (connection lost)."""
+
+    KIND = "switch_removed"
+
+    switch_id: int
+
+
+_MESSAGE_KINDS: Dict[str, Type[ConfigMessage]] = {
+    SwitchConfigMessage.KIND: SwitchConfigMessage,
+    LinkConfigMessage.KIND: LinkConfigMessage,
+    EdgePortConfigMessage.KIND: EdgePortConfigMessage,
+    SwitchRemovedMessage.KIND: SwitchRemovedMessage,
+}

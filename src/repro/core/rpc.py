@@ -1,0 +1,281 @@
+"""The RPC client and RPC server of the automatic-configuration framework.
+
+The RPC client collects configuration messages from the topology controller
+and forwards them to the RPC server, which lives alongside RouteFlow in the
+RF-controller.  On reception the RPC server performs exactly the four
+manual steps the paper lists: (1) create the VM, (2) create the VM↔switch
+mapping, (3) map VM interfaces to switch interfaces, and (4) write the
+routing configuration files (zebra.conf, ospfd.conf, bgpd.conf) — all by
+calling into :class:`repro.routeflow.rfserver.RFServer`.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.core.config_messages import (
+    ConfigMessage,
+    EdgePortConfigMessage,
+    LinkConfigMessage,
+    SwitchConfigMessage,
+    SwitchRemovedMessage,
+)
+from repro.core.ipam import IPAddressManager
+from repro.quagga.configfile import (
+    BGPNeighbor,
+    InterfaceConfig,
+    OSPFNetworkStatement,
+    generate_bgpd_conf,
+    generate_ospfd_conf,
+    generate_zebra_conf,
+)
+from repro.routeflow.rfserver import RFServer
+from repro.sim import EventLog, Simulator
+
+LOG = logging.getLogger(__name__)
+
+
+class RPCClient:
+    """Forwards configuration messages from the topology controller."""
+
+    def __init__(self, sim: Simulator, server: "RPCServer",
+                 network_delay: float = 0.01) -> None:
+        self.sim = sim
+        self.server = server
+        self.network_delay = network_delay
+        self.messages_sent = 0
+
+    def send(self, message: ConfigMessage) -> None:
+        """Serialise and deliver a configuration message to the RPC server."""
+        payload = message.to_json()
+        self.messages_sent += 1
+        self.sim.schedule(self.network_delay, self.server.receive, payload,
+                          name="rpc:deliver")
+
+
+@dataclass
+class _VMConfigState:
+    """The RPC server's record of one VM's generated configuration."""
+
+    vm_id: int
+    num_ports: int
+    hostname: str
+    router_id: IPv4Address
+    interfaces: Dict[str, Tuple[IPv4Address, int]] = field(default_factory=dict)
+    ospf_networks: List[IPv4Network] = field(default_factory=list)
+    bgp_neighbors: List[BGPNeighbor] = field(default_factory=list)
+
+
+class RPCServer:
+    """Configures RouteFlow on reception of configuration messages."""
+
+    #: Time the RPC server spends handling a switch-configuration message
+    #: before the VM starts booting (validating, cloning templates, ...).
+    SWITCH_PROCESSING_DELAY = 0.5
+    #: Time spent handling a link or edge-port configuration message
+    #: (regenerating and writing the configuration files).
+    LINK_PROCESSING_DELAY = 0.2
+
+    def __init__(self, sim: Simulator, rfserver: RFServer,
+                 ipam: Optional[IPAddressManager] = None,
+                 event_log: Optional[EventLog] = None,
+                 generate_bgp: bool = True, bgp_as_base: int = 65000,
+                 ospf_hello_interval: int = 10, ospf_dead_interval: int = 40) -> None:
+        self.sim = sim
+        self.rfserver = rfserver
+        self.ipam = ipam if ipam is not None else IPAddressManager()
+        self.event_log = event_log if event_log is not None else rfserver.event_log
+        self.generate_bgp = generate_bgp
+        self.bgp_as_base = bgp_as_base
+        self.ospf_hello_interval = ospf_hello_interval
+        self.ospf_dead_interval = ospf_dead_interval
+        self._vm_state: Dict[int, _VMConfigState] = {}
+        self._configured_links: Set[Tuple[int, int, int, int]] = set()
+        #: Link / edge-port messages that arrived before the switch they refer
+        #: to was configured; replayed once the switch configuration lands.
+        self._deferred: List[ConfigMessage] = []
+        self.messages_received = 0
+        self._switch_configured_callbacks: List[Callable[[int], None]] = []
+
+    # -------------------------------------------------------------- observers
+    def on_switch_configured(self, callback: Callable[[int], None]) -> None:
+        """Register a callback fired when a switch's VM has been created.
+
+        The paper's GUI turns a switch green at exactly this moment ("a
+        switch is considered as configured when it has a corresponding VM").
+        """
+        self._switch_configured_callbacks.append(callback)
+
+    # ---------------------------------------------------------------- receive
+    def receive(self, payload: str) -> None:
+        """Entry point for serialised configuration messages."""
+        message = ConfigMessage.from_json(payload)
+        self.messages_received += 1
+        if isinstance(message, SwitchConfigMessage):
+            delay = self.SWITCH_PROCESSING_DELAY
+            handler = self._handle_switch_config
+        elif isinstance(message, LinkConfigMessage):
+            delay = self.LINK_PROCESSING_DELAY
+            handler = self._handle_link_config
+        elif isinstance(message, EdgePortConfigMessage):
+            delay = self.LINK_PROCESSING_DELAY
+            handler = self._handle_edge_port_config
+        elif isinstance(message, SwitchRemovedMessage):
+            delay = self.LINK_PROCESSING_DELAY
+            handler = self._handle_switch_removed
+        else:  # pragma: no cover - defensive
+            LOG.warning("rpc-server: unhandled message %r", message)
+            return
+        self.sim.schedule(delay, handler, message, name="rpc:handle")
+
+    # ------------------------------------------------------- switch handling
+    def _handle_switch_config(self, message: SwitchConfigMessage) -> None:
+        vm_id = message.switch_id
+        if vm_id in self._vm_state:
+            return  # idempotent: re-detection of a known switch
+        state = _VMConfigState(
+            vm_id=vm_id, num_ports=message.num_ports,
+            hostname=f"VM-{vm_id:016x}", router_id=self.ipam.router_id(vm_id))
+        self._vm_state[vm_id] = state
+        vm = self.rfserver.create_vm(vm_id=vm_id, num_ports=message.num_ports,
+                                     datapath_id=message.switch_id)
+        self._write_configs(state)
+        # The paper: "a switch is considered as configured when it has a
+        # corresponding VM" — i.e. once the clone finished booting, which is
+        # when the demo GUI flips the switch from red to green.
+        vm.on_running(lambda _vm, switch_id=vm_id: self._switch_became_configured(switch_id))
+        self._replay_deferred()
+
+    def _switch_became_configured(self, switch_id: int) -> None:
+        self.event_log.record("switch_configured",
+                              f"switch {switch_id:#x} configured (VM running)",
+                              switch_id=switch_id)
+        for callback in self._switch_configured_callbacks:
+            callback(switch_id)
+
+    def _handle_switch_removed(self, message: SwitchRemovedMessage) -> None:
+        state = self._vm_state.pop(message.switch_id, None)
+        if state is None:
+            return
+        vm = self.rfserver.vm(message.switch_id)
+        if vm is not None:
+            vm.stop()
+        self.rfserver.mapping.unmap_vm(message.switch_id)
+        self.event_log.record("switch_removed",
+                              f"switch {message.switch_id:#x} removed",
+                              switch_id=message.switch_id)
+
+    # --------------------------------------------------------- link handling
+    def _handle_link_config(self, message: LinkConfigMessage) -> None:
+        key = IPAddressManager.canonical_link(message.dpid_a, message.port_a,
+                                              message.dpid_b, message.port_b)
+        if key in self._configured_links:
+            return
+        state_a = self._vm_state.get(message.dpid_a)
+        state_b = self._vm_state.get(message.dpid_b)
+        if state_a is None or state_b is None:
+            # The link notification raced ahead of the switch notification
+            # (link discovery is fast, VM-creation handling is slower); keep
+            # it until both switches have been configured.
+            LOG.debug("rpc-server: deferring link config for unknown switch")
+            self._deferred.append(message)
+            return
+        self._configured_links.add(key)
+        iface_a = f"eth{message.port_a}"
+        iface_b = f"eth{message.port_b}"
+        prefix_len = message.prefix_len
+        self._assign_interface(state_a, iface_a, IPv4Address(message.address_a), prefix_len)
+        self._assign_interface(state_b, iface_b, IPv4Address(message.address_b), prefix_len)
+        self.rfserver.connect_virtual_link(state_a.vm_id, iface_a, state_b.vm_id, iface_b)
+        if self.generate_bgp:
+            state_a.bgp_neighbors.append(BGPNeighbor(
+                address=IPv4Address(message.address_b),
+                remote_as=self.bgp_as_base + state_b.vm_id))
+            state_b.bgp_neighbors.append(BGPNeighbor(
+                address=IPv4Address(message.address_a),
+                remote_as=self.bgp_as_base + state_a.vm_id))
+        self._write_configs(state_a)
+        self._write_configs(state_b)
+        self.event_log.record(
+            "link_configured",
+            f"link {message.dpid_a:#x}:{message.port_a} <-> "
+            f"{message.dpid_b:#x}:{message.port_b} configured",
+            dpid_a=message.dpid_a, port_a=message.port_a,
+            dpid_b=message.dpid_b, port_b=message.port_b,
+            network=str(IPv4Network((IPv4Address(message.address_a), prefix_len))))
+
+    def _handle_edge_port_config(self, message: EdgePortConfigMessage) -> None:
+        state = self._vm_state.get(message.datapath_id)
+        if state is None:
+            LOG.debug("rpc-server: deferring edge-port config for unknown switch")
+            self._deferred.append(message)
+            return
+        iface = f"eth{message.port_no}"
+        if iface in state.interfaces:
+            return
+        self._assign_interface(state, iface, IPv4Address(message.gateway),
+                               message.prefix_len)
+        self._write_configs(state)
+        self.event_log.record(
+            "edge_port_configured",
+            f"edge port {message.datapath_id:#x}:{message.port_no} configured",
+            datapath_id=message.datapath_id, port_no=message.port_no,
+            gateway=message.gateway, prefix_len=message.prefix_len)
+
+    def _replay_deferred(self) -> None:
+        """Re-handle link/edge messages that were waiting for switch configs."""
+        pending, self._deferred = self._deferred, []
+        for message in pending:
+            if isinstance(message, LinkConfigMessage):
+                self._handle_link_config(message)
+            elif isinstance(message, EdgePortConfigMessage):
+                self._handle_edge_port_config(message)
+
+    # ----------------------------------------------------------- config files
+    def _assign_interface(self, state: _VMConfigState, iface: str,
+                          address: IPv4Address, prefix_len: int) -> None:
+        state.interfaces[iface] = (address, prefix_len)
+        network = IPv4Network((address, prefix_len))
+        if network not in state.ospf_networks:
+            state.ospf_networks.append(network)
+        self.rfserver.assign_interface_address(state.vm_id, iface, address, prefix_len)
+
+    def _write_configs(self, state: _VMConfigState) -> None:
+        """Regenerate and write zebra.conf / ospfd.conf / bgpd.conf for a VM."""
+        interface_configs = [
+            InterfaceConfig(name=name, ip=address, prefix_len=prefix_len,
+                            description=f"auto-configured by RPC server")
+            for name, (address, prefix_len) in sorted(state.interfaces.items())
+        ]
+        zebra_text = generate_zebra_conf(state.hostname, interface_configs)
+        self.rfserver.write_config_file(state.vm_id, "zebra.conf", zebra_text)
+        ospf_statements = [OSPFNetworkStatement(prefix=network, area="0.0.0.0")
+                           for network in state.ospf_networks]
+        ospfd_text = generate_ospfd_conf(
+            hostname=f"{state.hostname}-ospfd", router_id=state.router_id,
+            networks=ospf_statements, hello_interval=self.ospf_hello_interval,
+            dead_interval=self.ospf_dead_interval)
+        self.rfserver.write_config_file(state.vm_id, "ospfd.conf", ospfd_text)
+        if self.generate_bgp:
+            bgpd_text = generate_bgpd_conf(
+                hostname=f"{state.hostname}-bgpd",
+                local_as=self.bgp_as_base + state.vm_id,
+                router_id=state.router_id, neighbors=state.bgp_neighbors,
+                redistribute_ospf=True)
+            self.rfserver.write_config_file(state.vm_id, "bgpd.conf", bgpd_text)
+
+    # ------------------------------------------------------------------ status
+    @property
+    def configured_switch_ids(self) -> List[int]:
+        return sorted(self._vm_state)
+
+    @property
+    def configured_link_count(self) -> int:
+        return len(self._configured_links)
+
+    def __repr__(self) -> str:
+        return (f"<RPCServer switches={len(self._vm_state)} "
+                f"links={len(self._configured_links)}>")

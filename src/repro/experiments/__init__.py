@@ -1,0 +1,52 @@
+"""Experiment harness reproducing the paper's figures and demo."""
+
+from repro.experiments.ablation import (
+    render_ablation_table,
+    run_controller_split_ablation,
+    run_ospf_timer_ablation,
+    run_vm_latency_ablation,
+)
+from repro.experiments.config_time import (
+    DEFAULT_RING_SIZES,
+    render_config_time_table,
+    run_config_time_sweep,
+    run_single_configuration,
+)
+from repro.experiments.demo import render_demo_report, run_demo
+from repro.experiments.export import (
+    write_ablation_csv,
+    write_config_time_csv,
+    write_config_time_json,
+    write_demo_json,
+    write_markdown_report,
+)
+from repro.experiments.results import (
+    AblationResult,
+    ConfigTimeResult,
+    DemoResult,
+    format_seconds,
+    format_table,
+)
+
+__all__ = [
+    "AblationResult",
+    "ConfigTimeResult",
+    "DEFAULT_RING_SIZES",
+    "DemoResult",
+    "format_seconds",
+    "format_table",
+    "render_ablation_table",
+    "render_config_time_table",
+    "render_demo_report",
+    "run_config_time_sweep",
+    "run_controller_split_ablation",
+    "run_demo",
+    "run_ospf_timer_ablation",
+    "run_single_configuration",
+    "run_vm_latency_ablation",
+    "write_ablation_csv",
+    "write_config_time_csv",
+    "write_config_time_json",
+    "write_demo_json",
+    "write_markdown_report",
+]

@@ -1,0 +1,116 @@
+"""Export experiment results to CSV, JSON and Markdown.
+
+The benchmark harness prints tables to the terminal; this module writes the
+same data to files so results can be archived next to EXPERIMENTS.md or
+plotted externally (the CSV columns match the series of Figure 3).
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+from pathlib import Path
+from typing import Iterable, List, Optional, Union
+
+from repro.experiments.results import AblationResult, ConfigTimeResult, DemoResult
+
+PathLike = Union[str, Path]
+
+
+def write_config_time_csv(results: Iterable[ConfigTimeResult], path: PathLike) -> Path:
+    """Write the Figure 3 series as CSV (one row per ring size)."""
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["switches", "links", "auto_seconds", "manual_seconds",
+                         "speedup"])
+        for result in results:
+            writer.writerow([result.num_switches, result.num_links,
+                             _round(result.auto_seconds), _round(result.manual_seconds),
+                             _round(result.speedup)])
+    return target
+
+
+def write_config_time_json(results: Iterable[ConfigTimeResult], path: PathLike) -> Path:
+    """Write the Figure 3 series as JSON, including the per-run milestones."""
+    payload = [
+        {
+            "switches": result.num_switches,
+            "links": result.num_links,
+            "auto_seconds": result.auto_seconds,
+            "manual_seconds": result.manual_seconds,
+            "speedup": result.speedup,
+            "milestones": result.milestones,
+        }
+        for result in results
+    ]
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def write_demo_json(result: DemoResult, path: PathLike) -> Path:
+    """Write the demo outcome (timings, timeline, frame counts) as JSON."""
+    payload = {
+        "topology": result.topology_name,
+        "switches": result.num_switches,
+        "links": result.num_links,
+        "video_start_seconds": result.video_start_seconds,
+        "configuration_seconds": result.configuration_seconds,
+        "manual_seconds": result.manual_seconds,
+        "frames_sent": result.frames_sent,
+        "frames_received": result.frames_received,
+        "milestones": result.milestones,
+        "green_timeline": [[when, dpid] for when, dpid in result.green_timeline],
+    }
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def write_ablation_csv(results: Iterable[AblationResult], path: PathLike) -> Path:
+    """Write an ablation series as CSV (parameter, configuration time)."""
+    target = Path(path)
+    results = list(results)
+    label = results[0].label if results else "parameter"
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow([label, "auto_seconds"])
+        for result in results:
+            writer.writerow([result.parameter, _round(result.auto_seconds)])
+    return target
+
+
+def write_markdown_report(config_results: List[ConfigTimeResult],
+                          demo: Optional[DemoResult], path: PathLike) -> Path:
+    """Write a compact Markdown report mirroring EXPERIMENTS.md's tables."""
+    lines = ["# Measured results", ""]
+    if config_results:
+        lines += ["## Figure 3 — configuration time (ring topologies)", "",
+                  "| switches | automatic (s) | manual (min) | speed-up |",
+                  "|---|---|---|---|"]
+        for result in config_results:
+            lines.append(
+                f"| {result.num_switches} | {_round(result.auto_seconds)} "
+                f"| {_round(result.manual_seconds / 60.0)} "
+                f"| {_round(result.speedup)} |")
+        lines.append("")
+    if demo is not None:
+        lines += ["## Demonstration — pan-European video delivery", "",
+                  f"* topology: {demo.topology_name} ({demo.num_switches} switches, "
+                  f"{demo.num_links} links)",
+                  f"* video reached the client after: "
+                  f"{_round(demo.video_start_seconds)} s",
+                  f"* full configuration after: {_round(demo.configuration_seconds)} s",
+                  f"* manual baseline: {_round(demo.manual_seconds / 3600.0)} h",
+                  f"* frames received: {demo.frames_received} / {demo.frames_sent}",
+                  ""]
+    target = Path(path)
+    target.write_text("\n".join(lines))
+    return target
+
+
+def _round(value: Optional[float], digits: int = 1) -> Optional[float]:
+    if value is None:
+        return None
+    return round(value, digits)

@@ -1,0 +1,282 @@
+"""MAC and IPv4 address value types.
+
+These are small immutable value objects used throughout the packet codecs,
+the OpenFlow layer, the IPAM and the routing daemons.  They parse from and
+render to the conventional textual forms and pack to network byte order.
+"""
+
+from __future__ import annotations
+
+import struct
+from functools import total_ordering
+from typing import Iterator, Tuple, Union
+
+
+class AddressError(ValueError):
+    """Raised when an address cannot be parsed or is out of range."""
+
+
+@total_ordering
+class MACAddress:
+    """A 48-bit Ethernet MAC address."""
+
+    __slots__ = ("_value",)
+
+    BROADCAST_VALUE = 0xFFFFFFFFFFFF
+
+    def __init__(self, value: Union[str, int, bytes, "MACAddress"]) -> None:
+        if isinstance(value, MACAddress):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= self.BROADCAST_VALUE:
+                raise AddressError(f"MAC integer out of range: {value:#x}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 6:
+                raise AddressError(f"MAC bytes must be 6 long, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            self._value = self._parse(value)
+        else:
+            raise AddressError(f"cannot build MACAddress from {type(value).__name__}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        sep = ":" if ":" in text else "-"
+        parts = text.split(sep)
+        if len(parts) != 6:
+            raise AddressError(f"malformed MAC address: {text!r}")
+        try:
+            octets = [int(p, 16) for p in parts]
+        except ValueError as exc:
+            raise AddressError(f"malformed MAC address: {text!r}") from exc
+        if any(not 0 <= o <= 0xFF for o in octets):
+            raise AddressError(f"malformed MAC address: {text!r}")
+        value = 0
+        for octet in octets:
+            value = (value << 8) | octet
+        return value
+
+    # ------------------------------------------------------------ properties
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(6, "big")
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == self.BROADCAST_VALUE
+
+    @property
+    def is_multicast(self) -> bool:
+        return bool(self._value >> 40 & 0x01)
+
+    @classmethod
+    def broadcast(cls) -> "MACAddress":
+        return cls(cls.BROADCAST_VALUE)
+
+    @classmethod
+    def from_local_id(cls, device_id: int, port: int = 0) -> "MACAddress":
+        """Deterministic locally-administered MAC for simulated devices."""
+        value = (0x02 << 40) | ((device_id & 0xFFFFFF) << 16) | (port & 0xFFFF)
+        return cls(value)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return ":".join(f"{(self._value >> shift) & 0xFF:02x}" for shift in range(40, -8, -8))
+
+    def __repr__(self) -> str:
+        return f"MACAddress('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, MACAddress):
+            return self._value == other._value
+        if isinstance(other, (str, int, bytes)):
+            try:
+                return self._value == MACAddress(other)._value
+            except AddressError:
+                return NotImplemented
+        return NotImplemented
+
+    def __lt__(self, other: "MACAddress") -> bool:
+        return self._value < MACAddress(other)._value
+
+    def __hash__(self) -> int:
+        return hash(("mac", self._value))
+
+
+@total_ordering
+class IPv4Address:
+    """A 32-bit IPv4 address."""
+
+    __slots__ = ("_value",)
+
+    def __init__(self, value: Union[str, int, bytes, "IPv4Address"]) -> None:
+        if isinstance(value, IPv4Address):
+            self._value = value._value
+        elif isinstance(value, int):
+            if not 0 <= value <= 0xFFFFFFFF:
+                raise AddressError(f"IPv4 integer out of range: {value:#x}")
+            self._value = value
+        elif isinstance(value, (bytes, bytearray)):
+            if len(value) != 4:
+                raise AddressError(f"IPv4 bytes must be 4 long, got {len(value)}")
+            self._value = int.from_bytes(value, "big")
+        elif isinstance(value, str):
+            self._value = self._parse(value)
+        else:
+            raise AddressError(f"cannot build IPv4Address from {type(value).__name__}")
+
+    @staticmethod
+    def _parse(text: str) -> int:
+        parts = text.strip().split(".")
+        if len(parts) != 4:
+            raise AddressError(f"malformed IPv4 address: {text!r}")
+        value = 0
+        for part in parts:
+            if not part.isdigit():
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            octet = int(part)
+            if not 0 <= octet <= 255:
+                raise AddressError(f"malformed IPv4 address: {text!r}")
+            value = (value << 8) | octet
+        return value
+
+    @property
+    def packed(self) -> bytes:
+        return self._value.to_bytes(4, "big")
+
+    @property
+    def is_unspecified(self) -> bool:
+        return self._value == 0
+
+    @property
+    def is_loopback(self) -> bool:
+        return (self._value >> 24) == 127
+
+    @property
+    def is_multicast(self) -> bool:
+        return 224 <= (self._value >> 24) <= 239
+
+    @property
+    def is_broadcast(self) -> bool:
+        return self._value == 0xFFFFFFFF
+
+    def __add__(self, offset: int) -> "IPv4Address":
+        return IPv4Address((self._value + offset) & 0xFFFFFFFF)
+
+    def __int__(self) -> int:
+        return self._value
+
+    def __str__(self) -> str:
+        return ".".join(str((self._value >> shift) & 0xFF) for shift in (24, 16, 8, 0))
+
+    def __repr__(self) -> str:
+        return f"IPv4Address('{self}')"
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, IPv4Address):
+            return self._value == other._value
+        if isinstance(other, (str, int, bytes)):
+            try:
+                return self._value == IPv4Address(other)._value
+            except AddressError:
+                return NotImplemented
+        return NotImplemented
+
+    def __lt__(self, other: "IPv4Address") -> bool:
+        return self._value < IPv4Address(other)._value
+
+    def __hash__(self) -> int:
+        return hash(("ipv4", self._value))
+
+
+class IPv4Network:
+    """An IPv4 prefix (network address + mask length)."""
+
+    __slots__ = ("network", "prefix_len")
+
+    def __init__(self, value: Union[str, Tuple[IPv4Address, int]], prefix_len: int = None) -> None:
+        if isinstance(value, str) and prefix_len is None:
+            if "/" not in value:
+                raise AddressError(f"network needs a /prefix: {value!r}")
+            addr_text, plen_text = value.split("/", 1)
+            address = IPv4Address(addr_text)
+            plen = int(plen_text)
+        elif isinstance(value, tuple):
+            address, plen = IPv4Address(value[0]), int(value[1])
+        else:
+            address = IPv4Address(value)
+            plen = int(prefix_len)
+        if not 0 <= plen <= 32:
+            raise AddressError(f"prefix length out of range: {plen}")
+        self.prefix_len = plen
+        self.network = IPv4Address(int(address) & int(self.netmask_for(plen)))
+
+    @staticmethod
+    def netmask_for(prefix_len: int) -> IPv4Address:
+        if prefix_len == 0:
+            return IPv4Address(0)
+        return IPv4Address((0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF)
+
+    @property
+    def netmask(self) -> IPv4Address:
+        return self.netmask_for(self.prefix_len)
+
+    @property
+    def broadcast(self) -> IPv4Address:
+        return IPv4Address(int(self.network) | (~int(self.netmask) & 0xFFFFFFFF))
+
+    @property
+    def num_addresses(self) -> int:
+        return 1 << (32 - self.prefix_len)
+
+    def __contains__(self, address: Union[str, int, IPv4Address]) -> bool:
+        addr = IPv4Address(address)
+        return (int(addr) & int(self.netmask)) == int(self.network)
+
+    def hosts(self) -> Iterator[IPv4Address]:
+        """Iterate usable host addresses (excludes network/broadcast for /0-/30)."""
+        if self.prefix_len >= 31:
+            for offset in range(self.num_addresses):
+                yield self.network + offset
+            return
+        for offset in range(1, self.num_addresses - 1):
+            yield self.network + offset
+
+    def subnets(self, new_prefix: int) -> Iterator["IPv4Network"]:
+        """Iterate sub-prefixes of the given length."""
+        if new_prefix < self.prefix_len or new_prefix > 32:
+            raise AddressError(
+                f"cannot subnet /{self.prefix_len} into /{new_prefix}"
+            )
+        step = 1 << (32 - new_prefix)
+        for base in range(int(self.network), int(self.network) + self.num_addresses, step):
+            yield IPv4Network((IPv4Address(base), new_prefix))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, IPv4Network):
+            return NotImplemented
+        return self.network == other.network and self.prefix_len == other.prefix_len
+
+    def __hash__(self) -> int:
+        return hash(("net", int(self.network), self.prefix_len))
+
+    def __str__(self) -> str:
+        return f"{self.network}/{self.prefix_len}"
+
+    def __repr__(self) -> str:
+        return f"IPv4Network('{self}')"
+
+
+def checksum16(data: bytes) -> int:
+    """Internet checksum (RFC 1071) over ``data``."""
+    if len(data) % 2:
+        data += b"\x00"
+    total = 0
+    for (word,) in struct.iter_unpack("!H", data):
+        total += word
+    while total >> 16:
+        total = (total & 0xFFFF) + (total >> 16)
+    return ~total & 0xFFFF

@@ -1,0 +1,69 @@
+"""ARP (RFC 826) packet codec for Ethernet/IPv4."""
+
+from __future__ import annotations
+
+import struct
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.packet import DecodeError, Header
+
+
+class ARP(Header):
+    """An ARP request or reply over Ethernet/IPv4."""
+
+    REQUEST = 1
+    REPLY = 2
+
+    HTYPE_ETHERNET = 1
+    PTYPE_IPV4 = 0x0800
+
+    def __init__(
+        self,
+        opcode: int,
+        sender_mac: MACAddress,
+        sender_ip: IPv4Address,
+        target_mac: MACAddress,
+        target_ip: IPv4Address,
+    ) -> None:
+        self.opcode = opcode
+        self.sender_mac = MACAddress(sender_mac)
+        self.sender_ip = IPv4Address(sender_ip)
+        self.target_mac = MACAddress(target_mac)
+        self.target_ip = IPv4Address(target_ip)
+        self.payload = None
+
+    @classmethod
+    def request(cls, sender_mac: MACAddress, sender_ip: IPv4Address, target_ip: IPv4Address) -> "ARP":
+        return cls(cls.REQUEST, sender_mac, sender_ip, MACAddress(0), target_ip)
+
+    @classmethod
+    def reply(cls, sender_mac, sender_ip, target_mac, target_ip) -> "ARP":
+        return cls(cls.REPLY, sender_mac, sender_ip, target_mac, target_ip)
+
+    def encode(self) -> bytes:
+        return (
+            struct.pack("!HHBBH", self.HTYPE_ETHERNET, self.PTYPE_IPV4, 6, 4, self.opcode)
+            + self.sender_mac.packed
+            + self.sender_ip.packed
+            + self.target_mac.packed
+            + self.target_ip.packed
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "ARP":
+        if len(data) < 28:
+            raise DecodeError(f"ARP packet too short: {len(data)} bytes")
+        htype, ptype, hlen, plen, opcode = struct.unpack("!HHBBH", data[0:8])
+        if htype != cls.HTYPE_ETHERNET or ptype != cls.PTYPE_IPV4 or hlen != 6 or plen != 4:
+            raise DecodeError("unsupported ARP hardware/protocol combination")
+        return cls(
+            opcode=opcode,
+            sender_mac=MACAddress(data[8:14]),
+            sender_ip=IPv4Address(data[14:18]),
+            target_mac=MACAddress(data[18:24]),
+            target_ip=IPv4Address(data[24:28]),
+        )
+
+    def __repr__(self) -> str:
+        kind = "request" if self.opcode == self.REQUEST else "reply"
+        return f"<ARP {kind} {self.sender_ip} -> {self.target_ip}>"

@@ -1,0 +1,179 @@
+"""Interfaces and links: the physical layer of the simulated network.
+
+A :class:`Interface` belongs to a device (an OpenFlow switch port, a host
+NIC, a VM NIC) and may be attached to a :class:`Link`.  Links connect
+exactly two interfaces and deliver frames after a propagation delay plus a
+serialization delay derived from the configured bandwidth.  Links can be
+taken down and brought back up, which is how the experiments inject
+failures.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Optional
+
+from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
+from repro.sim import Simulator
+
+LOG = logging.getLogger(__name__)
+
+#: Type of the frame-delivery callback: ``handler(interface, frame_bytes)``.
+FrameHandler = Callable[["Interface", bytes], None]
+
+
+class Interface:
+    """A network interface attached to a simulated device.
+
+    Attributes
+    ----------
+    name:
+        Human-readable name, e.g. ``"s3-eth2"`` or ``"h1-eth0"``.
+    mac:
+        The interface's MAC address.
+    ip / prefix_len:
+        Optional IPv4 configuration (hosts and VM interfaces use it; bare
+        switch ports do not).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        mac: MACAddress,
+        owner: object = None,
+        port_no: int = 0,
+    ) -> None:
+        self.name = name
+        self.mac = MACAddress(mac)
+        self.owner = owner
+        self.port_no = port_no
+        self.ip: Optional[IPv4Address] = None
+        self.prefix_len: int = 0
+        self.link: Optional[Link] = None
+        self.up = True
+        self._handler: Optional[FrameHandler] = None
+        # Counters
+        self.tx_packets = 0
+        self.rx_packets = 0
+        self.tx_bytes = 0
+        self.rx_bytes = 0
+        self.tx_dropped = 0
+        self.rx_dropped = 0
+
+    # ----------------------------------------------------------- configuration
+    def set_handler(self, handler: FrameHandler) -> None:
+        """Install the callback invoked when a frame arrives on this interface."""
+        self._handler = handler
+
+    def configure_ip(self, ip: IPv4Address, prefix_len: int) -> None:
+        """Assign an IPv4 address/prefix to the interface."""
+        self.ip = IPv4Address(ip)
+        self.prefix_len = prefix_len
+
+    @property
+    def network(self) -> Optional[IPv4Network]:
+        """The connected prefix, if an IP is configured."""
+        if self.ip is None:
+            return None
+        return IPv4Network((self.ip, self.prefix_len))
+
+    @property
+    def is_connected(self) -> bool:
+        return self.link is not None
+
+    # ------------------------------------------------------------------- I/O
+    def send(self, frame: bytes) -> bool:
+        """Transmit a frame onto the attached link.
+
+        Returns False (and counts a drop) when the interface is down or not
+        cabled — mirroring a real NIC silently dropping on a dead link.
+        """
+        if not self.up or self.link is None:
+            self.tx_dropped += 1
+            return False
+        self.tx_packets += 1
+        self.tx_bytes += len(frame)
+        self.link.transmit(self, frame)
+        return True
+
+    def deliver(self, frame: bytes) -> None:
+        """Called by the link when a frame arrives."""
+        if not self.up:
+            self.rx_dropped += 1
+            return
+        self.rx_packets += 1
+        self.rx_bytes += len(frame)
+        if self._handler is not None:
+            self._handler(self, frame)
+
+    def __repr__(self) -> str:
+        ip = f" {self.ip}/{self.prefix_len}" if self.ip else ""
+        return f"<Interface {self.name} mac={self.mac}{ip}>"
+
+
+class Link:
+    """A bidirectional point-to-point link between two interfaces."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        iface_a: Interface,
+        iface_b: Interface,
+        delay: float = 0.001,
+        bandwidth_bps: float = 1e9,
+        name: str = "",
+    ) -> None:
+        if iface_a.link is not None or iface_b.link is not None:
+            raise ValueError("interface is already cabled to another link")
+        self.sim = sim
+        self.iface_a = iface_a
+        self.iface_b = iface_b
+        self.delay = delay
+        self.bandwidth_bps = bandwidth_bps
+        self.up = True
+        self.name = name or f"{iface_a.name}<->{iface_b.name}"
+        iface_a.link = self
+        iface_b.link = self
+        self.tx_frames = 0
+        self.dropped_frames = 0
+
+    def peer_of(self, iface: Interface) -> Interface:
+        """Return the interface at the other end of the link."""
+        if iface is self.iface_a:
+            return self.iface_b
+        if iface is self.iface_b:
+            return self.iface_a
+        raise ValueError(f"{iface!r} is not attached to {self.name}")
+
+    def transmit(self, from_iface: Interface, frame: bytes) -> None:
+        """Schedule delivery of ``frame`` at the peer interface."""
+        if not self.up:
+            self.dropped_frames += 1
+            return
+        peer = self.peer_of(from_iface)
+        serialization = (len(frame) * 8) / self.bandwidth_bps if self.bandwidth_bps else 0.0
+        self.tx_frames += 1
+        self.sim.schedule(self.delay + serialization, peer.deliver, frame,
+                          name=f"link:{self.name}")
+
+    def set_down(self) -> None:
+        """Take the link down: in-flight frames still arrive, new ones drop."""
+        self.up = False
+
+    def set_up(self) -> None:
+        self.up = True
+
+    def __repr__(self) -> str:
+        state = "up" if self.up else "down"
+        return f"<Link {self.name} {state} delay={self.delay * 1e3:.2f}ms>"
+
+
+def connect(
+    sim: Simulator,
+    iface_a: Interface,
+    iface_b: Interface,
+    delay: float = 0.001,
+    bandwidth_bps: float = 1e9,
+) -> Link:
+    """Cable two interfaces together and return the resulting link."""
+    return Link(sim, iface_a, iface_b, delay=delay, bandwidth_bps=bandwidth_bps)

@@ -1,0 +1,171 @@
+"""The flow table of an OpenFlow 1.0 switch.
+
+Lookup follows the 1.0 semantics: exact-match entries take precedence over
+wildcarded entries; among wildcarded entries the highest priority wins.
+Entries carry idle and hard timeouts which the switch expires against
+simulated time, emitting FLOW_REMOVED when the entry asked for it.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional
+
+from repro.openflow.actions import Action
+from repro.openflow.constants import OFPFlowModFlags, OFPPort
+from repro.openflow.match import Match, PacketFields
+
+
+class FlowEntry:
+    """One installed flow: match, priority, actions, timeouts, counters."""
+
+    def __init__(self, match: Match, actions: List[Action], priority: int = 0x8000,
+                 idle_timeout: int = 0, hard_timeout: int = 0, cookie: int = 0,
+                 flags: int = 0, install_time: float = 0.0) -> None:
+        self.match = match
+        self.actions = list(actions)
+        self.priority = priority
+        self.idle_timeout = idle_timeout
+        self.hard_timeout = hard_timeout
+        self.cookie = cookie
+        self.flags = flags
+        self.install_time = install_time
+        self.last_used = install_time
+        self.packet_count = 0
+        self.byte_count = 0
+
+    @property
+    def effective_priority(self) -> int:
+        """Exact-match entries always win over wildcarded ones."""
+        return 0x10000 if self.match.is_exact else self.priority
+
+    @property
+    def send_flow_removed(self) -> bool:
+        return bool(self.flags & OFPFlowModFlags.SEND_FLOW_REM)
+
+    def mark_used(self, now: float, packet_len: int) -> None:
+        self.last_used = now
+        self.packet_count += 1
+        self.byte_count += packet_len
+
+    def is_expired(self, now: float) -> Optional[str]:
+        """Return 'idle' / 'hard' when the entry has timed out, else None."""
+        if self.hard_timeout and now - self.install_time >= self.hard_timeout:
+            return "hard"
+        if self.idle_timeout and now - self.last_used >= self.idle_timeout:
+            return "idle"
+        return None
+
+    def outputs_to(self, port: int) -> bool:
+        """True if any OUTPUT action targets the given port (for deletes)."""
+        if port == OFPPort.NONE:
+            return True
+        from repro.openflow.actions import OutputAction
+
+        return any(isinstance(a, OutputAction) and a.port == port for a in self.actions)
+
+    def __repr__(self) -> str:
+        return (f"<FlowEntry prio={self.priority} {self.match!r} "
+                f"actions={self.actions} pkts={self.packet_count}>")
+
+
+class FlowTable:
+    """An ordered collection of :class:`FlowEntry` objects."""
+
+    def __init__(self, table_id: int = 0, max_entries: int = 65536) -> None:
+        self.table_id = table_id
+        self.max_entries = max_entries
+        self._entries: List[FlowEntry] = []
+        self.lookup_count = 0
+        self.matched_count = 0
+
+    # ------------------------------------------------------------- contents
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __iter__(self):
+        return iter(list(self._entries))
+
+    @property
+    def entries(self) -> List[FlowEntry]:
+        return list(self._entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self._entries) >= self.max_entries
+
+    # --------------------------------------------------------------- mutate
+    def add(self, entry: FlowEntry, replace_identical: bool = True) -> None:
+        """Install an entry, replacing an identical (match, priority) one."""
+        if replace_identical:
+            self._entries = [
+                e for e in self._entries
+                if not (e.match == entry.match and e.priority == entry.priority)
+            ]
+        self._entries.append(entry)
+        self._entries.sort(key=lambda e: e.effective_priority, reverse=True)
+
+    def modify(self, match: Match, actions: List[Action], strict: bool,
+               priority: int) -> int:
+        """Apply MODIFY / MODIFY_STRICT semantics; returns entries touched."""
+        touched = 0
+        for entry in self._entries:
+            if self._selected(entry, match, strict, priority, OFPPort.NONE):
+                entry.actions = list(actions)
+                touched += 1
+        return touched
+
+    def delete(self, match: Match, strict: bool, priority: int,
+               out_port: int = OFPPort.NONE) -> List[FlowEntry]:
+        """Apply DELETE / DELETE_STRICT semantics; returns removed entries."""
+        removed = [e for e in self._entries
+                   if self._selected(e, match, strict, priority, out_port)]
+        self._entries = [e for e in self._entries if e not in removed]
+        return removed
+
+    def expire(self, now: float) -> List[tuple]:
+        """Remove timed-out entries; returns (entry, reason) pairs."""
+        expired = []
+        remaining = []
+        for entry in self._entries:
+            reason = entry.is_expired(now)
+            if reason is None:
+                remaining.append(entry)
+            else:
+                expired.append((entry, reason))
+        self._entries = remaining
+        return expired
+
+    @staticmethod
+    def _selected(entry: FlowEntry, match: Match, strict: bool, priority: int,
+                  out_port: int) -> bool:
+        if not entry.outputs_to(out_port):
+            return False
+        if strict:
+            return entry.match == match and entry.priority == priority
+        return match.covers(entry.match)
+
+    # --------------------------------------------------------------- lookup
+    def lookup(self, fields: PacketFields) -> Optional[FlowEntry]:
+        """Find the highest-precedence entry matching the packet fields."""
+        self.lookup_count += 1
+        for entry in self._entries:
+            if entry.match.matches(fields):
+                self.matched_count += 1
+                return entry
+        return None
+
+    def find_overlapping(self, match: Match, priority: int) -> Optional[FlowEntry]:
+        """Detect overlap for CHECK_OVERLAP flow-mods (same priority, both
+        could match one packet).  A conservative containment check."""
+        for entry in self._entries:
+            if entry.priority != priority:
+                continue
+            if entry.match.covers(match) or match.covers(entry.match):
+                return entry
+        return None
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def __repr__(self) -> str:
+        return f"<FlowTable {self.table_id} entries={len(self._entries)}>"

@@ -1,0 +1,359 @@
+"""The OpenFlow 1.0 ``ofp_match`` structure and packet-field extraction.
+
+A :class:`Match` is both a wire structure (40 bytes, encoded/decoded
+exactly as the specification lays it out) and a predicate: it can be asked
+whether a concrete packet's extracted fields satisfy it, taking wildcards
+and the CIDR-style network-address wildcards into account.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.arp import ARP
+from repro.net.ethernet import Ethernet, EtherType
+from repro.net.ipv4 import IPProtocol, IPv4
+from repro.net.packet import DecodeError
+from repro.net.transport import ICMP, TCP, UDP
+from repro.openflow.constants import OFPFlowWildcards as W
+
+MATCH_LEN = 40
+
+
+class PacketFields:
+    """Fields extracted from a concrete packet for flow-table lookup."""
+
+    __slots__ = (
+        "in_port", "dl_src", "dl_dst", "dl_vlan", "dl_vlan_pcp", "dl_type",
+        "nw_tos", "nw_proto", "nw_src", "nw_dst", "tp_src", "tp_dst",
+    )
+
+    def __init__(self, in_port: int = 0) -> None:
+        self.in_port = in_port
+        self.dl_src = MACAddress(0)
+        self.dl_dst = MACAddress(0)
+        self.dl_vlan = 0xFFFF  # OFP_VLAN_NONE
+        self.dl_vlan_pcp = 0
+        self.dl_type = 0
+        self.nw_tos = 0
+        self.nw_proto = 0
+        self.nw_src = IPv4Address(0)
+        self.nw_dst = IPv4Address(0)
+        self.tp_src = 0
+        self.tp_dst = 0
+
+    @classmethod
+    def from_frame(cls, data: bytes, in_port: int = 0) -> "PacketFields":
+        """Extract match fields from an encoded Ethernet frame."""
+        fields = cls(in_port=in_port)
+        try:
+            eth = Ethernet.decode(data)
+        except DecodeError:
+            return fields
+        fields.dl_src = eth.src
+        fields.dl_dst = eth.dst
+        fields.dl_type = eth.ethertype
+        if eth.vlan is not None:
+            fields.dl_vlan = eth.vlan
+            fields.dl_vlan_pcp = eth.vlan_pcp
+        payload = eth.payload
+        if isinstance(payload, IPv4):
+            fields.nw_tos = payload.tos
+            fields.nw_proto = payload.protocol
+            fields.nw_src = payload.src
+            fields.nw_dst = payload.dst
+            inner = payload.payload
+            if isinstance(inner, (TCP, UDP)):
+                fields.tp_src = inner.src_port
+                fields.tp_dst = inner.dst_port
+            elif isinstance(inner, ICMP):
+                fields.tp_src = inner.icmp_type
+                fields.tp_dst = inner.code
+        elif isinstance(payload, ARP):
+            fields.nw_proto = payload.opcode
+            fields.nw_src = payload.sender_ip
+            fields.nw_dst = payload.target_ip
+        return fields
+
+
+class Match:
+    """An ``ofp_match``: wildcard bitmap plus concrete field values."""
+
+    def __init__(
+        self,
+        wildcards: int = W.ALL,
+        in_port: int = 0,
+        dl_src: MACAddress = MACAddress(0),
+        dl_dst: MACAddress = MACAddress(0),
+        dl_vlan: int = 0,
+        dl_vlan_pcp: int = 0,
+        dl_type: int = 0,
+        nw_tos: int = 0,
+        nw_proto: int = 0,
+        nw_src: IPv4Address = IPv4Address(0),
+        nw_dst: IPv4Address = IPv4Address(0),
+        tp_src: int = 0,
+        tp_dst: int = 0,
+    ) -> None:
+        self.wildcards = wildcards
+        self.in_port = in_port
+        self.dl_src = MACAddress(dl_src)
+        self.dl_dst = MACAddress(dl_dst)
+        self.dl_vlan = dl_vlan
+        self.dl_vlan_pcp = dl_vlan_pcp
+        self.dl_type = dl_type
+        self.nw_tos = nw_tos
+        self.nw_proto = nw_proto
+        self.nw_src = IPv4Address(nw_src)
+        self.nw_dst = IPv4Address(nw_dst)
+        self.tp_src = tp_src
+        self.tp_dst = tp_dst
+
+    # --------------------------------------------------------- constructors
+    @classmethod
+    def wildcard_all(cls) -> "Match":
+        """A match that accepts every packet."""
+        return cls(wildcards=W.ALL)
+
+    @classmethod
+    def for_destination_prefix(cls, network: IPv4Address, prefix_len: int) -> "Match":
+        """Match IPv4 traffic towards a destination prefix (RouteFlow routes)."""
+        match = cls.wildcard_all()
+        match.set_dl_type(EtherType.IPV4)
+        match.set_nw_dst(network, prefix_len)
+        return match
+
+    @classmethod
+    def exact_from_fields(cls, fields: PacketFields) -> "Match":
+        """Exact match mirroring every extracted field (wildcards = 0)."""
+        return cls(
+            wildcards=0,
+            in_port=fields.in_port,
+            dl_src=fields.dl_src,
+            dl_dst=fields.dl_dst,
+            dl_vlan=fields.dl_vlan,
+            dl_vlan_pcp=fields.dl_vlan_pcp,
+            dl_type=fields.dl_type,
+            nw_tos=fields.nw_tos,
+            nw_proto=fields.nw_proto,
+            nw_src=fields.nw_src,
+            nw_dst=fields.nw_dst,
+            tp_src=fields.tp_src,
+            tp_dst=fields.tp_dst,
+        )
+
+    # --------------------------------------------------------------- setters
+    def set_in_port(self, port: int) -> "Match":
+        self.in_port = port
+        self.wildcards &= ~W.IN_PORT
+        return self
+
+    def set_dl_type(self, dl_type: int) -> "Match":
+        self.dl_type = dl_type
+        self.wildcards &= ~W.DL_TYPE
+        return self
+
+    def set_dl_src(self, mac: MACAddress) -> "Match":
+        self.dl_src = MACAddress(mac)
+        self.wildcards &= ~W.DL_SRC
+        return self
+
+    def set_dl_dst(self, mac: MACAddress) -> "Match":
+        self.dl_dst = MACAddress(mac)
+        self.wildcards &= ~W.DL_DST
+        return self
+
+    def set_nw_proto(self, proto: int) -> "Match":
+        self.nw_proto = proto
+        self.wildcards &= ~W.NW_PROTO
+        return self
+
+    def set_nw_src(self, address: IPv4Address, prefix_len: int = 32) -> "Match":
+        self.nw_src = IPv4Address(address)
+        self.wildcards &= ~W.NW_SRC_MASK
+        self.wildcards |= ((32 - prefix_len) << W.NW_SRC_SHIFT) & W.NW_SRC_MASK
+        return self
+
+    def set_nw_dst(self, address: IPv4Address, prefix_len: int = 32) -> "Match":
+        self.nw_dst = IPv4Address(address)
+        self.wildcards &= ~W.NW_DST_MASK
+        self.wildcards |= ((32 - prefix_len) << W.NW_DST_SHIFT) & W.NW_DST_MASK
+        return self
+
+    def set_tp_src(self, port: int) -> "Match":
+        self.tp_src = port
+        self.wildcards &= ~W.TP_SRC
+        return self
+
+    def set_tp_dst(self, port: int) -> "Match":
+        self.tp_dst = port
+        self.wildcards &= ~W.TP_DST
+        return self
+
+    # ------------------------------------------------------------ properties
+    @property
+    def nw_src_prefix_len(self) -> int:
+        ignored = (self.wildcards & W.NW_SRC_MASK) >> W.NW_SRC_SHIFT
+        return max(0, 32 - min(ignored, 32))
+
+    @property
+    def nw_dst_prefix_len(self) -> int:
+        ignored = (self.wildcards & W.NW_DST_MASK) >> W.NW_DST_SHIFT
+        return max(0, 32 - min(ignored, 32))
+
+    @property
+    def is_exact(self) -> bool:
+        """True when no field is wildcarded."""
+        return self.wildcards == 0
+
+    # --------------------------------------------------------------- predicate
+    def matches(self, fields: PacketFields) -> bool:
+        """Does a packet with the given extracted fields satisfy this match?"""
+        w = self.wildcards
+        if not w & W.IN_PORT and self.in_port != fields.in_port:
+            return False
+        if not w & W.DL_SRC and self.dl_src != fields.dl_src:
+            return False
+        if not w & W.DL_DST and self.dl_dst != fields.dl_dst:
+            return False
+        if not w & W.DL_VLAN and self.dl_vlan != fields.dl_vlan:
+            return False
+        if not w & W.DL_VLAN_PCP and self.dl_vlan_pcp != fields.dl_vlan_pcp:
+            return False
+        if not w & W.DL_TYPE and self.dl_type != fields.dl_type:
+            return False
+        if not w & W.NW_TOS and self.nw_tos != fields.nw_tos:
+            return False
+        if not w & W.NW_PROTO and self.nw_proto != fields.nw_proto:
+            return False
+        if not self._prefix_match(self.nw_src, fields.nw_src, self.nw_src_prefix_len):
+            return False
+        if not self._prefix_match(self.nw_dst, fields.nw_dst, self.nw_dst_prefix_len):
+            return False
+        if not w & W.TP_SRC and self.tp_src != fields.tp_src:
+            return False
+        if not w & W.TP_DST and self.tp_dst != fields.tp_dst:
+            return False
+        return True
+
+    @staticmethod
+    def _prefix_match(pattern: IPv4Address, value: IPv4Address, prefix_len: int) -> bool:
+        if prefix_len <= 0:
+            return True
+        mask = (0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF
+        return (int(pattern) & mask) == (int(value) & mask)
+
+    def covers(self, other: "Match") -> bool:
+        """True when every packet matched by ``other`` is matched by self.
+
+        Used for OpenFlow's non-strict delete/modify semantics.
+        """
+        fields = PacketFields()
+        fields.in_port = other.in_port
+        fields.dl_src = other.dl_src
+        fields.dl_dst = other.dl_dst
+        fields.dl_vlan = other.dl_vlan
+        fields.dl_vlan_pcp = other.dl_vlan_pcp
+        fields.dl_type = other.dl_type
+        fields.nw_tos = other.nw_tos
+        fields.nw_proto = other.nw_proto
+        fields.nw_src = other.nw_src
+        fields.nw_dst = other.nw_dst
+        fields.tp_src = other.tp_src
+        fields.tp_dst = other.tp_dst
+        # Every field that self constrains must also be constrained (at least
+        # as tightly) by other, and the values must agree.
+        w_self, w_other = self.wildcards, other.wildcards
+        for bit in (W.IN_PORT, W.DL_VLAN, W.DL_SRC, W.DL_DST, W.DL_TYPE,
+                    W.NW_PROTO, W.TP_SRC, W.TP_DST, W.DL_VLAN_PCP, W.NW_TOS):
+            if not w_self & bit and w_other & bit:
+                return False
+        if self.nw_src_prefix_len > other.nw_src_prefix_len:
+            return False
+        if self.nw_dst_prefix_len > other.nw_dst_prefix_len:
+            return False
+        return self.matches(fields)
+
+    # -------------------------------------------------------------- encoding
+    def encode(self) -> bytes:
+        return struct.pack(
+            "!IH6s6sHBxHBB2x4s4sHH",
+            self.wildcards,
+            self.in_port,
+            self.dl_src.packed,
+            self.dl_dst.packed,
+            self.dl_vlan,
+            self.dl_vlan_pcp,
+            self.dl_type,
+            self.nw_tos,
+            self.nw_proto,
+            self.nw_src.packed,
+            self.nw_dst.packed,
+            self.tp_src,
+            self.tp_dst,
+        )
+
+    @classmethod
+    def decode(cls, data: bytes) -> "Match":
+        if len(data) < MATCH_LEN:
+            raise DecodeError(f"ofp_match too short: {len(data)} bytes")
+        (wildcards, in_port, dl_src, dl_dst, dl_vlan, dl_vlan_pcp, dl_type,
+         nw_tos, nw_proto, nw_src, nw_dst, tp_src, tp_dst) = struct.unpack(
+            "!IH6s6sHBxHBB2x4s4sHH", data[:MATCH_LEN])
+        return cls(
+            wildcards=wildcards,
+            in_port=in_port,
+            dl_src=MACAddress(dl_src),
+            dl_dst=MACAddress(dl_dst),
+            dl_vlan=dl_vlan,
+            dl_vlan_pcp=dl_vlan_pcp,
+            dl_type=dl_type,
+            nw_tos=nw_tos,
+            nw_proto=nw_proto,
+            nw_src=IPv4Address(nw_src),
+            nw_dst=IPv4Address(nw_dst),
+            tp_src=tp_src,
+            tp_dst=tp_dst,
+        )
+
+    # ------------------------------------------------------------------ misc
+    def _key(self) -> tuple:
+        return (
+            self.wildcards, self.in_port, int(self.dl_src), int(self.dl_dst),
+            self.dl_vlan, self.dl_vlan_pcp, self.dl_type, self.nw_tos,
+            self.nw_proto, int(self.nw_src), int(self.nw_dst),
+            self.tp_src, self.tp_dst,
+        )
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Match):
+            return NotImplemented
+        return self._key() == other._key()
+
+    def __hash__(self) -> int:
+        return hash(self._key())
+
+    def __repr__(self) -> str:
+        parts = []
+        w = self.wildcards
+        if not w & W.IN_PORT:
+            parts.append(f"in_port={self.in_port}")
+        if not w & W.DL_TYPE:
+            parts.append(f"dl_type={self.dl_type:#06x}")
+        if not w & W.DL_SRC:
+            parts.append(f"dl_src={self.dl_src}")
+        if not w & W.DL_DST:
+            parts.append(f"dl_dst={self.dl_dst}")
+        if self.nw_src_prefix_len:
+            parts.append(f"nw_src={self.nw_src}/{self.nw_src_prefix_len}")
+        if self.nw_dst_prefix_len:
+            parts.append(f"nw_dst={self.nw_dst}/{self.nw_dst_prefix_len}")
+        if not w & W.NW_PROTO:
+            parts.append(f"nw_proto={self.nw_proto}")
+        if not w & W.TP_SRC:
+            parts.append(f"tp_src={self.tp_src}")
+        if not w & W.TP_DST:
+            parts.append(f"tp_dst={self.tp_dst}")
+        return f"<Match {' '.join(parts) or 'any'}>"

@@ -1,0 +1,17 @@
+"""Simplified BGP speaker (config-complete; OSPF carries the evaluated traffic)."""
+
+from repro.quagga.bgp.daemon import (
+    BGPAnnouncement,
+    BGPDaemon,
+    BGPPeerSession,
+    BGPSessionBroker,
+    BGPSessionState,
+)
+
+__all__ = [
+    "BGPAnnouncement",
+    "BGPDaemon",
+    "BGPPeerSession",
+    "BGPSessionBroker",
+    "BGPSessionState",
+]

@@ -1,0 +1,233 @@
+"""A simplified BGP speaker.
+
+The paper's RPC server also writes ``bgp.conf`` files, although the
+evaluated experiments only exercise OSPF.  To keep the configuration path
+complete we provide a compact BGP implementation: speakers are configured
+from a parsed ``bgpd.conf``, sessions go through Idle → OpenSent →
+Established with a configurable establishment delay, and once established
+the speakers exchange UPDATE-equivalent announcements (prefix + AS path +
+next hop), apply AS-path loop detection and shortest-AS-path selection, and
+install the winners into zebra with the BGP administrative distance.
+
+Peering transport is abstracted by a :class:`BGPSessionBroker` rather than
+a full TCP implementation — the broker delivers messages between speakers
+whose configurations name each other, after the session delay.  This is the
+one deliberately simplified substrate (documented in DESIGN.md); everything
+the reproduced experiments measure flows through OSPF, not BGP.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.quagga.configfile import BGPConfig
+from repro.quagga.rib import Route, RouteSource
+from repro.quagga.zebra import ZebraDaemon
+from repro.sim import Simulator
+
+LOG = logging.getLogger(__name__)
+
+
+class BGPSessionState:
+    IDLE = "Idle"
+    OPEN_SENT = "OpenSent"
+    ESTABLISHED = "Established"
+
+
+@dataclass
+class BGPAnnouncement:
+    """A route announcement exchanged between peers."""
+
+    prefix: IPv4Network
+    next_hop: IPv4Address
+    as_path: Tuple[int, ...]
+
+    @property
+    def origin_as(self) -> Optional[int]:
+        return self.as_path[-1] if self.as_path else None
+
+
+@dataclass
+class BGPPeerSession:
+    """State of one configured peering."""
+
+    local_address: IPv4Address
+    peer_address: IPv4Address
+    remote_as: int
+    state: str = BGPSessionState.IDLE
+    established_at: Optional[float] = None
+    received: Dict[IPv4Network, BGPAnnouncement] = field(default_factory=dict)
+
+
+class BGPSessionBroker:
+    """Connects speakers that name each other as neighbors."""
+
+    def __init__(self, sim: Simulator, session_delay: float = 1.0) -> None:
+        self.sim = sim
+        self.session_delay = session_delay
+        self._speakers: Dict[IPv4Address, "BGPDaemon"] = {}
+
+    def register(self, address: IPv4Address, speaker: "BGPDaemon") -> None:
+        self._speakers[IPv4Address(address)] = speaker
+        self._try_establish_all()
+
+    def speaker_at(self, address: IPv4Address) -> Optional["BGPDaemon"]:
+        return self._speakers.get(IPv4Address(address))
+
+    def _try_establish_all(self) -> None:
+        for speaker in list(self._speakers.values()):
+            for session in speaker.sessions.values():
+                if session.state != BGPSessionState.IDLE:
+                    continue
+                peer = self._speakers.get(session.peer_address)
+                if peer is None:
+                    continue
+                reverse = peer.sessions.get(session.local_address)
+                if reverse is None:
+                    continue
+                session.state = BGPSessionState.OPEN_SENT
+                reverse.state = BGPSessionState.OPEN_SENT
+                self.sim.schedule(self.session_delay, self._establish,
+                                  speaker, session, peer, reverse,
+                                  name="bgp:establish")
+
+    def _establish(self, speaker: "BGPDaemon", session: BGPPeerSession,
+                   peer: "BGPDaemon", reverse: BGPPeerSession) -> None:
+        for side, sess in ((speaker, session), (peer, reverse)):
+            sess.state = BGPSessionState.ESTABLISHED
+            sess.established_at = self.sim.now
+        speaker.on_session_established(session)
+        peer.on_session_established(reverse)
+
+    def deliver(self, sender: "BGPDaemon", session: BGPPeerSession,
+                announcement: BGPAnnouncement, withdraw: bool = False) -> None:
+        peer = self._speakers.get(session.peer_address)
+        if peer is None:
+            return
+        self.sim.schedule(0.05, peer.receive_announcement, session.peer_address,
+                          session.local_address, announcement, withdraw,
+                          name="bgp:update")
+
+
+class BGPDaemon:
+    """A BGP speaker configured from a parsed bgpd.conf."""
+
+    def __init__(self, sim: Simulator, zebra: ZebraDaemon, config: BGPConfig,
+                 broker: BGPSessionBroker, local_addresses: List[IPv4Address],
+                 hostname: str = "") -> None:
+        self.sim = sim
+        self.zebra = zebra
+        self.config = config
+        self.broker = broker
+        self.hostname = hostname or config.hostname
+        self.local_as = config.local_as
+        self.router_id = config.router_id or (local_addresses[0] if local_addresses else IPv4Address(0))
+        self.local_addresses = [IPv4Address(a) for a in local_addresses]
+        #: keyed by the *local* address used to reach the peer — one session per neighbor
+        self.sessions: Dict[IPv4Address, BGPPeerSession] = {}
+        self._local_announcements: Dict[IPv4Network, BGPAnnouncement] = {}
+        self.running = False
+
+    # ---------------------------------------------------------------- control
+    def start(self) -> None:
+        self.running = True
+        for neighbor in self.config.neighbors:
+            local = self._local_address_for(neighbor.address)
+            if local is None:
+                LOG.warning("%s: no local address facing neighbor %s",
+                            self.hostname, neighbor.address)
+                continue
+            self.sessions[neighbor.address] = BGPPeerSession(
+                local_address=local, peer_address=neighbor.address,
+                remote_as=neighbor.remote_as)
+        for network in self.config.networks:
+            self.announce_network(network)
+        for address in self.local_addresses:
+            self.broker.register(address, self)
+
+    def stop(self) -> None:
+        self.running = False
+        self.zebra.rib.remove_all_from(RouteSource.BGP)
+
+    def _local_address_for(self, peer: IPv4Address) -> Optional[IPv4Address]:
+        # Prefer an address on the same /24 as the peer, else the first one.
+        for address in self.local_addresses:
+            if int(address) >> 8 == int(peer) >> 8:
+                return address
+        return self.local_addresses[0] if self.local_addresses else None
+
+    # ------------------------------------------------------------ origination
+    def announce_network(self, prefix: IPv4Network) -> None:
+        """Originate a prefix from this AS."""
+        announcement = BGPAnnouncement(prefix=prefix, next_hop=self.router_id,
+                                       as_path=(self.local_as,))
+        self._local_announcements[prefix] = announcement
+        self._propagate(announcement)
+
+    def _propagate(self, announcement: BGPAnnouncement,
+                   exclude_peer: Optional[IPv4Address] = None) -> None:
+        for peer_address, session in self.sessions.items():
+            if session.state != BGPSessionState.ESTABLISHED:
+                continue
+            if exclude_peer is not None and peer_address == exclude_peer:
+                continue
+            outgoing = BGPAnnouncement(prefix=announcement.prefix,
+                                       next_hop=session.local_address,
+                                       as_path=(self.local_as,) + tuple(
+                                           a for a in announcement.as_path
+                                           if a != self.local_as))
+            self.broker.deliver(self, session, outgoing)
+
+    # ----------------------------------------------------------------- events
+    def on_session_established(self, session: BGPPeerSession) -> None:
+        LOG.info("%s: BGP session with %s established", self.hostname,
+                 session.peer_address)
+        for announcement in self._local_announcements.values():
+            outgoing = BGPAnnouncement(prefix=announcement.prefix,
+                                       next_hop=session.local_address,
+                                       as_path=announcement.as_path)
+            self.broker.deliver(self, session, outgoing)
+
+    def receive_announcement(self, local_address: IPv4Address,
+                             peer_address: IPv4Address,
+                             announcement: BGPAnnouncement,
+                             withdraw: bool = False) -> None:
+        session = self.sessions.get(peer_address)
+        if session is None or session.state != BGPSessionState.ESTABLISHED:
+            return
+        if self.local_as in announcement.as_path:
+            return  # AS-path loop
+        if withdraw:
+            session.received.pop(announcement.prefix, None)
+            self.zebra.withdraw_route(announcement.prefix, RouteSource.BGP,
+                                      next_hop=announcement.next_hop)
+            return
+        existing = session.received.get(announcement.prefix)
+        session.received[announcement.prefix] = announcement
+        best = self._best_announcement(announcement.prefix)
+        if best is not None:
+            self.zebra.announce_route(Route(
+                prefix=best.prefix, next_hop=best.next_hop, interface="",
+                source=RouteSource.BGP, metric=len(best.as_path)))
+        if existing is None or existing.as_path != announcement.as_path:
+            self._propagate(announcement, exclude_peer=peer_address)
+
+    def _best_announcement(self, prefix: IPv4Network) -> Optional[BGPAnnouncement]:
+        candidates = [s.received[prefix] for s in self.sessions.values()
+                      if prefix in s.received]
+        if not candidates:
+            return None
+        return min(candidates, key=lambda a: (len(a.as_path), int(a.next_hop)))
+
+    # ------------------------------------------------------------------ status
+    @property
+    def established_sessions(self) -> List[BGPPeerSession]:
+        return [s for s in self.sessions.values()
+                if s.state == BGPSessionState.ESTABLISHED]
+
+    def __repr__(self) -> str:
+        return (f"<BGPDaemon {self.hostname} AS{self.local_as} "
+                f"sessions={len(self.sessions)}>")

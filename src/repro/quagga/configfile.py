@@ -1,0 +1,270 @@
+"""Quagga configuration files: generation and parsing.
+
+The paper's RPC server "writes routing configuration files (e.g.
+ospf.conf, zebra.conf, bgp.conf) using the information present in the
+configuration message".  This module produces those files in Quagga's
+syntax and parses them back into structured objects; the virtual machines
+boot their routing daemons from the parsed form, so the generated text is
+a real interface rather than decoration.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Network
+
+
+class ConfigError(ValueError):
+    """Raised when a configuration file cannot be parsed."""
+
+
+# --------------------------------------------------------------------------
+# Structured configuration objects
+# --------------------------------------------------------------------------
+@dataclass
+class InterfaceConfig:
+    """One ``interface`` stanza of zebra.conf."""
+
+    name: str
+    ip: Optional[IPv4Address] = None
+    prefix_len: int = 0
+    description: str = ""
+
+    @property
+    def network(self) -> Optional[IPv4Network]:
+        if self.ip is None:
+            return None
+        return IPv4Network((self.ip, self.prefix_len))
+
+
+@dataclass
+class ZebraConfig:
+    """Parsed zebra.conf."""
+
+    hostname: str = "zebra"
+    password: str = "zebra"
+    interfaces: List[InterfaceConfig] = field(default_factory=list)
+
+    def interface(self, name: str) -> Optional[InterfaceConfig]:
+        for iface in self.interfaces:
+            if iface.name == name:
+                return iface
+        return None
+
+
+@dataclass
+class OSPFNetworkStatement:
+    """One ``network <prefix> area <area>`` statement."""
+
+    prefix: IPv4Network
+    area: str = "0.0.0.0"
+
+
+@dataclass
+class OSPFConfig:
+    """Parsed ospfd.conf."""
+
+    hostname: str = "ospfd"
+    password: str = "zebra"
+    router_id: Optional[IPv4Address] = None
+    networks: List[OSPFNetworkStatement] = field(default_factory=list)
+    hello_interval: int = 10
+    dead_interval: int = 40
+    reference_bandwidth_mbps: int = 100
+
+    def covers(self, prefix: IPv4Network) -> bool:
+        """Is a connected prefix enabled for OSPF by a network statement?"""
+        return any(int(prefix.network) & int(stmt.prefix.netmask) == int(stmt.prefix.network)
+                   and prefix.prefix_len >= stmt.prefix.prefix_len
+                   for stmt in self.networks)
+
+
+@dataclass
+class BGPNeighbor:
+    """One ``neighbor`` statement."""
+
+    address: IPv4Address
+    remote_as: int
+
+
+@dataclass
+class BGPConfig:
+    """Parsed bgpd.conf."""
+
+    hostname: str = "bgpd"
+    password: str = "zebra"
+    local_as: int = 0
+    router_id: Optional[IPv4Address] = None
+    neighbors: List[BGPNeighbor] = field(default_factory=list)
+    networks: List[IPv4Network] = field(default_factory=list)
+    redistribute_ospf: bool = False
+
+
+# --------------------------------------------------------------------------
+# Generation
+# --------------------------------------------------------------------------
+def generate_zebra_conf(hostname: str, interfaces: List[InterfaceConfig],
+                        password: str = "zebra") -> str:
+    """Render a zebra.conf for a VM with the given interface addressing."""
+    lines = [f"hostname {hostname}", f"password {password}", "!"]
+    for iface in interfaces:
+        lines.append(f"interface {iface.name}")
+        if iface.description:
+            lines.append(f" description {iface.description}")
+        if iface.ip is not None:
+            lines.append(f" ip address {iface.ip}/{iface.prefix_len}")
+        lines.append("!")
+    lines.append("line vty")
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def generate_ospfd_conf(hostname: str, router_id: IPv4Address,
+                        networks: List[OSPFNetworkStatement],
+                        hello_interval: int = 10, dead_interval: int = 40,
+                        password: str = "zebra") -> str:
+    """Render an ospfd.conf enabling OSPF on the given prefixes."""
+    lines = [f"hostname {hostname}", f"password {password}", "!"]
+    lines.append("router ospf")
+    lines.append(f" ospf router-id {router_id}")
+    lines.append(f" timers ospf hello-interval {hello_interval}")
+    lines.append(f" timers ospf dead-interval {dead_interval}")
+    for statement in networks:
+        lines.append(f" network {statement.prefix} area {statement.area}")
+    lines.append("!")
+    lines.append("line vty")
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+def generate_bgpd_conf(hostname: str, local_as: int, router_id: IPv4Address,
+                       neighbors: List[BGPNeighbor],
+                       networks: Optional[List[IPv4Network]] = None,
+                       redistribute_ospf: bool = False,
+                       password: str = "zebra") -> str:
+    """Render a bgpd.conf with the given AS, neighbors and announcements."""
+    lines = [f"hostname {hostname}", f"password {password}", "!"]
+    lines.append(f"router bgp {local_as}")
+    lines.append(f" bgp router-id {router_id}")
+    for neighbor in neighbors:
+        lines.append(f" neighbor {neighbor.address} remote-as {neighbor.remote_as}")
+    for network in networks or []:
+        lines.append(f" network {network}")
+    if redistribute_ospf:
+        lines.append(" redistribute ospf")
+    lines.append("!")
+    lines.append("line vty")
+    lines.append("!")
+    return "\n".join(lines) + "\n"
+
+
+# --------------------------------------------------------------------------
+# Parsing
+# --------------------------------------------------------------------------
+def _significant_lines(text: str) -> List[str]:
+    lines = []
+    for raw in text.splitlines():
+        line = raw.rstrip()
+        if not line or line.lstrip().startswith("!"):
+            continue
+        lines.append(line)
+    return lines
+
+
+def parse_zebra_conf(text: str) -> ZebraConfig:
+    """Parse a zebra.conf produced by :func:`generate_zebra_conf` (or Quagga)."""
+    config = ZebraConfig()
+    current: Optional[InterfaceConfig] = None
+    for line in _significant_lines(text):
+        stripped = line.strip()
+        indented = line.startswith(" ")
+        tokens = stripped.split()
+        if not indented:
+            current = None
+            if tokens[0] == "hostname" and len(tokens) >= 2:
+                config.hostname = tokens[1]
+            elif tokens[0] == "password" and len(tokens) >= 2:
+                config.password = tokens[1]
+            elif tokens[0] == "interface" and len(tokens) >= 2:
+                current = InterfaceConfig(name=tokens[1])
+                config.interfaces.append(current)
+            elif tokens[0] == "line":
+                continue
+            continue
+        if current is None:
+            continue
+        if tokens[:2] == ["ip", "address"] and len(tokens) >= 3:
+            if "/" not in tokens[2]:
+                raise ConfigError(f"interface address needs a prefix length: {stripped!r}")
+            address, plen = tokens[2].split("/", 1)
+            current.ip = IPv4Address(address)
+            current.prefix_len = int(plen)
+        elif tokens[0] == "description":
+            current.description = " ".join(tokens[1:])
+    return config
+
+
+def parse_ospfd_conf(text: str) -> OSPFConfig:
+    """Parse an ospfd.conf produced by :func:`generate_ospfd_conf` (or Quagga)."""
+    config = OSPFConfig()
+    in_router = False
+    for line in _significant_lines(text):
+        stripped = line.strip()
+        indented = line.startswith(" ")
+        tokens = stripped.split()
+        if not indented:
+            in_router = tokens[:2] == ["router", "ospf"]
+            if tokens[0] == "hostname" and len(tokens) >= 2:
+                config.hostname = tokens[1]
+            elif tokens[0] == "password" and len(tokens) >= 2:
+                config.password = tokens[1]
+            continue
+        if not in_router:
+            continue
+        if tokens[:2] == ["ospf", "router-id"] and len(tokens) >= 3:
+            config.router_id = IPv4Address(tokens[2])
+        elif tokens[:3] == ["timers", "ospf", "hello-interval"] and len(tokens) >= 4:
+            config.hello_interval = int(tokens[3])
+        elif tokens[:3] == ["timers", "ospf", "dead-interval"] and len(tokens) >= 4:
+            config.dead_interval = int(tokens[3])
+        elif tokens[0] == "network" and len(tokens) >= 4 and tokens[2] == "area":
+            config.networks.append(OSPFNetworkStatement(prefix=IPv4Network(tokens[1]),
+                                                        area=tokens[3]))
+    if config.router_id is None:
+        raise ConfigError("ospfd.conf is missing 'ospf router-id'")
+    return config
+
+
+def parse_bgpd_conf(text: str) -> BGPConfig:
+    """Parse a bgpd.conf produced by :func:`generate_bgpd_conf` (or Quagga)."""
+    config = BGPConfig()
+    in_router = False
+    for line in _significant_lines(text):
+        stripped = line.strip()
+        indented = line.startswith(" ")
+        tokens = stripped.split()
+        if not indented:
+            if tokens[:2] == ["router", "bgp"] and len(tokens) >= 3:
+                in_router = True
+                config.local_as = int(tokens[2])
+            else:
+                in_router = False
+                if tokens[0] == "hostname" and len(tokens) >= 2:
+                    config.hostname = tokens[1]
+                elif tokens[0] == "password" and len(tokens) >= 2:
+                    config.password = tokens[1]
+            continue
+        if not in_router:
+            continue
+        if tokens[:2] == ["bgp", "router-id"] and len(tokens) >= 3:
+            config.router_id = IPv4Address(tokens[2])
+        elif tokens[0] == "neighbor" and len(tokens) >= 4 and tokens[2] == "remote-as":
+            config.neighbors.append(BGPNeighbor(address=IPv4Address(tokens[1]),
+                                                remote_as=int(tokens[3])))
+        elif tokens[0] == "network" and len(tokens) >= 2:
+            config.networks.append(IPv4Network(tokens[1]))
+        elif tokens[:2] == ["redistribute", "ospf"]:
+            config.redistribute_ospf = True
+    return config

@@ -1,0 +1,54 @@
+"""OSPFv2: packets, LSDB, neighbor FSM, SPF and the ospfd daemon."""
+
+from repro.quagga.ospf.constants import (
+    ALL_SPF_ROUTERS,
+    DEFAULT_DEAD_INTERVAL,
+    DEFAULT_HELLO_INTERVAL,
+    LSAType,
+    NeighborState,
+    OSPFPacketType,
+    RouterLinkType,
+)
+from repro.quagga.ospf.daemon import OSPFDaemon
+from repro.quagga.ospf.interface import OSPFInterface
+from repro.quagga.ospf.lsdb import LSDB
+from repro.quagga.ospf.neighbor import Neighbor
+from repro.quagga.ospf.packets import (
+    DBDescriptionPacket,
+    HelloPacket,
+    LSAHeader,
+    LSAckPacket,
+    LSRequestPacket,
+    LSUpdatePacket,
+    OSPFPacket,
+    RouterLSA,
+    RouterLink,
+)
+from repro.quagga.ospf.spf import SPFRoute, build_router_graph, compute_routes, shortest_paths
+
+__all__ = [
+    "ALL_SPF_ROUTERS",
+    "DBDescriptionPacket",
+    "DEFAULT_DEAD_INTERVAL",
+    "DEFAULT_HELLO_INTERVAL",
+    "HelloPacket",
+    "LSAHeader",
+    "LSAType",
+    "LSAckPacket",
+    "LSDB",
+    "LSRequestPacket",
+    "LSUpdatePacket",
+    "Neighbor",
+    "NeighborState",
+    "OSPFDaemon",
+    "OSPFInterface",
+    "OSPFPacket",
+    "OSPFPacketType",
+    "RouterLSA",
+    "RouterLink",
+    "RouterLinkType",
+    "SPFRoute",
+    "build_router_graph",
+    "compute_routes",
+    "shortest_paths",
+]

@@ -1,0 +1,88 @@
+"""OSPFv2 constants (RFC 2328 subset)."""
+
+from __future__ import annotations
+
+from repro.net.addresses import IPv4Address
+
+#: OSPF protocol version implemented here.
+OSPF_VERSION = 2
+
+#: AllSPFRouters multicast group — every OSPF packet on a point-to-point
+#: interface is addressed here.
+ALL_SPF_ROUTERS = IPv4Address("224.0.0.5")
+
+#: Multicast MAC corresponding to 224.0.0.5.
+ALL_SPF_ROUTERS_MAC = "01:00:5e:00:00:05"
+
+#: IP protocol number of OSPF.
+OSPF_IP_PROTO = 89
+
+
+class OSPFPacketType:
+    HELLO = 1
+    DB_DESCRIPTION = 2
+    LS_REQUEST = 3
+    LS_UPDATE = 4
+    LS_ACK = 5
+
+
+class LSAType:
+    ROUTER = 1
+    NETWORK = 2
+    SUMMARY = 3
+    ASBR_SUMMARY = 4
+    AS_EXTERNAL = 5
+
+
+class RouterLinkType:
+    POINT_TO_POINT = 1
+    TRANSIT = 2
+    STUB = 3
+    VIRTUAL = 4
+
+
+class NeighborState:
+    """Neighbor FSM states, ordered by progress."""
+
+    DOWN = 0
+    INIT = 1
+    TWO_WAY = 2
+    EXSTART = 3
+    EXCHANGE = 4
+    LOADING = 5
+    FULL = 6
+
+    NAMES = {
+        DOWN: "Down",
+        INIT: "Init",
+        TWO_WAY: "2-Way",
+        EXSTART: "ExStart",
+        EXCHANGE: "Exchange",
+        LOADING: "Loading",
+        FULL: "Full",
+    }
+
+
+class DDFlags:
+    """Database-description packet flags."""
+
+    MASTER = 0x01
+    MORE = 0x02
+    INIT = 0x04
+
+
+#: Default protocol timers (seconds), matching Quagga's defaults.
+DEFAULT_HELLO_INTERVAL = 10
+DEFAULT_DEAD_INTERVAL = 40
+DEFAULT_RETRANSMIT_INTERVAL = 5
+DEFAULT_SPF_DELAY = 1.0
+DEFAULT_SPF_HOLDTIME = 5.0
+
+#: Default interface cost (Quagga: reference bandwidth 100 Mb/s over the
+#: link bandwidth; our emulated gigabit links round up to 1, we keep 10 to
+#: match the pan-European reference studies).
+DEFAULT_INTERFACE_COST = 10
+
+#: Initial LSA sequence number (RFC 2328 §12.1.6).
+INITIAL_SEQUENCE = 0x80000001
+MAX_AGE = 3600

@@ -1,0 +1,252 @@
+"""The ospfd daemon: ties interfaces, LSDB, flooding and SPF together.
+
+One :class:`OSPFDaemon` runs inside every RouteFlow virtual machine.  It is
+configured exclusively from a parsed ``ospfd.conf`` (produced by the RPC
+server), announces a Router LSA describing its point-to-point adjacencies
+and connected prefixes, floods database changes, and installs the SPF
+result into the VM's zebra RIB — from where the RouteFlow client exports
+routes to the physical switch.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.packet import DecodeError
+from repro.quagga.configfile import InterfaceConfig, OSPFConfig
+from repro.quagga.ospf.constants import (
+    ALL_SPF_ROUTERS,
+    DEFAULT_INTERFACE_COST,
+    DEFAULT_SPF_DELAY,
+    DEFAULT_SPF_HOLDTIME,
+    INITIAL_SEQUENCE,
+    NeighborState,
+)
+from repro.quagga.ospf.interface import OSPFInterface
+from repro.quagga.ospf.lsdb import LSDB
+from repro.quagga.ospf.neighbor import Neighbor
+from repro.quagga.ospf.packets import OSPFPacket, RouterLSA, RouterLink
+from repro.quagga.ospf.spf import compute_routes
+from repro.quagga.rib import Route, RouteSource
+from repro.quagga.zebra import ZebraDaemon
+from repro.sim import Simulator
+
+LOG = logging.getLogger(__name__)
+
+#: Transmit callback provided by the hosting VM:
+#: ``send(interface_name, destination_ip, payload_bytes)``.
+SendCallback = Callable[[str, IPv4Address, bytes], None]
+
+
+class OSPFDaemon:
+    """An OSPFv2 routing daemon for one virtual machine."""
+
+    def __init__(self, sim: Simulator, zebra: ZebraDaemon, config: OSPFConfig,
+                 interfaces: List[InterfaceConfig], send_callback: SendCallback,
+                 hostname: str = "", spf_delay: float = DEFAULT_SPF_DELAY,
+                 spf_holdtime: float = DEFAULT_SPF_HOLDTIME,
+                 interface_cost: int = DEFAULT_INTERFACE_COST) -> None:
+        if config.router_id is None:
+            raise ValueError("OSPF configuration must carry a router id")
+        self.sim = sim
+        self.zebra = zebra
+        self.config = config
+        self.router_id = IPv4Address(config.router_id)
+        self.hostname = hostname or config.hostname
+        self.send_callback = send_callback
+        self.spf_delay = spf_delay
+        self.spf_holdtime = spf_holdtime
+        self.interface_cost = interface_cost
+        self.lsdb = LSDB()
+        self.interfaces: Dict[str, OSPFInterface] = {}
+        self._interface_configs = list(interfaces)
+        self._sequence = INITIAL_SEQUENCE
+        self._spf_scheduled = False
+        self._last_spf_time: Optional[float] = None
+        self._installed_prefixes: set = set()
+        self.running = False
+        # Statistics used by the experiments.
+        self.spf_runs = 0
+        self.lsas_originated = 0
+        self.full_adjacency_times: List[float] = []
+        self._state_listeners: List[Callable[[OSPFInterface, Neighbor, int, int], None]] = []
+
+    # ---------------------------------------------------------------- control
+    def start(self) -> None:
+        """Bring up OSPF on every configured interface covered by a network
+        statement and originate the initial Router LSA."""
+        self.running = True
+        for iface in self._interface_configs:
+            self.add_interface(iface)
+        self._originate_router_lsa()
+
+    def stop(self) -> None:
+        self.running = False
+        for interface in self.interfaces.values():
+            interface.stop()
+        self.interfaces.clear()
+        for prefix in list(self._installed_prefixes):
+            self.zebra.withdraw_route(prefix, RouteSource.OSPF)
+        self._installed_prefixes.clear()
+
+    def add_interface(self, iface: InterfaceConfig) -> Optional[OSPFInterface]:
+        """Enable OSPF on an interface if a ``network`` statement covers it.
+
+        Called at startup for configured interfaces and again by the VM when
+        the RPC server adds interfaces later (new links discovered after the
+        daemon booted).
+        """
+        if not self.running or iface.ip is None or iface.network is None:
+            return None
+        if iface.name in self.interfaces:
+            return self.interfaces[iface.name]
+        if not self.config.covers(iface.network):
+            return None
+        interface = OSPFInterface(
+            daemon=self, name=iface.name, ip=iface.ip, prefix_len=iface.prefix_len,
+            cost=self.interface_cost, hello_interval=self.config.hello_interval,
+            dead_interval=self.config.dead_interval)
+        self.interfaces[iface.name] = interface
+        interface.start()
+        self._originate_router_lsa()
+        return interface
+
+    # --------------------------------------------------------------- transport
+    def send_packet(self, interface_name: str, packet: OSPFPacket) -> None:
+        """Hand an OSPF packet to the VM for transmission on an interface."""
+        self.send_callback(interface_name, ALL_SPF_ROUTERS, packet.encode())
+
+    def receive_packet(self, interface_name: str, src_ip: IPv4Address, data: bytes) -> None:
+        """Called by the VM when an OSPF packet arrives on an interface."""
+        interface = self.interfaces.get(interface_name)
+        if interface is None:
+            return
+        try:
+            packet = data if isinstance(data, OSPFPacket) else OSPFPacket.decode(data)
+        except DecodeError as exc:
+            LOG.warning("%s: bad OSPF packet on %s: %s", self.hostname,
+                        interface_name, exc)
+            return
+        interface.handle_packet(src_ip, packet)
+
+    # ---------------------------------------------------------------- LSA side
+    def _next_sequence(self) -> int:
+        sequence = self._sequence
+        self._sequence += 1
+        return sequence
+
+    def _originate_router_lsa(self) -> None:
+        """(Re-)originate our Router LSA and flood it."""
+        if not self.running:
+            return
+        links: List[RouterLink] = []
+        for interface in self.interfaces.values():
+            for neighbor in interface.full_neighbors:
+                links.append(RouterLink.point_to_point(
+                    neighbor_router_id=neighbor.router_id,
+                    local_interface_ip=interface.ip,
+                    metric=interface.cost))
+            links.append(RouterLink.stub(
+                network=interface.network.network,
+                netmask=interface.netmask,
+                metric=interface.cost))
+        lsa = RouterLSA.originate(router_id=self.router_id,
+                                  sequence=self._next_sequence(), links=links)
+        self.lsdb.install(lsa)
+        self.lsas_originated += 1
+        self._flood(lsa, exclude=None)
+        self.schedule_spf()
+
+    def on_lsa_installed(self, lsa: RouterLSA, from_interface: Optional[OSPFInterface]) -> None:
+        """A fresher LSA entered the LSDB via flooding: propagate and re-run SPF."""
+        self._flood(lsa, exclude=from_interface)
+        self.schedule_spf()
+
+    def _flood(self, lsa: RouterLSA, exclude: Optional[OSPFInterface]) -> None:
+        for interface in self.interfaces.values():
+            if interface is exclude:
+                continue
+            interface.flood([lsa])
+
+    # ------------------------------------------------------------- FSM events
+    def add_state_listener(self, listener: Callable[[OSPFInterface, Neighbor, int, int], None]) -> None:
+        self._state_listeners.append(listener)
+
+    def on_neighbor_state_change(self, interface: OSPFInterface, neighbor: Neighbor,
+                                 old_state: int, new_state: int) -> None:
+        if new_state == NeighborState.FULL:
+            self.full_adjacency_times.append(self.sim.now)
+            self._originate_router_lsa()
+        elif old_state == NeighborState.FULL:
+            # Lost an adjacency: advertise the reduced connectivity.
+            self._originate_router_lsa()
+        for listener in self._state_listeners:
+            listener(interface, neighbor, old_state, new_state)
+
+    # --------------------------------------------------------------------- SPF
+    def schedule_spf(self) -> None:
+        """Schedule an SPF run, honouring the delay/holdtime throttle."""
+        if self._spf_scheduled or not self.running:
+            return
+        delay = self.spf_delay
+        if self._last_spf_time is not None:
+            since_last = self.sim.now - self._last_spf_time
+            if since_last < self.spf_holdtime:
+                delay = max(delay, self.spf_holdtime - since_last)
+        self._spf_scheduled = True
+        self.sim.schedule(delay, self._run_spf, name=f"ospf:{self.hostname}:spf")
+
+    def _run_spf(self) -> None:
+        self._spf_scheduled = False
+        if not self.running:
+            return
+        self._last_spf_time = self.sim.now
+        self.spf_runs += 1
+        routes = compute_routes(self.lsdb, self.router_id)
+        new_prefixes = set()
+        for spf_route in routes:
+            if spf_route.first_hop is None:
+                continue  # local stub, covered by a connected route
+            resolution = self._resolve_next_hop(spf_route.first_hop)
+            if resolution is None:
+                continue
+            next_hop, interface_name = resolution
+            new_prefixes.add(spf_route.prefix)
+            self.zebra.announce_route(Route(
+                prefix=spf_route.prefix, next_hop=next_hop, interface=interface_name,
+                source=RouteSource.OSPF, metric=spf_route.cost))
+        for stale in self._installed_prefixes - new_prefixes:
+            self.zebra.withdraw_route(stale, RouteSource.OSPF)
+        self._installed_prefixes = new_prefixes
+
+    def _resolve_next_hop(self, first_hop_router: IPv4Address):
+        """Map a first-hop router id to (next-hop IP, outgoing interface)."""
+        for interface in self.interfaces.values():
+            neighbor = interface.neighbors.get(IPv4Address(first_hop_router))
+            if neighbor is not None and neighbor.state == NeighborState.FULL:
+                return neighbor.address, interface.name
+        return None
+
+    # ------------------------------------------------------------------ status
+    @property
+    def full_neighbor_count(self) -> int:
+        return sum(len(i.full_neighbors) for i in self.interfaces.values())
+
+    @property
+    def neighbor_count(self) -> int:
+        return sum(len(i.neighbors) for i in self.interfaces.values())
+
+    def show_ip_ospf_neighbor(self) -> str:
+        """A ``show ip ospf neighbor``-style dump."""
+        lines = [f"{self.hostname}# show ip ospf neighbor"]
+        for interface in self.interfaces.values():
+            for neighbor in interface.neighbors.values():
+                lines.append(f"{str(neighbor.router_id):<16} {neighbor.state_name:<10} "
+                             f"{str(neighbor.address):<16} {interface.name}")
+        return "\n".join(lines)
+
+    def __repr__(self) -> str:
+        return (f"<OSPFDaemon {self.hostname} rid={self.router_id} "
+                f"ifaces={len(self.interfaces)} lsdb={len(self.lsdb)}>")

@@ -1,0 +1,74 @@
+"""The link-state database (LSDB) of an OSPF daemon."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address
+from repro.quagga.ospf.packets import LSAHeader, RouterLSA
+
+
+class LSDB:
+    """Router LSAs indexed by (type, link-state id, advertising router)."""
+
+    def __init__(self) -> None:
+        self._lsas: Dict[Tuple[int, int, int], RouterLSA] = {}
+
+    def __len__(self) -> int:
+        return len(self._lsas)
+
+    def __contains__(self, key: Tuple[int, int, int]) -> bool:
+        return key in self._lsas
+
+    def get(self, key: Tuple[int, int, int]) -> Optional[RouterLSA]:
+        return self._lsas.get(key)
+
+    def router_lsa(self, router_id: IPv4Address) -> Optional[RouterLSA]:
+        """Find the router LSA originated by a given router id."""
+        for lsa in self._lsas.values():
+            if lsa.header.advertising_router == IPv4Address(router_id):
+                return lsa
+        return None
+
+    @property
+    def lsas(self) -> List[RouterLSA]:
+        return list(self._lsas.values())
+
+    @property
+    def headers(self) -> List[LSAHeader]:
+        return [lsa.header for lsa in self._lsas.values()]
+
+    def install(self, lsa: RouterLSA) -> bool:
+        """Install an LSA if it is newer than what we hold.
+
+        Returns True when the database changed (new or fresher LSA).
+        """
+        existing = self._lsas.get(lsa.key)
+        if existing is not None and not lsa.header.is_newer_than(existing.header):
+            return False
+        self._lsas[lsa.key] = lsa
+        return True
+
+    def remove(self, key: Tuple[int, int, int]) -> bool:
+        return self._lsas.pop(key, None) is not None
+
+    def remove_from(self, advertising_router: IPv4Address) -> int:
+        """Drop every LSA originated by a router (used when it goes away)."""
+        router = IPv4Address(advertising_router)
+        keys = [key for key, lsa in self._lsas.items()
+                if lsa.header.advertising_router == router]
+        for key in keys:
+            del self._lsas[key]
+        return len(keys)
+
+    def missing_or_older_than(self, headers: List[LSAHeader]) -> List[LSAHeader]:
+        """Which of the advertised LSAs do we need to request?"""
+        needed = []
+        for header in headers:
+            existing = self._lsas.get(header.key)
+            if existing is None or header.is_newer_than(existing.header):
+                needed.append(header)
+        return needed
+
+    def __repr__(self) -> str:
+        return f"<LSDB lsas={len(self._lsas)}>"

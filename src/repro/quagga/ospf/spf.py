@@ -1,0 +1,123 @@
+"""Shortest-path-first (Dijkstra) computation over the OSPF LSDB.
+
+The SPF run builds the router graph from Router LSAs — an edge exists only
+when *both* endpoints advertise the point-to-point link (the RFC's
+bidirectional connectivity check) — computes shortest paths from the
+calculating router, and derives one candidate route per stub network
+advertised anywhere in the area.
+"""
+
+from __future__ import annotations
+
+import heapq
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Network
+from repro.quagga.ospf.constants import RouterLinkType
+from repro.quagga.ospf.lsdb import LSDB
+from repro.quagga.ospf.packets import RouterLSA
+
+
+@dataclass(frozen=True)
+class SPFRoute:
+    """One route produced by an SPF run."""
+
+    prefix: IPv4Network
+    cost: int
+    #: Router id of the first hop on the shortest path (None = local stub).
+    first_hop: Optional[IPv4Address]
+    #: Router id of the router advertising the stub network.
+    advertising_router: IPv4Address
+
+
+@dataclass
+class SPFNode:
+    """Per-router result of the Dijkstra run."""
+
+    router_id: IPv4Address
+    distance: int
+    first_hop: Optional[IPv4Address]
+
+
+def build_router_graph(lsdb: LSDB) -> Dict[int, Dict[int, int]]:
+    """Adjacency map {router -> {neighbor -> cost}} with bidirectional check."""
+    advertised: Dict[int, Dict[int, int]] = {}
+    for lsa in lsdb.lsas:
+        router = int(lsa.header.advertising_router)
+        edges = advertised.setdefault(router, {})
+        for link in lsa.links:
+            if link.link_type == RouterLinkType.POINT_TO_POINT:
+                neighbor = int(link.link_id)
+                cost = link.metric
+                if neighbor not in edges or cost < edges[neighbor]:
+                    edges[neighbor] = cost
+    graph: Dict[int, Dict[int, int]] = {router: {} for router in advertised}
+    for router, edges in advertised.items():
+        for neighbor, cost in edges.items():
+            if neighbor in advertised and router in advertised[neighbor]:
+                graph[router][neighbor] = cost
+    return graph
+
+
+def shortest_paths(lsdb: LSDB, root: IPv4Address) -> Dict[int, SPFNode]:
+    """Dijkstra from ``root``; result keyed by integer router id."""
+    graph = build_router_graph(lsdb)
+    root_id = int(IPv4Address(root))
+    if root_id not in graph:
+        return {root_id: SPFNode(IPv4Address(root), 0, None)}
+    distances: Dict[int, SPFNode] = {root_id: SPFNode(IPv4Address(root), 0, None)}
+    # heap entries: (distance, router_id, first_hop_router_id or None)
+    heap: List[Tuple[int, int, Optional[int]]] = [(0, root_id, None)]
+    visited: set = set()
+    while heap:
+        distance, router, first_hop = heapq.heappop(heap)
+        if router in visited:
+            continue
+        visited.add(router)
+        for neighbor, cost in sorted(graph.get(router, {}).items()):
+            if neighbor in visited:
+                continue
+            candidate = distance + cost
+            # The first hop of a direct neighbor of the root is that neighbor.
+            hop = neighbor if router == root_id else first_hop
+            existing = distances.get(neighbor)
+            if existing is None or candidate < existing.distance:
+                distances[neighbor] = SPFNode(IPv4Address(neighbor), candidate,
+                                              IPv4Address(hop) if hop is not None else None)
+                heapq.heappush(heap, (candidate, neighbor, hop))
+    return distances
+
+
+def compute_routes(lsdb: LSDB, root: IPv4Address) -> List[SPFRoute]:
+    """Derive routes to every stub network advertised in the area.
+
+    Local stubs (advertised by the root itself) are returned with
+    ``first_hop=None`` and are normally shadowed by connected routes in the
+    RIB.  For every other stub, the route cost is the distance to its
+    advertising router plus the stub metric; when several routers advertise
+    the same prefix (the two ends of a point-to-point link do), the cheapest
+    wins.
+    """
+    root_id = IPv4Address(root)
+    nodes = shortest_paths(lsdb, root_id)
+    best: Dict[IPv4Network, SPFRoute] = {}
+    for lsa in lsdb.lsas:
+        adv = lsa.header.advertising_router
+        node = nodes.get(int(adv))
+        if node is None:
+            continue  # advertising router unreachable
+        for link in lsa.links:
+            if link.link_type != RouterLinkType.STUB:
+                continue
+            netmask = int(link.link_data)
+            prefix_len = bin(netmask).count("1")
+            prefix = IPv4Network((link.link_id, prefix_len))
+            cost = node.distance + link.metric
+            route = SPFRoute(prefix=prefix, cost=cost,
+                             first_hop=node.first_hop if adv != root_id else None,
+                             advertising_router=adv)
+            existing = best.get(prefix)
+            if existing is None or cost < existing.cost:
+                best[prefix] = route
+    return sorted(best.values(), key=lambda r: (int(r.prefix.network), r.prefix.prefix_len))

@@ -1,0 +1,25 @@
+"""RouteFlow: VMs, virtual switch, mappings, RFClient/RFServer/RFProxy."""
+
+from repro.routeflow.ipc import RouteMod, RouteModType
+from repro.routeflow.mapping import MappingError, MappingTable, PortMapping
+from repro.routeflow.rfclient import RFClient
+from repro.routeflow.rfproxy import FlowSpec, HostEntry, RFProxy
+from repro.routeflow.rfserver import RFServer
+from repro.routeflow.virtual_switch import RFVirtualSwitch
+from repro.routeflow.vm import VirtualMachine, VMState
+
+__all__ = [
+    "FlowSpec",
+    "HostEntry",
+    "MappingError",
+    "MappingTable",
+    "PortMapping",
+    "RFClient",
+    "RFProxy",
+    "RFServer",
+    "RFVirtualSwitch",
+    "RouteMod",
+    "RouteModType",
+    "VMState",
+    "VirtualMachine",
+]

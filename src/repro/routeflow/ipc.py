@@ -1,0 +1,70 @@
+"""RouteFlow IPC messages.
+
+RouteFlow's three components (RFClient in each VM, RFServer, RFProxy in the
+controller) exchange JSON messages over an IPC bus.  We keep the same
+message vocabulary — RouteMod being the important one: "this VM's FIB now
+routes prefix P via next hop N out of interface I" — and serialise them to
+JSON so the bus carries bytes rather than Python objects.
+"""
+
+from __future__ import annotations
+
+import json
+from dataclasses import asdict, dataclass
+from typing import Optional
+
+from repro.net.addresses import IPv4Address, IPv4Network
+
+
+class RouteModType:
+    ADD = "add"
+    DELETE = "delete"
+
+
+@dataclass
+class RouteMod:
+    """A route installed into / removed from a VM's FIB."""
+
+    mod_type: str
+    vm_id: int
+    prefix: str            # textual "a.b.c.d/len"
+    next_hop: Optional[str]  # textual IP or None for connected routes
+    interface: str         # VM interface name, e.g. "eth2"
+    metric: int = 0
+
+    @classmethod
+    def add(cls, vm_id: int, prefix: IPv4Network, next_hop: Optional[IPv4Address],
+            interface: str, metric: int = 0) -> "RouteMod":
+        return cls(mod_type=RouteModType.ADD, vm_id=vm_id, prefix=str(prefix),
+                   next_hop=str(next_hop) if next_hop is not None else None,
+                   interface=interface, metric=metric)
+
+    @classmethod
+    def delete(cls, vm_id: int, prefix: IPv4Network, interface: str = "") -> "RouteMod":
+        return cls(mod_type=RouteModType.DELETE, vm_id=vm_id, prefix=str(prefix),
+                   next_hop=None, interface=interface, metric=0)
+
+    # ---------------------------------------------------------- serialisation
+    def to_json(self) -> str:
+        return json.dumps({"kind": "route_mod", **asdict(self)}, sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "RouteMod":
+        data = json.loads(text)
+        if data.get("kind") != "route_mod":
+            raise ValueError(f"not a RouteMod payload: {text!r}")
+        data.pop("kind")
+        return cls(**data)
+
+    # --------------------------------------------------------------- accessors
+    @property
+    def prefix_network(self) -> IPv4Network:
+        return IPv4Network(self.prefix)
+
+    @property
+    def next_hop_address(self) -> Optional[IPv4Address]:
+        return IPv4Address(self.next_hop) if self.next_hop is not None else None
+
+    @property
+    def is_connected(self) -> bool:
+        return self.next_hop is None

@@ -1,0 +1,55 @@
+"""RFClient: exports a VM's FIB changes to the RFServer.
+
+In RouteFlow the RFClient runs inside each VM, watches the kernel routing
+table that zebra populates, and reports every change to the RFServer as a
+RouteMod.  Here it subscribes to the VM's zebra FIB listener hook and
+forwards JSON-encoded RouteMods over the IPC bus (modelled as a small
+constant delay).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import TYPE_CHECKING, Callable, Optional
+
+from repro.net.addresses import IPv4Network
+from repro.quagga.rib import Route
+from repro.routeflow.ipc import RouteMod
+from repro.routeflow.vm import VirtualMachine
+from repro.sim import Simulator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.routeflow.rfserver import RFServer
+
+LOG = logging.getLogger(__name__)
+
+
+class RFClient:
+    """The per-VM agent reporting FIB changes to the RFServer."""
+
+    #: One-way latency of the RFClient -> RFServer IPC hop.
+    IPC_DELAY = 0.005
+
+    def __init__(self, sim: Simulator, vm: VirtualMachine, rfserver: "RFServer") -> None:
+        self.sim = sim
+        self.vm = vm
+        self.rfserver = rfserver
+        self.route_mods_sent = 0
+        vm.zebra.add_fib_listener(self._on_fib_change)
+
+    def _on_fib_change(self, prefix: IPv4Network, new: Optional[Route],
+                       old: Optional[Route]) -> None:
+        if new is None:
+            message = RouteMod.delete(vm_id=self.vm.vm_id, prefix=prefix,
+                                      interface=old.interface if old else "")
+        else:
+            message = RouteMod.add(vm_id=self.vm.vm_id, prefix=prefix,
+                                   next_hop=new.next_hop, interface=new.interface,
+                                   metric=new.metric)
+        self.route_mods_sent += 1
+        payload = message.to_json()
+        self.sim.schedule(self.IPC_DELAY, self.rfserver.receive_route_mod, payload,
+                          name=f"rfclient:{self.vm.vm_id}:routemod")
+
+    def __repr__(self) -> str:
+        return f"<RFClient vm={self.vm.vm_id} sent={self.route_mods_sent}>"

@@ -1,0 +1,218 @@
+"""RFServer: the central coordination component of RouteFlow.
+
+The RFServer owns the virtual environment — the VMs, the RouteFlow virtual
+switch wiring them together, and the mapping tables that associate VMs with
+switches and VM interfaces with switch ports.  It receives RouteMods from
+the per-VM RFClients, resolves next hops against the virtual environment
+and hands fully resolved flow specifications to the RFProxy for
+installation on the physical switches.
+
+The paper's RPC server calls into this class: creating VMs, mapping ports,
+assigning interface addresses and writing configuration files are exactly
+the operations an administrator would otherwise perform by hand.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, List, Optional, Tuple
+
+from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
+from repro.net.link import Interface
+from repro.routeflow.ipc import RouteMod, RouteModType
+from repro.routeflow.mapping import MappingTable
+from repro.routeflow.rfclient import RFClient
+from repro.routeflow.rfproxy import FlowSpec, RFProxy
+from repro.routeflow.virtual_switch import RFVirtualSwitch
+from repro.routeflow.vm import VirtualMachine
+from repro.sim import EventLog, Simulator
+
+LOG = logging.getLogger(__name__)
+
+
+class RFServer:
+    """RouteFlow's central server."""
+
+    #: Latency of the RFServer -> RFProxy IPC hop.
+    IPC_DELAY = 0.005
+
+    def __init__(self, sim: Simulator, rfproxy: RFProxy, vm_boot_delay: float = 5.0,
+                 event_log: Optional[EventLog] = None,
+                 hello_interval: Optional[int] = None,
+                 serialize_vm_creation: bool = True) -> None:
+        self.sim = sim
+        self.rfproxy = rfproxy
+        self.vm_boot_delay = vm_boot_delay
+        self.hello_interval = hello_interval
+        #: The RF-controller host clones and boots VMs one at a time (LXC
+        #: cloning is disk/CPU bound), so VM creation is serialised by default;
+        #: ablation A4 compares against fully parallel creation.
+        self.serialize_vm_creation = serialize_vm_creation
+        self._vm_creation_free_at = 0.0
+        self.event_log = event_log if event_log is not None else EventLog(sim)
+        self.mapping = MappingTable()
+        self.rfvs = RFVirtualSwitch(sim)
+        self.vms: Dict[int, VirtualMachine] = {}
+        self.rfclients: Dict[int, RFClient] = {}
+        #: IP -> (vm, interface) index used for next-hop and ARP resolution.
+        self._ip_index: Dict[IPv4Address, Tuple[VirtualMachine, Interface]] = {}
+        self.route_mods_received = 0
+        rfproxy.attach_rfserver(self)
+
+    # --------------------------------------------------------------------- VMs
+    def create_vm(self, vm_id: int, num_ports: int,
+                  datapath_id: Optional[int] = None) -> VirtualMachine:
+        """Create, map and boot the VM mirroring a switch.
+
+        As in the paper, the VM id equals the switch's datapath id and the VM
+        has one interface per switch port.
+        """
+        if vm_id in self.vms:
+            return self.vms[vm_id]
+        dpid = datapath_id if datapath_id is not None else vm_id
+        vm = VirtualMachine(sim=self.sim, vm_id=vm_id, num_ports=num_ports,
+                            boot_delay=self.vm_boot_delay,
+                            hello_interval=self.hello_interval)
+        self.vms[vm_id] = vm
+        self.mapping.map_vm(vm_id, dpid)
+        for port in range(1, num_ports + 1):
+            self.mapping.map_port(vm_id, f"eth{port}", dpid, port)
+        self.rfclients[vm_id] = RFClient(self.sim, vm, self)
+        if self.serialize_vm_creation:
+            start_at = max(self.sim.now, self._vm_creation_free_at)
+            self._vm_creation_free_at = start_at + self.vm_boot_delay
+            self.sim.schedule_at(start_at, vm.start, name=f"rfserver:boot:{vm_id}")
+        else:
+            vm.start()
+        self.event_log.record("vm_created", f"VM {vm.name} created for dpid {dpid:#x}",
+                              vm_id=vm_id, datapath_id=dpid, num_ports=num_ports)
+        return vm
+
+    def vm(self, vm_id: int) -> Optional[VirtualMachine]:
+        return self.vms.get(vm_id)
+
+    def vm_for_dpid(self, datapath_id: int) -> Optional[VirtualMachine]:
+        vm_id = self.mapping.vm_for_dpid(datapath_id)
+        return self.vms.get(vm_id) if vm_id is not None else None
+
+    @property
+    def vm_count(self) -> int:
+        return len(self.vms)
+
+    # ------------------------------------------------------------- addressing
+    def assign_interface_address(self, vm_id: int, interface_name: str,
+                                 address: IPv4Address, prefix_len: int) -> None:
+        """Record an interface address in the next-hop/ARP index.
+
+        The address itself reaches the VM through the regenerated zebra.conf;
+        this index only lets the RFServer resolve next hops and lets RFProxy
+        answer ARP for gateway addresses.
+        """
+        vm = self.vms.get(vm_id)
+        if vm is None:
+            raise KeyError(f"unknown VM {vm_id}")
+        interface = vm.interfaces.get(interface_name)
+        if interface is None:
+            raise KeyError(f"VM {vm_id} has no interface {interface_name}")
+        self._ip_index[IPv4Address(address)] = (vm, interface)
+
+    def interface_owning_ip(self, address: IPv4Address):
+        """Return (vm, interface) holding the address, or None."""
+        entry = self._ip_index.get(IPv4Address(address))
+        if entry is not None:
+            return entry
+        for vm in self.vms.values():
+            interface = vm.owns_ip(address)
+            if interface is not None:
+                return (vm, interface)
+        return None
+
+    # ----------------------------------------------------------- virtual wiring
+    def connect_virtual_link(self, vm_id_a: int, iface_a: str,
+                             vm_id_b: int, iface_b: str) -> None:
+        """Wire two VM interfaces together, mirroring a physical link."""
+        vm_a = self.vms[vm_id_a]
+        vm_b = self.vms[vm_id_b]
+        self.rfvs.connect(vm_a.interfaces[iface_a], vm_b.interfaces[iface_b])
+        self.event_log.record(
+            "virtual_link",
+            f"virtual wire {vm_a.name}:{iface_a} <-> {vm_b.name}:{iface_b}",
+            vm_a=vm_id_a, iface_a=iface_a, vm_b=vm_id_b, iface_b=iface_b)
+
+    def write_config_file(self, vm_id: int, filename: str, text: str) -> None:
+        """Write a Quagga configuration file into a VM (RPC-server helper)."""
+        vm = self.vms[vm_id]
+        vm.write_config_file(filename, text)
+        self.event_log.record("config_file", f"{filename} written to {vm.name}",
+                              vm_id=vm_id, filename=filename, size=len(text))
+
+    # --------------------------------------------------------------- RouteMods
+    def receive_route_mod(self, payload: str) -> None:
+        """Entry point for JSON RouteMods arriving from RFClients."""
+        route_mod = RouteMod.from_json(payload)
+        self.route_mods_received += 1
+        self.sim.schedule(self.IPC_DELAY, self._process_route_mod, route_mod,
+                          name="rfserver:routemod")
+
+    def _process_route_mod(self, route_mod: RouteMod) -> None:
+        dpid = self.mapping.dpid_for_vm(route_mod.vm_id)
+        if dpid is None:
+            LOG.warning("rfserver: RouteMod for unmapped VM %s", route_mod.vm_id)
+            return
+        prefix = route_mod.prefix_network
+        if route_mod.mod_type == RouteModType.DELETE:
+            self.rfproxy.remove_route(dpid, prefix)
+            return
+        port = self.mapping.port_for_interface(route_mod.vm_id, route_mod.interface)
+        if port is None:
+            LOG.warning("rfserver: no port mapping for VM %s iface %s",
+                        route_mod.vm_id, route_mod.interface)
+            return
+        vm = self.vms[route_mod.vm_id]
+        out_interface = vm.interfaces.get(route_mod.interface)
+        if out_interface is None:
+            return
+        dst_mac: Optional[MACAddress] = None
+        next_hop = route_mod.next_hop_address
+        if next_hop is not None:
+            owner = self.interface_owning_ip(next_hop)
+            if owner is None:
+                LOG.debug("rfserver: next hop %s not (yet) resolvable", next_hop)
+                return
+            dst_mac = owner[1].mac
+        spec = FlowSpec(datapath_id=dpid, prefix=prefix, out_port=port,
+                        src_mac=out_interface.mac, dst_mac=dst_mac,
+                        metric=route_mod.metric)
+        self.rfproxy.install_route(spec)
+
+    # ------------------------------------------------------------------ status
+    def configured_switches(self) -> List[int]:
+        """Datapaths that have a mirroring VM (the GUI's green switches)."""
+        return sorted(self.mapping.mapped_datapaths)
+
+    def all_vms_running(self) -> bool:
+        return bool(self.vms) and all(vm.is_running for vm in self.vms.values())
+
+    def ospf_converged(self, expected_prefixes: Optional[int] = None) -> bool:
+        """Has every VM learned a route to every OSPF-enabled prefix?
+
+        When ``expected_prefixes`` is None it is derived as the number of
+        distinct prefixes configured across the virtual environment.
+        """
+        if not self.vms:
+            return False
+        prefixes = {IPv4Network((iface.ip, iface.prefix_len)).network
+                    for vm in self.vms.values()
+                    for iface in vm.interfaces.values() if iface.ip is not None}
+        expected = expected_prefixes if expected_prefixes is not None else len(prefixes)
+        if expected == 0:
+            return False
+        for vm in self.vms.values():
+            if not vm.is_running:
+                return False
+            if len(vm.zebra.fib) < expected:
+                return False
+        return True
+
+    def __repr__(self) -> str:
+        return f"<RFServer vms={len(self.vms)} routes={self.route_mods_received}>"

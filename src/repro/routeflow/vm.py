@@ -1,0 +1,263 @@
+"""The RouteFlow virtual machine.
+
+Each OpenFlow switch is mirrored by one virtual machine that runs the
+routing control platform (zebra + ospfd, optionally bgpd).  The RPC server
+creates the VM with as many interfaces as the switch has ports, assigns
+interface addresses when links are configured, and writes the Quagga
+configuration files; the VM boots, parses those files and runs the routing
+daemons over the *virtual* topology (VM-to-VM links mirroring the physical
+links).
+
+VM creation is not free: the ``boot_delay`` parameter models the LXC
+clone/boot cost that dominates RouteFlow's automatic configuration time
+(and is the knob swept by ablation A2).
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional
+
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.ethernet import Ethernet, EtherType
+from repro.net.ipv4 import IPProtocol, IPv4
+from repro.net.link import Interface
+from repro.net.packet import DecodeError, as_bytes
+from repro.quagga.configfile import (
+    InterfaceConfig,
+    OSPFConfig,
+    parse_bgpd_conf,
+    parse_ospfd_conf,
+    parse_zebra_conf,
+)
+from repro.quagga.ospf.constants import ALL_SPF_ROUTERS, ALL_SPF_ROUTERS_MAC
+from repro.quagga.ospf.daemon import OSPFDaemon
+from repro.quagga.zebra import ZebraDaemon
+from repro.sim import Simulator
+
+LOG = logging.getLogger(__name__)
+
+
+class VMState:
+    CREATED = "created"
+    BOOTING = "booting"
+    RUNNING = "running"
+    STOPPED = "stopped"
+
+
+class VirtualMachine:
+    """One routing VM mirroring one OpenFlow switch."""
+
+    #: Delay between a daemon's configuration file appearing and the daemon
+    #: actually running (package start-up cost inside the VM).
+    DAEMON_START_DELAY = 1.0
+
+    def __init__(self, sim: Simulator, vm_id: int, num_ports: int,
+                 name: str = "", boot_delay: float = 5.0,
+                 hello_interval: Optional[int] = None) -> None:
+        self.sim = sim
+        self.vm_id = vm_id
+        self.name = name or f"VM-{vm_id:016x}"
+        self.boot_delay = boot_delay
+        self.state = VMState.CREATED
+        self.created_at = sim.now
+        self.running_since: Optional[float] = None
+        self.hello_interval_override = hello_interval
+        #: interface name ("eth<N>") -> Interface; eth0 is the management NIC.
+        self.interfaces: Dict[str, Interface] = {}
+        #: The generated configuration files, exactly as the RPC server wrote them.
+        self.config_files: Dict[str, str] = {}
+        self.zebra = ZebraDaemon(hostname=self.name)
+        self.ospf: Optional[OSPFDaemon] = None
+        self.bgp = None
+        self._pending_configs: List[tuple] = []
+        self._boot_event = None
+        self._boot_callbacks: List[Callable[["VirtualMachine"], None]] = []
+        for port in range(1, num_ports + 1):
+            self._create_interface(port)
+
+    # -------------------------------------------------------------- interfaces
+    def _create_interface(self, port: int) -> Interface:
+        name = f"eth{port}"
+        mac = MACAddress.from_local_id(0x10000 + self.vm_id, port)
+        interface = Interface(name=name, mac=mac, owner=self, port_no=port)
+        interface.set_handler(self._on_frame)
+        self.interfaces[name] = interface
+        return interface
+
+    def add_port(self, port: int) -> Interface:
+        """Add an extra interface (switch grew a port after VM creation)."""
+        name = f"eth{port}"
+        if name in self.interfaces:
+            return self.interfaces[name]
+        return self._create_interface(port)
+
+    def interface(self, name: str) -> Interface:
+        return self.interfaces[name]
+
+    def interface_for_port(self, port: int) -> Interface:
+        return self.interfaces[f"eth{port}"]
+
+    @property
+    def num_ports(self) -> int:
+        return len(self.interfaces)
+
+    # --------------------------------------------------------------- lifecycle
+    def start(self) -> None:
+        """Begin booting; the VM is usable ``boot_delay`` seconds later."""
+        if self.state != VMState.CREATED:
+            return
+        self.state = VMState.BOOTING
+        self._boot_event = self.sim.schedule(self.boot_delay, self._boot_complete,
+                                             name=f"{self.name}:boot")
+
+    def on_running(self, callback: Callable[["VirtualMachine"], None]) -> None:
+        """Register a callback fired once the VM finishes booting.
+
+        If the VM is already running the callback fires immediately.
+        """
+        if self.is_running:
+            callback(self)
+        else:
+            self._boot_callbacks.append(callback)
+
+    def _boot_complete(self) -> None:
+        self.state = VMState.RUNNING
+        self.running_since = self.sim.now
+        self.zebra.start()
+        LOG.info("%s: booted after %.1fs", self.name, self.sim.now - self.created_at)
+        pending, self._pending_configs = self._pending_configs, []
+        for filename, text in pending:
+            self.write_config_file(filename, text)
+        callbacks, self._boot_callbacks = self._boot_callbacks, []
+        for callback in callbacks:
+            callback(self)
+
+    def stop(self) -> None:
+        self.state = VMState.STOPPED
+        if self._boot_event is not None:
+            self._boot_event.cancel()
+        if self.ospf is not None:
+            self.ospf.stop()
+        self.zebra.stop()
+
+    @property
+    def is_running(self) -> bool:
+        return self.state == VMState.RUNNING
+
+    # ----------------------------------------------------------- configuration
+    def write_config_file(self, filename: str, text: str) -> None:
+        """The RPC server writes a Quagga configuration file into the VM.
+
+        Files written before the VM finished booting are applied as soon as
+        the boot completes (exactly like files staged into an LXC rootfs).
+        """
+        self.config_files[filename] = text
+        if not self.is_running:
+            self._pending_configs.append((filename, text))
+            return
+        if filename.startswith("zebra"):
+            self._apply_zebra_config(text)
+        elif filename.startswith("ospf"):
+            self._apply_ospfd_config(text)
+        elif filename.startswith("bgp"):
+            self._apply_bgpd_config(text)
+        else:
+            LOG.warning("%s: unknown configuration file %s", self.name, filename)
+
+    def _apply_zebra_config(self, text: str) -> None:
+        config = parse_zebra_conf(text)
+        for iface_config in config.interfaces:
+            interface = self.interfaces.get(iface_config.name)
+            if interface is None or iface_config.ip is None:
+                continue
+            already = interface.ip == iface_config.ip and \
+                interface.prefix_len == iface_config.prefix_len
+            interface.configure_ip(iface_config.ip, iface_config.prefix_len)
+            if not already:
+                self.zebra.announce_connected(iface_config.network, iface_config.name)
+            if self.ospf is not None:
+                self.ospf.add_interface(iface_config)
+
+    def _apply_ospfd_config(self, text: str) -> None:
+        config = parse_ospfd_conf(text)
+        if self.hello_interval_override is not None:
+            config.hello_interval = self.hello_interval_override
+            config.dead_interval = 4 * self.hello_interval_override
+        if self.ospf is None:
+            self.ospf = OSPFDaemon(
+                sim=self.sim, zebra=self.zebra, config=config,
+                interfaces=self._configured_interfaces(),
+                send_callback=self._send_from_daemon, hostname=self.name)
+            self.sim.schedule(self.DAEMON_START_DELAY, self._start_ospf,
+                              name=f"{self.name}:ospfd-start")
+        else:
+            # Updated configuration: merge network statements and cover any
+            # newly enabled interfaces.
+            self.ospf.config.networks = config.networks
+            self.ospf.config.hello_interval = config.hello_interval
+            self.ospf.config.dead_interval = config.dead_interval
+            for iface_config in self._configured_interfaces():
+                self.ospf.add_interface(iface_config)
+
+    def _start_ospf(self) -> None:
+        if self.ospf is not None and self.is_running and not self.ospf.running:
+            self.ospf.start()
+            # Interfaces configured between daemon creation and daemon start
+            # (zebra.conf updates staged while the VM was still booting) are
+            # enabled now; add_interface is idempotent.
+            for iface_config in self._configured_interfaces():
+                self.ospf.add_interface(iface_config)
+
+    def _apply_bgpd_config(self, text: str) -> None:
+        # BGP is configuration-complete but not wired into the virtual data
+        # plane by default; see repro.quagga.bgp for the standalone speaker.
+        self.config_files.setdefault("bgpd.conf", text)
+        parse_bgpd_conf(text)
+
+    def _configured_interfaces(self) -> List[InterfaceConfig]:
+        configs = []
+        for name, interface in sorted(self.interfaces.items()):
+            if interface.ip is not None:
+                configs.append(InterfaceConfig(name=name, ip=interface.ip,
+                                               prefix_len=interface.prefix_len))
+        return configs
+
+    # ------------------------------------------------------------- virtual I/O
+    def _send_from_daemon(self, interface_name: str, dst: IPv4Address, payload: bytes) -> None:
+        """Transmit an OSPF packet originated by ospfd on a VM interface."""
+        interface = self.interfaces.get(interface_name)
+        if interface is None or interface.ip is None or not self.is_running:
+            return
+        packet = IPv4(src=interface.ip, dst=dst, protocol=IPProtocol.OSPF,
+                      payload=payload, ttl=1)
+        dst_mac = MACAddress(ALL_SPF_ROUTERS_MAC) if dst == ALL_SPF_ROUTERS \
+            else MACAddress.broadcast()
+        frame = Ethernet(src=interface.mac, dst=dst_mac,
+                         ethertype=EtherType.IPV4, payload=packet)
+        interface.send(frame.encode())
+
+    def _on_frame(self, interface: Interface, data: bytes) -> None:
+        """A frame arrived on a VM interface over the virtual topology."""
+        if not self.is_running:
+            return
+        try:
+            frame = Ethernet.decode(data)
+        except DecodeError:
+            return
+        if frame.ethertype != EtherType.IPV4 or not isinstance(frame.payload, IPv4):
+            return
+        packet = frame.payload
+        if packet.protocol == IPProtocol.OSPF and self.ospf is not None:
+            self.ospf.receive_packet(interface.name, packet.src, as_bytes(packet.payload))
+
+    # ----------------------------------------------------------------- status
+    def owns_ip(self, address: IPv4Address) -> Optional[Interface]:
+        """Return the interface holding the given address, if any."""
+        for interface in self.interfaces.values():
+            if interface.ip is not None and interface.ip == IPv4Address(address):
+                return interface
+        return None
+
+    def __repr__(self) -> str:
+        return f"<VirtualMachine {self.name} state={self.state} ports={self.num_ports}>"

@@ -1,0 +1,326 @@
+"""Discrete-event simulation kernel.
+
+Every component of the reproduction (switches, controllers, VMs, routing
+daemons, applications) runs on top of this kernel.  The kernel keeps a
+priority queue of timestamped events and executes their callbacks in
+simulated-time order.  Time is a float number of seconds.
+
+The kernel is intentionally small and deterministic:
+
+* events scheduled for the same time fire in insertion order (a
+  monotonically increasing sequence number breaks ties), so a run with a
+  fixed seed is exactly reproducible;
+* callbacks may schedule further events, cancel events, or stop the
+  simulation;
+* the kernel never sleeps — it jumps straight to the next event time.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+import logging
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, List, Optional
+
+LOG = logging.getLogger(__name__)
+
+
+class SimulationError(Exception):
+    """Raised for misuse of the simulation kernel."""
+
+
+@dataclass(order=True)
+class _QueueEntry:
+    """Internal heap entry.
+
+    Ordering is (time, sequence) so that simultaneous events preserve
+    scheduling order.  The event payload is excluded from comparisons.
+    """
+
+    time: float
+    seq: int
+    event: "Event" = field(compare=False)
+
+
+class Event:
+    """A scheduled callback.
+
+    Instances are returned by :meth:`Simulator.schedule` and can be used to
+    cancel the callback before it fires.
+    """
+
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "name")
+
+    def __init__(
+        self,
+        time: float,
+        callback: Callable[..., Any],
+        args: tuple,
+        kwargs: dict,
+        name: str = "",
+    ) -> None:
+        self.time = time
+        self.callback = callback
+        self.args = args
+        self.kwargs = kwargs
+        self.cancelled = False
+        self.name = name or getattr(callback, "__qualname__", repr(callback))
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.  Cancelling twice is harmless."""
+        self.cancelled = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        return f"<Event {self.name} @ {self.time:.6f} ({state})>"
+
+
+class Simulator:
+    """The discrete-event scheduler.
+
+    A single :class:`Simulator` instance is shared by every simulated
+    component in an experiment.  Components schedule work with
+    :meth:`schedule` / :meth:`schedule_at` and read the clock with
+    :attr:`now`.
+    """
+
+    def __init__(self) -> None:
+        self._queue: List[_QueueEntry] = []
+        self._seq = itertools.count()
+        self._now = 0.0
+        self._running = False
+        self._stopped = False
+        self._processed = 0
+        self._trace_hooks: List[Callable[[Event], None]] = []
+
+    # ------------------------------------------------------------------ time
+    @property
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._now
+
+    @property
+    def processed_events(self) -> int:
+        """Number of events executed so far (cancelled events excluded)."""
+        return self._processed
+
+    # -------------------------------------------------------------- schedule
+    def schedule(
+        self,
+        delay: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback(*args, **kwargs)`` ``delay`` seconds from now."""
+        if delay < 0:
+            raise SimulationError(f"cannot schedule in the past (delay={delay})")
+        return self.schedule_at(self._now + delay, callback, *args, name=name, **kwargs)
+
+    def schedule_at(
+        self,
+        when: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        name: str = "",
+        **kwargs: Any,
+    ) -> Event:
+        """Schedule ``callback`` at absolute simulated time ``when``."""
+        if when < self._now:
+            raise SimulationError(
+                f"cannot schedule at {when} (now is {self._now})"
+            )
+        event = Event(when, callback, args, kwargs, name=name)
+        heapq.heappush(self._queue, _QueueEntry(when, next(self._seq), event))
+        return event
+
+    def call_soon(self, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
+        """Schedule ``callback`` at the current time (after pending events)."""
+        return self.schedule(0.0, callback, *args, **kwargs)
+
+    # ------------------------------------------------------------------- run
+    def run(self, until: Optional[float] = None, max_events: Optional[int] = None) -> float:
+        """Run the simulation.
+
+        Parameters
+        ----------
+        until:
+            Stop once the clock would pass this time.  Events scheduled at
+            exactly ``until`` still execute.  ``None`` runs to queue
+            exhaustion.
+        max_events:
+            Safety valve — abort after this many events.
+
+        Returns the simulated time at which the run stopped.
+        """
+        if self._running:
+            raise SimulationError("simulator is already running")
+        self._running = True
+        self._stopped = False
+        executed = 0
+        try:
+            while self._queue:
+                if self._stopped:
+                    break
+                entry = self._queue[0]
+                if until is not None and entry.time > until:
+                    self._now = until
+                    break
+                heapq.heappop(self._queue)
+                event = entry.event
+                if event.cancelled:
+                    continue
+                self._now = entry.time
+                self._processed += 1
+                executed += 1
+                for hook in self._trace_hooks:
+                    hook(event)
+                event.callback(*event.args, **event.kwargs)
+                if max_events is not None and executed >= max_events:
+                    LOG.warning("simulation aborted after %d events", executed)
+                    break
+            else:
+                if until is not None and until > self._now:
+                    self._now = until
+        finally:
+            self._running = False
+        return self._now
+
+    def step(self) -> bool:
+        """Execute exactly one pending event.  Returns False if none remain."""
+        while self._queue:
+            entry = heapq.heappop(self._queue)
+            if entry.event.cancelled:
+                continue
+            self._now = entry.time
+            self._processed += 1
+            entry.event.callback(*entry.event.args, **entry.event.kwargs)
+            return True
+        return False
+
+    def stop(self) -> None:
+        """Request that :meth:`run` return after the current event."""
+        self._stopped = True
+
+    def pending(self) -> int:
+        """Number of queued, non-cancelled events."""
+        return sum(1 for e in self._queue if not e.event.cancelled)
+
+    def peek(self) -> Optional[float]:
+        """Time of the next non-cancelled event, or None."""
+        for entry in sorted(self._queue):
+            if not entry.event.cancelled:
+                return entry.time
+        return None
+
+    # ----------------------------------------------------------------- hooks
+    def add_trace_hook(self, hook: Callable[[Event], None]) -> None:
+        """Register a hook invoked before each executed event (debug/metrics)."""
+        self._trace_hooks.append(hook)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Simulator t={self._now:.3f} pending={len(self._queue)}>"
+
+
+class PeriodicTask:
+    """A repeating callback bound to a :class:`Simulator`.
+
+    Used for protocol timers (LLDP probes, OSPF hellos, stream frames).  The
+    first invocation happens ``interval`` seconds after :meth:`start` unless
+    ``fire_immediately`` is set.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        interval: float,
+        callback: Callable[[], Any],
+        name: str = "",
+        jitter: float = 0.0,
+        rng=None,
+    ) -> None:
+        if interval <= 0:
+            raise SimulationError(f"interval must be positive, got {interval}")
+        self.sim = sim
+        self.interval = interval
+        self.callback = callback
+        self.name = name or getattr(callback, "__qualname__", "periodic")
+        self.jitter = jitter
+        self.rng = rng
+        self._event: Optional[Event] = None
+        self._running = False
+
+    @property
+    def running(self) -> bool:
+        return self._running
+
+    def start(self, fire_immediately: bool = False) -> None:
+        if self._running:
+            return
+        self._running = True
+        if fire_immediately:
+            self._event = self.sim.call_soon(self._fire)
+        else:
+            self._schedule_next()
+
+    def stop(self) -> None:
+        self._running = False
+        if self._event is not None:
+            self._event.cancel()
+            self._event = None
+
+    def _next_delay(self) -> float:
+        delay = self.interval
+        if self.jitter and self.rng is not None:
+            delay += self.rng.uniform(-self.jitter, self.jitter)
+        return max(delay, 1e-9)
+
+    def _schedule_next(self) -> None:
+        self._event = self.sim.schedule(self._next_delay(), self._fire, name=self.name)
+
+    def _fire(self) -> None:
+        if not self._running:
+            return
+        self.callback()
+        if self._running:
+            self._schedule_next()
+
+
+class EventLog:
+    """A timestamped record of notable simulation events.
+
+    Components append ``(time, category, message, data)`` tuples; experiments
+    read them back to build timelines (for example the red→green GUI
+    transitions of the demo).
+    """
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.entries: List[Dict[str, Any]] = []
+
+    def record(self, category: str, message: str, **data: Any) -> Dict[str, Any]:
+        entry = {
+            "time": self.sim.now,
+            "category": category,
+            "message": message,
+            "data": dict(data),
+        }
+        self.entries.append(entry)
+        return entry
+
+    def filter(self, category: str) -> List[Dict[str, Any]]:
+        return [e for e in self.entries if e["category"] == category]
+
+    def last(self, category: Optional[str] = None) -> Optional[Dict[str, Any]]:
+        if category is None:
+            return self.entries[-1] if self.entries else None
+        matches = self.filter(category)
+        return matches[-1] if matches else None
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    def __iter__(self):
+        return iter(self.entries)

@@ -1,0 +1,46 @@
+"""Topology descriptions, generators, the pan-European map and the emulator."""
+
+from repro.topology.emulator import EmulatedNetwork, HostInfo
+from repro.topology.generators import (
+    full_mesh_topology,
+    linear_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+    tree_topology,
+)
+from repro.topology.graph import (
+    HostAttachment,
+    Topology,
+    TopologyError,
+    TopologyLink,
+    TopologyNode,
+)
+from repro.topology.pan_european import (
+    PAN_EUROPEAN_CITIES,
+    PAN_EUROPEAN_LINKS,
+    great_circle_km,
+    link_delay_seconds,
+    pan_european_topology,
+)
+
+__all__ = [
+    "EmulatedNetwork",
+    "HostAttachment",
+    "HostInfo",
+    "PAN_EUROPEAN_CITIES",
+    "PAN_EUROPEAN_LINKS",
+    "Topology",
+    "TopologyError",
+    "TopologyLink",
+    "TopologyNode",
+    "full_mesh_topology",
+    "great_circle_km",
+    "linear_topology",
+    "link_delay_seconds",
+    "pan_european_topology",
+    "random_topology",
+    "ring_topology",
+    "star_topology",
+    "tree_topology",
+]

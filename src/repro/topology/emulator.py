@@ -1,0 +1,194 @@
+"""The network emulator: turns a :class:`Topology` into live simulated gear.
+
+This plays the role of the second laptop in the paper's demo setup (and of
+the namespace-per-switch OFELIA node in the §2.1 experiments): it
+instantiates one OpenFlow switch per topology node, cables switch ports
+according to the topology links, attaches end hosts to edge ports and
+finally connects every switch's control channel to whatever control plane
+the experiment provides (FlowVisor or a single controller).
+
+Host addressing is taken from the same :class:`IPAddressManager` the
+framework uses, mirroring the fact that host subnets are part of the
+administrator's small static input.
+"""
+
+from __future__ import annotations
+
+import logging
+from dataclasses import dataclass
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.core.ipam import IPAddressManager
+from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.host import Host
+from repro.net.link import Link, connect
+from repro.net.namespace import NamespaceRegistry
+from repro.openflow.channel import ControlChannel
+from repro.openflow.switch import OpenFlowSwitch
+from repro.sim import Simulator
+from repro.topology.graph import Topology
+
+LOG = logging.getLogger(__name__)
+
+
+@dataclass
+class HostInfo:
+    """Where a host lives and how it is addressed."""
+
+    host: Host
+    datapath_id: int
+    port_no: int
+    gateway: IPv4Address
+
+
+class EmulatedNetwork:
+    """Live switches, hosts and links built from a topology description."""
+
+    #: Latency of the switch -> control-plane channels.
+    CONTROL_CHANNEL_LATENCY = 0.002
+    #: Stagger between successive switch control-plane connections, modelling
+    #: switches coming up one after another on the emulation host.
+    SWITCH_CONNECT_STAGGER = 0.1
+
+    def __init__(self, sim: Simulator, topology: Topology,
+                 ipam: Optional[IPAddressManager] = None) -> None:
+        self.sim = sim
+        self.topology = topology
+        self.ipam = ipam if ipam is not None else IPAddressManager()
+        self.namespaces = NamespaceRegistry()
+        self.switches: Dict[int, OpenFlowSwitch] = {}
+        self.hosts: Dict[str, HostInfo] = {}
+        self.links: List[Link] = []
+        #: (node_a, node_b) canonical -> (port on a, port on b)
+        self.link_ports: Dict[Tuple[int, int], Tuple[int, int]] = {}
+        self._next_port: Dict[int, int] = {}
+        self._control_channels: Dict[int, ControlChannel] = {}
+        self._build()
+
+    # ------------------------------------------------------------------ build
+    def _build(self) -> None:
+        for node in self.topology.nodes:
+            switch = OpenFlowSwitch(self.sim, datapath_id=node.node_id, name=node.name)
+            self.switches[node.node_id] = switch
+            self._next_port[node.node_id] = 1
+            self.namespaces.create(node.name).attach_device(switch)
+        for link in self.topology.links:
+            self._build_link(link.node_a, link.node_b, link.delay, link.bandwidth_bps)
+        for index, attachment in enumerate(self.topology.hosts):
+            self._build_host(attachment.host_name, attachment.node_id, index)
+
+    def _take_port(self, node_id: int) -> int:
+        port = self._next_port[node_id]
+        self._next_port[node_id] = port + 1
+        return port
+
+    def _build_link(self, node_a: int, node_b: int, delay: float,
+                    bandwidth_bps: float) -> None:
+        switch_a = self.switches[node_a]
+        switch_b = self.switches[node_b]
+        port_a = self._take_port(node_a)
+        port_b = self._take_port(node_b)
+        iface_a = self._make_switch_interface(switch_a, port_a)
+        iface_b = self._make_switch_interface(switch_b, port_b)
+        link = connect(self.sim, iface_a, iface_b, delay=delay,
+                       bandwidth_bps=bandwidth_bps)
+        self.links.append(link)
+        key = (min(node_a, node_b), max(node_a, node_b))
+        if key[0] == node_a:
+            self.link_ports[key] = (port_a, port_b)
+        else:
+            self.link_ports[key] = (port_b, port_a)
+
+    def _make_switch_interface(self, switch: OpenFlowSwitch, port_no: int):
+        from repro.net.link import Interface
+
+        name = f"{switch.name}-eth{port_no}"
+        mac = MACAddress.from_local_id(switch.datapath_id, port_no)
+        interface = Interface(name=name, mac=mac, owner=switch, port_no=port_no)
+        switch.add_port(port_no, interface)
+        self.namespaces.get(switch.name).add_interface(interface)
+        return interface
+
+    def _build_host(self, host_name: str, node_id: int, index: int) -> None:
+        switch = self.switches[node_id]
+        port_no = self._take_port(node_id)
+        switch_iface = self._make_switch_interface(switch, port_no)
+        allocation = self.ipam.allocate_edge_port(node_id, port_no)
+        host_ip = IPv4Address(int(allocation.network.network) + 100 + index)
+        host_mac = MACAddress.from_local_id(0x200000 + node_id, port_no)
+        host = Host(self.sim, name=host_name, mac=host_mac, ip=host_ip,
+                    prefix_len=allocation.prefix_len, gateway=allocation.gateway)
+        connect(self.sim, host.interface, switch_iface, delay=0.0005)
+        namespace = self.namespaces.create(host_name)
+        namespace.attach_device(host)
+        namespace.add_interface(host.interface)
+        self.hosts[host_name] = HostInfo(host=host, datapath_id=node_id,
+                                         port_no=port_no, gateway=allocation.gateway)
+        LOG.info("emulator: host %s = %s/%d gw %s on %s port %d", host_name, host_ip,
+                 allocation.prefix_len, allocation.gateway, switch.name, port_no)
+
+    # ---------------------------------------------------------- control plane
+    def connect_control_plane(self, accept_channel: Callable[[ControlChannel], None],
+                              endpoint: object,
+                              latency: Optional[float] = None) -> None:
+        """Connect every switch to the control plane.
+
+        ``endpoint`` is the controller-side channel endpoint (a FlowVisor or a
+        Controller); ``accept_channel`` is the method that registers a new
+        switch-facing channel on it.  Switch connections are staggered.
+        """
+        channel_latency = latency if latency is not None else self.CONTROL_CHANNEL_LATENCY
+        for offset, node_id in enumerate(sorted(self.switches)):
+            switch = self.switches[node_id]
+            channel = ControlChannel(self.sim, latency=channel_latency,
+                                     name=f"ctl:{switch.name}")
+            channel.connect(switch, endpoint)
+            self._control_channels[node_id] = channel
+            delay = offset * self.SWITCH_CONNECT_STAGGER
+            self.sim.schedule(delay, self._bring_up_switch, switch, channel,
+                              accept_channel, name=f"emulator:connect:{switch.name}")
+
+    def _bring_up_switch(self, switch: OpenFlowSwitch, channel: ControlChannel,
+                         accept_channel: Callable[[ControlChannel], None]) -> None:
+        accept_channel(channel)
+        switch.connect_to_controller(channel)
+
+    # ---------------------------------------------------------------- queries
+    def host(self, name: str) -> Host:
+        return self.hosts[name].host
+
+    def host_info(self, name: str) -> HostInfo:
+        return self.hosts[name]
+
+    def switch(self, node_id: int) -> OpenFlowSwitch:
+        return self.switches[node_id]
+
+    def control_channel(self, node_id: int) -> ControlChannel:
+        return self._control_channels[node_id]
+
+    def ports_for_link(self, node_a: int, node_b: int) -> Tuple[int, int]:
+        """(port on node_a, port on node_b) for a topology link."""
+        key = (min(node_a, node_b), max(node_a, node_b))
+        port_low, port_high = self.link_ports[key]
+        if node_a <= node_b:
+            return port_low, port_high
+        return port_high, port_low
+
+    def fail_link(self, node_a: int, node_b: int) -> None:
+        """Take a switch-to-switch link down (failure injection)."""
+        port_a, _ = self.ports_for_link(node_a, node_b)
+        interface = self.switches[node_a].port(port_a).interface
+        if interface.link is not None:
+            interface.link.set_down()
+
+    @property
+    def num_switches(self) -> int:
+        return len(self.switches)
+
+    @property
+    def num_links(self) -> int:
+        return len(self.topology.links)
+
+    def __repr__(self) -> str:
+        return (f"<EmulatedNetwork {self.topology.name} switches={len(self.switches)} "
+                f"hosts={len(self.hosts)}>")

@@ -1,0 +1,119 @@
+"""Synthetic topology generators.
+
+The paper's Figure 3 experiments run on ring topologies of increasing size;
+the other generators (linear, star, tree, full mesh, random) are provided
+for the wider test suite and the ablation benchmarks.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.sim import SeededRandom
+from repro.topology.graph import Topology, TopologyError
+
+
+def ring_topology(num_switches: int, delay: float = 0.001,
+                  bandwidth_bps: float = 1e9) -> Topology:
+    """The ring topologies used for the paper's configuration-time figure."""
+    if num_switches < 3:
+        raise TopologyError("a ring needs at least 3 switches")
+    topology = Topology(f"ring-{num_switches}")
+    for node_id in range(1, num_switches + 1):
+        topology.add_node(node_id)
+    for node_id in range(1, num_switches + 1):
+        neighbor = node_id % num_switches + 1
+        topology.add_link(node_id, neighbor, delay=delay, bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def linear_topology(num_switches: int, delay: float = 0.001,
+                    bandwidth_bps: float = 1e9) -> Topology:
+    """A chain of switches."""
+    if num_switches < 2:
+        raise TopologyError("a linear topology needs at least 2 switches")
+    topology = Topology(f"linear-{num_switches}")
+    for node_id in range(1, num_switches + 1):
+        topology.add_node(node_id)
+    for node_id in range(1, num_switches):
+        topology.add_link(node_id, node_id + 1, delay=delay, bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def star_topology(num_leaves: int, delay: float = 0.001,
+                  bandwidth_bps: float = 1e9) -> Topology:
+    """One hub switch with ``num_leaves`` leaf switches."""
+    if num_leaves < 1:
+        raise TopologyError("a star needs at least one leaf")
+    topology = Topology(f"star-{num_leaves}")
+    hub = topology.add_node(1, name="hub")
+    for leaf in range(2, num_leaves + 2):
+        topology.add_node(leaf)
+        topology.add_link(hub.node_id, leaf, delay=delay, bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def tree_topology(depth: int, fanout: int, delay: float = 0.001,
+                  bandwidth_bps: float = 1e9) -> Topology:
+    """A complete tree of switches with the given depth and fanout."""
+    if depth < 1 or fanout < 1:
+        raise TopologyError("tree depth and fanout must be at least 1")
+    topology = Topology(f"tree-d{depth}-f{fanout}")
+    topology.add_node(1, name="root")
+    next_id = 2
+    frontier = [1]
+    for _ in range(depth):
+        new_frontier = []
+        for parent in frontier:
+            for _ in range(fanout):
+                topology.add_node(next_id)
+                topology.add_link(parent, next_id, delay=delay,
+                                  bandwidth_bps=bandwidth_bps)
+                new_frontier.append(next_id)
+                next_id += 1
+        frontier = new_frontier
+    return topology
+
+
+def full_mesh_topology(num_switches: int, delay: float = 0.001,
+                       bandwidth_bps: float = 1e9) -> Topology:
+    """Every switch connected to every other switch."""
+    if num_switches < 2:
+        raise TopologyError("a mesh needs at least 2 switches")
+    topology = Topology(f"mesh-{num_switches}")
+    for node_id in range(1, num_switches + 1):
+        topology.add_node(node_id)
+    for node_a in range(1, num_switches + 1):
+        for node_b in range(node_a + 1, num_switches + 1):
+            topology.add_link(node_a, node_b, delay=delay, bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def random_topology(num_switches: int, extra_link_probability: float = 0.15,
+                    seed: int = 0, delay: float = 0.001,
+                    bandwidth_bps: float = 1e9) -> Topology:
+    """A connected random topology: a random spanning tree plus extra links."""
+    if num_switches < 2:
+        raise TopologyError("a random topology needs at least 2 switches")
+    if not 0.0 <= extra_link_probability <= 1.0:
+        raise TopologyError("extra_link_probability must be in [0, 1]")
+    rng = SeededRandom(seed)
+    topology = Topology(f"random-{num_switches}-seed{seed}")
+    for node_id in range(1, num_switches + 1):
+        topology.add_node(node_id)
+    # Random spanning tree guarantees connectivity.
+    connected = [1]
+    for node_id in range(2, num_switches + 1):
+        parent = rng.choice(connected)
+        topology.add_link(parent, node_id, delay=delay, bandwidth_bps=bandwidth_bps)
+        connected.append(node_id)
+    existing = {link.canonical() for link in topology.links}
+    for node_a in range(1, num_switches + 1):
+        for node_b in range(node_a + 1, num_switches + 1):
+            if (node_a, node_b) in existing:
+                continue
+            if rng.random() < extra_link_probability:
+                topology.add_link(node_a, node_b, delay=delay,
+                                  bandwidth_bps=bandwidth_bps)
+                existing.add((node_a, node_b))
+    return topology

@@ -1,0 +1,19 @@
+"""Shared pytest fixtures."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim import SeededRandom, Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    """A fresh simulator per test."""
+    return Simulator()
+
+
+@pytest.fixture
+def rng() -> SeededRandom:
+    """A deterministic random source."""
+    return SeededRandom(42)

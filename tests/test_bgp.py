@@ -1,0 +1,110 @@
+"""Tests for the simplified BGP speaker."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import IPv4Address, IPv4Network
+from repro.quagga import BGPNeighbor, generate_bgpd_conf, parse_bgpd_conf
+from repro.quagga.bgp import BGPDaemon, BGPSessionBroker, BGPSessionState
+from repro.quagga.rib import RouteSource
+from repro.quagga.zebra import ZebraDaemon
+
+
+def build_speaker(sim, broker, local_as, router_id, local_ip, neighbors,
+                  networks=None):
+    """Construct a BGP speaker from a generated-then-parsed bgpd.conf."""
+    text = generate_bgpd_conf(f"as{local_as}", local_as, IPv4Address(router_id),
+                              [BGPNeighbor(IPv4Address(ip), remote)
+                               for ip, remote in neighbors],
+                              networks=[IPv4Network(n) for n in (networks or [])])
+    config = parse_bgpd_conf(text)
+    zebra = ZebraDaemon(f"as{local_as}")
+    zebra.start()
+    daemon = BGPDaemon(sim, zebra, config, broker,
+                       local_addresses=[IPv4Address(local_ip)])
+    daemon.start()
+    return daemon, zebra
+
+
+@pytest.fixture
+def bgp_pair(sim):
+    broker = BGPSessionBroker(sim, session_delay=1.0)
+    a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                               [("10.0.12.2", 65002)], networks=["192.168.1.0/24"])
+    b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                               [("10.0.12.1", 65001)], networks=["192.168.2.0/24"])
+    return broker, (a, zebra_a), (b, zebra_b)
+
+
+class TestBGPSessions:
+    def test_session_established_both_sides(self, sim, bgp_pair):
+        _, (a, _), (b, _) = bgp_pair
+        sim.run(until=5.0)
+        assert len(a.established_sessions) == 1
+        assert len(b.established_sessions) == 1
+        assert a.sessions[IPv4Address("10.0.12.2")].state == BGPSessionState.ESTABLISHED
+
+    def test_unmatched_neighbor_stays_idle(self, sim):
+        broker = BGPSessionBroker(sim)
+        a, _ = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                             [("10.0.12.9", 65009)])
+        sim.run(until=10.0)
+        assert a.established_sessions == []
+
+    def test_routes_exchanged_after_establishment(self, sim, bgp_pair):
+        _, (a, zebra_a), (b, zebra_b) = bgp_pair
+        sim.run(until=5.0)
+        assert IPv4Network("192.168.2.0/24") in zebra_a.fib
+        assert IPv4Network("192.168.1.0/24") in zebra_b.fib
+        route = zebra_a.fib[IPv4Network("192.168.2.0/24")]
+        assert route.source == RouteSource.BGP
+
+    def test_late_announcement_propagates(self, sim, bgp_pair):
+        _, (a, _), (b, zebra_b) = bgp_pair
+        sim.run(until=5.0)
+        a.announce_network(IPv4Network("172.20.0.0/16"))
+        sim.run(until=7.0)
+        assert IPv4Network("172.20.0.0/16") in zebra_b.fib
+
+
+class TestBGPPathSelection:
+    def test_as_path_loop_rejected(self, sim):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("10.0.12.2", 65002)])
+        b, _ = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                             [("10.0.12.1", 65001)])
+        sim.run(until=3.0)
+        from repro.quagga.bgp import BGPAnnouncement
+
+        poisoned = BGPAnnouncement(prefix=IPv4Network("10.50.0.0/16"),
+                                   next_hop=IPv4Address("10.0.12.2"),
+                                   as_path=(65002, 65001))
+        a.receive_announcement(IPv4Address("10.0.12.1"), IPv4Address("10.0.12.2"),
+                               poisoned)
+        assert IPv4Network("10.50.0.0/16") not in zebra_a.fib
+
+    def test_transit_propagation_three_speakers(self, sim):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("10.0.12.2", 65002)], networks=["192.168.1.0/24"])
+        b, _ = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                             [("10.0.12.1", 65001), ("10.0.23.2", 65003)])
+        c, zebra_c = build_speaker(sim, broker, 65003, "3.3.3.3", "10.0.23.2",
+                                   [("10.0.23.1", 65002)])
+        # The middle speaker owns both transit addresses.
+        b.local_addresses.append(IPv4Address("10.0.23.1"))
+        b.sessions[IPv4Address("10.0.23.2")].local_address = IPv4Address("10.0.23.1")
+        broker.register(IPv4Address("10.0.23.1"), b)
+        sim.run(until=10.0)
+        assert IPv4Network("192.168.1.0/24") in zebra_c.fib
+        # The AS path seen at C includes both upstream ASes (metric = path length).
+        assert zebra_c.fib[IPv4Network("192.168.1.0/24")].metric == 2
+
+    def test_stop_withdraws_bgp_routes(self, sim, bgp_pair):
+        _, (a, zebra_a), _ = bgp_pair
+        sim.run(until=5.0)
+        assert any(r.source == RouteSource.BGP for r in zebra_a.fib_routes)
+        a.stop()
+        assert not any(r.source == RouteSource.BGP for r in zebra_a.fib_routes)

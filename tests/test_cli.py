@@ -1,0 +1,52 @@
+"""Tests for the command-line interface."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_a_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_quickstart_defaults(self):
+        args = build_parser().parse_args(["quickstart"])
+        assert args.command == "quickstart"
+        assert args.switches == 4
+        assert args.vm_boot_delay == 5.0
+
+    def test_fig3_sizes(self):
+        args = build_parser().parse_args(["fig3", "--sizes", "4", "8"])
+        assert args.sizes == [4, 8]
+
+    def test_ablation_choices(self):
+        args = build_parser().parse_args(["ablation", "vm-latency"])
+        assert args.which == "vm-latency"
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ablation", "unknown"])
+
+
+class TestCommands:
+    def test_manual_command_prints_breakdown(self, capsys):
+        assert main(["manual", "--switches", "28"]) == 0
+        output = capsys.readouterr().out
+        assert "7.0 hours" in output
+        assert "create VMs" in output
+
+    def test_quickstart_command_runs_small_ring(self, capsys):
+        exit_code = main(["quickstart", "--switches", "3", "--vm-boot-delay", "1.0"])
+        assert exit_code == 0
+        output = capsys.readouterr().out
+        assert "ospf_converged" in output
+        assert "configured 3/3 switches" in output
+        assert "automatic:" in output
+
+    def test_fig3_command_prints_table(self, capsys):
+        assert main(["fig3", "--sizes", "4"]) == 0
+        output = capsys.readouterr().out
+        assert "switches" in output
+        assert "manual" in output
+        assert "4" in output

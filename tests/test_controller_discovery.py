@@ -1,0 +1,175 @@
+"""Tests for the controller framework and LLDP topology discovery."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller import Controller, ControllerApp, DatapathConnection, TopologyDiscovery
+from repro.core.ipam import IPAddressManager
+from repro.openflow import PacketIn
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+from repro.topology.generators import linear_topology, ring_topology
+
+
+class RecordingApp(ControllerApp):
+    """Collects every event for assertions."""
+
+    def __init__(self):
+        super().__init__(name="recorder")
+        self.joined = []
+        self.left = []
+        self.packet_ins = []
+        self.port_statuses = []
+
+    def on_datapath_join(self, connection):
+        self.joined.append(connection.datapath_id)
+
+    def on_datapath_leave(self, connection):
+        self.left.append(connection.datapath_id)
+
+    def on_packet_in(self, connection, message):
+        self.packet_ins.append((connection.datapath_id, message.in_port))
+
+    def on_port_status(self, connection, message):
+        self.port_statuses.append((connection.datapath_id, message.port.port_no))
+
+
+def build_network(sim, topology, controller):
+    network = EmulatedNetwork(sim, topology, ipam=IPAddressManager())
+    network.connect_control_plane(controller.accept_channel, controller)
+    return network
+
+
+class TestController:
+    def test_handshake_registers_datapaths(self, sim):
+        controller = Controller(sim, name="c0")
+        app = RecordingApp()
+        controller.register_app(app)
+        build_network(sim, linear_topology(3), controller)
+        sim.run(until=2.0)
+        assert sorted(app.joined) == [1, 2, 3]
+        assert controller.connected_datapaths == [1, 2, 3]
+        connection = controller.connection_for(2)
+        assert connection is not None
+        assert connection.handshake_complete
+        assert len(connection.ports) == 2  # middle switch of a 3-chain
+
+    def test_apps_receive_events_in_registration_order(self, sim):
+        controller = Controller(sim, name="c0")
+        order = []
+
+        class First(ControllerApp):
+            def on_datapath_join(self, connection):
+                order.append("first")
+
+        class Second(ControllerApp):
+            def on_datapath_join(self, connection):
+                order.append("second")
+
+        controller.register_app(First())
+        controller.register_app(Second())
+        build_network(sim, linear_topology(2), controller)
+        sim.run(until=2.0)
+        assert order[:2] == ["first", "second"]
+
+    def test_app_lookup_by_type(self, sim):
+        controller = Controller(sim)
+        app = RecordingApp()
+        controller.register_app(app)
+        assert controller.app(RecordingApp) is app
+        assert controller.app(TopologyDiscovery) is None
+
+    def test_channel_close_triggers_leave(self, sim):
+        controller = Controller(sim, name="c0")
+        app = RecordingApp()
+        controller.register_app(app)
+        network = build_network(sim, linear_topology(2), controller)
+        sim.run(until=2.0)
+        network.control_channel(1).close()
+        sim.run(until=3.0)
+        assert app.left == [1]
+        assert controller.connection_for(1) is None
+
+    def test_port_status_updates_connection_ports(self, sim):
+        controller = Controller(sim, name="c0")
+        app = RecordingApp()
+        controller.register_app(app)
+        network = build_network(sim, linear_topology(2), controller)
+        sim.run(until=2.0)
+        network.switch(1).set_port_state(1, up=False)
+        sim.run(until=3.0)
+        assert (1, 1) in app.port_statuses
+
+
+class TestDiscovery:
+    def build(self, sim, topology, probe_interval=2.0):
+        controller = Controller(sim, name="topo")
+        discovery = TopologyDiscovery(probe_interval=probe_interval)
+        controller.register_app(discovery)
+        network = build_network(sim, topology, controller)
+        return controller, discovery, network
+
+    def test_switches_reported(self, sim):
+        _, discovery, _ = self.build(sim, ring_topology(4))
+        seen = []
+        discovery.on_switch_discovered(lambda dpid, ports: seen.append((dpid, tuple(ports))))
+        sim.run(until=3.0)
+        assert sorted(d for d, _ in seen) == [1, 2, 3, 4]
+        # Every ring switch has exactly two ports.
+        assert all(ports == (1, 2) for _, ports in seen)
+
+    def test_links_discovered_in_both_directions(self, sim):
+        _, discovery, _ = self.build(sim, linear_topology(2))
+        sim.run(until=10.0)
+        assert len(discovery.links) == 2  # one per direction
+        assert len(discovery.bidirectional_links) == 1
+
+    def test_ring_links_all_found(self, sim):
+        _, discovery, _ = self.build(sim, ring_topology(6))
+        sim.run(until=15.0)
+        assert len(discovery.bidirectional_links) == 6
+
+    def test_link_callbacks_fire_once_per_direction(self, sim):
+        _, discovery, _ = self.build(sim, linear_topology(2))
+        events = []
+        discovery.on_link_discovered(events.append)
+        sim.run(until=20.0)
+        assert len(events) == 2
+        canonical = {link.canonical() for link in events}
+        assert len(canonical) == 1
+
+    def test_lldp_counters_increase(self, sim):
+        _, discovery, _ = self.build(sim, linear_topology(3))
+        sim.run(until=10.0)
+        assert discovery.lldp_sent > 0
+        assert discovery.lldp_received > 0
+
+    def test_link_failure_times_out(self, sim):
+        _, discovery, network = self.build(sim, linear_topology(2), probe_interval=2.0)
+        discovery.link_timeout = 6.0
+        lost = []
+        discovery.on_link_lost(lost.append)
+        sim.run(until=10.0)
+        assert len(discovery.bidirectional_links) == 1
+        network.fail_link(1, 2)
+        sim.run(until=30.0)
+        assert lost, "link loss should be reported after the timeout"
+        assert len(discovery.bidirectional_links) == 0
+
+    def test_topology_snapshot(self, sim):
+        _, discovery, _ = self.build(sim, linear_topology(3))
+        sim.run(until=10.0)
+        snapshot = discovery.topology_snapshot()
+        assert snapshot["switches"] == [1, 2, 3]
+        assert len(snapshot["links"]) == 2
+
+    def test_non_lldp_packet_in_ignored(self, sim):
+        controller = Controller(sim, name="topo")
+        discovery = TopologyDiscovery()
+        controller.register_app(discovery)
+        connection = DatapathConnection(controller, channel=None)
+        connection.datapath_id = 42
+        message = PacketIn(buffer_id=0, in_port=1, reason=0, data=b"not lldp")
+        discovery.on_packet_in(connection, message)
+        assert discovery.links == {}

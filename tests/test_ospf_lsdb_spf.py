@@ -1,0 +1,144 @@
+"""Tests for the LSDB and the SPF computation."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import IPv4Address, IPv4Network
+from repro.quagga.ospf import LSDB, RouterLSA, RouterLink, build_router_graph, compute_routes, shortest_paths
+
+
+def rid(index: int) -> IPv4Address:
+    return IPv4Address(f"10.0.0.{index}")
+
+
+def p2p(neighbor: IPv4Address, local_ip: str, metric: int = 10) -> RouterLink:
+    return RouterLink.point_to_point(neighbor, IPv4Address(local_ip), metric)
+
+
+def stub(network: str, plen: int = 30, metric: int = 10) -> RouterLink:
+    mask = IPv4Network(f"{network}/{plen}").netmask
+    return RouterLink.stub(IPv4Address(network), mask, metric)
+
+
+def lsa(router: IPv4Address, links, sequence=0x80000001) -> RouterLSA:
+    return RouterLSA.originate(router_id=router, sequence=sequence, links=links)
+
+
+def build_triangle() -> LSDB:
+    """Three routers in a triangle, each advertising its two links + stubs."""
+    lsdb = LSDB()
+    lsdb.install(lsa(rid(1), [p2p(rid(2), "172.16.0.1"), p2p(rid(3), "172.16.0.5"),
+                              stub("172.16.0.0"), stub("172.16.0.4"),
+                              stub("192.168.1.0", 24)]))
+    lsdb.install(lsa(rid(2), [p2p(rid(1), "172.16.0.2"), p2p(rid(3), "172.16.0.9"),
+                              stub("172.16.0.0"), stub("172.16.0.8")]))
+    lsdb.install(lsa(rid(3), [p2p(rid(1), "172.16.0.6"), p2p(rid(2), "172.16.0.10"),
+                              stub("172.16.0.4"), stub("172.16.0.8"),
+                              stub("192.168.3.0", 24)]))
+    return lsdb
+
+
+class TestLSDB:
+    def test_install_new(self):
+        lsdb = LSDB()
+        assert lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)])) is True
+        assert len(lsdb) == 1
+        assert lsdb.router_lsa(rid(1)) is not None
+
+    def test_newer_sequence_replaces(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=1))
+        fresh = lsa(rid(1), [stub("10.0.1.0", 24)], sequence=2)
+        assert lsdb.install(fresh) is True
+        assert lsdb.get(fresh.key).links[0].link_id == IPv4Address("10.0.1.0")
+
+    def test_older_sequence_rejected(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=5))
+        assert lsdb.install(lsa(rid(1), [stub("10.0.1.0", 24)], sequence=4)) is False
+
+    def test_missing_or_older_than(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [], sequence=5))
+        advertised = [lsa(rid(1), [], sequence=5).header,       # same: not needed
+                      lsa(rid(1), [], sequence=9).header,       # newer: needed
+                      lsa(rid(2), [], sequence=1).header]       # unknown: needed
+        needed = lsdb.missing_or_older_than(advertised)
+        assert len(needed) == 2
+
+    def test_remove_from(self):
+        lsdb = build_triangle()
+        removed = lsdb.remove_from(rid(2))
+        assert removed == 1
+        assert lsdb.router_lsa(rid(2)) is None
+        assert len(lsdb) == 2
+
+
+class TestSPF:
+    def test_router_graph_requires_bidirectional_links(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [p2p(rid(2), "172.16.0.1")]))
+        # Router 2 does not (yet) advertise the link back.
+        graph = build_router_graph(lsdb)
+        assert graph[int(rid(1))] == {}
+        lsdb.install(lsa(rid(2), [p2p(rid(1), "172.16.0.2")]))
+        graph = build_router_graph(lsdb)
+        assert graph[int(rid(1))] == {int(rid(2)): 10}
+
+    def test_shortest_paths_triangle(self):
+        lsdb = build_triangle()
+        nodes = shortest_paths(lsdb, rid(1))
+        assert nodes[int(rid(1))].distance == 0
+        assert nodes[int(rid(2))].distance == 10
+        assert nodes[int(rid(3))].distance == 10
+        assert nodes[int(rid(2))].first_hop == rid(2)
+        assert nodes[int(rid(3))].first_hop == rid(3)
+
+    def test_shortest_paths_prefers_cheaper_two_hop_path(self):
+        lsdb = LSDB()
+        # 1 -- 2 with cost 100; 1 -- 3 -- 2 with cost 10 + 10.
+        lsdb.install(lsa(rid(1), [p2p(rid(2), "172.16.0.1", 100),
+                                  p2p(rid(3), "172.16.0.5", 10)]))
+        lsdb.install(lsa(rid(2), [p2p(rid(1), "172.16.0.2", 100),
+                                  p2p(rid(3), "172.16.0.9", 10)]))
+        lsdb.install(lsa(rid(3), [p2p(rid(1), "172.16.0.6", 10),
+                                  p2p(rid(2), "172.16.0.10", 10)]))
+        nodes = shortest_paths(lsdb, rid(1))
+        assert nodes[int(rid(2))].distance == 20
+        assert nodes[int(rid(2))].first_hop == rid(3)
+
+    def test_compute_routes_includes_remote_stubs(self):
+        lsdb = build_triangle()
+        routes = {str(r.prefix): r for r in compute_routes(lsdb, rid(1))}
+        assert "192.168.3.0/24" in routes
+        remote = routes["192.168.3.0/24"]
+        assert remote.first_hop == rid(3)
+        assert remote.cost == 20  # 10 to reach router 3 + stub metric 10
+
+    def test_compute_routes_marks_local_stubs(self):
+        lsdb = build_triangle()
+        routes = {str(r.prefix): r for r in compute_routes(lsdb, rid(1))}
+        assert routes["192.168.1.0/24"].first_hop is None
+
+    def test_shared_link_prefix_uses_cheapest_advertiser(self):
+        lsdb = build_triangle()
+        routes = {str(r.prefix): r for r in compute_routes(lsdb, rid(1))}
+        # 172.16.0.8/30 connects routers 2 and 3; both are one hop away.
+        assert routes["172.16.0.8/30"].cost == 20
+
+    def test_unreachable_router_stubs_excluded(self):
+        lsdb = build_triangle()
+        lsdb.install(lsa(rid(9), [stub("10.99.0.0", 24)]))  # isolated router
+        routes = {str(r.prefix) for r in compute_routes(lsdb, rid(1))}
+        assert "10.99.0.0/24" not in routes
+
+    def test_empty_lsdb(self):
+        assert compute_routes(LSDB(), rid(1)) == []
+
+    def test_spf_root_not_in_graph(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(2), [p2p(rid(3), "172.16.0.1")]))
+        nodes = shortest_paths(lsdb, rid(1))
+        assert int(rid(1)) in nodes
+        assert nodes[int(rid(1))].distance == 0

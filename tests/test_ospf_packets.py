@@ -1,0 +1,149 @@
+"""Tests for OSPF packet and LSA wire formats."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import IPv4Address
+from repro.net.packet import DecodeError
+from repro.quagga.ospf import (
+    DBDescriptionPacket,
+    HelloPacket,
+    LSAHeader,
+    LSAckPacket,
+    LSRequestPacket,
+    LSUpdatePacket,
+    OSPFPacket,
+    RouterLSA,
+    RouterLink,
+)
+from repro.quagga.ospf.constants import DDFlags, LSAType, RouterLinkType
+
+RID_A = IPv4Address("10.0.0.1")
+RID_B = IPv4Address("10.0.0.2")
+
+router_ids = st.integers(min_value=1, max_value=2**32 - 1).map(IPv4Address)
+
+
+def sample_lsa(router_id=RID_A, sequence=0x80000001) -> RouterLSA:
+    links = [
+        RouterLink.point_to_point(RID_B, IPv4Address("172.16.0.1"), 10),
+        RouterLink.stub(IPv4Address("172.16.0.0"), IPv4Address("255.255.255.252"), 10),
+    ]
+    return RouterLSA.originate(router_id=router_id, sequence=sequence, links=links)
+
+
+class TestHello:
+    def test_roundtrip(self):
+        hello = HelloPacket(router_id=RID_A, network_mask=IPv4Address("255.255.255.252"),
+                            hello_interval=10, dead_interval=40,
+                            neighbors=[RID_B, IPv4Address("10.0.0.3")])
+        decoded = OSPFPacket.decode(hello.encode())
+        assert isinstance(decoded, HelloPacket)
+        assert decoded.router_id == RID_A
+        assert decoded.hello_interval == 10
+        assert decoded.dead_interval == 40
+        assert decoded.neighbors == [RID_B, IPv4Address("10.0.0.3")]
+
+    def test_empty_neighbor_list(self):
+        decoded = OSPFPacket.decode(HelloPacket(RID_A, IPv4Address("255.255.255.0"),
+                                                10, 40).encode())
+        assert decoded.neighbors == []
+
+    def test_truncated_rejected(self):
+        with pytest.raises(DecodeError):
+            OSPFPacket.decode(HelloPacket(RID_A, IPv4Address(0), 10, 40).encode()[:20])
+
+    def test_wrong_version_rejected(self):
+        raw = bytearray(HelloPacket(RID_A, IPv4Address(0), 10, 40).encode())
+        raw[0] = 3
+        with pytest.raises(DecodeError):
+            OSPFPacket.decode(bytes(raw))
+
+    @given(router_ids, st.integers(min_value=1, max_value=65535),
+           st.integers(min_value=1, max_value=2**32 - 1),
+           st.lists(router_ids, max_size=8))
+    def test_roundtrip_property(self, rid, hello_interval, dead_interval, neighbors):
+        packet = HelloPacket(rid, IPv4Address("255.255.255.252"),
+                             hello_interval, dead_interval, neighbors)
+        decoded = OSPFPacket.decode(packet.encode())
+        assert decoded.router_id == rid
+        assert decoded.neighbors == neighbors
+
+
+class TestLSA:
+    def test_router_lsa_roundtrip(self):
+        lsa = sample_lsa()
+        decoded = RouterLSA.decode(lsa.encode())
+        assert decoded.header.advertising_router == RID_A
+        assert decoded.header.ls_type == LSAType.ROUTER
+        assert len(decoded.links) == 2
+        assert decoded.links[0].link_type == RouterLinkType.POINT_TO_POINT
+        assert decoded.links[1].link_type == RouterLinkType.STUB
+        assert decoded.links == lsa.links
+
+    def test_lsa_header_length_field(self):
+        lsa = sample_lsa()
+        encoded = lsa.encode()
+        header = LSAHeader.decode(encoded)
+        assert header.length == len(encoded)
+
+    def test_freshness_comparison_by_sequence(self):
+        older = sample_lsa(sequence=0x80000001).header
+        newer = sample_lsa(sequence=0x80000002).header
+        assert newer.is_newer_than(older)
+        assert not older.is_newer_than(newer)
+
+    def test_freshness_comparison_by_age_when_sequence_equal(self):
+        young = LSAHeader(LSAType.ROUTER, RID_A, RID_A, 5, age=10)
+        old = LSAHeader(LSAType.ROUTER, RID_A, RID_A, 5, age=300)
+        assert young.is_newer_than(old)
+
+    def test_key_identity(self):
+        assert sample_lsa().key == sample_lsa(sequence=0x80000009).key
+        assert sample_lsa(RID_A).key != sample_lsa(RID_B).key
+
+    def test_non_router_lsa_rejected(self):
+        header = LSAHeader(LSAType.NETWORK, RID_A, RID_A, 1)
+        with pytest.raises(DecodeError):
+            RouterLSA.decode(header.encode() + b"\x00" * 8)
+
+
+class TestDatabaseExchangePackets:
+    def test_dd_roundtrip(self):
+        dd = DBDescriptionPacket(router_id=RID_A, dd_sequence=77,
+                                 flags=DDFlags.INIT | DDFlags.MASTER,
+                                 lsa_headers=[sample_lsa().header])
+        decoded = OSPFPacket.decode(dd.encode())
+        assert isinstance(decoded, DBDescriptionPacket)
+        assert decoded.dd_sequence == 77
+        assert decoded.flags & DDFlags.INIT
+        assert len(decoded.lsa_headers) == 1
+        assert decoded.lsa_headers[0].key == sample_lsa().key
+
+    def test_ls_request_roundtrip(self):
+        request = LSRequestPacket(router_id=RID_A,
+                                  requests=[(LSAType.ROUTER, RID_B, RID_B)])
+        decoded = OSPFPacket.decode(request.encode())
+        assert isinstance(decoded, LSRequestPacket)
+        assert decoded.requests == [(LSAType.ROUTER, RID_B, RID_B)]
+
+    def test_ls_update_roundtrip(self):
+        update = LSUpdatePacket(router_id=RID_A, lsas=[sample_lsa(), sample_lsa(RID_B)])
+        decoded = OSPFPacket.decode(update.encode())
+        assert isinstance(decoded, LSUpdatePacket)
+        assert len(decoded.lsas) == 2
+        assert decoded.lsas[1].header.advertising_router == RID_B
+
+    def test_ls_ack_roundtrip(self):
+        ack = LSAckPacket(router_id=RID_A, lsa_headers=[sample_lsa().header,
+                                                        sample_lsa(RID_B).header])
+        decoded = OSPFPacket.decode(ack.encode())
+        assert isinstance(decoded, LSAckPacket)
+        assert len(decoded.lsa_headers) == 2
+
+    def test_checksum_present_in_header(self):
+        encoded = HelloPacket(RID_A, IPv4Address(0), 10, 40).encode()
+        checksum = int.from_bytes(encoded[12:14], "big")
+        assert checksum != 0

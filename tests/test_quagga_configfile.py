@@ -1,0 +1,141 @@
+"""Tests for Quagga configuration file generation and parsing."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net import IPv4Address, IPv4Network
+from repro.quagga import (
+    BGPNeighbor,
+    ConfigError,
+    InterfaceConfig,
+    OSPFNetworkStatement,
+    generate_bgpd_conf,
+    generate_ospfd_conf,
+    generate_zebra_conf,
+    parse_bgpd_conf,
+    parse_ospfd_conf,
+    parse_zebra_conf,
+)
+
+
+class TestZebraConf:
+    def test_generate_and_parse_roundtrip(self):
+        interfaces = [
+            InterfaceConfig("eth1", IPv4Address("172.16.0.1"), 30, "towards s2"),
+            InterfaceConfig("eth2", IPv4Address("192.168.5.1"), 24),
+        ]
+        text = generate_zebra_conf("VM-01", interfaces)
+        parsed = parse_zebra_conf(text)
+        assert parsed.hostname == "VM-01"
+        assert len(parsed.interfaces) == 2
+        eth1 = parsed.interface("eth1")
+        assert eth1.ip == IPv4Address("172.16.0.1")
+        assert eth1.prefix_len == 30
+        assert eth1.description == "towards s2"
+        assert str(eth1.network) == "172.16.0.0/30"
+
+    def test_generated_text_uses_quagga_syntax(self):
+        text = generate_zebra_conf("vm", [InterfaceConfig("eth1", IPv4Address("10.0.0.1"), 24)])
+        assert "hostname vm" in text
+        assert "interface eth1" in text
+        assert " ip address 10.0.0.1/24" in text
+        assert "line vty" in text
+
+    def test_interface_without_address(self):
+        text = generate_zebra_conf("vm", [InterfaceConfig("eth3")])
+        parsed = parse_zebra_conf(text)
+        assert parsed.interface("eth3").ip is None
+
+    def test_comments_and_blank_lines_ignored(self):
+        text = "! comment\nhostname vm\n\n!\ninterface eth1\n ip address 10.0.0.1/24\n!\n"
+        parsed = parse_zebra_conf(text)
+        assert parsed.hostname == "vm"
+        assert parsed.interface("eth1").prefix_len == 24
+
+    def test_address_without_prefix_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_zebra_conf("interface eth1\n ip address 10.0.0.1\n")
+
+    def test_missing_interface_lookup_returns_none(self):
+        parsed = parse_zebra_conf(generate_zebra_conf("vm", []))
+        assert parsed.interface("eth9") is None
+
+    @given(st.lists(st.tuples(st.integers(min_value=1, max_value=16),
+                              st.integers(min_value=0, max_value=2**32 - 1),
+                              st.integers(min_value=1, max_value=30)),
+                    max_size=6, unique_by=lambda t: t[0]))
+    def test_roundtrip_property(self, spec):
+        interfaces = [InterfaceConfig(f"eth{port}", IPv4Address(ip), plen)
+                      for port, ip, plen in spec]
+        parsed = parse_zebra_conf(generate_zebra_conf("vm", interfaces))
+        assert len(parsed.interfaces) == len(interfaces)
+        for config in interfaces:
+            found = parsed.interface(config.name)
+            assert found.ip == config.ip and found.prefix_len == config.prefix_len
+
+
+class TestOspfdConf:
+    def test_generate_and_parse_roundtrip(self):
+        networks = [OSPFNetworkStatement(IPv4Network("172.16.0.0/30")),
+                    OSPFNetworkStatement(IPv4Network("192.168.5.0/24"))]
+        text = generate_ospfd_conf("vm-ospfd", IPv4Address("10.0.0.1"), networks,
+                                   hello_interval=5, dead_interval=20)
+        parsed = parse_ospfd_conf(text)
+        assert parsed.router_id == IPv4Address("10.0.0.1")
+        assert parsed.hello_interval == 5
+        assert parsed.dead_interval == 20
+        assert len(parsed.networks) == 2
+        assert parsed.networks[0].area == "0.0.0.0"
+
+    def test_covers(self):
+        parsed = parse_ospfd_conf(generate_ospfd_conf(
+            "vm", IPv4Address("10.0.0.1"),
+            [OSPFNetworkStatement(IPv4Network("172.16.0.0/16"))]))
+        assert parsed.covers(IPv4Network("172.16.3.0/30"))
+        assert not parsed.covers(IPv4Network("192.168.0.0/24"))
+
+    def test_missing_router_id_rejected(self):
+        with pytest.raises(ConfigError):
+            parse_ospfd_conf("router ospf\n network 10.0.0.0/8 area 0.0.0.0\n")
+
+    def test_defaults_when_timers_absent(self):
+        parsed = parse_ospfd_conf("router ospf\n ospf router-id 1.1.1.1\n")
+        assert parsed.hello_interval == 10
+        assert parsed.dead_interval == 40
+
+    def test_statements_outside_router_block_ignored(self):
+        text = ("hostname h\nrouter ospf\n ospf router-id 1.1.1.1\n!\n"
+                "line vty\n network 9.9.9.0/24 area 0.0.0.0\n")
+        parsed = parse_ospfd_conf(text)
+        assert parsed.networks == []
+
+
+class TestBgpdConf:
+    def test_generate_and_parse_roundtrip(self):
+        neighbors = [BGPNeighbor(IPv4Address("172.16.0.2"), 65002),
+                     BGPNeighbor(IPv4Address("172.16.0.6"), 65003)]
+        text = generate_bgpd_conf("vm-bgpd", 65001, IPv4Address("10.0.0.1"), neighbors,
+                                  networks=[IPv4Network("192.168.5.0/24")],
+                                  redistribute_ospf=True)
+        parsed = parse_bgpd_conf(text)
+        assert parsed.local_as == 65001
+        assert parsed.router_id == IPv4Address("10.0.0.1")
+        assert len(parsed.neighbors) == 2
+        assert parsed.neighbors[0].remote_as == 65002
+        assert parsed.networks == [IPv4Network("192.168.5.0/24")]
+        assert parsed.redistribute_ospf is True
+
+    def test_minimal_config(self):
+        parsed = parse_bgpd_conf("router bgp 65000\n bgp router-id 2.2.2.2\n")
+        assert parsed.local_as == 65000
+        assert parsed.neighbors == []
+        assert parsed.redistribute_ospf is False
+
+    def test_hostname_and_password_parsed(self):
+        text = generate_bgpd_conf("hosty", 65010, IPv4Address("1.1.1.1"), [],
+                                  password="secret")
+        parsed = parse_bgpd_conf(text)
+        assert parsed.hostname == "hosty"
+        assert parsed.password == "secret"
