@@ -1,0 +1,66 @@
+"""Scenario sweep — parallel speedup over the serial baseline.
+
+Runs a multi-scenario sweep (datacenter, WAN, ISP and ring shapes) twice:
+serially in-process, then fanned out over a 4-worker process pool.  The
+runs are independent deterministic simulations, so the parallel results
+must be identical to the serial ones; on a multi-core machine the wall
+clock should shrink near-linearly until the slowest single scenario
+dominates.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+from benchmarks.conftest import run_once
+from repro.experiments import render_sweep_table, run_sweep
+
+#: A sweep wide enough that pool start-up cost is amortised.
+SWEEP_SCENARIOS = ("ring-16", "ring-28", "fat-tree-k4", "torus-4x4",
+                   "waxman-24", "dumbbell-8x8", "pan-european", "random-16")
+WORKERS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
+
+
+def test_scenario_sweep_parallel_speedup(benchmark, print_section):
+    serial_started = time.perf_counter()
+    serial = run_sweep(SWEEP_SCENARIOS, workers=1)
+    serial_wall = time.perf_counter() - serial_started
+
+    parallel_started = time.perf_counter()
+    parallel = run_once(benchmark, run_sweep, SWEEP_SCENARIOS, workers=WORKERS)
+    parallel_wall = time.perf_counter() - parallel_started
+
+    speedup = serial_wall / parallel_wall if parallel_wall else float("inf")
+    cpus = _usable_cpus()
+    print_section(
+        f"Scenario sweep — {len(SWEEP_SCENARIOS)} scenarios, serial vs "
+        f"{WORKERS} workers ({cpus} CPUs visible)",
+        render_sweep_table(parallel)
+        + f"\n\nserial: {serial_wall:.2f} s   parallel ({WORKERS} workers): "
+          f"{parallel_wall:.2f} s   speedup: {speedup:.2f}x")
+
+    # Parallel execution must not change any simulated outcome or the order.
+    def comparable(results):
+        return [(r.scenario, r.seed, r.num_switches, r.num_links,
+                 r.auto_seconds, r.manual_seconds, r.milestones)
+                for r in results]
+
+    assert comparable(parallel) == comparable(serial)
+    assert [r.scenario for r in parallel] == list(SWEEP_SCENARIOS)
+    assert all(r.configured for r in parallel)
+    # The scaling assertion needs real cores; on a single-CPU host the pool
+    # can only interleave, so only assert that the overhead stays sane.
+    if cpus >= 4:
+        assert speedup >= 2.0, f"expected near-linear scaling, got {speedup:.2f}x"
+    elif cpus >= 2:
+        assert speedup >= 1.3, f"expected parallel speedup, got {speedup:.2f}x"
+    else:
+        assert parallel_wall <= serial_wall * 1.5

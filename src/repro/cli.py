@@ -9,6 +9,8 @@ regenerated without writing any Python:
 * ``repro demo`` — the §3 pan-European video demonstration.
 * ``repro manual [--switches N]`` — the manual-configuration cost model.
 * ``repro ablation {split,vm-latency,ospf-timers}`` — the design ablations.
+* ``repro sweep --scenario NAME [--workers N] [--out FILE]`` — run named
+  scenarios from the registry in parallel and export the results.
 
 Also reachable as ``python -m repro``.
 """
@@ -16,7 +18,9 @@ Also reachable as ``python -m repro``.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+from pathlib import Path
 from typing import List, Optional
 
 from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager, ManualConfigurationModel
@@ -25,12 +29,18 @@ from repro.experiments import (
     render_ablation_table,
     render_config_time_table,
     render_demo_report,
+    render_sweep_table,
     run_config_time_sweep,
     run_controller_split_ablation,
     run_demo,
     run_ospf_timer_ablation,
+    run_sweep,
     run_vm_latency_ablation,
+    write_sweep_csv,
+    write_sweep_json,
 )
+from repro.scenarios import ScenarioError, all_scenarios, scenario_names
+from repro.topology.graph import TopologyError
 from repro.sim import Simulator
 from repro.topology.emulator import EmulatedNetwork
 from repro.topology.generators import ring_topology
@@ -67,6 +77,24 @@ def build_parser() -> argparse.ArgumentParser:
     ablation = subparsers.add_parser(
         "ablation", help="design ablations (A1-A3)")
     ablation.add_argument("which", choices=["split", "vm-latency", "ospf-timers"])
+
+    sweep = subparsers.add_parser(
+        "sweep", help="run named scenarios from the registry, optionally in "
+                      "parallel across processes")
+    sweep.add_argument("--scenario", action="append", default=None,
+                       metavar="NAME",
+                       help="scenario to run (repeatable); use --list to see "
+                            "the catalogue, --all to run every scenario")
+    sweep.add_argument("--all", action="store_true", dest="run_all",
+                       help="run every registered scenario")
+    sweep.add_argument("--list", action="store_true", dest="list_scenarios",
+                       help="list the registered scenarios and exit")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="worker processes (default: 1 = serial)")
+    sweep.add_argument("--out", metavar="FILE",
+                       help="write results as JSON to FILE")
+    sweep.add_argument("--csv", metavar="FILE",
+                       help="write results as CSV to FILE")
 
     return parser
 
@@ -136,12 +164,61 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _command_sweep(args: argparse.Namespace) -> int:
+    if args.list_scenarios:
+        print(format_table(
+            ["scenario", "family", "description"],
+            [[spec.name, spec.family, spec.description]
+             for spec in all_scenarios()]))
+        return 0
+    if args.run_all:
+        names = scenario_names()
+    elif args.scenario:
+        names = args.scenario
+    else:
+        print("no scenarios selected: pass --scenario NAME (repeatable), "
+              "--all, or --list", file=sys.stderr)
+        return 2
+    if args.workers < 1:
+        print("--workers must be >= 1", file=sys.stderr)
+        return 2
+    for target in (args.out, args.csv):
+        # Catch a bad export path before the sweep runs, not after.
+        if not target:
+            continue
+        path = Path(target)
+        if path.is_dir():
+            print(f"error: {target!r} is a directory", file=sys.stderr)
+            return 2
+        parent = path.resolve().parent
+        if not parent.is_dir():
+            print(f"error: directory of {target!r} does not exist",
+                  file=sys.stderr)
+            return 2
+        if not os.access(parent, os.W_OK) or (
+                path.exists() and not os.access(path, os.W_OK)):
+            print(f"error: {target!r} is not writable", file=sys.stderr)
+            return 2
+    try:
+        results = run_sweep(names, workers=args.workers)
+    except (ScenarioError, TopologyError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_sweep_table(results))
+    if args.out:
+        print(f"wrote {write_sweep_json(results, args.out)}")
+    if args.csv:
+        print(f"wrote {write_sweep_csv(results, args.csv)}")
+    return 0 if all(r.configured for r in results) else 1
+
+
 _COMMANDS = {
     "quickstart": _command_quickstart,
     "fig3": _command_fig3,
     "demo": _command_demo,
     "manual": _command_manual,
     "ablation": _command_ablation,
+    "sweep": _command_sweep,
 }
 
 

@@ -14,11 +14,22 @@ from repro.experiments.config_time import (
 )
 from repro.experiments.demo import render_demo_report, run_demo
 from repro.experiments.export import (
+    read_sweep_csv,
+    read_sweep_json,
     write_ablation_csv,
     write_config_time_csv,
     write_config_time_json,
     write_demo_json,
     write_markdown_report,
+    write_sweep_csv,
+    write_sweep_json,
+)
+from repro.experiments.sweep import (
+    SweepResult,
+    expand_seeds,
+    render_sweep_table,
+    run_scenario,
+    run_sweep,
 )
 from repro.experiments.results import (
     AblationResult,
@@ -35,18 +46,27 @@ __all__ = [
     "DemoResult",
     "format_seconds",
     "format_table",
+    "SweepResult",
+    "expand_seeds",
+    "read_sweep_csv",
+    "read_sweep_json",
     "render_ablation_table",
     "render_config_time_table",
     "render_demo_report",
+    "render_sweep_table",
     "run_config_time_sweep",
     "run_controller_split_ablation",
     "run_demo",
     "run_ospf_timer_ablation",
+    "run_scenario",
     "run_single_configuration",
+    "run_sweep",
     "run_vm_latency_ablation",
     "write_ablation_csv",
     "write_config_time_csv",
     "write_config_time_json",
     "write_demo_json",
     "write_markdown_report",
+    "write_sweep_csv",
+    "write_sweep_json",
 ]

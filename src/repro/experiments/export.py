@@ -13,6 +13,7 @@ from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
 from repro.experiments.results import AblationResult, ConfigTimeResult, DemoResult
+from repro.experiments.sweep import SweepResult
 
 PathLike = Union[str, Path]
 
@@ -108,6 +109,84 @@ def write_markdown_report(config_results: List[ConfigTimeResult],
     target = Path(path)
     target.write_text("\n".join(lines))
     return target
+
+
+def write_sweep_json(results: Iterable[SweepResult], path: PathLike) -> Path:
+    """Write a scenario sweep as JSON (round-trips via :func:`read_sweep_json`)."""
+    payload = [
+        {
+            "scenario": result.scenario,
+            "family": result.family,
+            "seed": result.seed,
+            "switches": result.num_switches,
+            "links": result.num_links,
+            "auto_seconds": result.auto_seconds,
+            "manual_seconds": result.manual_seconds,
+            "speedup": result.speedup,
+            "milestones": result.milestones,
+            "wall_seconds": result.wall_seconds,
+        }
+        for result in results
+    ]
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def read_sweep_json(path: PathLike) -> List[SweepResult]:
+    """Load a sweep previously written by :func:`write_sweep_json`."""
+    payload = json.loads(Path(path).read_text())
+    return [
+        SweepResult(
+            scenario=entry["scenario"],
+            family=entry["family"],
+            seed=int(entry["seed"]),
+            num_switches=int(entry["switches"]),
+            num_links=int(entry["links"]),
+            auto_seconds=entry["auto_seconds"],
+            manual_seconds=entry["manual_seconds"],
+            milestones=dict(entry.get("milestones", {})),
+            wall_seconds=float(entry.get("wall_seconds", 0.0)),
+        )
+        for entry in payload
+    ]
+
+
+def write_sweep_csv(results: Iterable[SweepResult], path: PathLike) -> Path:
+    """Write a scenario sweep as CSV (one row per scenario, no milestones)."""
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scenario", "family", "seed", "switches", "links",
+                         "auto_seconds", "manual_seconds", "speedup"])
+        for result in results:
+            writer.writerow([result.scenario, result.family, result.seed,
+                             result.num_switches, result.num_links,
+                             result.auto_seconds, result.manual_seconds,
+                             result.speedup])
+    return target
+
+
+def read_sweep_csv(path: PathLike) -> List[SweepResult]:
+    """Load a sweep previously written by :func:`write_sweep_csv`.
+
+    The CSV format carries no milestones or wall-clock column, so those
+    fields come back empty/zero.
+    """
+    results = []
+    with Path(path).open(newline="") as handle:
+        for row in csv.DictReader(handle):
+            auto = row["auto_seconds"]
+            results.append(SweepResult(
+                scenario=row["scenario"],
+                family=row["family"],
+                seed=int(row["seed"]),
+                num_switches=int(row["switches"]),
+                num_links=int(row["links"]),
+                auto_seconds=float(auto) if auto not in ("", "None") else None,
+                manual_seconds=float(row["manual_seconds"]),
+            ))
+    return results
 
 
 def _round(value: Optional[float], digits: int = 1) -> Optional[float]:

@@ -1,0 +1,23 @@
+"""Named, declarative experiment scenarios and their registry."""
+
+from repro.scenarios.registry import (
+    all_scenarios,
+    get,
+    register,
+    resolve,
+    scenario_names,
+    unregister,
+)
+from repro.scenarios.spec import TOPOLOGY_FAMILIES, ScenarioError, ScenarioSpec
+
+__all__ = [
+    "ScenarioError",
+    "ScenarioSpec",
+    "TOPOLOGY_FAMILIES",
+    "all_scenarios",
+    "get",
+    "register",
+    "resolve",
+    "scenario_names",
+    "unregister",
+]

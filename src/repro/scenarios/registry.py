@@ -1,0 +1,92 @@
+"""The named-scenario registry.
+
+Scenarios are registered by name so sweeps can be composed on the command
+line (``repro sweep --scenario fat-tree-k4 --scenario torus-4x4``) and in
+code.  The built-in catalogue below covers the paper's ring sweep plus
+datacenter-, WAN-, ISP- and congestion-shaped networks; projects register
+their own with :func:`register` (see ``docs/scenarios.md``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, List
+
+from repro.scenarios.spec import ScenarioError, ScenarioSpec
+
+_REGISTRY: Dict[str, ScenarioSpec] = {}
+
+
+def register(spec: ScenarioSpec, replace: bool = False) -> ScenarioSpec:
+    """Add a scenario to the registry; names are unique unless ``replace``."""
+    if not replace and spec.name in _REGISTRY:
+        raise ScenarioError(f"scenario {spec.name!r} is already registered")
+    _REGISTRY[spec.name] = spec
+    return spec
+
+
+def unregister(name: str) -> None:
+    """Remove a scenario (mainly for tests); unknown names are ignored."""
+    _REGISTRY.pop(name, None)
+
+
+def get(name: str) -> ScenarioSpec:
+    """Look up a scenario by name."""
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise ScenarioError(
+            f"no scenario named {name!r}; run 'repro sweep --list' or see "
+            f"scenario_names() for the catalogue") from None
+
+
+def scenario_names() -> List[str]:
+    """All registered scenario names, sorted."""
+    return sorted(_REGISTRY)
+
+
+def all_scenarios() -> List[ScenarioSpec]:
+    """All registered scenarios, sorted by name."""
+    return [_REGISTRY[name] for name in scenario_names()]
+
+
+def resolve(names: Iterable[str]) -> List[ScenarioSpec]:
+    """Map scenario names to specs, preserving order."""
+    return [get(name) for name in names]
+
+
+def _register_builtins() -> None:
+    for spec in (
+        # The paper's Figure 3 ring family (small / middle / full size).
+        ScenarioSpec("ring-4", "ring", {"num_switches": 4},
+                     description="Figure 3 smallest ring"),
+        ScenarioSpec("ring-16", "ring", {"num_switches": 16},
+                     description="Figure 3 mid-size ring"),
+        ScenarioSpec("ring-28", "ring", {"num_switches": 28},
+                     description="Figure 3 largest ring"),
+        # Datacenter fabric.
+        ScenarioSpec("fat-tree-k4", "fat-tree", {"k": 4},
+                     description="k=4 fat tree: 20 switches, 32 links"),
+        # Regular WAN mesh.
+        ScenarioSpec("torus-4x4", "torus", {"rows": 4, "cols": 4},
+                     description="4x4 torus: 16 switches, degree 4"),
+        ScenarioSpec("grid-3x4", "torus", {"rows": 3, "cols": 4, "wrap": False},
+                     description="3x4 grid without wraparound"),
+        # ISP-like random geometric graph.
+        ScenarioSpec("waxman-24", "waxman", {"num_switches": 24}, seed=1,
+                     description="24-node Waxman graph, fibre-length delays"),
+        # Congestion-study shape.
+        ScenarioSpec("dumbbell-8x8", "dumbbell",
+                     {"left_leaves": 8, "right_leaves": 8, "trunk_switches": 2},
+                     description="8+8 leaves over a 2-switch bottleneck trunk"),
+        # The demo map.
+        ScenarioSpec("pan-european", "pan-european", {},
+                     description="the paper's 28-city pan-European network"),
+        # Sparse random graph from the seed test-suite family.
+        ScenarioSpec("random-16", "random",
+                     {"num_switches": 16, "extra_link_probability": 0.1}, seed=2,
+                     description="16-node random spanning tree + extra links"),
+    ):
+        register(spec)
+
+
+_register_builtins()

@@ -1,0 +1,177 @@
+"""Declarative experiment scenarios.
+
+A :class:`ScenarioSpec` names everything one configuration-time measurement
+needs — a topology family plus its parameters, the framework configuration
+overrides, the random seed and the simulation deadline — as plain data, so
+scenarios can be registered by name, pickled to worker processes by the
+parallel sweep runner, and serialized for archiving via
+:meth:`ScenarioSpec.to_dict` / :meth:`ScenarioSpec.from_dict`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from types import MappingProxyType
+from typing import Any, Callable, Dict, Mapping
+
+from repro.core.autoconfig import FrameworkConfig
+from repro.topology.generators import (
+    dumbbell_topology,
+    fat_tree_topology,
+    full_mesh_topology,
+    linear_topology,
+    random_topology,
+    ring_topology,
+    star_topology,
+    torus_topology,
+    tree_topology,
+    waxman_topology,
+)
+from repro.topology.graph import Topology, TopologyError
+from repro.topology.pan_european import pan_european_topology
+
+
+class ScenarioError(ValueError):
+    """Raised for malformed scenario definitions."""
+
+
+def _seeded(builder: Callable[..., Topology]) -> Callable[[Dict[str, Any], int], Topology]:
+    """Wrap a generator that takes a ``seed`` keyword."""
+
+    def build(params: Dict[str, Any], seed: int) -> Topology:
+        return builder(seed=seed, **params)
+
+    return build
+
+
+def _seedless(builder: Callable[..., Topology]) -> Callable[[Dict[str, Any], int], Topology]:
+    """Wrap a deterministic generator (the scenario seed is ignored)."""
+
+    def build(params: Dict[str, Any], seed: int) -> Topology:
+        return builder(**params)
+
+    return build
+
+
+#: Topology family name -> ``build(params, seed)`` callable.  Families whose
+#: generator is stochastic receive the scenario seed; the rest ignore it.
+TOPOLOGY_FAMILIES: Dict[str, Callable[[Dict[str, Any], int], Topology]] = {
+    "ring": _seedless(ring_topology),
+    "linear": _seedless(linear_topology),
+    "star": _seedless(star_topology),
+    "tree": _seedless(tree_topology),
+    "full-mesh": _seedless(full_mesh_topology),
+    "random": _seeded(random_topology),
+    "fat-tree": _seedless(fat_tree_topology),
+    "torus": _seedless(torus_topology),
+    "waxman": _seeded(waxman_topology),
+    "dumbbell": _seedless(dumbbell_topology),
+    "pan-european": _seedless(pan_european_topology),
+}
+
+
+@dataclass(frozen=True)
+class ScenarioSpec:
+    """One named, reproducible configuration-time experiment."""
+
+    #: Unique name the registry and CLI refer to the scenario by.
+    name: str
+    #: Key into :data:`TOPOLOGY_FAMILIES`.
+    family: str
+    #: Keyword arguments for the family's topology generator.
+    params: Mapping[str, Any] = field(default_factory=dict)
+    #: :class:`FrameworkConfig` field overrides (defaults match the paper).
+    framework: Mapping[str, Any] = field(default_factory=dict)
+    #: Seed for stochastic topology families (and recorded with the result).
+    seed: int = 0
+    #: Simulation deadline handed to ``run_until_configured``.
+    max_time: float = 3600.0
+    #: One-line human description shown by ``repro sweep --list``.
+    description: str = ""
+
+    def __post_init__(self) -> None:
+        if not self.name:
+            raise ScenarioError("scenario name must be non-empty")
+        if self.family not in TOPOLOGY_FAMILIES:
+            raise ScenarioError(
+                f"unknown topology family {self.family!r}; known families: "
+                + ", ".join(sorted(TOPOLOGY_FAMILIES)))
+        # Freeze the mappings too, so a registry spec cannot be corrupted
+        # through ``get(name).params[...] = ...``.
+        object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
+        object.__setattr__(self, "framework",
+                           MappingProxyType(dict(self.framework)))
+
+    def __hash__(self) -> int:
+        # The generated dataclass hash would choke on the mapping fields.
+        return hash((self.name, self.family, self.seed,
+                     tuple(sorted(self.params.items())),
+                     tuple(sorted(self.framework.items()))))
+
+    # Mapping proxies are not picklable, so spell out the process-pool
+    # transfer in terms of plain dicts.
+    def __getstate__(self) -> Dict[str, Any]:
+        state = dict(self.__dict__)
+        state["params"] = dict(self.params)
+        state["framework"] = dict(self.framework)
+        return state
+
+    def __setstate__(self, state: Dict[str, Any]) -> None:
+        for key, value in state.items():
+            if key in ("params", "framework"):
+                value = MappingProxyType(dict(value))
+            object.__setattr__(self, key, value)
+
+    def build_topology(self) -> Topology:
+        """Instantiate the scenario's topology."""
+        try:
+            return TOPOLOGY_FAMILIES[self.family](dict(self.params), self.seed)
+        except TypeError as exc:
+            raise ScenarioError(
+                f"bad parameters for family {self.family!r}: {exc}") from exc
+
+    def framework_config(self) -> FrameworkConfig:
+        """The framework configuration with this scenario's overrides applied.
+
+        Like the Figure 3 experiments, scenarios default to
+        ``detect_edge_ports=False`` (the sweep topologies carry no hosts);
+        any field of :class:`FrameworkConfig` can be overridden.
+        """
+        values: Dict[str, Any] = {"detect_edge_ports": False}
+        values.update(self.framework)
+        valid = FrameworkConfig.__dataclass_fields__
+        unknown = sorted(set(values) - set(valid))
+        if unknown:
+            raise ScenarioError(
+                f"unknown FrameworkConfig fields in scenario {self.name!r}: "
+                + ", ".join(unknown))
+        return FrameworkConfig(**values)
+
+    def with_seed(self, seed: int) -> "ScenarioSpec":
+        """A copy of this scenario under a different seed (for seed sweeps)."""
+        return replace(self, name=f"{self.name}@s{seed}", seed=seed)
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-data (JSON-ready) form, for archiving scenario definitions."""
+        return {
+            "name": self.name,
+            "family": self.family,
+            "params": dict(self.params),
+            "framework": dict(self.framework),
+            "seed": self.seed,
+            "max_time": self.max_time,
+            "description": self.description,
+        }
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
+        """Inverse of :meth:`to_dict`."""
+        return cls(
+            name=payload["name"],
+            family=payload["family"],
+            params=dict(payload.get("params", {})),
+            framework=dict(payload.get("framework", {})),
+            seed=int(payload.get("seed", 0)),
+            max_time=float(payload.get("max_time", 3600.0)),
+            description=str(payload.get("description", "")),
+        )

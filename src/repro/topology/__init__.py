@@ -2,12 +2,16 @@
 
 from repro.topology.emulator import EmulatedNetwork, HostInfo
 from repro.topology.generators import (
+    dumbbell_topology,
+    fat_tree_topology,
     full_mesh_topology,
     linear_topology,
     random_topology,
     ring_topology,
     star_topology,
+    torus_topology,
     tree_topology,
+    waxman_topology,
 )
 from repro.topology.graph import (
     HostAttachment,
@@ -34,6 +38,8 @@ __all__ = [
     "TopologyError",
     "TopologyLink",
     "TopologyNode",
+    "dumbbell_topology",
+    "fat_tree_topology",
     "full_mesh_topology",
     "great_circle_km",
     "linear_topology",
@@ -42,5 +48,7 @@ __all__ = [
     "random_topology",
     "ring_topology",
     "star_topology",
+    "torus_topology",
     "tree_topology",
+    "waxman_topology",
 ]

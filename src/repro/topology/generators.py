@@ -1,16 +1,21 @@
 """Synthetic topology generators.
 
 The paper's Figure 3 experiments run on ring topologies of increasing size;
-the other generators (linear, star, tree, full mesh, random) are provided
-for the wider test suite and the ablation benchmarks.
+the other generators are provided so the scenario registry can sweep the
+framework over datacenter- (fat-tree), ISP- (Waxman random geometric),
+WAN- (torus/grid) and congestion-study- (dumbbell) shaped networks, plus
+the simpler families (linear, star, tree, full mesh, random) used by the
+wider test suite and the ablation benchmarks.
 """
 
 from __future__ import annotations
 
-from typing import Optional
+import math
+from typing import Dict, List, Set, Tuple
 
 from repro.sim import SeededRandom
 from repro.topology.graph import Topology, TopologyError
+from repro.topology.pan_european import link_delay_seconds
 
 
 def ring_topology(num_switches: int, delay: float = 0.001,
@@ -101,13 +106,17 @@ def random_topology(num_switches: int, extra_link_probability: float = 0.15,
     topology = Topology(f"random-{num_switches}-seed{seed}")
     for node_id in range(1, num_switches + 1):
         topology.add_node(node_id)
-    # Random spanning tree guarantees connectivity.
+    # Random spanning tree guarantees connectivity.  Record every tree link
+    # in ``existing`` as it is created so the extra-link pass below can never
+    # draw a duplicate, regardless of the order the tree was built in.
+    existing: Set[Tuple[int, int]] = set()
     connected = [1]
     for node_id in range(2, num_switches + 1):
         parent = rng.choice(connected)
-        topology.add_link(parent, node_id, delay=delay, bandwidth_bps=bandwidth_bps)
+        link = topology.add_link(parent, node_id, delay=delay,
+                                 bandwidth_bps=bandwidth_bps)
+        existing.add(link.canonical())
         connected.append(node_id)
-    existing = {link.canonical() for link in topology.links}
     for node_a in range(1, num_switches + 1):
         for node_b in range(node_a + 1, num_switches + 1):
             if (node_a, node_b) in existing:
@@ -116,4 +125,196 @@ def random_topology(num_switches: int, extra_link_probability: float = 0.15,
                 topology.add_link(node_a, node_b, delay=delay,
                                   bandwidth_bps=bandwidth_bps)
                 existing.add((node_a, node_b))
+    return topology
+
+
+def fat_tree_topology(k: int = 4, delay: float = 0.001,
+                      bandwidth_bps: float = 1e9) -> Topology:
+    """A k-ary fat tree (the canonical datacenter fabric).
+
+    ``(k/2)^2`` core switches connect ``k`` pods, each holding ``k/2``
+    aggregation and ``k/2`` edge switches.  Core switch ``i`` uplinks to one
+    aggregation switch per pod; within a pod every aggregation switch links
+    to every edge switch.  For ``k=4`` that is 20 switches and 32 links.
+    """
+    if k < 2 or k % 2 != 0:
+        raise TopologyError("fat-tree arity k must be an even number >= 2")
+    half = k // 2
+    topology = Topology(f"fat-tree-k{k}")
+    core_ids = []
+    for index in range(half * half):
+        node = topology.add_node(index + 1, name=f"core{index + 1}")
+        core_ids.append(node.node_id)
+    next_id = half * half + 1
+    for pod in range(k):
+        agg_ids = []
+        edge_ids = []
+        for index in range(half):
+            topology.add_node(next_id, name=f"agg{pod + 1}-{index + 1}")
+            agg_ids.append(next_id)
+            next_id += 1
+        for index in range(half):
+            topology.add_node(next_id, name=f"edge{pod + 1}-{index + 1}")
+            edge_ids.append(next_id)
+            next_id += 1
+        for agg_index, agg in enumerate(agg_ids):
+            # Aggregation switch j of every pod serves core switches
+            # j*half .. j*half+half-1, so each core sees one uplink per pod.
+            for core in core_ids[agg_index * half:(agg_index + 1) * half]:
+                topology.add_link(core, agg, delay=delay,
+                                  bandwidth_bps=bandwidth_bps)
+            for edge in edge_ids:
+                topology.add_link(agg, edge, delay=delay,
+                                  bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def torus_topology(rows: int, cols: int, wrap: bool = True,
+                   delay: float = 0.001, bandwidth_bps: float = 1e9) -> Topology:
+    """A 2-D grid of switches, optionally wrapped into a torus.
+
+    With ``wrap=True`` each row and column closes into a ring, giving every
+    switch degree 4 (a dimension of size 2 is not wrapped — the wrap link
+    would duplicate the grid link).  With ``wrap=False`` this is a plain
+    mesh-of-rows grid.
+    """
+    if rows < 2 or cols < 2:
+        raise TopologyError("a torus/grid needs at least 2 rows and 2 columns")
+    kind = "torus" if wrap else "grid"
+    topology = Topology(f"{kind}-{rows}x{cols}")
+
+    def node_id(row: int, col: int) -> int:
+        return row * cols + col + 1
+
+    for row in range(rows):
+        for col in range(cols):
+            topology.add_node(node_id(row, col), name=f"s{row + 1}-{col + 1}")
+    for row in range(rows):
+        for col in range(cols):
+            if col + 1 < cols:
+                topology.add_link(node_id(row, col), node_id(row, col + 1),
+                                  delay=delay, bandwidth_bps=bandwidth_bps)
+            if row + 1 < rows:
+                topology.add_link(node_id(row, col), node_id(row + 1, col),
+                                  delay=delay, bandwidth_bps=bandwidth_bps)
+        if wrap and cols > 2:
+            topology.add_link(node_id(row, cols - 1), node_id(row, 0),
+                              delay=delay, bandwidth_bps=bandwidth_bps)
+    if wrap and rows > 2:
+        for col in range(cols):
+            topology.add_link(node_id(rows - 1, col), node_id(0, col),
+                              delay=delay, bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def waxman_topology(num_switches: int, alpha: float = 0.4, beta: float = 0.4,
+                    seed: int = 0, region_km: float = 3000.0,
+                    bandwidth_bps: float = 1e9) -> Topology:
+    """A Waxman random geometric graph (the classic ISP/WAN model).
+
+    Switches are placed uniformly in a ``region_km`` x ``region_km`` square
+    and each pair is linked with probability ``alpha * exp(-d / (beta * L))``
+    where ``d`` is their distance and ``L`` the region diagonal.  Link delays
+    follow fibre length.  Isolated components are stitched together through
+    their closest node pair, so the result is always connected.
+    """
+    if num_switches < 2:
+        raise TopologyError("a Waxman topology needs at least 2 switches")
+    if not 0.0 < alpha <= 1.0 or beta <= 0.0:
+        raise TopologyError("Waxman parameters need 0 < alpha <= 1 and beta > 0")
+    rng = SeededRandom(seed)
+    topology = Topology(f"waxman-{num_switches}-seed{seed}")
+    positions: List[Tuple[float, float]] = []
+    for node_id in range(1, num_switches + 1):
+        x = rng.uniform(0.0, region_km)
+        y = rng.uniform(0.0, region_km)
+        positions.append((x, y))
+        topology.add_node(node_id, latitude=y, longitude=x)
+
+    def distance_km(node_a: int, node_b: int) -> float:
+        (ax, ay), (bx, by) = positions[node_a - 1], positions[node_b - 1]
+        return math.hypot(ax - bx, ay - by)
+
+    def fibre_delay(km: float) -> float:
+        # Same fibre model as the pan-European map, floored for co-located
+        # nodes (a zero-delay link would never be scheduled).
+        return max(link_delay_seconds(km), 1e-5)
+
+    diagonal = math.hypot(region_km, region_km)
+    for node_a in range(1, num_switches + 1):
+        for node_b in range(node_a + 1, num_switches + 1):
+            d = distance_km(node_a, node_b)
+            if rng.random() < alpha * math.exp(-d / (beta * diagonal)):
+                topology.add_link(node_a, node_b, delay=fibre_delay(d),
+                                  bandwidth_bps=bandwidth_bps)
+    # Stitch disconnected components through their closest node pair.  One
+    # union-find pass finds the components; each is then merged into the
+    # growing connected block, so the whole stitch is O(V^2) rather than a
+    # BFS-per-merge over the full graph.
+    uf_parent = list(range(num_switches + 1))
+
+    def find(node: int) -> int:
+        root = node
+        while uf_parent[root] != root:
+            root = uf_parent[root]
+        while uf_parent[node] != root:
+            uf_parent[node], node = root, uf_parent[node]
+        return root
+
+    for link in topology.links:
+        uf_parent[find(link.node_a)] = find(link.node_b)
+    components: Dict[int, List[int]] = {}
+    for node in range(1, num_switches + 1):
+        components.setdefault(find(node), []).append(node)
+    blocks = sorted(components.values(), key=lambda nodes: nodes[0])
+    block, *rest = blocks
+    for other in rest:
+        node_a, node_b = min(
+            ((a, b) for a in block for b in other),
+            key=lambda pair: distance_km(pair[0], pair[1]))
+        topology.add_link(node_a, node_b,
+                          delay=fibre_delay(distance_km(node_a, node_b)),
+                          bandwidth_bps=bandwidth_bps)
+        block.extend(other)
+    return topology
+
+
+def dumbbell_topology(left_leaves: int, right_leaves: int,
+                      trunk_switches: int = 0, delay: float = 0.001,
+                      trunk_delay: float = 0.005,
+                      bandwidth_bps: float = 1e9,
+                      trunk_bandwidth_bps: float = 1e8) -> Topology:
+    """Two access stars joined by a (longer, thinner) trunk path.
+
+    Node 1 and node 2 are the left and right hub switches; an optional chain
+    of ``trunk_switches`` sits between them on the bottleneck path, and the
+    leaf switches hang off their hub.  The trunk defaults to 10x less
+    bandwidth and 5x more delay than the access links, the classic shape for
+    congestion and failover studies.
+    """
+    if left_leaves < 1 or right_leaves < 1:
+        raise TopologyError("a dumbbell needs at least one leaf on each side")
+    if trunk_switches < 0:
+        raise TopologyError("trunk_switches must be >= 0")
+    topology = Topology(
+        f"dumbbell-{left_leaves}x{right_leaves}-t{trunk_switches}")
+    left_hub = topology.add_node(1, name="hub-left").node_id
+    right_hub = topology.add_node(2, name="hub-right").node_id
+    next_id = 3
+    trunk_path = [left_hub]
+    for index in range(trunk_switches):
+        topology.add_node(next_id, name=f"trunk{index + 1}")
+        trunk_path.append(next_id)
+        next_id += 1
+    trunk_path.append(right_hub)
+    for node_a, node_b in zip(trunk_path, trunk_path[1:]):
+        topology.add_link(node_a, node_b, delay=trunk_delay,
+                          bandwidth_bps=trunk_bandwidth_bps)
+    for hub, leaves, side in ((left_hub, left_leaves, "l"),
+                              (right_hub, right_leaves, "r")):
+        for index in range(leaves):
+            topology.add_node(next_id, name=f"leaf-{side}{index + 1}")
+            topology.add_link(hub, next_id, delay=delay,
+                              bandwidth_bps=bandwidth_bps)
+            next_id += 1
     return topology

@@ -28,6 +28,15 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["ablation", "unknown"])
 
+    def test_sweep_arguments(self):
+        args = build_parser().parse_args(
+            ["sweep", "--scenario", "fat-tree-k4", "--scenario", "ring-4",
+             "--workers", "8", "--out", "r.json", "--csv", "r.csv"])
+        assert args.scenario == ["fat-tree-k4", "ring-4"]
+        assert args.workers == 8
+        assert args.out == "r.json"
+        assert args.csv == "r.csv"
+
 
 class TestCommands:
     def test_manual_command_prints_breakdown(self, capsys):
@@ -50,3 +59,52 @@ class TestCommands:
         assert "switches" in output
         assert "manual" in output
         assert "4" in output
+
+    def test_sweep_list_shows_catalogue(self, capsys):
+        assert main(["sweep", "--list"]) == 0
+        output = capsys.readouterr().out
+        assert "fat-tree-k4" in output
+        assert "pan-european" in output
+
+    def test_sweep_without_selection_fails(self, capsys):
+        assert main(["sweep"]) == 2
+        assert "no scenarios selected" in capsys.readouterr().err
+
+    def test_sweep_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["sweep", "--scenario", "no-such-thing"]) == 2
+        err = capsys.readouterr().err
+        assert "no scenario named 'no-such-thing'" in err
+
+    def test_sweep_topology_error_fails_cleanly(self, capsys):
+        from repro.scenarios import ScenarioSpec, register, unregister
+        register(ScenarioSpec("tmp-bad-torus", "torus", {"rows": 1, "cols": 5}))
+        try:
+            assert main(["sweep", "--scenario", "tmp-bad-torus"]) == 2
+            assert "at least 2 rows" in capsys.readouterr().err
+        finally:
+            unregister("tmp-bad-torus")
+
+    def test_sweep_bad_export_paths_fail_before_running(self, capsys, tmp_path):
+        assert main(["sweep", "--scenario", "ring-4",
+                     "--out", "/no-such-dir/r.json"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+        assert main(["sweep", "--scenario", "ring-4",
+                     "--out", str(tmp_path)]) == 2
+        assert "is a directory" in capsys.readouterr().err
+
+    def test_sweep_unwritable_export_fails_before_running(self, capsys,
+                                                          tmp_path,
+                                                          monkeypatch):
+        # Root ignores file modes, so simulate the unwritable directory.
+        import repro.cli as cli
+        monkeypatch.setattr(cli.os, "access", lambda *_args, **_kw: False)
+        assert main(["sweep", "--scenario", "ring-4",
+                     "--out", str(tmp_path / "r.json")]) == 2
+        assert "not writable" in capsys.readouterr().err
+
+    def test_sweep_runs_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "results.json"
+        assert main(["sweep", "--scenario", "ring-4", "--out", str(out)]) == 0
+        output = capsys.readouterr().out
+        assert "ring-4" in output
+        assert out.exists()

@@ -77,8 +77,14 @@ class TestEthernet:
         assert frame.find(UDP) is udp
         assert frame.find(ARP) is None
 
-    @given(macs, macs, st.integers(min_value=0x0600, max_value=0xFFFF), payloads)
+    @given(macs, macs,
+           st.integers(min_value=0x0600, max_value=0xFFFF)
+           .filter(lambda e: e != EtherType.VLAN),
+           payloads)
     def test_roundtrip_property(self, src, dst, ethertype, payload):
+        # EtherType.VLAN is excluded: a frame whose ethertype field holds the
+        # 802.1Q TPID but carries no tag is malformed by construction, and
+        # decode rightly reads the first payload bytes as the tag.
         frame = Ethernet(src=src, dst=dst, ethertype=ethertype, payload=payload)
         decoded = Ethernet.decode(frame.encode())
         assert decoded.src == src and decoded.dst == dst

@@ -11,6 +11,8 @@ from repro.topology import (
     PAN_EUROPEAN_LINKS,
     Topology,
     TopologyError,
+    dumbbell_topology,
+    fat_tree_topology,
     full_mesh_topology,
     great_circle_km,
     linear_topology,
@@ -19,7 +21,9 @@ from repro.topology import (
     random_topology,
     ring_topology,
     star_topology,
+    torus_topology,
     tree_topology,
+    waxman_topology,
 )
 
 
@@ -123,6 +127,124 @@ class TestGenerators:
     def test_random_topology_probability_bounds(self):
         with pytest.raises(TopologyError):
             random_topology(5, extra_link_probability=1.5)
+
+    def test_random_topology_never_duplicates_tree_links(self):
+        # Regression: with probability 1.0 the extra-link pass visits every
+        # pair, so any spanning-tree link missing from the dedup set would
+        # raise a duplicate-link TopologyError.  The result must be exactly
+        # the complete graph, under any seed.
+        for seed in range(10):
+            topology = random_topology(9, extra_link_probability=1.0, seed=seed)
+            assert topology.num_links == 9 * 8 // 2
+            canonicals = [l.canonical() for l in topology.links]
+            assert len(canonicals) == len(set(canonicals))
+
+
+class TestFatTree:
+    def test_k4_shape(self):
+        topology = fat_tree_topology(4)
+        assert topology.num_nodes == 20
+        assert topology.num_links == 32
+        assert topology.is_connected()
+        # Cores uplink once per pod (degree k); aggregation switches carry
+        # k/2 uplinks + k/2 downlinks; edge switches keep their k/2 host
+        # ports free, so their switch-graph degree is k/2.
+        for core in range(1, 5):
+            assert topology.degree(core) == 4
+        for node in topology.nodes:
+            expected = 2 if node.name.startswith("edge") else 4
+            assert topology.degree(node.node_id) == expected
+
+    def test_k6_counts(self):
+        topology = fat_tree_topology(6)
+        assert topology.num_nodes == 9 + 6 * 6
+        assert topology.num_links == 9 * 6 + 6 * 9
+        assert topology.is_connected()
+
+    def test_odd_or_tiny_arity_rejected(self):
+        with pytest.raises(TopologyError):
+            fat_tree_topology(3)
+        with pytest.raises(TopologyError):
+            fat_tree_topology(0)
+
+
+class TestTorus:
+    def test_wrapped_torus_is_degree_4(self):
+        topology = torus_topology(4, 5)
+        assert topology.num_nodes == 20
+        assert topology.num_links == 40
+        assert all(topology.degree(n.node_id) == 4 for n in topology.nodes)
+        assert topology.is_connected()
+
+    def test_grid_without_wrap(self):
+        topology = torus_topology(3, 4, wrap=False)
+        assert topology.num_nodes == 12
+        assert topology.num_links == 3 * 3 + 2 * 4
+        assert topology.degree(1) == 2  # corner
+        assert topology.is_connected()
+
+    def test_size_two_dimension_not_double_linked(self):
+        # Wrapping a dimension of size 2 would duplicate the grid link.
+        topology = torus_topology(2, 3)
+        canonicals = [l.canonical() for l in topology.links]
+        assert len(canonicals) == len(set(canonicals))
+        assert topology.is_connected()
+
+    def test_minimum_size(self):
+        with pytest.raises(TopologyError):
+            torus_topology(1, 5)
+
+
+class TestWaxman:
+    def test_connected_and_deterministic(self):
+        one = waxman_topology(24, seed=5)
+        two = waxman_topology(24, seed=5)
+        other = waxman_topology(24, seed=6)
+        assert one.is_connected()
+        assert {l.canonical() for l in one.links} == {l.canonical() for l in two.links}
+        assert {l.canonical() for l in one.links} != {l.canonical() for l in other.links}
+
+    def test_delays_follow_distance(self):
+        topology = waxman_topology(16, seed=0)
+        delays = [l.delay for l in topology.links]
+        assert all(d > 0 for d in delays)
+        assert max(delays) > min(delays)
+
+    def test_sparse_parameters_still_connected(self):
+        # Tiny alpha draws almost no random links; stitching must connect.
+        topology = waxman_topology(12, alpha=0.01, beta=0.05, seed=3)
+        assert topology.is_connected()
+
+    def test_parameter_validation(self):
+        with pytest.raises(TopologyError):
+            waxman_topology(1)
+        with pytest.raises(TopologyError):
+            waxman_topology(5, alpha=0.0)
+        with pytest.raises(TopologyError):
+            waxman_topology(5, beta=-1.0)
+
+
+class TestDumbbell:
+    def test_shape_with_trunk(self):
+        topology = dumbbell_topology(3, 4, trunk_switches=2)
+        assert topology.num_nodes == 2 + 2 + 3 + 4
+        assert topology.num_links == 3 + 3 + 4
+        assert topology.is_connected()
+        assert topology.degree(topology.node_by_name("hub-left").node_id) == 4
+
+    def test_trunk_is_the_bottleneck(self):
+        topology = dumbbell_topology(2, 2)
+        trunk = next(l for l in topology.links if {l.node_a, l.node_b} == {1, 2})
+        leaf = next(l for l in topology.links if 1 in (l.node_a, l.node_b)
+                    and l is not trunk)
+        assert trunk.bandwidth_bps < leaf.bandwidth_bps
+        assert trunk.delay > leaf.delay
+
+    def test_validation(self):
+        with pytest.raises(TopologyError):
+            dumbbell_topology(0, 3)
+        with pytest.raises(TopologyError):
+            dumbbell_topology(2, 2, trunk_switches=-1)
 
 
 class TestPanEuropean:
