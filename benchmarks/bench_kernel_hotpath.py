@@ -1,0 +1,121 @@
+"""Hot-path micro-benchmarks for the simulation kernel and OSPF SPF.
+
+Companion to ``repro bench`` (which produces the machine-readable
+``BENCH_*.json`` record): these run the same hot paths under
+pytest-benchmark so local work on the kernel or the SPF pipeline gets
+statistically solid per-operation timings.
+
+Covers the paths overhauled by the tuple-heap/LSDB-version-cache work:
+event scheduling and dispatch, cancellation churn with ``peek``/``pending``,
+cold vs warm SPF, the LSDB advertising-router index, and LSA flood
+serialization.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.bench import ring_lsdb
+from repro.net.addresses import IPv4Address
+from repro.quagga.ospf.packets import RouterLink, RouterLSA
+from repro.quagga.ospf.spf import compute_routes
+from repro.sim import Simulator
+
+
+def test_kernel_schedule_and_run_10k_events(benchmark):
+    def run() -> int:
+        sim = Simulator()
+        for index in range(10_000):
+            sim.schedule(float(index % 13) + 0.001, lambda: None)
+        sim.run()
+        return sim.processed_events
+
+    assert benchmark(run) == 10_000
+
+
+def test_kernel_cancellation_churn_with_peek(benchmark):
+    def run() -> int:
+        sim = Simulator()
+        events = [sim.schedule(float(i % 7) + 1.0, lambda: None)
+                  for i in range(5_000)]
+        for event in events[::2]:
+            event.cancel()
+        probes = 0
+        for _ in range(1_000):
+            sim.peek()
+            probes += sim.pending()
+        sim.run()
+        return probes
+
+    assert benchmark(run) == 2_500_000
+
+
+def test_kernel_same_time_fifo_dispatch(benchmark):
+    def run() -> list:
+        sim = Simulator()
+        order: list = []
+        for index in range(2_000):
+            sim.schedule(1.0, order.append, index)
+        sim.run()
+        return order
+
+    order = benchmark(run)
+    assert order == sorted(order)
+
+
+def test_spf_cold_cache_64_router_ring(benchmark):
+    lsdb = ring_lsdb(64)
+    root = IPv4Address(0x0A000001)
+    sequence = [0x80000002]
+
+    def run() -> int:
+        # Refresh the root's LSA so every compute_routes call sees a new
+        # LSDB version and rebuilds the graph and stub caches.
+        old = lsdb.router_lsa(root)
+        sequence[0] += 1
+        lsdb.install(RouterLSA.originate(router_id=root, sequence=sequence[0],
+                                         links=old.links))
+        return len(compute_routes(lsdb, root))
+
+    assert benchmark(run) == 64
+
+
+def test_spf_warm_cache_64_router_ring(benchmark):
+    lsdb = ring_lsdb(64)
+    root = IPv4Address(0x0A000001)
+    compute_routes(lsdb, root)  # prime the version-keyed caches
+
+    def run() -> int:
+        return len(compute_routes(lsdb, root))
+
+    assert benchmark(run) == 64
+
+
+def test_lsdb_router_lsa_lookup_indexed(benchmark):
+    lsdb = ring_lsdb(64)
+    targets = [IPv4Address(0x0A000000 + index + 1) for index in range(64)]
+
+    def run() -> int:
+        found = 0
+        for rid in targets:
+            if lsdb.router_lsa(rid) is not None:
+                found += 1
+        return found
+
+    assert benchmark(run) == 64
+
+
+def test_lsa_flood_encode_memoized(benchmark):
+    """Serializing one LSA for a 64-interface flood costs one encode."""
+    links = [RouterLink.point_to_point(IPv4Address(0x0A000002),
+                                       IPv4Address(0xAC100001), 10),
+             RouterLink.stub(IPv4Address(0xC0A80000),
+                             IPv4Address("255.255.255.0"), 10)]
+
+    def run() -> int:
+        lsa = RouterLSA.originate(router_id=IPv4Address(0x0A000001),
+                                  sequence=0x80000001, links=links)
+        total = 0
+        for _ in range(64):
+            total += len(lsa.encode())
+        return total
+
+    assert benchmark(run) > 0

@@ -92,7 +92,7 @@ class PoissonSource:
 
     def _schedule_next(self) -> None:
         delay = self.rng.expovariate(self.mean_rate_pps)
-        self.sim.schedule(delay, self._send, name=f"poisson:{self.host.name}")
+        self.sim.schedule(delay, self._send, label=f"poisson:{self.host.name}")
 
     def _send(self) -> None:
         if not self._running:

@@ -11,6 +11,8 @@ regenerated without writing any Python:
 * ``repro ablation {split,vm-latency,ospf-timers}`` — the design ablations.
 * ``repro sweep --scenario NAME [--workers N] [--out FILE]`` — run named
   scenarios from the registry in parallel and export the results.
+* ``repro bench [--json FILE] [--check BASELINE]`` — the hot-path benchmark
+  suite, with machine-readable output and a perf-regression gate.
 
 Also reachable as ``python -m repro``.
 """
@@ -25,7 +27,12 @@ from typing import List, Optional
 
 from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager, ManualConfigurationModel
 from repro.experiments import (
+    check_regressions,
     format_table,
+    read_bench_json,
+    render_bench_table,
+    run_benchmarks,
+    write_bench_json,
     render_ablation_table,
     render_config_time_table,
     render_demo_report,
@@ -95,6 +102,24 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write results as JSON to FILE")
     sweep.add_argument("--csv", metavar="FILE",
                        help="write results as CSV to FILE")
+
+    bench = subparsers.add_parser(
+        "bench", help="run the hot-path benchmark suite; optionally write a "
+                      "machine-readable JSON record and check it against a "
+                      "committed baseline")
+    bench.add_argument("--json", metavar="FILE", nargs="?",
+                       const="BENCH_RESULTS.json", default=None,
+                       help="write results as JSON (default file: "
+                            "BENCH_RESULTS.json)")
+    bench.add_argument("--check", metavar="BASELINE",
+                       help="compare against a baseline BENCH_*.json and "
+                            "exit non-zero on regression")
+    bench.add_argument("--tolerance", type=float, default=0.20,
+                       help="allowed fractional slowdown of normalized "
+                            "times in --check mode (default: 0.20)")
+    bench.add_argument("--quick", action="store_true",
+                       help="microbenchmarks only (skip the 64-router "
+                            "convergence scenario)")
 
     return parser
 
@@ -212,6 +237,29 @@ def _command_sweep(args: argparse.Namespace) -> int:
     return 0 if all(r.configured for r in results) else 1
 
 
+def _command_bench(args: argparse.Namespace) -> int:
+    document = run_benchmarks(
+        quick=args.quick,
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr))
+    print(render_bench_table(document))
+    if args.json:
+        print(f"wrote {write_bench_json(document, args.json)}")
+    if args.check:
+        baseline = read_bench_json(args.check)
+        # --quick deliberately skips the slow scenarios; compare only what
+        # actually ran instead of flagging them as missing.
+        only = document["benchmarks"].keys() if args.quick else None
+        failures = check_regressions(document, baseline,
+                                     tolerance=args.tolerance, only=only)
+        if failures:
+            for failure in failures:
+                print(f"REGRESSION: {failure}", file=sys.stderr)
+            return 1
+        print(f"no regression against {args.check} "
+              f"(tolerance {args.tolerance:.0%})")
+    return 0
+
+
 _COMMANDS = {
     "quickstart": _command_quickstart,
     "fig3": _command_fig3,
@@ -219,6 +267,7 @@ _COMMANDS = {
     "manual": _command_manual,
     "ablation": _command_ablation,
     "sweep": _command_sweep,
+    "bench": _command_bench,
 }
 
 

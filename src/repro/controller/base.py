@@ -136,6 +136,7 @@ class Controller:
     def __init__(self, sim: Simulator, name: str = "controller") -> None:
         self.sim = sim
         self.name = name
+        self._handle_label = f"{self.name}:handle"
         self.apps: List[ControllerApp] = []
         self.connections: Dict[ControlChannel, DatapathConnection] = {}
         self.datapaths: Dict[int, DatapathConnection] = {}
@@ -183,7 +184,7 @@ class Controller:
             return
         self.messages_received += 1
         self.sim.schedule(self.PROCESSING_DELAY, self._handle, connection, data,
-                          name=f"{self.name}:handle")
+                          label=self._handle_label)
 
     def channel_closed(self, channel: ControlChannel) -> None:
         connection = self.connections.pop(channel, None)

@@ -53,7 +53,7 @@ class RPCClient:
         payload = message.to_json()
         self.messages_sent += 1
         self.sim.schedule(self.network_delay, self.server.receive, payload,
-                          name="rpc:deliver")
+                          label="rpc:deliver")
 
 
 @dataclass
@@ -129,7 +129,7 @@ class RPCServer:
         else:  # pragma: no cover - defensive
             LOG.warning("rpc-server: unhandled message %r", message)
             return
-        self.sim.schedule(delay, handler, message, name="rpc:handle")
+        self.sim.schedule(delay, handler, message, label="rpc:handle")
 
     # ------------------------------------------------------- switch handling
     def _handle_switch_config(self, message: SwitchConfigMessage) -> None:

@@ -12,6 +12,13 @@ from repro.experiments.config_time import (
     run_config_time_sweep,
     run_single_configuration,
 )
+from repro.experiments.bench import (
+    check_regressions,
+    read_bench_json,
+    render_bench_table,
+    run_benchmarks,
+    write_bench_json,
+)
 from repro.experiments.demo import render_demo_report, run_demo
 from repro.experiments.export import (
     read_sweep_csv,
@@ -47,7 +54,12 @@ __all__ = [
     "format_seconds",
     "format_table",
     "SweepResult",
+    "check_regressions",
     "expand_seeds",
+    "read_bench_json",
+    "render_bench_table",
+    "run_benchmarks",
+    "write_bench_json",
     "read_sweep_csv",
     "read_sweep_json",
     "render_ablation_table",

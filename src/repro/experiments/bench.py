@@ -1,0 +1,323 @@
+"""Machine-readable hot-path benchmarks (the ``repro bench`` subcommand).
+
+The suite times the simulator's hot paths — the event-heap kernel, OSPF
+SPF (cold and warm LSDB caches), the packet codecs and a full 64-router
+convergence scenario — and writes the results as JSON so every PR can
+record the performance trajectory and CI can fail on regressions.
+
+Raw wall-clock numbers are useless across machines (and even across runs
+on throttled CI runners), so every result also carries a *normalized* value:
+wall seconds divided by the duration of a fixed pure-Python calibration
+loop measured in the same process.  Regression checks compare normalized
+values, which cancels out most machine-speed variance while still catching
+algorithmic slowdowns.
+
+Determinism doubles as a correctness gate: the convergence benchmark
+records the *simulated* configuration time, which must match the baseline
+exactly — a drift there means behaviour changed, not just speed.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, Iterable, List, Optional, Tuple, Union
+
+BENCH_SCHEMA = 1
+
+#: Iterations of the calibration loop (a fixed, allocation-free workload).
+_CALIBRATION_LOOPS = 10_000_000
+
+
+def calibrate() -> float:
+    """Time the fixed calibration workload once."""
+    start = time.perf_counter()
+    total = 0
+    for index in range(_CALIBRATION_LOOPS):
+        total += index & 7
+    return time.perf_counter() - start
+
+
+def _best_of(function: Callable[[], Any], repeats: int = 3) -> Tuple[float, Any]:
+    """Run ``function`` ``repeats`` times; return (best wall seconds, result)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = function()
+        elapsed = time.perf_counter() - start
+        if best is None or elapsed < best:
+            best = elapsed
+    return best, result
+
+
+# ---------------------------------------------------------------------------
+# individual benchmarks
+# ---------------------------------------------------------------------------
+def bench_kernel_event_churn() -> Dict[str, Any]:
+    """Schedule and run 200k chained events through a bare simulator."""
+    from repro.sim import Simulator
+
+    def run() -> int:
+        sim = Simulator()
+        count = 200_000
+
+        def tick() -> None:
+            if sim.processed_events < count:
+                sim.schedule(0.001, tick)
+
+        for _ in range(64):
+            sim.schedule(0.001, tick)
+        sim.run(max_events=count)
+        return sim.processed_events
+
+    wall, processed = _best_of(run)
+    return {"wall_seconds": wall, "events": processed}
+
+
+def bench_kernel_cancel_peek() -> Dict[str, Any]:
+    """Heavy cancellation churn with interleaved peek()/pending() calls."""
+    from repro.sim import Simulator
+
+    def run() -> int:
+        sim = Simulator()
+        events = [sim.schedule(float(i % 97) + 1.0, lambda: None)
+                  for i in range(50_000)]
+        for event in events[::2]:
+            event.cancel()
+        probes = 0
+        for _ in range(5_000):
+            sim.peek()
+            probes += sim.pending()
+        sim.run()
+        return probes
+
+    wall, _ = _best_of(run)
+    return {"wall_seconds": wall}
+
+
+def ring_lsdb(count: int):
+    from repro.net.addresses import IPv4Address
+    from repro.quagga.ospf.lsdb import LSDB
+    from repro.quagga.ospf.packets import RouterLink, RouterLSA
+
+    lsdb = LSDB()
+    for index in range(count):
+        rid = IPv4Address(0x0A000000 + index + 1)
+        left = IPv4Address(0x0A000000 + (index - 1) % count + 1)
+        right = IPv4Address(0x0A000000 + (index + 1) % count + 1)
+        links = [
+            RouterLink.point_to_point(left, IPv4Address(0xAC100001 + index * 4), 10),
+            RouterLink.point_to_point(right, IPv4Address(0xAC100002 + index * 4), 10),
+            RouterLink.stub(IPv4Address(0xC0A80000 + index * 256),
+                            IPv4Address("255.255.255.0"), 10),
+        ]
+        lsdb.install(RouterLSA.originate(router_id=rid, sequence=0x80000001,
+                                         links=links))
+    return lsdb
+
+
+def bench_spf_cold_64() -> Dict[str, Any]:
+    """SPF with a changed LSDB per run (version-cache misses)."""
+    from repro.net.addresses import IPv4Address
+    from repro.quagga.ospf.packets import RouterLSA
+    from repro.quagga.ospf.spf import compute_routes
+
+    lsdb = ring_lsdb(64)
+    root = IPv4Address(0x0A000001)
+    sequence = [0x80000002]
+
+    def run() -> int:
+        total = 0
+        for _ in range(50):
+            # Reinstall a fresher LSA so the graph/stub caches must rebuild.
+            old = lsdb.router_lsa(root)
+            sequence[0] += 1
+            lsdb.install(RouterLSA.originate(router_id=root,
+                                             sequence=sequence[0],
+                                             links=old.links))
+            total += len(compute_routes(lsdb, root))
+        return total
+
+    wall, routes = _best_of(run)
+    return {"wall_seconds": wall, "routes": routes}
+
+
+def bench_spf_warm_64() -> Dict[str, Any]:
+    """Repeated SPF over an unchanged LSDB (version-cache hits)."""
+    from repro.net.addresses import IPv4Address
+    from repro.quagga.ospf.spf import compute_routes
+
+    lsdb = ring_lsdb(64)
+    root = IPv4Address(0x0A000001)
+
+    def run() -> int:
+        total = 0
+        for _ in range(200):
+            total += len(compute_routes(lsdb, root))
+        return total
+
+    wall, routes = _best_of(run)
+    return {"wall_seconds": wall, "routes": routes}
+
+
+def bench_frame_decode() -> Dict[str, Any]:
+    """Ethernet/IPv4/UDP decode plus flow-field extraction (substrate)."""
+    from repro.net import Ethernet, EtherType, IPv4, IPv4Address, MACAddress, UDP
+    from repro.net.ipv4 import IPProtocol
+    from repro.openflow import PacketFields
+
+    packet = IPv4(src=IPv4Address("10.0.0.1"), dst=IPv4Address("10.0.200.4"),
+                  protocol=IPProtocol.UDP, payload=UDP(5004, 5004, b"x" * 64))
+    frame = Ethernet(src=MACAddress(1), dst=MACAddress(2),
+                     ethertype=EtherType.IPV4, payload=packet).encode()
+
+    def run() -> int:
+        total = 0
+        for _ in range(20_000):
+            decoded = Ethernet.decode(frame)
+            fields = PacketFields.from_frame(frame, in_port=1)
+            total += decoded.ethertype + fields.tp_dst
+        return total
+
+    wall, _ = _best_of(run)
+    return {"wall_seconds": wall}
+
+
+def bench_flow_mod_codec() -> Dict[str, Any]:
+    """OpenFlow flow-mod decode/encode round trip (substrate)."""
+    from repro.net import IPv4Address
+    from repro.openflow import FlowMod, Match, OpenFlowMessage, OutputAction
+
+    message = FlowMod(match=Match.for_destination_prefix(IPv4Address("10.1.0.0"), 16),
+                      actions=[OutputAction(3)], priority=1000).encode()
+
+    def run() -> bool:
+        out = b""
+        for _ in range(10_000):
+            out = OpenFlowMessage.decode(message).encode()
+        return out == message
+
+    wall, ok = _best_of(run)
+    return {"wall_seconds": wall, "roundtrip_ok": bool(ok)}
+
+
+def bench_convergence_64() -> Dict[str, Any]:
+    """The headline scenario: automatic configuration of an 8x8 torus.
+
+    ``sim_seconds`` is deterministic — the regression check requires it to
+    match the baseline exactly, proving the optimized code still produces
+    the same simulation.
+    """
+    from repro.experiments.config_time import run_single_configuration
+    from repro.topology.generators import torus_topology
+
+    wall, result = _best_of(
+        lambda: run_single_configuration(torus_topology(8, 8), max_time=3600.0),
+        repeats=2)
+    return {"wall_seconds": wall, "sim_seconds": result.auto_seconds,
+            "switches": result.num_switches, "links": result.num_links}
+
+
+#: name -> (callable, included in --quick runs)
+BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
+    "kernel_event_churn": (bench_kernel_event_churn, True),
+    "kernel_cancel_peek": (bench_kernel_cancel_peek, True),
+    "spf_cold_64": (bench_spf_cold_64, True),
+    "spf_warm_64": (bench_spf_warm_64, True),
+    "frame_decode": (bench_frame_decode, True),
+    "flow_mod_codec": (bench_flow_mod_codec, True),
+    "convergence_64": (bench_convergence_64, False),
+}
+
+#: Keys whose values must match the baseline *exactly* (determinism gate).
+EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links")
+
+
+def run_benchmarks(quick: bool = False,
+                   progress: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
+    """Run the suite and return the result document.
+
+    Every benchmark is bracketed by its own calibration measurements and
+    normalized against their mean — CPU throttling mid-suite (common on CI
+    runners) would otherwise skew a single up-front calibration.
+    """
+    results: Dict[str, Dict[str, Any]] = {}
+    calibrations: List[float] = [calibrate()]
+    for name, (function, in_quick) in BENCHMARKS.items():
+        if quick and not in_quick:
+            continue
+        if progress is not None:
+            progress(name)
+        entry = function()
+        calibrations.append(calibrate())
+        local_unit = (calibrations[-2] + calibrations[-1]) / 2.0
+        entry["normalized"] = entry["wall_seconds"] / local_unit
+        results[name] = entry
+    return {
+        "schema": BENCH_SCHEMA,
+        "created_unix": time.time(),
+        "calibration_seconds": sum(calibrations) / len(calibrations),
+        "benchmarks": results,
+    }
+
+
+def write_bench_json(document: Dict[str, Any], path: Union[str, Path]) -> Path:
+    target = Path(path)
+    target.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def read_bench_json(path: Union[str, Path]) -> Dict[str, Any]:
+    return json.loads(Path(path).read_text())
+
+
+def check_regressions(current: Dict[str, Any], baseline: Dict[str, Any],
+                      tolerance: float = 0.20,
+                      only: Optional[Iterable[str]] = None) -> List[str]:
+    """Compare two bench documents; return a list of failure descriptions.
+
+    Normalized times may regress by at most ``tolerance`` (fractional).
+    Deterministic outputs (:data:`EXACT_KEYS`) must match exactly.
+    A benchmark in the baseline that was not measured fails the check,
+    unless ``only`` names the subset deliberately run (``--quick``).
+    """
+    failures: List[str] = []
+    base_benches = baseline.get("benchmarks", {})
+    if only is not None:
+        wanted = set(only)
+        base_benches = {name: entry for name, entry in base_benches.items()
+                        if name in wanted}
+    cur_benches = current.get("benchmarks", {})
+    for name, base in base_benches.items():
+        entry = cur_benches.get(name)
+        if entry is None:
+            failures.append(f"{name}: present in baseline but not measured")
+            continue
+        allowed = base["normalized"] * (1.0 + tolerance)
+        if entry["normalized"] > allowed:
+            failures.append(
+                f"{name}: normalized time {entry['normalized']:.3f} exceeds "
+                f"baseline {base['normalized']:.3f} by more than "
+                f"{tolerance:.0%} (limit {allowed:.3f})")
+        for key in EXACT_KEYS:
+            if key in base and entry.get(key) != base[key]:
+                failures.append(
+                    f"{name}: deterministic output {key!r} changed "
+                    f"({base[key]!r} -> {entry.get(key)!r})")
+    return failures
+
+
+def render_bench_table(document: Dict[str, Any]) -> str:
+    """Human-readable summary of a bench document."""
+    from repro.experiments.results import format_table
+
+    rows = []
+    for name, entry in document["benchmarks"].items():
+        extra = ", ".join(f"{k}={entry[k]}" for k in EXACT_KEYS if k in entry)
+        rows.append([name, f"{entry['wall_seconds']:.3f}",
+                     f"{entry['normalized']:.2f}", extra])
+    table = format_table(["benchmark", "wall (s)", "normalized", "outputs"], rows)
+    return (f"{table}\n\ncalibration: "
+            f"{document['calibration_seconds']:.3f}s per unit")

@@ -85,6 +85,7 @@ class FlowVisor:
     def __init__(self, sim: Simulator, flowspace: FlowSpace, name: str = "flowvisor") -> None:
         self.sim = sim
         self.name = name
+        self._route_label = f"{self.name}:route"
         self.flowspace = flowspace
         self.slices: Dict[str, Slice] = {}
         self._switch_sessions: Dict[ControlChannel, _SwitchSession] = {}
@@ -115,7 +116,7 @@ class FlowVisor:
     # ------------------------------------------------------------ channel glue
     def channel_receive(self, channel: ControlChannel, data: bytes) -> None:
         self.sim.schedule(self.PROCESSING_DELAY, self._route, channel, data,
-                          name=f"{self.name}:route")
+                          label=self._route_label)
 
     def channel_closed(self, channel: ControlChannel) -> None:
         session = self._switch_sessions.pop(channel, None)
@@ -153,10 +154,10 @@ class FlowVisor:
             self._complete_switch_handshake(session, message)
             return
         if isinstance(message, PacketIn):
-            self._route_packet_in(session, message)
+            self._route_packet_in(session, message, data)
             return
         if isinstance(message, (PortStatus, FlowRemoved, ErrorMessage)):
-            self._maybe_route_reply(session, message) or self._broadcast(session, message)
+            self._maybe_route_reply(session, message) or self._broadcast(session, data)
             return
         if isinstance(message, BarrierReply):
             self._maybe_route_reply(session, message)
@@ -180,7 +181,10 @@ class FlowVisor:
             self._slice_channel_index[slice_channel] = (session, slice_name)
             registered.controller.accept_channel(slice_channel)
 
-    def _route_packet_in(self, session: _SwitchSession, message: PacketIn) -> None:
+    def _route_packet_in(self, session: _SwitchSession, message: PacketIn,
+                         data: bytes) -> None:
+        # The packet-in is forwarded untranslated (xid untouched), so the
+        # original wire bytes go out instead of re-encoding the message.
         fields = PacketFields.from_frame(message.data, in_port=message.in_port)
         slice_names = self.flowspace.slices_for_packet(fields)
         if not slice_names:
@@ -191,11 +195,12 @@ class FlowVisor:
             if channel is None:
                 continue
             self.packet_ins_routed += 1
-            channel.send(self, message.encode())
+            channel.send(self, data)
 
-    def _broadcast(self, session: _SwitchSession, message: OpenFlowMessage) -> bool:
+    def _broadcast(self, session: _SwitchSession, data: bytes) -> bool:
+        """Forward an (unmodified) switch message to every slice."""
         for channel in session.slice_channels.values():
-            channel.send(self, message.encode())
+            channel.send(self, data)
         return True
 
     def _maybe_route_reply(self, session: _SwitchSession,

@@ -3,42 +3,82 @@
 These are small immutable value objects used throughout the packet codecs,
 the OpenFlow layer, the IPAM and the routing daemons.  They parse from and
 render to the conventional textual forms and pack to network byte order.
+
+Because a simulation constructs the same few thousand addresses millions of
+times (every decoded frame, every flow-table key, every RIB prefix), both
+address classes *intern* their instances: constructing an address from an
+``int``, ``str`` or ``bytes`` key that was seen before returns the cached
+instance instead of allocating a new one, and constructing from an existing
+address returns it unchanged.  Instances are immutable, so sharing is safe;
+hash values are precomputed once per unique address.  The intern tables are
+bounded so adversarial inputs cannot grow them without limit.
 """
 
 from __future__ import annotations
 
 import struct
 from functools import total_ordering
-from typing import Iterator, Tuple, Union
+from typing import Dict, Iterator, Tuple, Union
 
 
 class AddressError(ValueError):
     """Raised when an address cannot be parsed or is out of range."""
 
 
+#: Per-class cap on interned instances.  Far above what any simulated
+#: topology allocates; once full, construction still works but stops caching.
+_INTERN_LIMIT = 1 << 16
+
+
 @total_ordering
 class MACAddress:
     """A 48-bit Ethernet MAC address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
     BROADCAST_VALUE = 0xFFFFFFFFFFFF
 
-    def __init__(self, value: Union[str, int, bytes, "MACAddress"]) -> None:
+    _interned: Dict[Union[int, str, bytes], "MACAddress"] = {}
+
+    def __new__(cls, value: Union[str, int, bytes, "MACAddress"]) -> "MACAddress":
+        kind = type(value)
+        if kind is cls:
+            return value
+        cacheable = cls is MACAddress and (kind is int or kind is str or kind is bytes)
+        if cacheable:
+            cached = cls._interned.get(value)
+            if cached is not None:
+                return cached
         if isinstance(value, MACAddress):
-            self._value = value._value
+            parsed = value._value
         elif isinstance(value, int):
-            if not 0 <= value <= self.BROADCAST_VALUE:
+            if not 0 <= value <= cls.BROADCAST_VALUE:
                 raise AddressError(f"MAC integer out of range: {value:#x}")
-            self._value = value
+            parsed = value
         elif isinstance(value, (bytes, bytearray)):
             if len(value) != 6:
                 raise AddressError(f"MAC bytes must be 6 long, got {len(value)}")
-            self._value = int.from_bytes(value, "big")
+            parsed = int.from_bytes(value, "big")
         elif isinstance(value, str):
-            self._value = self._parse(value)
+            parsed = cls._parse(value)
         else:
             raise AddressError(f"cannot build MACAddress from {type(value).__name__}")
+        self = object.__new__(cls)
+        self._value = parsed
+        self._hash = hash(("mac", parsed))
+        if cacheable and len(cls._interned) < _INTERN_LIMIT:
+            cls._interned[value] = self
+        return self
+
+    def __init__(self, value: Union[str, int, bytes, "MACAddress"]) -> None:
+        # All construction happens in __new__ so interned instances can be
+        # returned without re-parsing.
+        pass
+
+    def __reduce__(self):
+        # Pickle/copy through the public constructor, so unpickling
+        # re-interns instead of bypassing __new__ with an empty instance.
+        return (self.__class__, (self._value,))
 
     @staticmethod
     def _parse(text: str) -> int:
@@ -103,30 +143,56 @@ class MACAddress:
         return self._value < MACAddress(other)._value
 
     def __hash__(self) -> int:
-        return hash(("mac", self._value))
+        return self._hash
 
 
 @total_ordering
 class IPv4Address:
     """A 32-bit IPv4 address."""
 
-    __slots__ = ("_value",)
+    __slots__ = ("_value", "_hash")
 
-    def __init__(self, value: Union[str, int, bytes, "IPv4Address"]) -> None:
+    _interned: Dict[Union[int, str, bytes], "IPv4Address"] = {}
+
+    def __new__(cls, value: Union[str, int, bytes, "IPv4Address"]) -> "IPv4Address":
+        kind = type(value)
+        if kind is cls:
+            return value
+        cacheable = cls is IPv4Address and (kind is int or kind is str or kind is bytes)
+        if cacheable:
+            cached = cls._interned.get(value)
+            if cached is not None:
+                return cached
         if isinstance(value, IPv4Address):
-            self._value = value._value
+            parsed = value._value
         elif isinstance(value, int):
             if not 0 <= value <= 0xFFFFFFFF:
                 raise AddressError(f"IPv4 integer out of range: {value:#x}")
-            self._value = value
+            parsed = value
         elif isinstance(value, (bytes, bytearray)):
             if len(value) != 4:
                 raise AddressError(f"IPv4 bytes must be 4 long, got {len(value)}")
-            self._value = int.from_bytes(value, "big")
+            parsed = int.from_bytes(value, "big")
         elif isinstance(value, str):
-            self._value = self._parse(value)
+            parsed = cls._parse(value)
         else:
             raise AddressError(f"cannot build IPv4Address from {type(value).__name__}")
+        self = object.__new__(cls)
+        self._value = parsed
+        self._hash = hash(("ipv4", parsed))
+        if cacheable and len(cls._interned) < _INTERN_LIMIT:
+            cls._interned[value] = self
+        return self
+
+    def __init__(self, value: Union[str, int, bytes, "IPv4Address"]) -> None:
+        # All construction happens in __new__ so interned instances can be
+        # returned without re-parsing.
+        pass
+
+    def __reduce__(self):
+        # Pickle/copy through the public constructor, so unpickling
+        # re-interns instead of bypassing __new__ with an empty instance.
+        return (self.__class__, (self._value,))
 
     @staticmethod
     def _parse(text: str) -> int:
@@ -189,13 +255,13 @@ class IPv4Address:
         return self._value < IPv4Address(other)._value
 
     def __hash__(self) -> int:
-        return hash(("ipv4", self._value))
+        return self._hash
 
 
 class IPv4Network:
     """An IPv4 prefix (network address + mask length)."""
 
-    __slots__ = ("network", "prefix_len")
+    __slots__ = ("network", "prefix_len", "_hash")
 
     def __init__(self, value: Union[str, Tuple[IPv4Address, int]], prefix_len: int = None) -> None:
         if isinstance(value, str) and prefix_len is None:
@@ -212,17 +278,20 @@ class IPv4Network:
         if not 0 <= plen <= 32:
             raise AddressError(f"prefix length out of range: {plen}")
         self.prefix_len = plen
-        self.network = IPv4Address(int(address) & int(self.netmask_for(plen)))
+        self.network = IPv4Address(address._value & _NETMASK_INTS[plen])
+        self._hash = hash(("net", self.network._value, plen))
 
     @staticmethod
     def netmask_for(prefix_len: int) -> IPv4Address:
-        if prefix_len == 0:
-            return IPv4Address(0)
-        return IPv4Address((0xFFFFFFFF << (32 - prefix_len)) & 0xFFFFFFFF)
+        # Explicit range check: a bare table lookup would let Python's
+        # negative indexing turn e.g. -1 into the /32 mask.
+        if not 0 <= prefix_len <= 32:
+            raise AddressError(f"prefix length out of range: {prefix_len}")
+        return _NETMASKS[prefix_len]
 
     @property
     def netmask(self) -> IPv4Address:
-        return self.netmask_for(self.prefix_len)
+        return _NETMASKS[self.prefix_len]
 
     @property
     def broadcast(self) -> IPv4Address:
@@ -234,7 +303,7 @@ class IPv4Network:
 
     def __contains__(self, address: Union[str, int, IPv4Address]) -> bool:
         addr = IPv4Address(address)
-        return (int(addr) & int(self.netmask)) == int(self.network)
+        return (addr._value & _NETMASK_INTS[self.prefix_len]) == self.network._value
 
     def hosts(self) -> Iterator[IPv4Address]:
         """Iterate usable host addresses (excludes network/broadcast for /0-/30)."""
@@ -258,10 +327,11 @@ class IPv4Network:
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, IPv4Network):
             return NotImplemented
-        return self.network == other.network and self.prefix_len == other.prefix_len
+        return (self.network._value == other.network._value
+                and self.prefix_len == other.prefix_len)
 
     def __hash__(self) -> int:
-        return hash(("net", int(self.network), self.prefix_len))
+        return self._hash
 
     def __str__(self) -> str:
         return f"{self.network}/{self.prefix_len}"
@@ -270,13 +340,24 @@ class IPv4Network:
         return f"IPv4Network('{self}')"
 
 
+#: All 33 netmasks, precomputed: ``_NETMASKS[prefix_len]`` is the mask
+#: address, ``_NETMASK_INTS[prefix_len]`` its integer value.
+_NETMASK_INTS: Tuple[int, ...] = tuple(
+    0 if plen == 0 else (0xFFFFFFFF << (32 - plen)) & 0xFFFFFFFF
+    for plen in range(33))
+_NETMASKS: Tuple[IPv4Address, ...] = tuple(IPv4Address(m) for m in _NETMASK_INTS)
+
+#: Reverse mapping for contiguous masks, used to recover the prefix length
+#: from a wire-format netmask without counting bits.
+PREFIXLEN_FROM_NETMASK: Dict[int, int] = {
+    mask: plen for plen, mask in enumerate(_NETMASK_INTS)}
+
+
 def checksum16(data: bytes) -> int:
     """Internet checksum (RFC 1071) over ``data``."""
     if len(data) % 2:
         data += b"\x00"
-    total = 0
-    for (word,) in struct.iter_unpack("!H", data):
-        total += word
+    total = sum(struct.unpack(f"!{len(data) // 2}H", data))
     while total >> 16:
         total = (total & 0xFFFF) + (total >> 16)
     return ~total & 0xFFFF

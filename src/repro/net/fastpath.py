@@ -1,0 +1,66 @@
+"""Byte-level fast paths shared by per-packet hot loops.
+
+The codec classes in :mod:`repro.net` are the authoritative wire-format
+implementation, but decoding a whole header-object tree per hop is the
+single biggest per-packet cost in a large simulation.  The helpers here
+pull just the layer-2/3 framing fields out of the raw bytes for consumers
+that only need to dispatch on them — the switch pipeline's flow-field
+extraction and the VM's OSPF receive path.
+
+Contract: each helper returns ``None`` exactly when the corresponding
+codec (`Ethernet.decode` / `IPv4.decode`) would raise ``DecodeError``, so
+a fast-path consumer drops precisely the frames the object path would
+have dropped.  Any change to validation in the codecs must be mirrored
+here (the codec round-trip tests plus the golden-trace suite enforce the
+equivalence in practice).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from repro.net.ethernet import EtherType
+
+#: (inner ethertype, payload offset, vlan id or None, vlan pcp)
+EthernetFraming = Tuple[int, int, Optional[int], int]
+
+#: (protocol, header length, body sliced per total_length)
+IPv4Framing = Tuple[int, int, bytes]
+
+
+def ethernet_framing(data: bytes) -> Optional[EthernetFraming]:
+    """Parse the Ethernet II framing (with optional 802.1Q tag) of a frame.
+
+    Mirrors ``Ethernet.decode``: returns ``None`` for a frame it would
+    reject (too short, truncated VLAN tag).
+    """
+    length = len(data)
+    if length < 14:
+        return None
+    ethertype = (data[12] << 8) | data[13]
+    if ethertype != EtherType.VLAN:
+        return ethertype, 14, None, 0
+    if length < 18:
+        return None
+    tci = (data[14] << 8) | data[15]
+    inner = (data[16] << 8) | data[17]
+    return inner, 18, tci & 0x0FFF, (tci >> 13) & 0x7
+
+
+def ipv4_framing(ip: bytes) -> Optional[IPv4Framing]:
+    """Parse the IPv4 header framing of a packet.
+
+    Mirrors ``IPv4.decode``'s header validation (length, version, IHL) and
+    its body slicing by ``total_length``; returns ``None`` for a packet it
+    would reject.
+    """
+    if len(ip) < 20:
+        return None
+    version_ihl = ip[0]
+    header_len = (version_ihl & 0x0F) * 4
+    if version_ihl >> 4 != 4 or header_len < 20 or len(ip) < header_len:
+        return None
+    total_length = (ip[2] << 8) | ip[3]
+    body = (ip[header_len:total_length] if total_length >= header_len
+            else ip[header_len:])
+    return ip[9], header_len, body

@@ -142,7 +142,7 @@ class Host:
                          ethertype=EtherType.ARP, payload=arp)
         self.interface.send(frame.encode())
         self.sim.schedule(self.ARP_RETRY_INTERVAL, self._send_arp_request, target_ip,
-                          name=f"{self.name}:arp-retry")
+                          label=f"{self.name}:arp-retry")
 
     # --------------------------------------------------------------- receive
     def _on_frame(self, _iface: Interface, data: bytes) -> None:

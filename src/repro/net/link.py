@@ -132,6 +132,7 @@ class Link:
         self.bandwidth_bps = bandwidth_bps
         self.up = True
         self.name = name or f"{iface_a.name}<->{iface_b.name}"
+        self._event_label = f"link:{self.name}"
         iface_a.link = self
         iface_b.link = self
         self.tx_frames = 0
@@ -154,7 +155,7 @@ class Link:
         serialization = (len(frame) * 8) / self.bandwidth_bps if self.bandwidth_bps else 0.0
         self.tx_frames += 1
         self.sim.schedule(self.delay + serialization, peer.deliver, frame,
-                          name=f"link:{self.name}")
+                          label=self._event_label)
 
     def set_down(self) -> None:
         """Take the link down: in-flight frames still arrive, new ones drop."""

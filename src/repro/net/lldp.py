@@ -18,6 +18,10 @@ from repro.net.packet import DecodeError, Header
 #: Destination MAC used by LLDP (nearest-bridge group address).
 LLDP_MULTICAST = MACAddress("01:80:c2:00:00:0e")
 
+#: Wire-bytes -> decoded LLDP intern table (bounded; see LLDP.decode).
+_DECODED_LLDP: dict = {}
+_DECODED_LLDP_LIMIT = 1 << 16
+
 
 class LLDPTLVType:
     END = 0
@@ -84,6 +88,19 @@ class LLDP(Header):
 
     @classmethod
     def decode(cls, data: bytes) -> "LLDP":
+        # Discovery re-sends the identical probe frame on every port at
+        # every interval; intern the decoded (immutable) frame by its bytes.
+        wire = bytes(data)
+        cached = _DECODED_LLDP.get(wire)
+        if cached is not None:
+            return cached
+        lldp = cls._decode_uncached(wire)
+        if len(_DECODED_LLDP) < _DECODED_LLDP_LIMIT:
+            _DECODED_LLDP[wire] = lldp
+        return lldp
+
+    @classmethod
+    def _decode_uncached(cls, data: bytes) -> "LLDP":
         tlvs = cls._parse_tlvs(data)
         chassis_id = None
         port_id = None

@@ -36,6 +36,7 @@ class ControlChannel:
         self.sim = sim
         self.latency = latency
         self.name = name or "channel"
+        self._event_label = f"ofchan:{self.name}"
         self.endpoint_a: Optional[ChannelEndpoint] = None
         self.endpoint_b: Optional[ChannelEndpoint] = None
         self.open = False
@@ -71,7 +72,7 @@ class ControlChannel:
             self.messages_b_to_a += 1
             self.bytes_b_to_a += len(data)
         self.sim.schedule(self.latency, self._deliver, peer, data,
-                          name=f"ofchan:{self.name}")
+                          label=self._event_label)
         return True
 
     def _deliver(self, peer: ChannelEndpoint, data: bytes) -> None:

@@ -32,11 +32,10 @@ class FlowEntry:
         self.last_used = install_time
         self.packet_count = 0
         self.byte_count = 0
-
-    @property
-    def effective_priority(self) -> int:
-        """Exact-match entries always win over wildcarded ones."""
-        return 0x10000 if self.match.is_exact else self.priority
+        #: Exact-match entries always win over wildcarded ones.  Computed
+        #: once: match and priority are fixed for the entry's lifetime, and
+        #: the table sorts on this constantly.
+        self.effective_priority = 0x10000 if match.is_exact else priority
 
     @property
     def send_flow_removed(self) -> bool:
@@ -77,6 +76,9 @@ class FlowTable:
         self._entries: List[FlowEntry] = []
         self.lookup_count = 0
         self.matched_count = 0
+        #: True while any installed entry carries a timeout; lets expire()
+        #: return immediately for the common all-permanent-routes table.
+        self._may_expire = False
 
     # ------------------------------------------------------------- contents
     def __len__(self) -> int:
@@ -95,14 +97,33 @@ class FlowTable:
 
     # --------------------------------------------------------------- mutate
     def add(self, entry: FlowEntry, replace_identical: bool = True) -> None:
-        """Install an entry, replacing an identical (match, priority) one."""
-        if replace_identical:
-            self._entries = [
-                e for e in self._entries
-                if not (e.match == entry.match and e.priority == entry.priority)
-            ]
-        self._entries.append(entry)
-        self._entries.sort(key=lambda e: e.effective_priority, reverse=True)
+        """Install an entry, replacing an identical (match, priority) one.
+
+        The list is kept permanently sorted by descending effective
+        priority, so installation is a binary-search insert (placing the new
+        entry after equal priorities, exactly where a stable sort after an
+        append would put it) instead of a full re-sort per flow-mod.
+        """
+        entries = self._entries
+        if replace_identical and entries:
+            key = entry.match._key()
+            priority = entry.priority
+            for index, existing in enumerate(entries):
+                if existing.priority == priority and existing.match._key() == key:
+                    # add() always deduplicates, so at most one can exist.
+                    del entries[index]
+                    break
+        lo, hi = 0, len(entries)
+        effective = entry.effective_priority
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if entries[mid].effective_priority < effective:
+                hi = mid
+            else:
+                lo = mid + 1
+        entries.insert(lo, entry)
+        if entry.idle_timeout or entry.hard_timeout:
+            self._may_expire = True
 
     def modify(self, match: Match, actions: List[Action], strict: bool,
                priority: int) -> int:
@@ -124,15 +145,21 @@ class FlowTable:
 
     def expire(self, now: float) -> List[tuple]:
         """Remove timed-out entries; returns (entry, reason) pairs."""
+        if not self._may_expire:
+            return []
         expired = []
         remaining = []
+        may_expire = False
         for entry in self._entries:
             reason = entry.is_expired(now)
             if reason is None:
                 remaining.append(entry)
+                if entry.idle_timeout or entry.hard_timeout:
+                    may_expire = True
             else:
                 expired.append((entry, reason))
         self._entries = remaining
+        self._may_expire = may_expire
         return expired
 
     @staticmethod

@@ -14,6 +14,7 @@ from typing import Optional
 from repro.net.addresses import IPv4Address, MACAddress
 from repro.net.arp import ARP
 from repro.net.ethernet import Ethernet, EtherType
+from repro.net.fastpath import ethernet_framing, ipv4_framing
 from repro.net.ipv4 import IPProtocol, IPv4
 from repro.net.packet import DecodeError
 from repro.net.transport import ICMP, TCP, UDP
@@ -46,35 +47,56 @@ class PacketFields:
 
     @classmethod
     def from_frame(cls, data: bytes, in_port: int = 0) -> "PacketFields":
-        """Extract match fields from an encoded Ethernet frame."""
+        """Extract match fields from an encoded Ethernet frame.
+
+        This is the per-packet fast path of every switch pipeline, so the
+        fields are pulled straight out of the byte string instead of
+        decoding the whole header-object tree (which would parse OSPF LSA
+        payloads just to read two port numbers).  Validation mirrors the
+        codec classes exactly: any condition that would make a decoder
+        raise leaves the corresponding fields at their defaults.
+        """
         fields = cls(in_port=in_port)
-        try:
-            eth = Ethernet.decode(data)
-        except DecodeError:
+        framing = ethernet_framing(data)
+        if framing is None:
             return fields
-        fields.dl_src = eth.src
-        fields.dl_dst = eth.dst
-        fields.dl_type = eth.ethertype
-        if eth.vlan is not None:
-            fields.dl_vlan = eth.vlan
-            fields.dl_vlan_pcp = eth.vlan_pcp
-        payload = eth.payload
-        if isinstance(payload, IPv4):
-            fields.nw_tos = payload.tos
-            fields.nw_proto = payload.protocol
-            fields.nw_src = payload.src
-            fields.nw_dst = payload.dst
-            inner = payload.payload
-            if isinstance(inner, (TCP, UDP)):
-                fields.tp_src = inner.src_port
-                fields.tp_dst = inner.dst_port
-            elif isinstance(inner, ICMP):
-                fields.tp_src = inner.icmp_type
-                fields.tp_dst = inner.code
-        elif isinstance(payload, ARP):
-            fields.nw_proto = payload.opcode
-            fields.nw_src = payload.sender_ip
-            fields.nw_dst = payload.target_ip
+        ethertype, offset, vlan, vlan_pcp = framing
+        if vlan is not None:
+            fields.dl_vlan = vlan
+            fields.dl_vlan_pcp = vlan_pcp
+        fields.dl_dst = MACAddress(data[0:6])
+        fields.dl_src = MACAddress(data[6:12])
+        fields.dl_type = ethertype
+        if ethertype == EtherType.IPV4:
+            ip = data[offset:]
+            ip_framing = ipv4_framing(ip)
+            if ip_framing is None:
+                return fields
+            protocol, _header_len, body = ip_framing
+            fields.nw_tos = ip[1]
+            fields.nw_proto = protocol
+            fields.nw_src = IPv4Address(ip[12:16])
+            fields.nw_dst = IPv4Address(ip[16:20])
+            blen = len(body)
+            if protocol == IPProtocol.UDP:
+                if blen >= 8 and ((body[4] << 8) | body[5]) >= 8:
+                    fields.tp_src = (body[0] << 8) | body[1]
+                    fields.tp_dst = (body[2] << 8) | body[3]
+            elif protocol == IPProtocol.TCP:
+                if blen >= 20 and (body[12] >> 4) * 4 >= 20:
+                    fields.tp_src = (body[0] << 8) | body[1]
+                    fields.tp_dst = (body[2] << 8) | body[3]
+            elif protocol == IPProtocol.ICMP:
+                if blen >= 8:
+                    fields.tp_src = body[0]
+                    fields.tp_dst = body[1]
+        elif ethertype == EtherType.ARP:
+            arp = data[offset:]
+            if (len(arp) >= 28 and arp[0:2] == b"\x00\x01"
+                    and arp[2:4] == b"\x08\x00" and arp[4] == 6 and arp[5] == 4):
+                fields.nw_proto = (arp[6] << 8) | arp[7]
+                fields.nw_src = IPv4Address(arp[14:18])
+                fields.nw_dst = IPv4Address(arp[24:28])
         return fields
 
 
@@ -110,6 +132,10 @@ class Match:
         self.nw_dst = IPv4Address(nw_dst)
         self.tp_src = tp_src
         self.tp_dst = tp_dst
+        # Field-tuple cache backing __eq__/__hash__; flow tables compare
+        # matches constantly, so the tuple is built once and dropped by the
+        # set_* mutators below.
+        self._key_cache = None
 
     # --------------------------------------------------------- constructors
     @classmethod
@@ -146,48 +172,57 @@ class Match:
 
     # --------------------------------------------------------------- setters
     def set_in_port(self, port: int) -> "Match":
+        self._key_cache = None
         self.in_port = port
         self.wildcards &= ~W.IN_PORT
         return self
 
     def set_dl_type(self, dl_type: int) -> "Match":
+        self._key_cache = None
         self.dl_type = dl_type
         self.wildcards &= ~W.DL_TYPE
         return self
 
     def set_dl_src(self, mac: MACAddress) -> "Match":
+        self._key_cache = None
         self.dl_src = MACAddress(mac)
         self.wildcards &= ~W.DL_SRC
         return self
 
     def set_dl_dst(self, mac: MACAddress) -> "Match":
+        self._key_cache = None
         self.dl_dst = MACAddress(mac)
         self.wildcards &= ~W.DL_DST
         return self
 
     def set_nw_proto(self, proto: int) -> "Match":
+        self._key_cache = None
         self.nw_proto = proto
         self.wildcards &= ~W.NW_PROTO
         return self
 
     def set_nw_src(self, address: IPv4Address, prefix_len: int = 32) -> "Match":
+        self._key_cache = None
         self.nw_src = IPv4Address(address)
         self.wildcards &= ~W.NW_SRC_MASK
         self.wildcards |= ((32 - prefix_len) << W.NW_SRC_SHIFT) & W.NW_SRC_MASK
         return self
 
     def set_nw_dst(self, address: IPv4Address, prefix_len: int = 32) -> "Match":
+        self._key_cache = None
         self.nw_dst = IPv4Address(address)
         self.wildcards &= ~W.NW_DST_MASK
         self.wildcards |= ((32 - prefix_len) << W.NW_DST_SHIFT) & W.NW_DST_MASK
         return self
 
     def set_tp_src(self, port: int) -> "Match":
+        self._key_cache = None
         self.tp_src = port
         self.wildcards &= ~W.TP_SRC
         return self
 
     def set_tp_dst(self, port: int) -> "Match":
+        self._key_cache = None
         self.tp_dst = port
         self.wildcards &= ~W.TP_DST
         return self
@@ -320,12 +355,15 @@ class Match:
 
     # ------------------------------------------------------------------ misc
     def _key(self) -> tuple:
-        return (
-            self.wildcards, self.in_port, int(self.dl_src), int(self.dl_dst),
-            self.dl_vlan, self.dl_vlan_pcp, self.dl_type, self.nw_tos,
-            self.nw_proto, int(self.nw_src), int(self.nw_dst),
-            self.tp_src, self.tp_dst,
-        )
+        key = self._key_cache
+        if key is None:
+            key = self._key_cache = (
+                self.wildcards, self.in_port, int(self.dl_src), int(self.dl_dst),
+                self.dl_vlan, self.dl_vlan_pcp, self.dl_type, self.nw_tos,
+                self.nw_proto, int(self.nw_src), int(self.nw_dst),
+                self.tp_src, self.tp_dst,
+            )
+        return key
 
     def __eq__(self, other: object) -> bool:
         if not isinstance(other, Match):

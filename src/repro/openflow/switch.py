@@ -108,6 +108,7 @@ class OpenFlowSwitch:
         self.sim = sim
         self.datapath_id = datapath_id
         self.name = name or f"s{datapath_id}"
+        self._pipeline_label = f"{self.name}:pipeline"
         self.ports: Dict[int, SwitchPort] = {}
         self.flow_table = FlowTable()
         self.channel: Optional[ControlChannel] = None
@@ -325,7 +326,7 @@ class OpenFlowSwitch:
     def _on_data_frame(self, interface: Interface, data: bytes) -> None:
         """A frame arrived on a data-plane port."""
         self.sim.schedule(self.PROCESSING_DELAY, self._process_frame,
-                          interface.port_no, data, name=f"{self.name}:pipeline")
+                          interface.port_no, data, label=self._pipeline_label)
 
     def _process_frame(self, in_port: int, data: bytes) -> None:
         fields = PacketFields.from_frame(data, in_port=in_port)

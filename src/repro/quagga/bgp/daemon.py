@@ -92,7 +92,7 @@ class BGPSessionBroker:
                 reverse.state = BGPSessionState.OPEN_SENT
                 self.sim.schedule(self.session_delay, self._establish,
                                   speaker, session, peer, reverse,
-                                  name="bgp:establish")
+                                  label="bgp:establish")
 
     def _establish(self, speaker: "BGPDaemon", session: BGPPeerSession,
                    peer: "BGPDaemon", reverse: BGPPeerSession) -> None:
@@ -109,7 +109,7 @@ class BGPSessionBroker:
             return
         self.sim.schedule(0.05, peer.receive_announcement, session.peer_address,
                           session.local_address, announcement, withdraw,
-                          name="bgp:update")
+                          label="bgp:update")
 
 
 class BGPDaemon:

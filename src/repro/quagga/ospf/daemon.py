@@ -59,6 +59,7 @@ class OSPFDaemon:
         self.spf_delay = spf_delay
         self.spf_holdtime = spf_holdtime
         self.interface_cost = interface_cost
+        self._spf_label = f"ospf:{self.hostname}:spf"
         self.lsdb = LSDB()
         self.interfaces: Dict[str, OSPFInterface] = {}
         self._interface_configs = list(interfaces)
@@ -66,6 +67,9 @@ class OSPFDaemon:
         self._spf_scheduled = False
         self._last_spf_time: Optional[float] = None
         self._installed_prefixes: set = set()
+        #: prefix -> Route as last announced, so an SPF run that reproduces
+        #: the same result does not re-announce every route into zebra.
+        self._installed_routes: Dict[IPv4Network, Route] = {}
         self.running = False
         # Statistics used by the experiments.
         self.spf_runs = 0
@@ -90,6 +94,7 @@ class OSPFDaemon:
         for prefix in list(self._installed_prefixes):
             self.zebra.withdraw_route(prefix, RouteSource.OSPF)
         self._installed_prefixes.clear()
+        self._installed_routes.clear()
 
     def add_interface(self, iface: InterfaceConfig) -> Optional[OSPFInterface]:
         """Enable OSPF on an interface if a ``network`` statement covers it.
@@ -117,6 +122,10 @@ class OSPFDaemon:
     def send_packet(self, interface_name: str, packet: OSPFPacket) -> None:
         """Hand an OSPF packet to the VM for transmission on an interface."""
         self.send_callback(interface_name, ALL_SPF_ROUTERS, packet.encode())
+
+    def send_bytes(self, interface_name: str, wire: bytes) -> None:
+        """Like :meth:`send_packet` for an already-encoded packet."""
+        self.send_callback(interface_name, ALL_SPF_ROUTERS, wire)
 
     def receive_packet(self, interface_name: str, src_ip: IPv4Address, data: bytes) -> None:
         """Called by the VM when an OSPF packet arrives on an interface."""
@@ -196,7 +205,7 @@ class OSPFDaemon:
             if since_last < self.spf_holdtime:
                 delay = max(delay, self.spf_holdtime - since_last)
         self._spf_scheduled = True
-        self.sim.schedule(delay, self._run_spf, name=f"ospf:{self.hostname}:spf")
+        self.sim.schedule(delay, self._run_spf, label=self._spf_label)
 
     def _run_spf(self) -> None:
         self._spf_scheduled = False
@@ -206,20 +215,42 @@ class OSPFDaemon:
         self.spf_runs += 1
         routes = compute_routes(self.lsdb, self.router_id)
         new_prefixes = set()
+        new_routes: Dict[IPv4Network, Route] = {}
+        # Neighbor states cannot change while this event runs, so each
+        # distinct first hop resolves once per SPF run, not once per route.
+        resolutions: Dict[IPv4Address, Optional[tuple]] = {}
         for spf_route in routes:
             if spf_route.first_hop is None:
                 continue  # local stub, covered by a connected route
-            resolution = self._resolve_next_hop(spf_route.first_hop)
+            first_hop = spf_route.first_hop
+            if first_hop in resolutions:
+                resolution = resolutions[first_hop]
+            else:
+                resolution = resolutions[first_hop] = self._resolve_next_hop(first_hop)
             if resolution is None:
                 continue
             next_hop, interface_name = resolution
-            new_prefixes.add(spf_route.prefix)
-            self.zebra.announce_route(Route(
-                prefix=spf_route.prefix, next_hop=next_hop, interface=interface_name,
-                source=RouteSource.OSPF, metric=spf_route.cost))
+            prefix = spf_route.prefix
+            new_prefixes.add(prefix)
+            # Re-announcing an identical route is a no-op in the RIB (the
+            # candidate is replaced by its equal, the best route does not
+            # change, no listener fires) — skip the round trip, reusing the
+            # previously announced Route object when nothing changed.
+            installed = self._installed_routes.get(prefix)
+            if installed is not None and installed.next_hop == next_hop \
+                    and installed.interface == interface_name \
+                    and installed.metric == spf_route.cost:
+                new_routes[prefix] = installed
+            else:
+                route = Route(prefix=prefix, next_hop=next_hop,
+                              interface=interface_name, source=RouteSource.OSPF,
+                              metric=spf_route.cost)
+                new_routes[prefix] = route
+                self.zebra.announce_route(route)
         for stale in self._installed_prefixes - new_prefixes:
             self.zebra.withdraw_route(stale, RouteSource.OSPF)
         self._installed_prefixes = new_prefixes
+        self._installed_routes = new_routes
 
     def _resolve_next_hop(self, first_hop_router: IPv4Address):
         """Map a first-hop router id to (next-hop IP, outgoing interface)."""

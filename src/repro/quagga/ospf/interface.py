@@ -48,21 +48,21 @@ class OSPFInterface:
         self.dead_interval = dead_interval
         self.area_id = IPv4Address(area_id)
         self.neighbors: Dict[IPv4Address, Neighbor] = {}
+        #: Connected prefix and netmask, fixed at construction (the ip and
+        #: prefix length never change) — hello emission reads them per tick.
+        self.network = IPv4Network((self.ip, prefix_len))
+        self.netmask = self.network.netmask
         self._hello_task = PeriodicTask(daemon.sim, hello_interval, self.send_hello,
                                         name=f"ospf:{daemon.hostname}:{name}:hello")
         self._dd_sequence = 1
+        self._dead_label = f"ospf:{daemon.hostname}:{name}:dead"
+        #: (neighbor-id tuple, encoded hello) — hellos only change when the
+        #: neighbor set does, so steady-state ticks resend cached bytes.
+        self._hello_wire: Optional[tuple] = None
         self.hello_sent = 0
         self.hello_received = 0
 
     # -------------------------------------------------------------- properties
-    @property
-    def network(self) -> IPv4Network:
-        return IPv4Network((self.ip, self.prefix_len))
-
-    @property
-    def netmask(self) -> IPv4Address:
-        return self.network.netmask
-
     @property
     def full_neighbors(self) -> List[Neighbor]:
         return [n for n in self.neighbors.values() if n.state == NeighborState.FULL]
@@ -81,16 +81,20 @@ class OSPFInterface:
 
     # ------------------------------------------------------------------ hello
     def send_hello(self) -> None:
-        hello = HelloPacket(
-            router_id=self.daemon.router_id,
-            network_mask=self.netmask,
-            hello_interval=int(self.hello_interval),
-            dead_interval=int(self.dead_interval),
-            neighbors=[n.router_id for n in self.neighbors.values()],
-            area_id=self.area_id,
-        )
+        neighbor_ids = tuple(self.neighbors)
+        cached = self._hello_wire
+        if cached is None or cached[0] != neighbor_ids:
+            hello = HelloPacket(
+                router_id=self.daemon.router_id,
+                network_mask=self.netmask,
+                hello_interval=int(self.hello_interval),
+                dead_interval=int(self.dead_interval),
+                neighbors=[n.router_id for n in self.neighbors.values()],
+                area_id=self.area_id,
+            )
+            cached = self._hello_wire = (neighbor_ids, hello.encode())
         self.hello_sent += 1
-        self.daemon.send_packet(self.name, hello)
+        self.daemon.send_bytes(self.name, cached[1])
 
     # --------------------------------------------------------------- dispatch
     def handle_packet(self, src_ip: IPv4Address, packet: OSPFPacket) -> None:
@@ -130,7 +134,7 @@ class OSPFInterface:
             neighbor.dead_timer_event.cancel()
         neighbor.dead_timer_event = self.daemon.sim.schedule(
             self.dead_interval, self._neighbor_dead, neighbor,
-            name=f"ospf:{self.daemon.hostname}:{self.name}:dead")
+            label=self._dead_label)
 
     def _neighbor_dead(self, neighbor: Neighbor) -> None:
         if self.neighbors.get(neighbor.router_id) is not neighbor:

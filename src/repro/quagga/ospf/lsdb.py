@@ -9,10 +9,26 @@ from repro.quagga.ospf.packets import LSAHeader, RouterLSA
 
 
 class LSDB:
-    """Router LSAs indexed by (type, link-state id, advertising router)."""
+    """Router LSAs indexed by (type, link-state id, advertising router).
+
+    The database carries a monotonically increasing :attr:`version` that
+    bumps on every mutation.  Consumers (the SPF module) key derived data —
+    the router graph, the stub-prefix list — on it, so an unchanged database
+    never triggers a recomputation.  A secondary index by advertising router
+    keeps :meth:`router_lsa` and :meth:`remove_from` O(1) in the database
+    size instead of scanning every LSA.
+    """
 
     def __init__(self) -> None:
         self._lsas: Dict[Tuple[int, int, int], RouterLSA] = {}
+        #: advertising-router int -> {key -> RouterLSA}, insertion-ordered.
+        self._by_adv: Dict[int, Dict[Tuple[int, int, int], RouterLSA]] = {}
+        self._version = 0
+
+    @property
+    def version(self) -> int:
+        """Monotonic mutation counter; equal versions mean identical content."""
+        return self._version
 
     def __len__(self) -> int:
         return len(self._lsas)
@@ -25,10 +41,10 @@ class LSDB:
 
     def router_lsa(self, router_id: IPv4Address) -> Optional[RouterLSA]:
         """Find the router LSA originated by a given router id."""
-        for lsa in self._lsas.values():
-            if lsa.header.advertising_router == IPv4Address(router_id):
-                return lsa
-        return None
+        bucket = self._by_adv.get(int(IPv4Address(router_id)))
+        if not bucket:
+            return None
+        return next(iter(bucket.values()))
 
     @property
     def lsas(self) -> List[RouterLSA]:
@@ -47,19 +63,32 @@ class LSDB:
         if existing is not None and not lsa.header.is_newer_than(existing.header):
             return False
         self._lsas[lsa.key] = lsa
+        self._by_adv.setdefault(int(lsa.header.advertising_router), {})[lsa.key] = lsa
+        self._version += 1
         return True
 
     def remove(self, key: Tuple[int, int, int]) -> bool:
-        return self._lsas.pop(key, None) is not None
+        lsa = self._lsas.pop(key, None)
+        if lsa is None:
+            return False
+        bucket = self._by_adv.get(int(lsa.header.advertising_router))
+        if bucket is not None:
+            bucket.pop(key, None)
+            if not bucket:
+                del self._by_adv[int(lsa.header.advertising_router)]
+        self._version += 1
+        return True
 
     def remove_from(self, advertising_router: IPv4Address) -> int:
         """Drop every LSA originated by a router (used when it goes away)."""
-        router = IPv4Address(advertising_router)
-        keys = [key for key, lsa in self._lsas.items()
-                if lsa.header.advertising_router == router]
-        for key in keys:
+        router = int(IPv4Address(advertising_router))
+        bucket = self._by_adv.pop(router, None)
+        if not bucket:
+            return 0
+        for key in bucket:
             del self._lsas[key]
-        return len(keys)
+        self._version += 1
+        return len(bucket)
 
     def missing_or_older_than(self, headers: List[LSAHeader]) -> List[LSAHeader]:
         """Which of the advertised LSAs do we need to request?"""
@@ -71,4 +100,4 @@ class LSDB:
         return needed
 
     def __repr__(self) -> str:
-        return f"<LSDB lsas={len(self._lsas)}>"
+        return f"<LSDB lsas={len(self._lsas)} v={self._version}>"

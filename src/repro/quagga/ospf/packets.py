@@ -24,6 +24,17 @@ from repro.quagga.ospf.constants import (
 OSPF_HEADER_LEN = 24
 LSA_HEADER_LEN = 20
 
+_ZERO_ADDR = bytes(4)
+
+#: Wire-bytes -> decoded RouterLSA intern table (see RouterLSA.decode).
+#: Bounded so a long-running simulation cannot grow it without limit.
+_DECODED_LSAS: dict = {}
+_DECODED_LSAS_LIMIT = 1 << 16
+
+#: Wire-bytes -> decoded OSPFPacket intern table (see OSPFPacket.decode).
+_DECODED_PACKETS: dict = {}
+_DECODED_PACKETS_LIMIT = 1 << 16
+
 
 # --------------------------------------------------------------------------
 # LSA structures
@@ -41,6 +52,11 @@ class LSAHeader:
         self.age = age
         self.options = options
         self.length = length
+        # Headers sit in the LSDB and are re-encoded for every DD summary
+        # and ack; the wire form is cached until ``length`` changes (the one
+        # field RouterLSA rewrites after construction).
+        self._encoded: Optional[bytes] = None
+        self._encoded_length = -1
 
     @property
     def key(self) -> Tuple[int, int, int]:
@@ -54,9 +70,13 @@ class LSAHeader:
         return self.age < other.age
 
     def encode(self) -> bytes:
-        return struct.pack("!HBB4s4sIHH", self.age, self.options, self.ls_type,
-                           self.link_state_id.packed, self.advertising_router.packed,
-                           self.sequence & 0xFFFFFFFF, 0, self.length)
+        if self._encoded is None or self._encoded_length != self.length:
+            self._encoded = struct.pack(
+                "!HBB4s4sIHH", self.age, self.options, self.ls_type,
+                self.link_state_id.packed, self.advertising_router.packed,
+                self.sequence & 0xFFFFFFFF, 0, self.length)
+            self._encoded_length = self.length
+        return self._encoded
 
     @classmethod
     def decode(cls, data: bytes) -> "LSAHeader":
@@ -124,6 +144,9 @@ class RouterLSA:
         self.links = list(links)
         self.flags = flags
         self.header.length = LSA_HEADER_LEN + 4 + 12 * len(self.links)
+        # LSAs are immutable once originated/decoded but are flooded out of
+        # every interface on every topology change: serialize once.
+        self._encoded: Optional[bytes] = None
 
     @classmethod
     def originate(cls, router_id: IPv4Address, sequence: int,
@@ -137,19 +160,35 @@ class RouterLSA:
         return self.header.key
 
     def encode(self) -> bytes:
-        body = struct.pack("!BxH", self.flags, len(self.links))
-        body += b"".join(link.encode() for link in self.links)
-        self.header.length = LSA_HEADER_LEN + len(body)
-        return self.header.encode() + body
+        if self._encoded is None:
+            body = struct.pack("!BxH", self.flags, len(self.links))
+            body += b"".join(link.encode() for link in self.links)
+            self.header.length = LSA_HEADER_LEN + len(body)
+            self._encoded = self.header.encode() + body
+        return self._encoded
 
     @classmethod
     def decode(cls, data: bytes) -> "RouterLSA":
-        header = LSAHeader.decode(data)
-        if header.ls_type != LSAType.ROUTER:
-            raise DecodeError(f"not a router LSA (type {header.ls_type})")
-        if len(data) < header.length:
+        """Decode a Router LSA, interning by wire bytes.
+
+        Flooding delivers the identical LSA bytes to every router in the
+        area; the decoded instance is shared between them, which is safe
+        because LSAs are immutable once decoded (nothing in the LSDB or the
+        flooding path writes to them).
+        """
+        if len(data) < LSA_HEADER_LEN:
+            raise DecodeError("truncated LSA header")
+        if data[3] != LSAType.ROUTER:
+            raise DecodeError(f"not a router LSA (type {data[3]})")
+        length = (data[18] << 8) | data[19]
+        if len(data) < length:
             raise DecodeError("truncated router LSA")
-        body = data[LSA_HEADER_LEN:header.length]
+        wire = bytes(data[:length])
+        cached = _DECODED_LSAS.get(wire)
+        if cached is not None:
+            return cached
+        header = LSAHeader.decode(wire)
+        body = wire[LSA_HEADER_LEN:]
         if len(body) < 4:
             raise DecodeError("router LSA body too short")
         flags, num_links = struct.unpack("!BxH", body[:4])
@@ -158,7 +197,10 @@ class RouterLSA:
         for _ in range(num_links):
             links.append(RouterLink.decode(body[offset:offset + 12]))
             offset += 12
-        return cls(header=header, links=links, flags=flags)
+        lsa = cls(header=header, links=links, flags=flags)
+        if len(_DECODED_LSAS) < _DECODED_LSAS_LIMIT:
+            _DECODED_LSAS[wire] = lsa
+        return lsa
 
     def __repr__(self) -> str:
         return f"<RouterLSA {self.header.advertising_router} links={len(self.links)}>"
@@ -170,10 +212,12 @@ def decode_lsa(data: bytes) -> Tuple[RouterLSA, int]:
     Unknown LSA types are rejected — only Router LSAs circulate in the
     reproduced topologies.
     """
-    header = LSAHeader.decode(data)
-    if header.ls_type == LSAType.ROUTER:
-        return RouterLSA.decode(data), header.length
-    raise DecodeError(f"unsupported LSA type {header.ls_type}")
+    if len(data) < LSA_HEADER_LEN:
+        raise DecodeError("truncated LSA header")
+    if data[3] == LSAType.ROUTER:
+        lsa = RouterLSA.decode(data)
+        return lsa, lsa.header.length
+    raise DecodeError(f"unsupported LSA type {data[3]}")
 
 
 # --------------------------------------------------------------------------
@@ -203,6 +247,23 @@ class OSPFPacket(Header):
 
     @classmethod
     def decode(cls, data: bytes) -> "OSPFPacket":
+        """Decode an OSPF packet, interning by wire bytes.
+
+        Steady-state hellos repeat byte-identically every interval and a
+        flooded LS Update reaches every neighbor with the same bytes, so the
+        decoded (immutable) packet is shared between deliveries.
+        """
+        wire = bytes(data)
+        cached = _DECODED_PACKETS.get(wire)
+        if cached is not None:
+            return cached
+        packet = cls._decode_uncached(wire)
+        if len(_DECODED_PACKETS) < _DECODED_PACKETS_LIMIT:
+            _DECODED_PACKETS[wire] = packet
+        return packet
+
+    @classmethod
+    def _decode_uncached(cls, data: bytes) -> "OSPFPacket":
         if len(data) < OSPF_HEADER_LEN:
             raise DecodeError(f"OSPF packet too short: {len(data)} bytes")
         version, ptype, length, router_id, area_id, _csum, _autype, _auth = struct.unpack(
@@ -244,8 +305,8 @@ class HelloPacket(OSPFPacket):
         out = self.network_mask.packed
         out += struct.pack("!HBB", self.hello_interval, 0x02, self.priority)
         out += struct.pack("!I", self.dead_interval)
-        out += IPv4Address(0).packed  # designated router (unused on p2p)
-        out += IPv4Address(0).packed  # backup designated router
+        out += _ZERO_ADDR  # designated router (unused on p2p)
+        out += _ZERO_ADDR  # backup designated router
         for neighbor in self.neighbors:
             out += neighbor.packed
         return out

@@ -5,23 +5,41 @@ when *both* endpoints advertise the point-to-point link (the RFC's
 bidirectional connectivity check) — computes shortest paths from the
 calculating router, and derives one candidate route per stub network
 advertised anywhere in the area.
+
+Derived data is cached on the LSDB and keyed by its version counter: the
+router graph and the flattened stub-prefix list are rebuilt only when the
+database actually changed, so the N routers of an area flooding N LSAs no
+longer cost N² from-scratch graph builds.  Adjacency lists are stored
+pre-sorted by neighbor id, which keeps the Dijkstra visit order (and
+therefore every tie-break) exactly as it was when the inner loop sorted on
+every pop.
 """
 
 from __future__ import annotations
 
 import heapq
-from dataclasses import dataclass
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, NamedTuple, Optional, Tuple
 
-from repro.net.addresses import IPv4Address, IPv4Network
+from repro.net.addresses import IPv4Address, IPv4Network, PREFIXLEN_FROM_NETMASK
 from repro.quagga.ospf.constants import RouterLinkType
 from repro.quagga.ospf.lsdb import LSDB
-from repro.quagga.ospf.packets import RouterLSA
+
+#: Shared (address, prefix-length) -> IPv4Network intern table.  Every
+#: router in an area derives routes for the same handful of stub prefixes on
+#: every SPF run; reusing the network objects also makes the RIB's
+#: prefix-keyed dict lookups hit precomputed hashes.  Bounded like the
+#: address intern tables.
+_NETWORK_CACHE: Dict[Tuple[int, int], IPv4Network] = {}
+_NETWORK_CACHE_LIMIT = 1 << 16
 
 
-@dataclass(frozen=True)
-class SPFRoute:
-    """One route produced by an SPF run."""
+class SPFRoute(NamedTuple):
+    """One route produced by an SPF run.
+
+    A named tuple rather than a (frozen) dataclass: an SPF run emits one per
+    stub network and large areas mean hundreds of thousands of them, where
+    tuple allocation is several times cheaper than ``object.__setattr__``.
+    """
 
     prefix: IPv4Network
     cost: int
@@ -31,33 +49,103 @@ class SPFRoute:
     advertising_router: IPv4Address
 
 
-@dataclass
 class SPFNode:
     """Per-router result of the Dijkstra run."""
 
-    router_id: IPv4Address
-    distance: int
-    first_hop: Optional[IPv4Address]
+    __slots__ = ("router_id", "distance", "first_hop")
+
+    def __init__(self, router_id: IPv4Address, distance: int,
+                 first_hop: Optional[IPv4Address]) -> None:
+        self.router_id = router_id
+        self.distance = distance
+        self.first_hop = first_hop
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SPFNode):
+            return NotImplemented
+        return (self.router_id, self.distance, self.first_hop) == \
+            (other.router_id, other.distance, other.first_hop)
+
+    def __repr__(self) -> str:
+        return (f"SPFNode(router_id={self.router_id!r}, "
+                f"distance={self.distance!r}, first_hop={self.first_hop!r})")
 
 
 def build_router_graph(lsdb: LSDB) -> Dict[int, Dict[int, int]]:
-    """Adjacency map {router -> {neighbor -> cost}} with bidirectional check."""
+    """Adjacency map {router -> {neighbor -> cost}} with bidirectional check.
+
+    Cached per LSDB version; the returned mapping is shared, so callers must
+    treat it as read-only.  Neighbor iteration order is ascending router id.
+    """
+    cached = getattr(lsdb, "_spf_graph", None)
+    if cached is not None and lsdb._spf_graph_version == lsdb.version:
+        return cached
     advertised: Dict[int, Dict[int, int]] = {}
     for lsa in lsdb.lsas:
         router = int(lsa.header.advertising_router)
         edges = advertised.setdefault(router, {})
-        for link in lsa.links:
-            if link.link_type == RouterLinkType.POINT_TO_POINT:
-                neighbor = int(link.link_id)
-                cost = link.metric
-                if neighbor not in edges or cost < edges[neighbor]:
-                    edges[neighbor] = cost
-    graph: Dict[int, Dict[int, int]] = {router: {} for router in advertised}
+        # The parsed point-to-point link list rides on the (immutable,
+        # interned) LSA itself: extracted once, shared by every router that
+        # holds the LSA in its database.
+        p2p = getattr(lsa, "_spf_p2p", None)
+        if p2p is None:
+            p2p = lsa._spf_p2p = [
+                (int(link.link_id), link.metric) for link in lsa.links
+                if link.link_type == RouterLinkType.POINT_TO_POINT]
+        for neighbor, cost in p2p:
+            if neighbor not in edges or cost < edges[neighbor]:
+                edges[neighbor] = cost
+    graph: Dict[int, Dict[int, int]] = {}
     for router, edges in advertised.items():
-        for neighbor, cost in edges.items():
-            if neighbor in advertised and router in advertised[neighbor]:
-                graph[router][neighbor] = cost
+        graph[router] = {
+            neighbor: edges[neighbor]
+            for neighbor in sorted(edges)
+            if neighbor in advertised and router in advertised[neighbor]
+        }
+    lsdb._spf_graph = graph
+    lsdb._spf_graph_version = lsdb.version
     return graph
+
+
+def _stub_links(lsdb: LSDB) -> List[Tuple[int, IPv4Network, int]]:
+    """Flattened ``(advertising router, prefix, metric)`` stub list.
+
+    Cached per LSDB version so the per-SPF cost of rebuilding every stub's
+    :class:`IPv4Network` (including the netmask → prefix-length conversion)
+    is paid once per database change, not once per SPF run.
+    """
+    cached = getattr(lsdb, "_spf_stubs", None)
+    if cached is not None and lsdb._spf_stubs_version == lsdb.version:
+        return cached
+    stubs: List[Tuple[int, IPv4Network, int]] = []
+    networks = _NETWORK_CACHE
+    for lsa in lsdb.lsas:
+        # Like the p2p list in build_router_graph, the parsed stub list is
+        # cached on the shared LSA object itself.
+        lsa_stubs = getattr(lsa, "_spf_stubs", None)
+        if lsa_stubs is None:
+            lsa_stubs = []
+            for link in lsa.links:
+                if link.link_type != RouterLinkType.STUB:
+                    continue
+                netmask = int(link.link_data)
+                prefix_len = PREFIXLEN_FROM_NETMASK.get(netmask)
+                if prefix_len is None:  # non-contiguous mask: count the bits
+                    prefix_len = bin(netmask).count("1")
+                network_key = (int(link.link_id), prefix_len)
+                prefix = networks.get(network_key)
+                if prefix is None:
+                    prefix = IPv4Network((link.link_id, prefix_len))
+                    if len(networks) < _NETWORK_CACHE_LIMIT:
+                        networks[network_key] = prefix
+                lsa_stubs.append((prefix, link.metric))
+            lsa._spf_stubs = lsa_stubs
+        adv = int(lsa.header.advertising_router)
+        for prefix, metric in lsa_stubs:
+            stubs.append((adv, prefix, metric))
+    lsdb._spf_stubs = stubs
+    lsdb._spf_stubs_version = lsdb.version
+    return stubs
 
 
 def shortest_paths(lsdb: LSDB, root: IPv4Address) -> Dict[int, SPFNode]:
@@ -75,7 +163,8 @@ def shortest_paths(lsdb: LSDB, root: IPv4Address) -> Dict[int, SPFNode]:
         if router in visited:
             continue
         visited.add(router)
-        for neighbor, cost in sorted(graph.get(router, {}).items()):
+        # Adjacency lists come out of build_router_graph pre-sorted.
+        for neighbor, cost in graph[router].items():
             if neighbor in visited:
                 continue
             candidate = distance + cost
@@ -100,24 +189,22 @@ def compute_routes(lsdb: LSDB, root: IPv4Address) -> List[SPFRoute]:
     wins.
     """
     root_id = IPv4Address(root)
+    root_int = int(root_id)
     nodes = shortest_paths(lsdb, root_id)
-    best: Dict[IPv4Network, SPFRoute] = {}
-    for lsa in lsdb.lsas:
-        adv = lsa.header.advertising_router
-        node = nodes.get(int(adv))
+    # Keyed by (network value, prefix length) — the tuple doubles as the
+    # final sort key, so the result ordering costs one C-level tuple sort
+    # instead of a per-route lambda.
+    best: Dict[Tuple[int, int], SPFRoute] = {}
+    for adv_int, prefix, metric in _stub_links(lsdb):
+        node = nodes.get(adv_int)
         if node is None:
             continue  # advertising router unreachable
-        for link in lsa.links:
-            if link.link_type != RouterLinkType.STUB:
-                continue
-            netmask = int(link.link_data)
-            prefix_len = bin(netmask).count("1")
-            prefix = IPv4Network((link.link_id, prefix_len))
-            cost = node.distance + link.metric
-            route = SPFRoute(prefix=prefix, cost=cost,
-                             first_hop=node.first_hop if adv != root_id else None,
-                             advertising_router=adv)
-            existing = best.get(prefix)
-            if existing is None or cost < existing.cost:
-                best[prefix] = route
-    return sorted(best.values(), key=lambda r: (int(r.prefix.network), r.prefix.prefix_len))
+        cost = node.distance + metric
+        key = (prefix.network._value, prefix.prefix_len)
+        existing = best.get(key)
+        if existing is None or cost < existing.cost:
+            best[key] = SPFRoute(
+                prefix=prefix, cost=cost,
+                first_hop=node.first_hop if adv_int != root_int else None,
+                advertising_router=IPv4Address(adv_int))
+    return [route for _, route in sorted(best.items())]

@@ -35,6 +35,7 @@ class RFClient:
         self.vm = vm
         self.rfserver = rfserver
         self.route_mods_sent = 0
+        self._routemod_label = f"rfclient:{vm.vm_id}:routemod"
         vm.zebra.add_fib_listener(self._on_fib_change)
 
     def _on_fib_change(self, prefix: IPv4Network, new: Optional[Route],
@@ -49,7 +50,7 @@ class RFClient:
         self.route_mods_sent += 1
         payload = message.to_json()
         self.sim.schedule(self.IPC_DELAY, self.rfserver.receive_route_mod, payload,
-                          name=f"rfclient:{self.vm.vm_id}:routemod")
+                          label=self._routemod_label)
 
     def __repr__(self) -> str:
         return f"<RFClient vm={self.vm.vm_id} sent={self.route_mods_sent}>"

@@ -81,7 +81,7 @@ class RFServer:
         if self.serialize_vm_creation:
             start_at = max(self.sim.now, self._vm_creation_free_at)
             self._vm_creation_free_at = start_at + self.vm_boot_delay
-            self.sim.schedule_at(start_at, vm.start, name=f"rfserver:boot:{vm_id}")
+            self.sim.schedule_at(start_at, vm.start, label=f"rfserver:boot:{vm_id}")
         else:
             vm.start()
         self.event_log.record("vm_created", f"VM {vm.name} created for dpid {dpid:#x}",
@@ -152,7 +152,7 @@ class RFServer:
         route_mod = RouteMod.from_json(payload)
         self.route_mods_received += 1
         self.sim.schedule(self.IPC_DELAY, self._process_route_mod, route_mod,
-                          name="rfserver:routemod")
+                          label="rfserver:routemod")
 
     def _process_route_mod(self, route_mod: RouteMod) -> None:
         dpid = self.mapping.dpid_for_vm(route_mod.vm_id)

@@ -16,13 +16,15 @@ clone/boot cost that dominates RouteFlow's automatic configuration time
 from __future__ import annotations
 
 import logging
+import struct
 from typing import Callable, Dict, List, Optional
 
 from repro.net.addresses import IPv4Address, MACAddress
-from repro.net.ethernet import Ethernet, EtherType
-from repro.net.ipv4 import IPProtocol, IPv4
+from repro.net.ethernet import EtherType
+from repro.net.fastpath import ethernet_framing, ipv4_framing
+from repro.net.ipv4 import IPProtocol
 from repro.net.link import Interface
-from repro.net.packet import DecodeError, as_bytes
+from repro.net.packet import DecodeError
 from repro.quagga.configfile import (
     InterfaceConfig,
     OSPFConfig,
@@ -32,6 +34,7 @@ from repro.quagga.configfile import (
 )
 from repro.quagga.ospf.constants import ALL_SPF_ROUTERS, ALL_SPF_ROUTERS_MAC
 from repro.quagga.ospf.daemon import OSPFDaemon
+from repro.quagga.ospf.packets import OSPFPacket
 from repro.quagga.zebra import ZebraDaemon
 from repro.sim import Simulator
 
@@ -73,6 +76,8 @@ class VirtualMachine:
         self._pending_configs: List[tuple] = []
         self._boot_event = None
         self._boot_callbacks: List[Callable[["VirtualMachine"], None]] = []
+        #: (iface, src-ip, dst-ip) -> precomputed frame head for ospfd sends.
+        self._frame_heads: Dict[tuple, tuple] = {}
         for port in range(1, num_ports + 1):
             self._create_interface(port)
 
@@ -109,7 +114,7 @@ class VirtualMachine:
             return
         self.state = VMState.BOOTING
         self._boot_event = self.sim.schedule(self.boot_delay, self._boot_complete,
-                                             name=f"{self.name}:boot")
+                                             label=f"{self.name}:boot")
 
     def on_running(self, callback: Callable[["VirtualMachine"], None]) -> None:
         """Register a callback fired once the VM finishes booting.
@@ -190,7 +195,7 @@ class VirtualMachine:
                 interfaces=self._configured_interfaces(),
                 send_callback=self._send_from_daemon, hostname=self.name)
             self.sim.schedule(self.DAEMON_START_DELAY, self._start_ospf,
-                              name=f"{self.name}:ospfd-start")
+                              label=f"{self.name}:ospfd-start")
         else:
             # Updated configuration: merge network statements and cover any
             # newly enabled interfaces.
@@ -225,31 +230,68 @@ class VirtualMachine:
 
     # ------------------------------------------------------------- virtual I/O
     def _send_from_daemon(self, interface_name: str, dst: IPv4Address, payload: bytes) -> None:
-        """Transmit an OSPF packet originated by ospfd on a VM interface."""
+        """Transmit an OSPF packet originated by ospfd on a VM interface.
+
+        Every hello/flood goes through here, so the Ethernet header and the
+        constant part of the IPv4 header (everything except total length and
+        checksum) are precomputed per (interface, source, destination); the
+        emitted bytes are identical to building the full header objects.
+        """
         interface = self.interfaces.get(interface_name)
         if interface is None or interface.ip is None or not self.is_running:
             return
-        packet = IPv4(src=interface.ip, dst=dst, protocol=IPProtocol.OSPF,
-                      payload=payload, ttl=1)
-        dst_mac = MACAddress(ALL_SPF_ROUTERS_MAC) if dst == ALL_SPF_ROUTERS \
-            else MACAddress.broadcast()
-        frame = Ethernet(src=interface.mac, dst=dst_mac,
-                         ethertype=EtherType.IPV4, payload=packet)
-        interface.send(frame.encode())
+        cache_key = (interface_name, interface.ip._value, int(dst))
+        cached = self._frame_heads.get(cache_key)
+        if cached is None:
+            dst_mac = MACAddress(ALL_SPF_ROUTERS_MAC) if dst == ALL_SPF_ROUTERS \
+                else MACAddress.broadcast()
+            eth_head = (dst_mac.packed + interface.mac.packed
+                        + struct.pack("!H", EtherType.IPV4))
+            addrs = interface.ip.packed + IPv4Address(dst).packed
+            # Checksum contribution of every halfword except total_length
+            # (and the zeroed checksum field itself).
+            const_sum = sum(struct.unpack(
+                "!10H",
+                struct.pack("!BBHHHBBH", 0x45, 0, 0, 0, 0, 1, IPProtocol.OSPF, 0)
+                + addrs))
+            cached = (eth_head, addrs, const_sum)
+            self._frame_heads[cache_key] = cached
+        eth_head, addrs, const_sum = cached
+        total_length = 20 + len(payload)
+        total = const_sum + total_length
+        while total >> 16:
+            total = (total & 0xFFFF) + (total >> 16)
+        ip_head = struct.pack("!BBHHHBBH", 0x45, 0, total_length, 0, 0, 1,
+                              IPProtocol.OSPF, ~total & 0xFFFF)
+        interface.send(eth_head + ip_head + addrs + payload)
 
     def _on_frame(self, interface: Interface, data: bytes) -> None:
-        """A frame arrived on a VM interface over the virtual topology."""
-        if not self.is_running:
+        """A frame arrived on a VM interface over the virtual topology.
+
+        VM interfaces only ever receive OSPF-over-IPv4 frames, so the
+        Ethernet and IPv4 headers are picked apart by hand instead of
+        decoding the full header-object tree per hop.  Validation mirrors
+        ``Ethernet.decode``/``IPv4.decode``: any frame they would reject (or
+        decode to a non-IPv4/non-OSPF payload) is dropped the same way.
+        """
+        if not self.is_running or self.ospf is None:
             return
+        framing = ethernet_framing(data)
+        if framing is None or framing[0] != EtherType.IPV4:
+            return
+        ip = data[framing[1]:]
+        ip_framing = ipv4_framing(ip)
+        if ip_framing is None or ip_framing[0] != IPProtocol.OSPF:
+            return
+        src = IPv4Address(ip[12:16])
+        body = ip_framing[2]
         try:
-            frame = Ethernet.decode(data)
+            payload = OSPFPacket.decode(body)
         except DecodeError:
-            return
-        if frame.ethertype != EtherType.IPV4 or not isinstance(frame.payload, IPv4):
-            return
-        packet = frame.payload
-        if packet.protocol == IPProtocol.OSPF and self.ospf is not None:
-            self.ospf.receive_packet(interface.name, packet.src, as_bytes(packet.payload))
+            # Hand the daemon the raw bytes so it logs the bad packet
+            # exactly as it would have before.
+            payload = body
+        self.ospf.receive_packet(interface.name, src, payload)
 
     # ----------------------------------------------------------------- status
     def owns_ip(self, address: IPv4Address) -> Optional[Interface]:

@@ -81,6 +81,14 @@ def _register_builtins() -> None:
         # The demo map.
         ScenarioSpec("pan-european", "pan-european", {},
                      description="the paper's 28-city pan-European network"),
+        # Large-scale stress shapes (the hot-path benchmark family): the
+        # same three fabric families at >= 64 routers.
+        ScenarioSpec("torus-8x8", "torus", {"rows": 8, "cols": 8},
+                     description="8x8 torus: 64 switches, degree 4"),
+        ScenarioSpec("fat-tree-k8", "fat-tree", {"k": 8},
+                     description="k=8 fat tree: 80 switches, 256 links"),
+        ScenarioSpec("waxman-64", "waxman", {"num_switches": 64}, seed=1,
+                     description="64-node Waxman graph, fibre-length delays"),
         # Sparse random graph from the seed test-suite family.
         ScenarioSpec("random-16", "random",
                      {"num_switches": 16, "extra_link_probability": 0.1}, seed=2,

@@ -13,34 +13,25 @@ The kernel is intentionally small and deterministic:
 * callbacks may schedule further events, cancel events, or stop the
   simulation;
 * the kernel never sleeps — it jumps straight to the next event time.
+
+The event queue is a heap of plain ``(time, seq, event)`` tuples: tuple
+comparison happens in C, which matters because scheduling is the single
+most frequent operation in a large simulation.  Cancelled events stay in
+the heap and are discarded lazily when they reach the front; a running
+count of them keeps :meth:`Simulator.pending` O(1).
 """
 
 from __future__ import annotations
 
 import heapq
-import itertools
 import logging
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, Optional, Tuple
 
 LOG = logging.getLogger(__name__)
 
 
 class SimulationError(Exception):
     """Raised for misuse of the simulation kernel."""
-
-
-@dataclass(order=True)
-class _QueueEntry:
-    """Internal heap entry.
-
-    Ordering is (time, sequence) so that simultaneous events preserve
-    scheduling order.  The event payload is excluded from comparisons.
-    """
-
-    time: float
-    seq: int
-    event: "Event" = field(compare=False)
 
 
 class Event:
@@ -50,7 +41,7 @@ class Event:
     cancel the callback before it fires.
     """
 
-    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "name")
+    __slots__ = ("time", "callback", "args", "kwargs", "cancelled", "name", "_sim")
 
     def __init__(
         self,
@@ -66,10 +57,18 @@ class Event:
         self.kwargs = kwargs
         self.cancelled = False
         self.name = name or getattr(callback, "__qualname__", repr(callback))
+        #: Owning simulator while the event sits in the queue (cleared when
+        #: the event is dequeued) — lets cancel() keep the lazy cancelled
+        #: count accurate without scanning the heap.
+        self._sim: Optional["Simulator"] = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.  Cancelling twice is harmless."""
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._sim is not None:
+            self._sim._cancelled += 1
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         state = "cancelled" if self.cancelled else "pending"
@@ -86,12 +85,13 @@ class Simulator:
     """
 
     def __init__(self) -> None:
-        self._queue: List[_QueueEntry] = []
-        self._seq = itertools.count()
+        self._queue: List[Tuple[float, int, Event]] = []
+        self._seq = 0
         self._now = 0.0
         self._running = False
         self._stopped = False
         self._processed = 0
+        self._cancelled = 0  # cancelled events still sitting in the queue
         self._trace_hooks: List[Callable[[Event], None]] = []
 
     # ------------------------------------------------------------------ time
@@ -111,29 +111,49 @@ class Simulator:
         delay: float,
         callback: Callable[..., Any],
         *args: Any,
-        name: str = "",
+        label: str = "",
         **kwargs: Any,
     ) -> Event:
-        """Schedule ``callback(*args, **kwargs)`` ``delay`` seconds from now."""
+        """Schedule ``callback(*args, **kwargs)`` ``delay`` seconds from now.
+
+        ``label`` names the event for traces and debugging; every other
+        keyword argument — including ``name`` — is passed through to the
+        callback untouched.
+        """
         if delay < 0:
             raise SimulationError(f"cannot schedule in the past (delay={delay})")
-        return self.schedule_at(self._now + delay, callback, *args, name=name, **kwargs)
+        # Inlined schedule_at: this is the hottest kernel entry point, and a
+        # non-negative delay can never land in the past.
+        when = self._now + delay
+        event = Event(when, callback, args, kwargs, name=label)
+        event._sim = self
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, event))
+        return event
 
     def schedule_at(
         self,
         when: float,
         callback: Callable[..., Any],
         *args: Any,
-        name: str = "",
+        label: str = "",
         **kwargs: Any,
     ) -> Event:
-        """Schedule ``callback`` at absolute simulated time ``when``."""
+        """Schedule ``callback`` at absolute simulated time ``when``.
+
+        Like :meth:`schedule`, only ``label`` is reserved for the kernel's
+        bookkeeping; arbitrary keyword arguments reach the callback.
+        """
         if when < self._now:
             raise SimulationError(
                 f"cannot schedule at {when} (now is {self._now})"
             )
-        event = Event(when, callback, args, kwargs, name=name)
-        heapq.heappush(self._queue, _QueueEntry(when, next(self._seq), event))
+        event = Event(when, callback, args, kwargs, name=label)
+        event._sim = self
+        seq = self._seq
+        self._seq = seq + 1
+        heapq.heappush(self._queue, (when, seq, event))
         return event
 
     def call_soon(self, callback: Callable[..., Any], *args: Any, **kwargs: Any) -> Event:
@@ -160,23 +180,27 @@ class Simulator:
         self._running = True
         self._stopped = False
         executed = 0
+        queue = self._queue
+        heappop = heapq.heappop
         try:
-            while self._queue:
+            while queue:
                 if self._stopped:
                     break
-                entry = self._queue[0]
-                if until is not None and entry.time > until:
+                when = queue[0][0]
+                if until is not None and when > until:
                     self._now = until
                     break
-                heapq.heappop(self._queue)
-                event = entry.event
+                event = heappop(queue)[2]
+                event._sim = None
                 if event.cancelled:
+                    self._cancelled -= 1
                     continue
-                self._now = entry.time
+                self._now = when
                 self._processed += 1
                 executed += 1
-                for hook in self._trace_hooks:
-                    hook(event)
+                if self._trace_hooks:
+                    for hook in self._trace_hooks:
+                        hook(event)
                 event.callback(*event.args, **event.kwargs)
                 if max_events is not None and executed >= max_events:
                     LOG.warning("simulation aborted after %d events", executed)
@@ -191,12 +215,14 @@ class Simulator:
     def step(self) -> bool:
         """Execute exactly one pending event.  Returns False if none remain."""
         while self._queue:
-            entry = heapq.heappop(self._queue)
-            if entry.event.cancelled:
+            _, _, event = heapq.heappop(self._queue)
+            event._sim = None
+            if event.cancelled:
+                self._cancelled -= 1
                 continue
-            self._now = entry.time
+            self._now = event.time
             self._processed += 1
-            entry.event.callback(*entry.event.args, **entry.event.kwargs)
+            event.callback(*event.args, **event.kwargs)
             return True
         return False
 
@@ -205,14 +231,23 @@ class Simulator:
         self._stopped = True
 
     def pending(self) -> int:
-        """Number of queued, non-cancelled events."""
-        return sum(1 for e in self._queue if not e.event.cancelled)
+        """Number of queued, non-cancelled events (O(1))."""
+        return len(self._queue) - self._cancelled
 
     def peek(self) -> Optional[float]:
-        """Time of the next non-cancelled event, or None."""
-        for entry in sorted(self._queue):
-            if not entry.event.cancelled:
-                return entry.time
+        """Time of the next non-cancelled event, or None.
+
+        Cancelled events at the front of the heap are discarded on the way —
+        amortised O(log n) instead of sorting the whole queue.
+        """
+        queue = self._queue
+        while queue:
+            entry = queue[0]
+            if not entry[2].cancelled:
+                return entry[0]
+            heapq.heappop(queue)
+            entry[2]._sim = None
+            self._cancelled -= 1
         return None
 
     # ----------------------------------------------------------------- hooks
@@ -278,7 +313,7 @@ class PeriodicTask:
         return max(delay, 1e-9)
 
     def _schedule_next(self) -> None:
-        self._event = self.sim.schedule(self._next_delay(), self._fire, name=self.name)
+        self._event = self.sim.schedule(self._next_delay(), self._fire, label=self.name)
 
     def _fire(self) -> None:
         if not self._running:

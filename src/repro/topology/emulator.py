@@ -146,7 +146,7 @@ class EmulatedNetwork:
             self._control_channels[node_id] = channel
             delay = offset * self.SWITCH_CONNECT_STAGGER
             self.sim.schedule(delay, self._bring_up_switch, switch, channel,
-                              accept_channel, name=f"emulator:connect:{switch.name}")
+                              accept_channel, label=f"emulator:connect:{switch.name}")
 
     def _bring_up_switch(self, switch: OpenFlowSwitch, channel: ControlChannel,
                          accept_channel: Callable[[ControlChannel], None]) -> None:

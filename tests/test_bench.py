@@ -1,0 +1,83 @@
+"""Tests for the hot-path benchmark harness (`repro bench`)."""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+from repro.experiments.bench import (
+    BENCHMARKS,
+    check_regressions,
+    read_bench_json,
+    render_bench_table,
+    write_bench_json,
+)
+
+
+def doc(**benches) -> dict:
+    return {"schema": 1, "created_unix": 0.0, "calibration_seconds": 0.5,
+            "benchmarks": benches}
+
+
+class TestCheckRegressions:
+    def test_identical_documents_pass(self):
+        base = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0, "events": 7})
+        assert check_regressions(base, base) == []
+
+    def test_within_tolerance_passes(self):
+        base = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0})
+        current = doc(kernel={"wall_seconds": 5.0, "normalized": 2.3})
+        assert check_regressions(current, base, tolerance=0.20) == []
+
+    def test_normalized_regression_fails(self):
+        base = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0})
+        current = doc(kernel={"wall_seconds": 1.0, "normalized": 2.5})
+        failures = check_regressions(current, base, tolerance=0.20)
+        assert len(failures) == 1
+        assert "kernel" in failures[0]
+
+    def test_faster_wall_but_worse_normalized_still_fails(self):
+        # A faster machine must not mask an algorithmic regression.
+        base = doc(kernel={"wall_seconds": 10.0, "normalized": 2.0})
+        current = doc(kernel={"wall_seconds": 5.0, "normalized": 4.0})
+        assert check_regressions(current, base) != []
+
+    def test_deterministic_output_drift_fails_even_when_faster(self):
+        base = doc(conv={"wall_seconds": 5.0, "normalized": 10.0,
+                         "sim_seconds": 333.0})
+        current = doc(conv={"wall_seconds": 1.0, "normalized": 1.0,
+                            "sim_seconds": 335.0})
+        failures = check_regressions(current, base)
+        assert any("sim_seconds" in failure for failure in failures)
+
+    def test_missing_current_benchmark_fails(self):
+        base = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0})
+        assert check_regressions(doc(), base) != []
+
+    def test_extra_current_benchmark_is_fine(self):
+        base = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0})
+        current = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0},
+                      new_bench={"wall_seconds": 9.0, "normalized": 9.0})
+        assert check_regressions(current, base) == []
+
+
+class TestBenchDocument:
+    def test_json_roundtrip(self, tmp_path):
+        document = doc(kernel={"wall_seconds": 1.0, "normalized": 2.0})
+        path = write_bench_json(document, tmp_path / "BENCH_TEST.json")
+        assert read_bench_json(path) == document
+
+    def test_render_table_mentions_every_benchmark(self):
+        document = doc(alpha={"wall_seconds": 1.0, "normalized": 2.0},
+                       beta={"wall_seconds": 0.5, "normalized": 1.0,
+                             "routes": 64})
+        table = render_bench_table(document)
+        assert "alpha" in table and "beta" in table and "routes=64" in table
+
+    def test_committed_baseline_matches_registered_suite(self):
+        baseline = read_bench_json(
+            Path(__file__).parent.parent / "benchmarks" / "BENCH_BASELINE.json")
+        assert set(baseline["benchmarks"]) == set(BENCHMARKS)
+        for entry in baseline["benchmarks"].values():
+            assert entry["normalized"] > 0
+        convergence = baseline["benchmarks"]["convergence_64"]
+        assert convergence["switches"] == 64

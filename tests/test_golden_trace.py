@@ -1,0 +1,124 @@
+"""Golden-trace regression tests for the simulation hot paths.
+
+These tests pin the *observable output* of the simulator: the exact
+sequence of executed events (time + event name), the OSPF route table a
+converged VM ends up with, and the sweep CSV rows.  The golden files under
+``tests/data/`` were captured from the unoptimized seed implementation, so
+any hot-path optimization (tuple event heap, LSDB graph caching, address
+interning, encode memoization) must leave every byte of this output
+unchanged or these tests fail.
+
+Regenerate after an *intentional* behaviour change with::
+
+    PYTHONPATH=src python tests/test_golden_trace.py regen
+"""
+
+from __future__ import annotations
+
+import hashlib
+import io
+import json
+from pathlib import Path
+
+DATA_DIR = Path(__file__).parent / "data"
+GOLDEN_TRACE = DATA_DIR / "golden_ring4_trace.json"
+GOLDEN_SWEEP = DATA_DIR / "golden_sweep.csv"
+
+#: Scenarios pinned by the sweep golden file.  Both families are fully
+#: deterministic (no random generator parameters beyond the fixed seed).
+SWEEP_SCENARIOS = ("ring-4", "grid-3x4", "fat-tree-k4")
+
+
+def run_traced_ring4():
+    """Configure a 4-switch ring, recording every executed event.
+
+    Returns (trace_lines, configured_at, route_table_text).  This mirrors
+    :func:`repro.experiments.config_time.run_single_configuration` but keeps
+    hold of the simulator so a trace hook can be attached.
+    """
+    from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager
+    from repro.sim import Simulator
+    from repro.topology.emulator import EmulatedNetwork
+    from repro.topology.generators import ring_topology
+
+    sim = Simulator()
+    trace = []
+    sim.add_trace_hook(lambda event: trace.append(f"{event.time!r} {event.name}"))
+    ipam = IPAddressManager()
+    framework = AutoConfigFramework(
+        sim, config=FrameworkConfig(detect_edge_ports=False), ipam=ipam)
+    network = EmulatedNetwork(sim, ring_topology(4), ipam=ipam)
+    framework.attach(network)
+    configured_at = framework.run_until_configured(max_time=3600.0)
+    route_table = framework.rfserver.vm(1).zebra.show_ip_route()
+    return trace, configured_at, route_table
+
+
+def sweep_csv_text():
+    """Run the pinned sweep serially and return the CSV file contents."""
+    import csv
+
+    from repro.experiments.sweep import run_sweep
+
+    results = run_sweep(list(SWEEP_SCENARIOS), workers=1)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(["scenario", "family", "seed", "switches", "links",
+                     "auto_seconds", "manual_seconds", "speedup"])
+    for result in results:
+        writer.writerow([result.scenario, result.family, result.seed,
+                         result.num_switches, result.num_links,
+                         result.auto_seconds, result.manual_seconds,
+                         result.speedup])
+    return buffer.getvalue()
+
+
+def trace_digest(trace_lines):
+    return hashlib.sha256("\n".join(trace_lines).encode()).hexdigest()
+
+
+def build_golden_payload():
+    trace, configured_at, route_table = run_traced_ring4()
+    return {
+        "scenario": "ring-4 autoconfiguration",
+        "num_events": len(trace),
+        "configured_at": configured_at,
+        "trace_sha256": trace_digest(trace),
+        "trace_head": trace[:5],
+        "trace_tail": trace[-5:],
+        "route_table": route_table,
+    }
+
+
+class TestGoldenEventTrace:
+    def test_ring4_event_trace_is_byte_identical(self):
+        golden = json.loads(GOLDEN_TRACE.read_text())
+        payload = build_golden_payload()
+        # Compare the cheap fields first so a mismatch is diagnosable before
+        # falling back to the all-or-nothing hash.
+        assert payload["num_events"] == golden["num_events"]
+        assert payload["configured_at"] == golden["configured_at"]
+        assert payload["trace_head"] == golden["trace_head"]
+        assert payload["trace_tail"] == golden["trace_tail"]
+        assert payload["route_table"] == golden["route_table"]
+        assert payload["trace_sha256"] == golden["trace_sha256"]
+
+    def test_sweep_csv_is_byte_identical(self):
+        assert sweep_csv_text() == GOLDEN_SWEEP.read_text()
+
+
+def regen():
+    DATA_DIR.mkdir(exist_ok=True)
+    GOLDEN_TRACE.write_text(json.dumps(build_golden_payload(), indent=2) + "\n")
+    GOLDEN_SWEEP.write_text(sweep_csv_text())
+    print(f"wrote {GOLDEN_TRACE}")
+    print(f"wrote {GOLDEN_SWEEP}")
+
+
+if __name__ == "__main__":
+    import sys
+
+    if len(sys.argv) > 1 and sys.argv[1] == "regen":
+        regen()
+    else:
+        print(__doc__)

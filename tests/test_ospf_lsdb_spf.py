@@ -75,6 +75,64 @@ class TestLSDB:
         assert len(lsdb) == 2
 
 
+class TestLSDBAdvertisingRouterIndex:
+    """Regression tests for the by-advertising-router index: router_lsa()
+    must stay correct through install/replace/remove, not just on the
+    freshly built database the linear scan happened to handle."""
+
+    def test_lookup_among_many_routers(self):
+        lsdb = LSDB()
+        for index in range(1, 41):
+            lsdb.install(lsa(rid(index), [stub(f"10.1.{index}.0", 24)]))
+        found = lsdb.router_lsa(rid(23))
+        assert found is not None
+        assert found.header.advertising_router == rid(23)
+        assert lsdb.router_lsa(IPv4Address("10.9.9.9")) is None
+
+    def test_lookup_accepts_address_like_values(self):
+        lsdb = build_triangle()
+        assert lsdb.router_lsa("10.0.0.1") is not None
+        assert lsdb.router_lsa(int(rid(1))) is not None
+
+    def test_index_follows_replacement(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=1))
+        fresh = lsa(rid(1), [stub("10.0.1.0", 24)], sequence=2)
+        lsdb.install(fresh)
+        assert lsdb.router_lsa(rid(1)) is fresh
+
+    def test_index_follows_remove(self):
+        lsdb = build_triangle()
+        key = lsdb.router_lsa(rid(3)).key
+        assert lsdb.remove(key) is True
+        assert lsdb.router_lsa(rid(3)) is None
+        assert lsdb.router_lsa(rid(1)) is not None
+
+    def test_version_counts_mutations_only(self):
+        lsdb = LSDB()
+        v0 = lsdb.version
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=5))
+        v1 = lsdb.version
+        assert v1 > v0
+        # A stale install changes nothing and must not bump the version.
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=4))
+        assert lsdb.version == v1
+        lsdb.remove_from(rid(1))
+        assert lsdb.version > v1
+
+    def test_graph_cache_keyed_on_version(self):
+        lsdb = build_triangle()
+        first = build_router_graph(lsdb)
+        assert build_router_graph(lsdb) is first  # unchanged db: cache hit
+        lsdb.install(lsa(rid(1), [p2p(rid(2), "172.16.0.1"),
+                                  stub("172.16.0.0")], sequence=0x80000002))
+        second = build_router_graph(lsdb)
+        assert second is not first
+        # r1 no longer advertises the r1<->r3 link: the bidirectional check
+        # must drop that edge from the rebuilt graph.
+        assert int(rid(3)) not in second[int(rid(1))]
+
+
 class TestSPF:
     def test_router_graph_requires_bidirectional_links(self):
         lsdb = LSDB()

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.sim import EventLog, PeriodicTask, SimulationError, Simulator
+from repro.sim import EventLog, PeriodicTask, SeededRandom, SimulationError, Simulator
 
 
 class TestScheduling:
@@ -60,6 +60,34 @@ class TestScheduling:
         sim.schedule(1.0, lambda **kw: results.update(kw), value=7)
         sim.run()
         assert results == {"value": 7}
+
+    def test_name_kwarg_reaches_callback(self, sim):
+        """``name=`` is a normal callback kwarg, not kernel bookkeeping."""
+        results = {}
+        sim.schedule(1.0, lambda **kw: results.update(kw), name="alice")
+        sim.run()
+        assert results == {"name": "alice"}
+
+    def test_name_kwarg_reaches_callback_via_schedule_at(self, sim):
+        results = {}
+        sim.schedule_at(2.0, lambda **kw: results.update(kw), name="bob", x=1)
+        sim.run()
+        assert results == {"name": "bob", "x": 1}
+
+    def test_label_names_the_event(self, sim):
+        event = sim.schedule(1.0, lambda: None, label="my:event")
+        assert event.name == "my:event"
+        traced = []
+        sim.add_trace_hook(lambda e: traced.append(e.name))
+        sim.run()
+        assert traced == ["my:event"]
+
+    def test_unlabeled_event_falls_back_to_qualname(self, sim):
+        def some_callback():
+            pass
+
+        event = sim.schedule(1.0, some_callback)
+        assert "some_callback" in event.name
 
 
 class TestRunControl:
@@ -140,6 +168,67 @@ class TestRunControl:
         assert traced == [1.0, 2.0]
 
 
+class TestKernelInvariants:
+    """Invariants the tuple-heap/lazy-cancellation optimization must keep."""
+
+    def test_same_time_fifo_across_schedule_and_schedule_at(self, sim):
+        order = []
+        sim.schedule(1.0, order.append, "a")
+        sim.schedule_at(1.0, order.append, "b")
+        sim.schedule(1.0, order.append, "c")
+        sim.schedule_at(1.0, order.append, "d")
+        sim.run()
+        assert order == ["a", "b", "c", "d"]
+
+    def test_pending_tracks_cancellations(self, sim):
+        events = [sim.schedule(float(i + 1), lambda: None) for i in range(10)]
+        assert sim.pending() == 10
+        for event in events[::2]:
+            event.cancel()
+        assert sim.pending() == 5
+        # Double-cancel must not double-count.
+        events[0].cancel()
+        assert sim.pending() == 5
+        sim.run()
+        assert sim.pending() == 0
+        assert sim.processed_events == 5
+
+    def test_cancel_after_fire_keeps_pending_consistent(self, sim):
+        fired = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=1.5)
+        fired.cancel()  # already executed; must not affect the queue count
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.processed_events == 2
+
+    def test_peek_skips_cancelled_and_keeps_pending_right(self, sim):
+        first = sim.schedule(1.0, lambda: None)
+        second = sim.schedule(2.0, lambda: None)
+        sim.schedule(3.0, lambda: None)
+        first.cancel()
+        second.cancel()
+        assert sim.peek() == 3.0
+        assert sim.pending() == 1
+        sim.run()
+        assert sim.processed_events == 1
+
+    def test_cancelled_events_do_not_advance_clock(self, sim):
+        event = sim.schedule(5.0, lambda: None)
+        event.cancel()
+        sim.schedule(2.0, lambda: None)
+        sim.run()
+        assert sim.now == 2.0
+
+    def test_step_skips_cancelled(self, sim):
+        cancelled = sim.schedule(1.0, lambda: None)
+        sim.schedule(2.0, lambda: None)
+        cancelled.cancel()
+        assert sim.step() is True
+        assert sim.now == 2.0
+        assert sim.step() is False
+
+
 class TestPeriodicTask:
     def test_fires_at_interval(self, sim):
         ticks = []
@@ -174,6 +263,22 @@ class TestPeriodicTask:
         task.start()
         sim.run(until=2.5)
         assert ticks == [1.0, 2.0]
+
+    def test_jitter_deterministic_under_fixed_seed(self):
+        def run_once() -> list:
+            sim = Simulator()
+            ticks = []
+            task = PeriodicTask(sim, 2.0, lambda: ticks.append(sim.now),
+                                jitter=0.5, rng=SeededRandom(42).stream("timer"))
+            task.start()
+            sim.run(until=30.0)
+            return ticks
+
+        first, second = run_once(), run_once()
+        assert first == second
+        assert len(first) >= 10
+        # Jitter actually perturbs the schedule (it isn't silently dropped).
+        assert any(abs(t - round(t)) > 1e-9 for t in first)
 
     def test_callback_exception_does_not_reschedule_forever(self, sim):
         calls = []
