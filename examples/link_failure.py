@@ -1,0 +1,44 @@
+#!/usr/bin/env python3
+"""Inject a link failure into an auto-configured ring and watch recovery.
+
+The script configures a 6-switch ring with the full framework (FlowVisor,
+topology controller, RouteFlow), then takes one link down and brings it
+back 60 seconds later.  The failure executes as simulation-kernel events;
+RouteFlow mirrors it into the virtual topology, the per-VM Quagga stacks
+tear down the adjacency, withdraw the routes through the dead link all the
+way to the physical flow tables, and reroute the long way around the ring.
+
+Run with:  python examples/link_failure.py
+"""
+
+from __future__ import annotations
+
+from repro.experiments import render_failover_table, run_failover
+from repro.scenarios import FailureSchedule, ScenarioSpec
+
+
+def main() -> None:
+    spec = ScenarioSpec(
+        "link-failure-demo", "ring", {"num_switches": 6},
+        framework={"vm_boot_delay": 1.0,
+                   "ospf_hello_interval": 2, "ospf_dead_interval": 8},
+        max_time=600.0,
+        description="6-switch ring with one link bounce")
+    schedule = FailureSchedule.single_link_failure(1, 2, at=10.0,
+                                                   restore_after=60.0)
+    print(f"failure schedule: {schedule.describe()}")
+    result = run_failover(spec, schedule=schedule)
+    print()
+    print(render_failover_table([result]))
+    print()
+    if result.reconverged:
+        print(f"worst reconvergence: "
+              f"{result.worst_reconverge_seconds:.1f} s — every VM's RIB "
+              f"matches its SPF result (no stale routes survived)")
+    else:
+        for violation in result.invariant_violations:
+            print(f"VIOLATION: {violation}")
+
+
+if __name__ == "__main__":
+    main()

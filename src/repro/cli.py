@@ -11,6 +11,9 @@ regenerated without writing any Python:
 * ``repro ablation {split,vm-latency,ospf-timers}`` — the design ablations.
 * ``repro sweep --scenario NAME [--workers N] [--out FILE]`` — run named
   scenarios from the registry in parallel and export the results.
+* ``repro failover --scenario NAME [--link-down A:B@T ...] [--churn N]`` —
+  inject a failure schedule after configuration and report reconvergence
+  time and frames lost per failure.
 * ``repro bench [--json FILE] [--check BASELINE]`` — the hot-path benchmark
   suite, with machine-readable output and a perf-regression gate.
 
@@ -36,17 +39,30 @@ from repro.experiments import (
     render_ablation_table,
     render_config_time_table,
     render_demo_report,
+    render_failover_table,
     render_sweep_table,
     run_config_time_sweep,
     run_controller_split_ablation,
     run_demo,
+    run_failover_suite,
     run_ospf_timer_ablation,
     run_sweep,
     run_vm_latency_ablation,
+    write_failover_csv,
+    write_failover_json,
     write_sweep_csv,
     write_sweep_json,
 )
-from repro.scenarios import ScenarioError, all_scenarios, scenario_names
+from repro.scenarios import (
+    FailureAction,
+    FailureEvent,
+    FailureSchedule,
+    FailureScheduleError,
+    ScenarioError,
+    all_scenarios,
+    get as get_scenario,
+    scenario_names,
+)
 from repro.topology.graph import TopologyError
 from repro.sim import Simulator
 from repro.topology.emulator import EmulatedNetwork
@@ -102,6 +118,43 @@ def build_parser() -> argparse.ArgumentParser:
                        help="write results as JSON to FILE")
     sweep.add_argument("--csv", metavar="FILE",
                        help="write results as CSV to FILE")
+
+    failover = subparsers.add_parser(
+        "failover", help="configure a scenario, inject link/node failures "
+                         "and report reconvergence time and frames lost per "
+                         "failure")
+    failover.add_argument("--scenario", action="append", default=None,
+                          metavar="NAME", required=True,
+                          help="registry scenario to run (repeatable)")
+    failover.add_argument("--link-down", action="append", default=[],
+                          metavar="A:B@T",
+                          help="take the link between switches A and B down "
+                               "T seconds after configuration (repeatable)")
+    failover.add_argument("--link-up", action="append", default=[],
+                          metavar="A:B@T",
+                          help="bring the A:B link back up at T (repeatable)")
+    failover.add_argument("--node-down", action="append", default=[],
+                          metavar="N@T",
+                          help="fail-stop switch N at T: all its links drop "
+                               "(repeatable)")
+    failover.add_argument("--node-up", action="append", default=[],
+                          metavar="N@T",
+                          help="recover switch N at T (repeatable)")
+    failover.add_argument("--churn", type=int, default=0, metavar="N",
+                          help="additionally bounce N random links (seeded)")
+    failover.add_argument("--churn-seed", type=int, default=0,
+                          help="seed of the random churn sequence")
+    failover.add_argument("--churn-spacing", type=float, default=60.0,
+                          help="seconds between random failures (default: 60)")
+    failover.add_argument("--churn-recovery", type=float, default=30.0,
+                          help="seconds a churned link stays down (default: 30)")
+    failover.add_argument("--settle", type=float, default=15.0,
+                          help="quiet seconds that count as reconverged "
+                               "(default: 15)")
+    failover.add_argument("--out", metavar="FILE",
+                          help="write results as JSON to FILE")
+    failover.add_argument("--csv", metavar="FILE",
+                          help="write results as CSV to FILE")
 
     bench = subparsers.add_parser(
         "bench", help="run the hot-path benchmark suite; optionally write a "
@@ -189,6 +242,26 @@ def _command_ablation(args: argparse.Namespace) -> int:
     return 0
 
 
+def _validate_export_paths(*targets: Optional[str]) -> Optional[str]:
+    """Catch a bad export path before an experiment runs, not after.
+
+    Returns an error message, or None when every target is writable.
+    """
+    for target in targets:
+        if not target:
+            continue
+        path = Path(target)
+        if path.is_dir():
+            return f"error: {target!r} is a directory"
+        parent = path.resolve().parent
+        if not parent.is_dir():
+            return f"error: directory of {target!r} does not exist"
+        if not os.access(parent, os.W_OK) or (
+                path.exists() and not os.access(path, os.W_OK)):
+            return f"error: {target!r} is not writable"
+    return None
+
+
 def _command_sweep(args: argparse.Namespace) -> int:
     if args.list_scenarios:
         print(format_table(
@@ -207,23 +280,10 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.workers < 1:
         print("--workers must be >= 1", file=sys.stderr)
         return 2
-    for target in (args.out, args.csv):
-        # Catch a bad export path before the sweep runs, not after.
-        if not target:
-            continue
-        path = Path(target)
-        if path.is_dir():
-            print(f"error: {target!r} is a directory", file=sys.stderr)
-            return 2
-        parent = path.resolve().parent
-        if not parent.is_dir():
-            print(f"error: directory of {target!r} does not exist",
-                  file=sys.stderr)
-            return 2
-        if not os.access(parent, os.W_OK) or (
-                path.exists() and not os.access(path, os.W_OK)):
-            print(f"error: {target!r} is not writable", file=sys.stderr)
-            return 2
+    export_error = _validate_export_paths(args.out, args.csv)
+    if export_error is not None:
+        print(export_error, file=sys.stderr)
+        return 2
     try:
         results = run_sweep(names, workers=args.workers)
     except (ScenarioError, TopologyError) as error:
@@ -235,6 +295,77 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if args.csv:
         print(f"wrote {write_sweep_csv(results, args.csv)}")
     return 0 if all(r.configured for r in results) else 1
+
+
+def _parse_failure_events(args: argparse.Namespace) -> List[FailureEvent]:
+    """Translate the --link-down/--link-up/--node-down/--node-up options."""
+    events: List[FailureEvent] = []
+    link_options = [(args.link_down, FailureAction.LINK_DOWN),
+                    (args.link_up, FailureAction.LINK_UP)]
+    for values, action in link_options:
+        for value in values:
+            try:
+                pair, at = value.split("@")
+                node_a, node_b = pair.split(":")
+                events.append(FailureEvent(float(at), action,
+                                           int(node_a), int(node_b)))
+            except (ValueError, FailureScheduleError) as error:
+                raise ValueError(
+                    f"bad --{action.replace('_', '-')} value {value!r} "
+                    f"(expected A:B@T): {error}") from error
+    node_options = [(args.node_down, FailureAction.NODE_DOWN),
+                    (args.node_up, FailureAction.NODE_UP)]
+    for values, action in node_options:
+        for value in values:
+            try:
+                node, at = value.split("@")
+                events.append(FailureEvent(float(at), action, int(node)))
+            except (ValueError, FailureScheduleError) as error:
+                raise ValueError(
+                    f"bad --{action.replace('_', '-')} value {value!r} "
+                    f"(expected N@T): {error}") from error
+    return events
+
+
+def _command_failover(args: argparse.Namespace) -> int:
+    export_error = _validate_export_paths(args.out, args.csv)
+    if export_error is not None:
+        print(export_error, file=sys.stderr)
+        return 2
+    try:
+        specs = [get_scenario(name) for name in args.scenario]
+        explicit = _parse_failure_events(args)
+    except (ScenarioError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    results = []
+    try:
+        for spec in specs:
+            # CLI events and churn are *added on top of* whatever schedule
+            # is registered on the scenario itself; run_failover generates
+            # the churn against the topology it actually runs.
+            events = list(spec.failures.events if spec.failures else ())
+            events.extend(explicit)
+            if not events and not args.churn:
+                print(f"error: scenario {spec.name!r} carries no failure "
+                      f"schedule; pass --link-down/--node-down/--churn",
+                      file=sys.stderr)
+                return 2
+            results.extend(run_failover_suite(
+                [spec],
+                schedule=FailureSchedule(tuple(events)) if events else None,
+                settle=args.settle, churn=args.churn,
+                churn_seed=args.churn_seed, churn_spacing=args.churn_spacing,
+                churn_recovery=args.churn_recovery))
+    except (ScenarioError, TopologyError, FailureScheduleError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_failover_table(results))
+    if args.out:
+        print(f"wrote {write_failover_json(results, args.out)}")
+    if args.csv:
+        print(f"wrote {write_failover_csv(results, args.csv)}")
+    return 0 if all(r.reconverged for r in results) else 1
 
 
 def _command_bench(args: argparse.Namespace) -> int:
@@ -267,6 +398,7 @@ _COMMANDS = {
     "manual": _command_manual,
     "ablation": _command_ablation,
     "sweep": _command_sweep,
+    "failover": _command_failover,
     "bench": _command_bench,
 }
 

@@ -27,9 +27,19 @@ from repro.experiments.export import (
     write_config_time_csv,
     write_config_time_json,
     write_demo_json,
+    write_failover_csv,
+    write_failover_json,
     write_markdown_report,
     write_sweep_csv,
     write_sweep_json,
+)
+from repro.experiments.failover import (
+    FailoverEventResult,
+    FailoverResult,
+    render_failover_table,
+    run_failover,
+    run_failover_suite,
+    verify_spf_rib_consistency,
 )
 from repro.experiments.sweep import (
     SweepResult,
@@ -51,11 +61,17 @@ __all__ = [
     "ConfigTimeResult",
     "DEFAULT_RING_SIZES",
     "DemoResult",
+    "FailoverEventResult",
+    "FailoverResult",
     "format_seconds",
     "format_table",
     "SweepResult",
     "check_regressions",
     "expand_seeds",
+    "render_failover_table",
+    "run_failover",
+    "run_failover_suite",
+    "verify_spf_rib_consistency",
     "read_bench_json",
     "render_bench_table",
     "run_benchmarks",
@@ -78,6 +94,8 @@ __all__ = [
     "write_config_time_csv",
     "write_config_time_json",
     "write_demo_json",
+    "write_failover_csv",
+    "write_failover_json",
     "write_markdown_report",
     "write_sweep_csv",
     "write_sweep_json",

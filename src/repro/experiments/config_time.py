@@ -46,6 +46,7 @@ def run_single_configuration(topology: Topology,
         auto_seconds=auto_seconds,
         manual_seconds=manual.seconds_for(topology.num_nodes),
         milestones=dict(framework.milestones),
+        link_stats=network.stats(),
     )
 
 

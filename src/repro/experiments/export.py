@@ -12,6 +12,7 @@ import json
 from pathlib import Path
 from typing import Iterable, List, Optional, Union
 
+from repro.experiments.failover import FailoverResult
 from repro.experiments.results import AblationResult, ConfigTimeResult, DemoResult
 from repro.experiments.sweep import SweepResult
 
@@ -124,6 +125,8 @@ def write_sweep_json(results: Iterable[SweepResult], path: PathLike) -> Path:
             "manual_seconds": result.manual_seconds,
             "speedup": result.speedup,
             "milestones": result.milestones,
+            "frames_delivered": result.frames_delivered,
+            "frames_dropped": result.frames_dropped,
             "wall_seconds": result.wall_seconds,
         }
         for result in results
@@ -146,6 +149,8 @@ def read_sweep_json(path: PathLike) -> List[SweepResult]:
             auto_seconds=entry["auto_seconds"],
             manual_seconds=entry["manual_seconds"],
             milestones=dict(entry.get("milestones", {})),
+            frames_delivered=int(entry.get("frames_delivered", 0)),
+            frames_dropped=int(entry.get("frames_dropped", 0)),
             wall_seconds=float(entry.get("wall_seconds", 0.0)),
         )
         for entry in payload
@@ -158,12 +163,14 @@ def write_sweep_csv(results: Iterable[SweepResult], path: PathLike) -> Path:
     with target.open("w", newline="") as handle:
         writer = csv.writer(handle)
         writer.writerow(["scenario", "family", "seed", "switches", "links",
-                         "auto_seconds", "manual_seconds", "speedup"])
+                         "auto_seconds", "manual_seconds", "speedup",
+                         "frames_delivered", "frames_dropped"])
         for result in results:
             writer.writerow([result.scenario, result.family, result.seed,
                              result.num_switches, result.num_links,
                              result.auto_seconds, result.manual_seconds,
-                             result.speedup])
+                             result.speedup, result.frames_delivered,
+                             result.frames_dropped])
     return target
 
 
@@ -171,7 +178,8 @@ def read_sweep_csv(path: PathLike) -> List[SweepResult]:
     """Load a sweep previously written by :func:`write_sweep_csv`.
 
     The CSV format carries no milestones or wall-clock column, so those
-    fields come back empty/zero.
+    fields come back empty/zero.  Frame counters default to zero for files
+    written before the columns existed.
     """
     results = []
     with Path(path).open(newline="") as handle:
@@ -185,8 +193,78 @@ def read_sweep_csv(path: PathLike) -> List[SweepResult]:
                 num_links=int(row["links"]),
                 auto_seconds=float(auto) if auto not in ("", "None") else None,
                 manual_seconds=float(row["manual_seconds"]),
+                frames_delivered=int(row.get("frames_delivered") or 0),
+                frames_dropped=int(row.get("frames_dropped") or 0),
             ))
     return results
+
+
+def write_failover_json(results: Iterable[FailoverResult], path: PathLike) -> Path:
+    """Write a failover suite as JSON (per-event measurements included)."""
+    payload = [
+        {
+            "scenario": result.scenario,
+            "family": result.family,
+            "seed": result.seed,
+            "switches": result.num_switches,
+            "links": result.num_links,
+            "configured_seconds": result.configured_seconds,
+            "settled": result.settled,
+            "events": [
+                {
+                    "index": event.index,
+                    "action": event.action,
+                    "description": event.description,
+                    "at_seconds": event.at_seconds,
+                    "reconverge_seconds": event.reconverge_seconds,
+                    "route_changes": event.route_changes,
+                    "frames_lost": event.frames_lost,
+                }
+                for event in result.events
+            ],
+            "invariant_violations": list(result.invariant_violations),
+            "link_stats": dict(result.link_stats),
+            "wall_seconds": result.wall_seconds,
+        }
+        for result in results
+    ]
+    target = Path(path)
+    target.write_text(json.dumps(payload, indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def write_failover_csv(results: Iterable[FailoverResult], path: PathLike) -> Path:
+    """Write a failover suite as CSV, one row per injected failure event.
+
+    The per-run delivery/drop totals ride on every row so the file stays
+    flat (same shape as the sweep CSV).
+    """
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scenario", "family", "seed", "switches", "links",
+                         "configured_seconds", "event_index", "action",
+                         "event", "at_seconds", "reconverge_seconds",
+                         "route_changes", "frames_lost", "frames_delivered",
+                         "frames_dropped"])
+        for result in results:
+            delivered = result.link_stats.get("frames_delivered", 0)
+            dropped = result.link_stats.get("frames_dropped", 0)
+            if not result.events:
+                writer.writerow([result.scenario, result.family, result.seed,
+                                 result.num_switches, result.num_links,
+                                 result.configured_seconds, "", "", "", "",
+                                 "", "", "", delivered, dropped])
+                continue
+            for event in result.events:
+                writer.writerow([result.scenario, result.family, result.seed,
+                                 result.num_switches, result.num_links,
+                                 result.configured_seconds, event.index,
+                                 event.action, event.description,
+                                 event.at_seconds, event.reconverge_seconds,
+                                 event.route_changes, event.frames_lost,
+                                 delivered, dropped])
+    return target
 
 
 def _round(value: Optional[float], digits: int = 1) -> Optional[float]:

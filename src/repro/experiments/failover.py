@@ -1,0 +1,343 @@
+"""Failure-resilience experiments: the ``repro failover`` subcommand.
+
+A failover run configures a registry scenario exactly like a sweep run,
+then arms a :class:`~repro.scenarios.FailureSchedule` against the emulated
+network and measures, per failure event:
+
+* **reconvergence time** — seconds from the event until the last routing
+  change it caused (RIB/FIB updates across every VM, observed through the
+  zebra FIB listeners); and
+* **frames lost** — the physical network's drop-counter delta over the
+  event's window (traffic blackholed on the dead link until the control
+  platform rerouted).
+
+Failure events execute in the simulation kernel
+(:meth:`EmulatedNetwork.schedule_failures`); a listener mirrors each
+physical change into the RouteFlow virtual topology the way RFProxy relays
+port-status messages, so the per-VM Quagga stacks react through carrier
+loss, adjacency teardown and SPF — not through experiment-harness fiat.
+
+After the run, :func:`verify_spf_rib_consistency` cross-checks every VM:
+the RIB's OSPF candidates must exactly equal a fresh SPF result over the
+VM's LSDB — the end-to-end guarantee that no stale route survived the
+churn.
+"""
+
+from __future__ import annotations
+
+import logging
+import time
+from bisect import bisect_left, bisect_right
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple, Union
+
+from repro.core.autoconfig import AutoConfigFramework
+from repro.core.ipam import IPAddressManager
+from repro.experiments.results import format_seconds, format_table
+from repro.quagga.rib import RouteSource
+from repro.routeflow.rfserver import RFServer
+from repro.scenarios import FailureAction, FailureSchedule, ScenarioSpec, get
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+
+LOG = logging.getLogger(__name__)
+
+#: Quiet period (seconds) with no routing activity after the last event
+#: before the network counts as reconverged.  Must exceed the OSPF SPF
+#: holdtime (5 s by default) or a throttled SPF run could be missed.
+DEFAULT_SETTLE = 15.0
+
+#: Extra simulated time allowed past the schedule's last event before the
+#: run is declared non-convergent.
+DEFAULT_MAX_EXTRA = 1800.0
+
+
+@dataclass
+class FailoverEventResult:
+    """Measurements for one executed failure event."""
+
+    index: int
+    action: str
+    description: str
+    #: Absolute simulated time the event executed.
+    at_seconds: float
+    #: Seconds from the event to the last routing change in its window
+    #: (0.0 when the event caused no routing change).
+    reconverge_seconds: float
+    #: Number of FIB updates (installs + withdrawals across all VMs).
+    route_changes: int
+    #: Physical frames dropped during the event's window.
+    frames_lost: int
+
+
+@dataclass
+class FailoverResult:
+    """The outcome of one failover run."""
+
+    scenario: str
+    family: str
+    seed: int
+    num_switches: int
+    num_links: int
+    #: Simulated seconds to the initial automatic configuration (None when
+    #: the scenario never configured — no failures are injected then).
+    configured_seconds: Optional[float]
+    events: List[FailoverEventResult] = field(default_factory=list)
+    #: Whether routing activity went quiet for the settle period after the
+    #: last event.  False means the run hit its time budget still churning.
+    settled: bool = False
+    #: SPF/RIB consistency violations found after the run (empty = healthy).
+    invariant_violations: List[str] = field(default_factory=list)
+    #: Aggregate physical delivery/drop counters at the end of the run.
+    link_stats: Dict[str, int] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def configured(self) -> bool:
+        return self.configured_seconds is not None
+
+    @property
+    def reconverged(self) -> bool:
+        """Every injected failure led to a finite, settled reconvergence."""
+        return self.configured and self.settled \
+            and not self.invariant_violations
+
+    @property
+    def total_frames_lost(self) -> int:
+        return sum(event.frames_lost for event in self.events)
+
+    @property
+    def worst_reconverge_seconds(self) -> Optional[float]:
+        if not self.events:
+            return None
+        return max(event.reconverge_seconds for event in self.events)
+
+
+def verify_spf_rib_consistency(rfserver: RFServer) -> List[str]:
+    """Check every VM's RIB against a fresh SPF run over its LSDB.
+
+    Returns human-readable violations; an empty list means each router's
+    OSPF candidate set exactly equals its latest SPF result — no stale
+    next hops, no leftover withdrawn prefixes, no duplicate candidates.
+    """
+    violations: List[str] = []
+    for vm in rfserver.vms.values():
+        daemon = vm.ospf
+        if daemon is None or not daemon.running:
+            continue
+        expected = daemon.spf_routes()
+        actual = {}
+        for prefix, candidates in vm.zebra.rib.candidates_from(
+                RouteSource.OSPF).items():
+            if len(candidates) != 1:
+                violations.append(
+                    f"{vm.name}: {len(candidates)} OSPF candidates for "
+                    f"{prefix} (expected exactly one)")
+            actual[prefix] = candidates[0]
+        for prefix in sorted(set(expected) | set(actual),
+                             key=lambda p: (int(p.network), p.prefix_len)):
+            want = expected.get(prefix)
+            have = actual.get(prefix)
+            if want is None:
+                violations.append(
+                    f"{vm.name}: stale OSPF candidate {have} not in the "
+                    f"latest SPF result")
+            elif have is None:
+                violations.append(
+                    f"{vm.name}: SPF route {want} missing from the RIB")
+            elif have != want:
+                violations.append(
+                    f"{vm.name}: RIB has {have}, SPF computed {want}")
+    return violations
+
+
+def _mirror_into_routeflow(network: EmulatedNetwork, rfserver: RFServer):
+    """Build the physical→virtual mirroring listener for failure events."""
+
+    def mirror(event) -> None:
+        if event.action in FailureAction.LINK_ACTIONS:
+            pairs = [(event.node_a, event.node_b)]
+        else:
+            pairs = network.links_of(event.node_a)
+        for node_a, node_b in pairs:
+            port_a, port_b = network.ports_for_link(node_a, node_b)
+            # Mirror the *effective* physical state, not the event's
+            # direction: restoring a node must not bring a virtual wire up
+            # while the link (or its other endpoint) is still failed.
+            interface = network.switches[node_a].port(port_a).interface
+            up = interface.link is not None and interface.link.up
+            rfserver.mirror_physical_link(node_a, port_a, node_b, port_b, up)
+
+    return mirror
+
+
+def run_failover(scenario: Union[str, ScenarioSpec],
+                 schedule: Optional[FailureSchedule] = None,
+                 settle: float = DEFAULT_SETTLE,
+                 max_extra_time: float = DEFAULT_MAX_EXTRA,
+                 churn: int = 0, churn_seed: int = 0,
+                 churn_spacing: float = 60.0,
+                 churn_recovery: float = 30.0) -> FailoverResult:
+    """Configure a scenario, inject a failure schedule, measure recovery.
+
+    ``schedule`` defaults to the scenario's own :attr:`ScenarioSpec.failures`.
+    ``churn > 0`` additionally bounces that many seeded-random links of the
+    scenario's topology (generated here, against the same topology the run
+    uses).  At least one failure event must result.  Schedules are
+    validated against the topology before any simulation time is spent.
+    """
+    started = time.perf_counter()
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get(scenario)
+    topology = spec.build_topology()
+    base = schedule if schedule is not None else spec.failures
+    events = list(base.events) if base is not None else []
+    if churn:
+        # Links the base schedule explicitly controls are exempt from
+        # churn, so a random link_up can never resurrect a link the caller
+        # deliberately failed for the rest of the run.
+        controlled = {(min(e.node_a, e.node_b), max(e.node_a, e.node_b))
+                      for e in events if e.is_link_event}
+        links = [(link.node_a, link.node_b) for link in topology.links
+                 if (min(link.node_a, link.node_b),
+                     max(link.node_a, link.node_b)) not in controlled]
+        events.extend(FailureSchedule.random_churn(
+            links, churn, seed=churn_seed, spacing=churn_spacing,
+            recovery=churn_recovery).events)
+    if not events:
+        raise ValueError(
+            f"scenario {spec.name!r} carries no failure schedule and none "
+            f"was provided")
+    active = FailureSchedule(tuple(events))
+    active.validate_against((node.node_id for node in topology.nodes),
+                            ((link.node_a, link.node_b)
+                             for link in topology.links))
+    sim = Simulator()
+    ipam = IPAddressManager()
+    framework = AutoConfigFramework(sim, config=spec.framework_config(),
+                                    ipam=ipam)
+    network = EmulatedNetwork(sim, topology, ipam=ipam)
+    framework.attach(network)
+    configured_at = framework.run_until_configured(max_time=spec.max_time)
+    result = FailoverResult(
+        scenario=spec.name, family=spec.family, seed=spec.seed,
+        num_switches=topology.num_nodes, num_links=topology.num_links,
+        configured_seconds=configured_at)
+    if configured_at is None:
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    # -- instrumentation -----------------------------------------------------
+    change_times: List[float] = []
+    for vm in framework.rfserver.vms.values():
+        vm.zebra.add_fib_listener(
+            lambda prefix, new, old, _sim=sim: change_times.append(_sim.now))
+    executed: List[Tuple[object, float, Dict[str, int]]] = []
+
+    def observe(event) -> None:
+        executed.append((event, sim.now, network.stats()))
+
+    network.add_failure_listener(_mirror_into_routeflow(network,
+                                                        framework.rfserver))
+    network.add_failure_listener(observe)
+    network.schedule_failures(active)
+    armed_at = sim.now
+
+    # -- run to quiescence ---------------------------------------------------
+    horizon = armed_at + active.duration
+    deadline = horizon + max_extra_time
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + 1.0, deadline))
+        last_activity = max([horizon] + change_times[-1:])
+        if sim.now >= last_activity + settle:
+            result.settled = True
+            break
+    if not result.settled:
+        LOG.warning("failover %s: still reconverging when the time budget "
+                    "(%.0fs past the last event) ran out", spec.name,
+                    max_extra_time)
+    final_stats = network.stats()
+
+    # -- per-event measurements ----------------------------------------------
+    change_times.sort()
+    for index, (event, at, stats_before) in enumerate(executed):
+        has_next = index + 1 < len(executed)
+        window_end = executed[index + 1][1] if has_next else sim.now
+        stats_end = executed[index + 1][2] if has_next else final_stats
+        first = bisect_left(change_times, at)
+        # The window closes *before* the next event executes: changes at
+        # that exact instant are the next event's synchronous fallout.
+        last = bisect_left(change_times, window_end) if has_next \
+            else bisect_right(change_times, window_end)
+        changes = change_times[first:last]
+        result.events.append(FailoverEventResult(
+            index=index,
+            action=event.action,
+            description=event.describe(),
+            at_seconds=at,
+            reconverge_seconds=(changes[-1] - at) if changes else 0.0,
+            route_changes=len(changes),
+            frames_lost=(stats_end["frames_dropped"]
+                         - stats_before["frames_dropped"]),
+        ))
+    result.invariant_violations = verify_spf_rib_consistency(framework.rfserver)
+    result.link_stats = final_stats
+    result.wall_seconds = time.perf_counter() - started
+    for violation in result.invariant_violations:
+        LOG.warning("failover %s: %s", spec.name, violation)
+    return result
+
+
+def run_failover_suite(scenarios, schedule: Optional[FailureSchedule] = None,
+                       settle: float = DEFAULT_SETTLE,
+                       max_extra_time: float = DEFAULT_MAX_EXTRA,
+                       **churn_options) -> List[FailoverResult]:
+    """Run a failover experiment for every scenario, serially."""
+    results = []
+    for scenario in scenarios:
+        result = run_failover(scenario, schedule=schedule, settle=settle,
+                              max_extra_time=max_extra_time, **churn_options)
+        LOG.info("failover: %s -> %d events, worst reconvergence %s",
+                 result.scenario, len(result.events),
+                 format_seconds(result.worst_reconverge_seconds))
+        results.append(result)
+    return results
+
+
+def render_failover_table(results: List[FailoverResult]) -> str:
+    """Per-event ASCII report of a failover suite."""
+    rows = []
+    for result in results:
+        if not result.configured:
+            rows.append([result.scenario, "-", "(never configured)",
+                         "n/a", "n/a", "n/a"])
+            continue
+        for event in result.events:
+            rows.append([
+                result.scenario,
+                event.index,
+                event.description,
+                format_seconds(event.reconverge_seconds),
+                event.route_changes,
+                event.frames_lost,
+            ])
+    table = format_table(
+        ["scenario", "#", "event", "reconvergence", "route changes",
+         "frames lost"], rows)
+    notes = []
+    for result in results:
+        if result.reconverged:
+            state = "OK"
+        elif not result.configured:
+            state = "NOT CHECKED (never configured)"
+        elif not result.settled:
+            state = "NEVER SETTLED"
+        else:
+            state = "VIOLATIONS"
+        notes.append(
+            f"{result.scenario}: configured in "
+            f"{format_seconds(result.configured_seconds)}, "
+            f"{len(result.events)} failures, "
+            f"{result.total_frames_lost} frames lost, invariant {state}")
+        notes.extend(f"  ! {violation}"
+                     for violation in result.invariant_violations)
+    return table + "\n\n" + "\n".join(notes)

@@ -40,6 +40,9 @@ class ConfigTimeResult:
     auto_seconds: Optional[float]
     manual_seconds: float
     milestones: Dict[str, float] = field(default_factory=dict)
+    #: Aggregate physical delivery/drop counters at the end of the run
+    #: (see :meth:`EmulatedNetwork.stats`).
+    link_stats: Dict[str, int] = field(default_factory=dict)
 
     @property
     def auto_minutes(self) -> Optional[float]:

@@ -38,6 +38,10 @@ class SweepResult:
     auto_seconds: Optional[float]
     manual_seconds: float
     milestones: Dict[str, float] = field(default_factory=dict)
+    #: Physical frames delivered / dropped across the emulated network by
+    #: the end of the run (from ``EmulatedNetwork.stats()``).
+    frames_delivered: int = 0
+    frames_dropped: int = 0
     #: Host wall-clock spent on this run (not simulated time; informational
     #: only — it varies between runs and machines and is excluded from
     #: equality comparisons in the test-suite).
@@ -74,6 +78,8 @@ def run_scenario(spec: ScenarioSpec) -> SweepResult:
         auto_seconds=measured.auto_seconds,
         manual_seconds=measured.manual_seconds,
         milestones=dict(measured.milestones),
+        frames_delivered=measured.link_stats.get("frames_delivered", 0),
+        frames_dropped=measured.link_stats.get("frames_dropped", 0),
         wall_seconds=time.perf_counter() - started,
     )
 

@@ -11,7 +11,7 @@ failures.
 from __future__ import annotations
 
 import logging
-from typing import Callable, Optional
+from typing import Callable, List, Optional
 
 from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
 from repro.sim import Simulator
@@ -20,6 +20,11 @@ LOG = logging.getLogger(__name__)
 
 #: Type of the frame-delivery callback: ``handler(interface, frame_bytes)``.
 FrameHandler = Callable[["Interface", bytes], None]
+
+#: Type of the carrier-change callback: ``listener(interface, up)``.  Fired
+#: when the attached link changes operational state — the simulated
+#: equivalent of a NIC driver reporting loss (or return) of carrier.
+CarrierListener = Callable[["Interface", bool], None]
 
 
 class Interface:
@@ -52,6 +57,7 @@ class Interface:
         self.link: Optional[Link] = None
         self.up = True
         self._handler: Optional[FrameHandler] = None
+        self._carrier_listeners: List[CarrierListener] = []
         # Counters
         self.tx_packets = 0
         self.rx_packets = 0
@@ -64,6 +70,15 @@ class Interface:
     def set_handler(self, handler: FrameHandler) -> None:
         """Install the callback invoked when a frame arrives on this interface."""
         self._handler = handler
+
+    def add_carrier_listener(self, listener: CarrierListener) -> None:
+        """Subscribe to carrier (link operational state) changes."""
+        self._carrier_listeners.append(listener)
+
+    def notify_carrier(self, up: bool) -> None:
+        """Deliver a carrier change to the owning device (called by the link)."""
+        for listener in self._carrier_listeners:
+            listener(self, up)
 
     def configure_ip(self, ip: IPv4Address, prefix_len: int) -> None:
         """Assign an IPv4 address/prefix to the interface."""
@@ -105,6 +120,17 @@ class Interface:
         self.rx_bytes += len(frame)
         if self._handler is not None:
             self._handler(self, frame)
+
+    def stats(self) -> dict:
+        """Snapshot of the delivery/drop counters."""
+        return {
+            "tx_packets": self.tx_packets,
+            "rx_packets": self.rx_packets,
+            "tx_bytes": self.tx_bytes,
+            "rx_bytes": self.rx_bytes,
+            "tx_dropped": self.tx_dropped,
+            "rx_dropped": self.rx_dropped,
+        }
 
     def __repr__(self) -> str:
         ip = f" {self.ip}/{self.prefix_len}" if self.ip else ""
@@ -158,11 +184,28 @@ class Link:
                           label=self._event_label)
 
     def set_down(self) -> None:
-        """Take the link down: in-flight frames still arrive, new ones drop."""
+        """Take the link down: in-flight frames still arrive, new ones drop.
+
+        Both endpoint interfaces are notified of the carrier loss, which is
+        how devices (RouteFlow VMs in particular) react to a failure without
+        waiting for protocol timers.
+        """
+        if not self.up:
+            return
         self.up = False
+        self.iface_a.notify_carrier(False)
+        self.iface_b.notify_carrier(False)
 
     def set_up(self) -> None:
+        if self.up:
+            return
         self.up = True
+        self.iface_a.notify_carrier(True)
+        self.iface_b.notify_carrier(True)
+
+    def stats(self) -> dict:
+        """Snapshot of the link's frame counters."""
+        return {"tx_frames": self.tx_frames, "dropped_frames": self.dropped_frames}
 
     def __repr__(self) -> str:
         state = "up" if self.up else "down"

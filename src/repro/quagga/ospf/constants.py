@@ -85,4 +85,8 @@ DEFAULT_INTERFACE_COST = 10
 
 #: Initial LSA sequence number (RFC 2328 §12.1.6).
 INITIAL_SEQUENCE = 0x80000001
+#: An LSA whose age reaches MaxAge is flushed from the area (RFC 2328 §14).
 MAX_AGE = 3600
+#: How often a router re-originates its own LSAs so they never reach
+#: MaxAge while it is alive (RFC 2328 appendix B, LSRefreshTime).
+LS_REFRESH_TIME = 1800

@@ -22,6 +22,8 @@ from repro.quagga.ospf.constants import (
     DEFAULT_SPF_DELAY,
     DEFAULT_SPF_HOLDTIME,
     INITIAL_SEQUENCE,
+    LS_REFRESH_TIME,
+    MAX_AGE,
     NeighborState,
 )
 from repro.quagga.ospf.interface import OSPFInterface
@@ -31,7 +33,7 @@ from repro.quagga.ospf.packets import OSPFPacket, RouterLSA, RouterLink
 from repro.quagga.ospf.spf import compute_routes
 from repro.quagga.rib import Route, RouteSource
 from repro.quagga.zebra import ZebraDaemon
-from repro.sim import Simulator
+from repro.sim import PeriodicTask, Simulator
 
 LOG = logging.getLogger(__name__)
 
@@ -60,15 +62,24 @@ class OSPFDaemon:
         self.spf_holdtime = spf_holdtime
         self.interface_cost = interface_cost
         self._spf_label = f"ospf:{self.hostname}:spf"
+        #: RFC 2328 LSRefreshTime: re-originate our Router LSA periodically
+        #: so it never reaches MaxAge in the area while we are alive —
+        #: without this, :meth:`LSDB.expire_aged` would flush *healthy*
+        #: routers' LSAs in any simulation longer than MAX_AGE.
+        self._refresh_task = PeriodicTask(
+            self.sim, LS_REFRESH_TIME, self._refresh_router_lsa,
+            name=f"ospf:{self.hostname}:lsa-refresh")
         self.lsdb = LSDB()
         self.interfaces: Dict[str, OSPFInterface] = {}
         self._interface_configs = list(interfaces)
         self._sequence = INITIAL_SEQUENCE
         self._spf_scheduled = False
         self._last_spf_time: Optional[float] = None
-        self._installed_prefixes: set = set()
-        #: prefix -> Route as last announced, so an SPF run that reproduces
-        #: the same result does not re-announce every route into zebra.
+        #: prefix -> Route as last installed, the daemon's copy of its own
+        #: snapshot in the RIB.  An SPF run that reproduces the same result
+        #: skips the zebra round trip entirely; otherwise the *whole*
+        #: snapshot is handed to zebra for reconciliation, so stale routes
+        #: (changed next hop, vanished prefix) are withdrawn, not leaked.
         self._installed_routes: Dict[IPv4Network, Route] = {}
         self.running = False
         # Statistics used by the experiments.
@@ -85,16 +96,28 @@ class OSPFDaemon:
         for iface in self._interface_configs:
             self.add_interface(iface)
         self._originate_router_lsa()
+        self._refresh_task.start()
 
-    def stop(self) -> None:
+    def stop(self, flush: bool = True) -> None:
+        """Shut the daemon down.
+
+        ``flush`` floods a MaxAge copy of our Router LSA first (RFC 2328
+        premature aging), so the rest of the area withdraws our routes
+        immediately instead of waiting out its dead intervals.
+        """
+        if flush and self.running and self.interfaces:
+            flush_lsa = RouterLSA.originate(
+                router_id=self.router_id, sequence=self._next_sequence(),
+                links=[], age=MAX_AGE)
+            self.lsdb.install(flush_lsa, now=self.sim.now)
+            self._flood(flush_lsa, exclude=None)
         self.running = False
+        self._refresh_task.stop()
         for interface in self.interfaces.values():
             interface.stop()
         self.interfaces.clear()
-        for prefix in list(self._installed_prefixes):
-            self.zebra.withdraw_route(prefix, RouteSource.OSPF)
-        self._installed_prefixes.clear()
-        self._installed_routes.clear()
+        self.zebra.replace_routes(RouteSource.OSPF, [])
+        self._installed_routes = {}
 
     def add_interface(self, iface: InterfaceConfig) -> Optional[OSPFInterface]:
         """Enable OSPF on an interface if a ``network`` statement covers it.
@@ -117,6 +140,30 @@ class OSPFDaemon:
         interface.start()
         self._originate_router_lsa()
         return interface
+
+    def interface_down(self, name: str) -> None:
+        """An enabled interface lost carrier (link or node failure).
+
+        Adjacencies over the interface are torn down through the neighbor
+        FSM, the Router LSA is re-originated without the interface's links
+        (lost FULL adjacencies already trigger that; an interface with no
+        adjacency still needs its stub prefix withdrawn) and SPF re-runs.
+        """
+        interface = self.interfaces.get(name)
+        if interface is None or not interface.up:
+            return
+        had_full = bool(interface.full_neighbors)
+        interface.bring_down()
+        if not had_full:
+            self._originate_router_lsa()
+
+    def interface_up(self, name: str) -> None:
+        """Carrier returned on a downed interface: resume OSPF over it."""
+        interface = self.interfaces.get(name)
+        if interface is None or interface.up:
+            return
+        interface.bring_up()
+        self._originate_router_lsa()
 
     # --------------------------------------------------------------- transport
     def send_packet(self, interface_name: str, packet: OSPFPacket) -> None:
@@ -152,6 +199,8 @@ class OSPFDaemon:
             return
         links: List[RouterLink] = []
         for interface in self.interfaces.values():
+            if not interface.up:
+                continue
             for neighbor in interface.full_neighbors:
                 links.append(RouterLink.point_to_point(
                     neighbor_router_id=neighbor.router_id,
@@ -163,10 +212,15 @@ class OSPFDaemon:
                 metric=interface.cost))
         lsa = RouterLSA.originate(router_id=self.router_id,
                                   sequence=self._next_sequence(), links=links)
-        self.lsdb.install(lsa)
+        self.lsdb.install(lsa, now=self.sim.now)
         self.lsas_originated += 1
         self._flood(lsa, exclude=None)
         self.schedule_spf()
+
+    def _refresh_router_lsa(self) -> None:
+        """Periodic LSRefreshTime re-origination of our own Router LSA."""
+        if self.running and self.interfaces:
+            self._originate_router_lsa()
 
     def on_lsa_installed(self, lsa: RouterLSA, from_interface: Optional[OSPFInterface]) -> None:
         """A fresher LSA entered the LSDB via flooding: propagate and re-run SPF."""
@@ -207,14 +261,15 @@ class OSPFDaemon:
         self._spf_scheduled = True
         self.sim.schedule(delay, self._run_spf, label=self._spf_label)
 
-    def _run_spf(self) -> None:
-        self._spf_scheduled = False
-        if not self.running:
-            return
-        self._last_spf_time = self.sim.now
-        self.spf_runs += 1
+    def spf_routes(self) -> Dict[IPv4Network, Route]:
+        """The daemon's current SPF result as resolved zebra routes.
+
+        Pure computation (no RIB side effects): SPF over the LSDB plus
+        next-hop resolution against the adjacency state.  Route objects
+        from the installed snapshot are reused when unchanged, so the
+        caller can compare snapshots cheaply (mostly by identity).
+        """
         routes = compute_routes(self.lsdb, self.router_id)
-        new_prefixes = set()
         new_routes: Dict[IPv4Network, Route] = {}
         # Neighbor states cannot change while this event runs, so each
         # distinct first hop resolves once per SPF run, not once per route.
@@ -231,25 +286,36 @@ class OSPFDaemon:
                 continue
             next_hop, interface_name = resolution
             prefix = spf_route.prefix
-            new_prefixes.add(prefix)
-            # Re-announcing an identical route is a no-op in the RIB (the
-            # candidate is replaced by its equal, the best route does not
-            # change, no listener fires) — skip the round trip, reusing the
-            # previously announced Route object when nothing changed.
             installed = self._installed_routes.get(prefix)
             if installed is not None and installed.next_hop == next_hop \
                     and installed.interface == interface_name \
                     and installed.metric == spf_route.cost:
                 new_routes[prefix] = installed
             else:
-                route = Route(prefix=prefix, next_hop=next_hop,
-                              interface=interface_name, source=RouteSource.OSPF,
-                              metric=spf_route.cost)
-                new_routes[prefix] = route
-                self.zebra.announce_route(route)
-        for stale in self._installed_prefixes - new_prefixes:
-            self.zebra.withdraw_route(stale, RouteSource.OSPF)
-        self._installed_prefixes = new_prefixes
+                new_routes[prefix] = Route(
+                    prefix=prefix, next_hop=next_hop, interface=interface_name,
+                    source=RouteSource.OSPF, metric=spf_route.cost)
+        return new_routes
+
+    def _run_spf(self) -> None:
+        self._spf_scheduled = False
+        if not self.running:
+            return
+        self._last_spf_time = self.sim.now
+        self.spf_runs += 1
+        expired = self.lsdb.expire_aged(self.sim.now)
+        if any(key[2] == int(self.router_id) for key in expired):
+            # Defensive: the LSRefreshTime task re-originates well before
+            # MaxAge, so our own LSA should never expire while we run —
+            # but if it somehow did, re-originate rather than vanish.
+            self._originate_router_lsa()
+        new_routes = self.spf_routes()
+        if new_routes != self._installed_routes:
+            # Hand zebra the full snapshot: stale candidates — including a
+            # same-prefix route whose next hop changed — are withdrawn by
+            # the RIB's reconciliation, not left to win equal-metric
+            # tie-breaks forever.
+            self.zebra.replace_routes(RouteSource.OSPF, list(new_routes.values()))
         self._installed_routes = new_routes
 
     def _resolve_next_hop(self, first_hop_router: IPv4Address):

@@ -47,6 +47,9 @@ class OSPFInterface:
         self.hello_interval = hello_interval
         self.dead_interval = dead_interval
         self.area_id = IPv4Address(area_id)
+        #: Operational state: a downed interface sends no hellos, accepts no
+        #: packets and contributes no links to the Router LSA.
+        self.up = True
         self.neighbors: Dict[IPv4Address, Neighbor] = {}
         #: Connected prefix and netmask, fixed at construction (the ip and
         #: prefix length never change) — hello emission reads them per tick.
@@ -79,8 +82,37 @@ class OSPFInterface:
                 neighbor.dead_timer_event.cancel()
         self.neighbors.clear()
 
+    def bring_down(self) -> None:
+        """Interface lost carrier: stop hellos and tear every adjacency down.
+
+        Unlike :meth:`stop` this walks the neighbor FSM (each adjacency
+        transitions to Down), so the daemon re-originates its Router LSA for
+        every lost FULL adjacency and schedules SPF — the withdrawal then
+        propagates through the RIB to the FIB and the physical switch.
+        """
+        if not self.up:
+            return
+        self.up = False
+        self._hello_task.stop()
+        self._hello_wire = None
+        for neighbor in list(self.neighbors.values()):
+            if neighbor.dead_timer_event is not None:
+                neighbor.dead_timer_event.cancel()
+                neighbor.dead_timer_event = None
+            del self.neighbors[neighbor.router_id]
+            self._set_state(neighbor, NeighborState.DOWN)
+
+    def bring_up(self) -> None:
+        """Carrier returned: resume hellos so adjacencies can re-form."""
+        if self.up:
+            return
+        self.up = True
+        self._hello_task.start(fire_immediately=True)
+
     # ------------------------------------------------------------------ hello
     def send_hello(self) -> None:
+        if not self.up:
+            return
         neighbor_ids = tuple(self.neighbors)
         cached = self._hello_wire
         if cached is None or cached[0] != neighbor_ids:
@@ -98,6 +130,8 @@ class OSPFInterface:
 
     # --------------------------------------------------------------- dispatch
     def handle_packet(self, src_ip: IPv4Address, packet: OSPFPacket) -> None:
+        if not self.up:
+            return  # a frame in flight when the interface went down
         if packet.router_id == self.daemon.router_id:
             return  # our own multicast reflected back
         if isinstance(packet, HelloPacket):
@@ -224,7 +258,7 @@ class OSPFInterface:
         acked = []
         for lsa in update.lsas:
             acked.append(lsa.header)
-            changed = self.daemon.lsdb.install(lsa)
+            changed = self.daemon.lsdb.install(lsa, now=self.daemon.sim.now)
             if neighbor is not None:
                 neighbor.ls_request_list.discard(lsa.key)
             if changed:
@@ -238,6 +272,8 @@ class OSPFInterface:
 
     def flood(self, lsas: List) -> None:
         """Send an LS Update carrying the given LSAs out of this interface."""
+        if not self.up:
+            return
         if not any(n.state >= NeighborState.EXCHANGE for n in self.neighbors.values()):
             return
         update = LSUpdatePacket(router_id=self.daemon.router_id, lsas=list(lsas),

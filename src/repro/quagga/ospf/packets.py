@@ -150,9 +150,11 @@ class RouterLSA:
 
     @classmethod
     def originate(cls, router_id: IPv4Address, sequence: int,
-                  links: List[RouterLink]) -> "RouterLSA":
+                  links: List[RouterLink], age: int = 0) -> "RouterLSA":
+        """Originate an LSA; ``age=MAX_AGE`` produces a premature-aging flush."""
         header = LSAHeader(ls_type=LSAType.ROUTER, link_state_id=router_id,
-                           advertising_router=router_id, sequence=sequence)
+                           advertising_router=router_id, sequence=sequence,
+                           age=age)
         return cls(header=header, links=links)
 
     @property

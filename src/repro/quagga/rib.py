@@ -11,7 +11,7 @@ them to the physical switches.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.net.addresses import IPv4Address, IPv4Network
 
@@ -114,6 +114,53 @@ class RIB:
                 changed.append(prefix)
         return changed
 
+    def replace_routes(self, source: str,
+                       routes: Iterable[Route]) -> List[IPv4Network]:
+        """Reconcile a protocol's candidates against a full snapshot.
+
+        ``routes`` is the protocol's *complete* current route set (one per
+        prefix, e.g. the result of an SPF run).  Candidates the protocol no
+        longer announces — including ones for the same prefix with a stale
+        next hop or metric — are withdrawn, new and changed ones installed,
+        and best-path selection re-runs once per affected prefix.  This is
+        what keeps an equal-metric stale candidate from surviving a
+        next-hop change and winning :meth:`_reselect`'s tie-break forever.
+
+        Returns the prefixes whose selected route changed, in ascending
+        prefix order (listeners fire in the same deterministic order).
+        """
+        new_by_prefix: Dict[IPv4Network, Route] = {}
+        for route in routes:
+            if route.source != source:
+                raise ValueError(
+                    f"route {route} does not belong to source {source!r}")
+            new_by_prefix[route.prefix] = route
+        affected = set(new_by_prefix)
+        for prefix, candidates in self._routes.items():
+            if any(r.source == source for r in candidates):
+                affected.add(prefix)
+        changed: List[IPv4Network] = []
+        for prefix in sorted(affected,
+                             key=lambda p: (int(p.network), p.prefix_len)):
+            candidates = self._routes.get(prefix)
+            new = new_by_prefix.get(prefix)
+            if candidates:
+                existing = [r for r in candidates if r.source == source]
+                if new is not None and len(existing) == 1 and existing[0] == new:
+                    continue  # unchanged: skip the reselect round trip
+                remaining = [r for r in candidates if r.source != source]
+            else:
+                remaining = []
+            if new is not None:
+                remaining.append(new)
+            if remaining:
+                self._routes[prefix] = remaining
+            else:
+                self._routes.pop(prefix, None)
+            if self._reselect(prefix):
+                changed.append(prefix)
+        return changed
+
     # -------------------------------------------------------------- selection
     def _reselect(self, prefix: IPv4Network) -> bool:
         candidates = self._routes.get(prefix, [])
@@ -150,6 +197,19 @@ class RIB:
 
     def routes_from(self, source: str) -> List[Route]:
         return [r for r in self.selected_routes if r.source == source]
+
+    def candidates(self, prefix: IPv4Network) -> List[Route]:
+        """All candidate routes for a prefix (selected or not)."""
+        return list(self._routes.get(prefix, ()))
+
+    def candidates_from(self, source: str) -> Dict[IPv4Network, List[Route]]:
+        """Every candidate a protocol currently has installed, per prefix."""
+        result: Dict[IPv4Network, List[Route]] = {}
+        for prefix, candidates in self._routes.items():
+            mine = [r for r in candidates if r.source == source]
+            if mine:
+                result[prefix] = mine
+        return result
 
     def __len__(self) -> int:
         return len(self._selected)

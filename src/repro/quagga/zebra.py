@@ -64,6 +64,15 @@ class ZebraDaemon:
                        next_hop: Optional[IPv4Address] = None) -> None:
         self.rib.remove_route(prefix, source, next_hop)
 
+    def replace_routes(self, source: str, routes: List[Route]) -> List[IPv4Network]:
+        """Reconcile a protocol's full route snapshot (see RIB.replace_routes).
+
+        Stale candidates are withdrawn, changed ones replaced; every
+        resulting FIB change reaches the FIB listeners — and from there the
+        RouteFlow client — exactly once per prefix.
+        """
+        return self.rib.replace_routes(source, routes)
+
     def add_static_route(self, prefix: IPv4Network, next_hop: IPv4Address,
                          interface: str = "") -> None:
         self.rib.add_route(Route(prefix=prefix, next_hop=next_hop,

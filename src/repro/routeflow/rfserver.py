@@ -139,6 +139,34 @@ class RFServer:
             f"virtual wire {vm_a.name}:{iface_a} <-> {vm_b.name}:{iface_b}",
             vm_a=vm_id_a, iface_a=iface_a, vm_b=vm_id_b, iface_b=iface_b)
 
+    def mirror_physical_link(self, dpid_a: int, port_a: int,
+                             dpid_b: int, port_b: int, up: bool) -> bool:
+        """Mirror a physical link state change into the virtual topology.
+
+        In RouteFlow the RFProxy relays switch port-status messages to the
+        RFServer, which takes the corresponding virtual wire down (or back
+        up) so the routing engines see the same topology the data plane
+        has.  Returns False if either end is not (yet) mapped to a VM
+        interface or no virtual wire connects them.
+        """
+        vm_a = self.vm_for_dpid(dpid_a)
+        vm_b = self.vm_for_dpid(dpid_b)
+        if vm_a is None or vm_b is None:
+            return False
+        iface_a = vm_a.interfaces.get(f"eth{port_a}")
+        iface_b = vm_b.interfaces.get(f"eth{port_b}")
+        if iface_a is None or iface_b is None:
+            return False
+        changed = self.rfvs.set_wire_state(iface_a, iface_b, up)
+        if changed:
+            self.event_log.record(
+                "link_state",
+                f"virtual wire {vm_a.name}:{iface_a.name} <-> "
+                f"{vm_b.name}:{iface_b.name} {'up' if up else 'down'}",
+                dpid_a=dpid_a, port_a=port_a, dpid_b=dpid_b, port_b=port_b,
+                up=up)
+        return changed
+
     def write_config_file(self, vm_id: int, filename: str, text: str) -> None:
         """Write a Quagga configuration file into a VM (RPC-server helper)."""
         vm = self.vms[vm_id]

@@ -66,6 +66,28 @@ class RFVirtualSwitch:
         iface_b.link = None
         return True
 
+    def wire_for(self, iface_a: Interface, iface_b: Interface) -> Optional[Link]:
+        """The virtual wire between two VM interfaces, if one exists."""
+        return self._links.get(self._key(iface_a, iface_b))
+
+    def set_wire_state(self, iface_a: Interface, iface_b: Interface,
+                       up: bool) -> bool:
+        """Mirror a physical link state change onto the virtual wire.
+
+        Taking the wire down (up) notifies both VM interfaces of the
+        carrier change, so the routing daemons react exactly as Quagga does
+        to a NIC losing link.  Returns False when no such wire exists.
+        """
+        link = self.wire_for(iface_a, iface_b)
+        if link is None:
+            return False
+        if up:
+            link.set_up()
+        else:
+            link.set_down()
+        LOG.info("%s: wire %s %s", self.name, link.name, "up" if up else "down")
+        return True
+
     def is_connected(self, iface_a: Interface, iface_b: Interface) -> bool:
         return self._key(iface_a, iface_b) in self._links
 

@@ -19,7 +19,7 @@ import logging
 import struct
 from typing import Callable, Dict, List, Optional
 
-from repro.net.addresses import IPv4Address, MACAddress
+from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
 from repro.net.ethernet import EtherType
 from repro.net.fastpath import ethernet_framing, ipv4_framing
 from repro.net.ipv4 import IPProtocol
@@ -87,8 +87,29 @@ class VirtualMachine:
         mac = MACAddress.from_local_id(0x10000 + self.vm_id, port)
         interface = Interface(name=name, mac=mac, owner=self, port_no=port)
         interface.set_handler(self._on_frame)
+        interface.add_carrier_listener(self._on_carrier_change)
         self.interfaces[name] = interface
         return interface
+
+    def _on_carrier_change(self, interface: Interface, up: bool) -> None:
+        """A virtual wire changed state (mirroring a physical link event).
+
+        Exactly what a Linux kernel + Quagga stack does on carrier change:
+        the connected route is withdrawn (reinstated) in zebra and ospfd
+        tears down (re-forms) the adjacency over the interface, which in
+        turn withdraws the routes through it everywhere in the area.
+        """
+        if not self.is_running or interface.ip is None:
+            return
+        prefix = IPv4Network((interface.ip, interface.prefix_len))
+        if up:
+            self.zebra.announce_connected(prefix, interface.name)
+            if self.ospf is not None:
+                self.ospf.interface_up(interface.name)
+        else:
+            if self.ospf is not None:
+                self.ospf.interface_down(interface.name)
+            self.zebra.withdraw_connected(prefix)
 
     def add_port(self, port: int) -> Interface:
         """Add an extra interface (switch grew a port after VM creation)."""

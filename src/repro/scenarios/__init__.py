@@ -1,5 +1,11 @@
 """Named, declarative experiment scenarios and their registry."""
 
+from repro.scenarios.events import (
+    FailureAction,
+    FailureEvent,
+    FailureSchedule,
+    FailureScheduleError,
+)
 from repro.scenarios.registry import (
     all_scenarios,
     get,
@@ -11,6 +17,10 @@ from repro.scenarios.registry import (
 from repro.scenarios.spec import TOPOLOGY_FAMILIES, ScenarioError, ScenarioSpec
 
 __all__ = [
+    "FailureAction",
+    "FailureEvent",
+    "FailureSchedule",
+    "FailureScheduleError",
     "ScenarioError",
     "ScenarioSpec",
     "TOPOLOGY_FAMILIES",

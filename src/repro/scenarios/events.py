@@ -1,0 +1,219 @@
+"""Declarative failure/churn schedules for experiment scenarios.
+
+A :class:`FailureSchedule` is a plain-data list of :class:`FailureEvent`
+entries — take a link or a node down (or back up) at a simulated time —
+that can ride on a :class:`~repro.scenarios.ScenarioSpec`, be serialized
+with it, and be executed as kernel events by the emulated network
+(:meth:`~repro.topology.emulator.EmulatedNetwork.schedule_failures`).
+Event times are *relative to the instant the schedule is armed*, which the
+failover experiment does once the network is fully configured.
+
+Node failures are fail-stop from the data plane's point of view: every
+link incident to the node drops, which is also what the RouteFlow control
+platform observes (the mirroring VM keeps running, but all its adjacencies
+die).  Seeded random churn (:meth:`FailureSchedule.random_churn`)
+generates a reproducible bounce sequence for resilience sweeps.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+from repro.sim.rng import SeededRandom
+
+
+class FailureAction:
+    """The supported failure-injection actions."""
+
+    LINK_DOWN = "link_down"
+    LINK_UP = "link_up"
+    NODE_DOWN = "node_down"
+    NODE_UP = "node_up"
+
+    ALL = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP)
+    LINK_ACTIONS = (LINK_DOWN, LINK_UP)
+    NODE_ACTIONS = (NODE_DOWN, NODE_UP)
+
+
+class FailureScheduleError(ValueError):
+    """Raised for malformed failure events or schedules."""
+
+
+@dataclass(frozen=True)
+class FailureEvent:
+    """One failure-injection action at a (schedule-relative) simulated time."""
+
+    #: Seconds after the schedule is armed at which the action executes.
+    time: float
+    #: One of :data:`FailureAction.ALL`.
+    action: str
+    #: The affected node (for node events) or one link endpoint.
+    node_a: int
+    #: The other link endpoint; must be None for node events.
+    node_b: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if self.time < 0:
+            raise FailureScheduleError(
+                f"event time must be >= 0, got {self.time}")
+        if self.action not in FailureAction.ALL:
+            raise FailureScheduleError(
+                f"unknown failure action {self.action!r}; known actions: "
+                + ", ".join(FailureAction.ALL))
+        if self.action in FailureAction.LINK_ACTIONS:
+            if self.node_b is None:
+                raise FailureScheduleError(
+                    f"{self.action} requires both link endpoints")
+            if self.node_a == self.node_b:
+                raise FailureScheduleError(
+                    f"{self.action} endpoints must differ, got {self.node_a}")
+        elif self.node_b is not None:
+            raise FailureScheduleError(
+                f"{self.action} takes a single node, got a second endpoint")
+
+    @property
+    def is_link_event(self) -> bool:
+        return self.action in FailureAction.LINK_ACTIONS
+
+    def describe(self) -> str:
+        """Short human-readable form, e.g. ``link_down 3<->7 @ 60s``."""
+        if self.is_link_event:
+            subject = f"{self.node_a}<->{self.node_b}"
+        else:
+            subject = str(self.node_a)
+        return f"{self.action} {subject} @ {self.time:g}s"
+
+    def to_dict(self) -> Dict[str, Any]:
+        payload: Dict[str, Any] = {
+            "time": self.time, "action": self.action, "node_a": self.node_a}
+        if self.node_b is not None:
+            payload["node_b"] = self.node_b
+        return payload
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "FailureEvent":
+        return cls(time=float(payload["time"]), action=str(payload["action"]),
+                   node_a=int(payload["node_a"]),
+                   node_b=(int(payload["node_b"])
+                           if payload.get("node_b") is not None else None))
+
+
+@dataclass(frozen=True)
+class FailureSchedule:
+    """An ordered sequence of failure events.
+
+    Events are stored sorted by time (stable for equal times, preserving
+    the order they were given in), so execution order is deterministic.
+    """
+
+    events: Tuple[FailureEvent, ...] = field(default_factory=tuple)
+
+    def __post_init__(self) -> None:
+        ordered = tuple(sorted(self.events, key=lambda e: e.time))
+        object.__setattr__(self, "events", ordered)
+
+    def __iter__(self) -> Iterator[FailureEvent]:
+        return iter(self.events)
+
+    def __len__(self) -> int:
+        return len(self.events)
+
+    def __bool__(self) -> bool:
+        return bool(self.events)
+
+    @property
+    def duration(self) -> float:
+        """Time of the last event (0.0 for an empty schedule)."""
+        return self.events[-1].time if self.events else 0.0
+
+    def extended(self, events: Iterable[FailureEvent]) -> "FailureSchedule":
+        """A copy of this schedule with more events merged in."""
+        return FailureSchedule(self.events + tuple(events))
+
+    def validate_against(self, nodes: Iterable[int],
+                         links: Iterable[Tuple[int, int]]) -> None:
+        """Check that every event targets an existing node or link.
+
+        ``links`` are (node_a, node_b) pairs in either orientation.  Raises
+        :class:`FailureScheduleError` on the first unknown target, so a bad
+        schedule fails before a simulation is spent on it.
+        """
+        known_nodes = set(nodes)
+        known_links = {(min(a, b), max(a, b)) for a, b in links}
+        for event in self.events:
+            if event.is_link_event:
+                key = (min(event.node_a, event.node_b),
+                       max(event.node_a, event.node_b))
+                if key not in known_links:
+                    raise FailureScheduleError(
+                        f"{event.describe()}: no link between "
+                        f"{event.node_a} and {event.node_b} in the topology")
+            elif event.node_a not in known_nodes:
+                raise FailureScheduleError(
+                    f"{event.describe()}: node {event.node_a} is not in "
+                    f"the topology")
+
+    def to_list(self) -> List[Dict[str, Any]]:
+        """Plain-data (JSON-ready) form."""
+        return [event.to_dict() for event in self.events]
+
+    @classmethod
+    def from_list(cls, payload: Iterable[Mapping[str, Any]]) -> "FailureSchedule":
+        return cls(tuple(FailureEvent.from_dict(entry) for entry in payload))
+
+    # ------------------------------------------------------------ constructors
+    @classmethod
+    def single_link_failure(cls, node_a: int, node_b: int, at: float = 0.0,
+                            restore_after: Optional[float] = None) -> "FailureSchedule":
+        """One link going down (and optionally back up after a while)."""
+        events = [FailureEvent(at, FailureAction.LINK_DOWN, node_a, node_b)]
+        if restore_after is not None:
+            events.append(FailureEvent(at + restore_after,
+                                       FailureAction.LINK_UP, node_a, node_b))
+        return cls(tuple(events))
+
+    @classmethod
+    def random_churn(cls, links: Sequence[Tuple[int, int]], failures: int,
+                     seed: int = 0, start: float = 0.0, spacing: float = 60.0,
+                     recovery: float = 30.0) -> "FailureSchedule":
+        """A seeded random link-bounce sequence.
+
+        Every ``spacing`` seconds (starting at ``start``) one link, chosen
+        uniformly from ``links``, goes down; it comes back ``recovery``
+        seconds later.  ``recovery < spacing`` guarantees each bounced link
+        is restored before the next failure, so at most one churn failure
+        is active at a time.  The sequence depends only on the seed and the
+        link list order, so schedules are reproducible.
+        """
+        if failures < 0:
+            raise FailureScheduleError(f"failures must be >= 0, got {failures}")
+        if not links and failures:
+            raise FailureScheduleError("cannot generate churn without links")
+        if failures and spacing <= 0:
+            raise FailureScheduleError(f"spacing must be > 0, got {spacing}")
+        if failures and not 0 < recovery < spacing:
+            raise FailureScheduleError(
+                "recovery must fall inside the spacing interval so a link is "
+                f"back up before the next failure (got recovery={recovery}, "
+                f"spacing={spacing})")
+        # Seed directly rather than via SeededRandom.stream(): the stream
+        # derivation hashes a string, which PYTHONHASHSEED salts per process,
+        # and churn schedules must be identical across processes and runs.
+        rng = SeededRandom(seed)
+        events: List[FailureEvent] = []
+        when = start
+        for _ in range(failures):
+            node_a, node_b = rng.choice(list(links))
+            events.append(FailureEvent(when, FailureAction.LINK_DOWN,
+                                       node_a, node_b))
+            events.append(FailureEvent(when + recovery, FailureAction.LINK_UP,
+                                       node_a, node_b))
+            when += spacing
+        return cls(tuple(events))
+
+    def describe(self) -> str:
+        return "; ".join(event.describe() for event in self.events) or "(empty)"
+
+    def __repr__(self) -> str:
+        return f"<FailureSchedule events={len(self.events)} span={self.duration:g}s>"

@@ -12,9 +12,10 @@ from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from types import MappingProxyType
-from typing import Any, Callable, Dict, Mapping
+from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core.autoconfig import FrameworkConfig
+from repro.scenarios.events import FailureSchedule
 from repro.topology.generators import (
     dumbbell_topology,
     fat_tree_topology,
@@ -88,6 +89,9 @@ class ScenarioSpec:
     max_time: float = 3600.0
     #: One-line human description shown by ``repro sweep --list``.
     description: str = ""
+    #: Optional failure/churn schedule executed by ``repro failover`` once
+    #: the scenario is configured (event times are relative to that point).
+    failures: Optional[FailureSchedule] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -106,7 +110,8 @@ class ScenarioSpec:
         # The generated dataclass hash would choke on the mapping fields.
         return hash((self.name, self.family, self.seed,
                      tuple(sorted(self.params.items())),
-                     tuple(sorted(self.framework.items()))))
+                     tuple(sorted(self.framework.items())),
+                     self.failures))
 
     # Mapping proxies are not picklable, so spell out the process-pool
     # transfer in terms of plain dicts.
@@ -153,7 +158,7 @@ class ScenarioSpec:
 
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data (JSON-ready) form, for archiving scenario definitions."""
-        return {
+        payload = {
             "name": self.name,
             "family": self.family,
             "params": dict(self.params),
@@ -162,10 +167,14 @@ class ScenarioSpec:
             "max_time": self.max_time,
             "description": self.description,
         }
+        if self.failures is not None:
+            payload["failures"] = self.failures.to_list()
+        return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
         """Inverse of :meth:`to_dict`."""
+        failures = payload.get("failures")
         return cls(
             name=payload["name"],
             family=payload["family"],
@@ -174,4 +183,6 @@ class ScenarioSpec:
             seed=int(payload.get("seed", 0)),
             max_time=float(payload.get("max_time", 3600.0)),
             description=str(payload.get("description", "")),
+            failures=(FailureSchedule.from_list(failures)
+                      if failures is not None else None),
         )

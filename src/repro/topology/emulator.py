@@ -63,6 +63,15 @@ class EmulatedNetwork:
         self.link_ports: Dict[Tuple[int, int], Tuple[int, int]] = {}
         self._next_port: Dict[int, int] = {}
         self._control_channels: Dict[int, ControlChannel] = {}
+        self._failure_listeners: List[Callable[[object], None]] = []
+        self.failures_applied = 0
+        #: Failure-injection state: explicitly failed links (canonical node
+        #: pairs) and fail-stopped nodes.  A link is operationally up only
+        #: when it is not failed itself and neither endpoint is — so
+        #: recovering a node cannot resurrect a link whose other end is
+        #: still down, and vice versa.
+        self._failed_links: set = set()
+        self._failed_nodes: set = set()
         self._build()
 
     # ------------------------------------------------------------------ build
@@ -174,12 +183,125 @@ class EmulatedNetwork:
             return port_low, port_high
         return port_high, port_low
 
+    # ------------------------------------------------------- failure injection
     def fail_link(self, node_a: int, node_b: int) -> None:
         """Take a switch-to-switch link down (failure injection)."""
+        self._failed_links.add(self._canonical(node_a, node_b))
+        self._apply_effective_state(node_a, node_b)
+
+    def restore_link(self, node_a: int, node_b: int) -> None:
+        """Lift an explicit link failure (the link stays down while either
+        endpoint node is still fail-stopped)."""
+        self._failed_links.discard(self._canonical(node_a, node_b))
+        self._apply_effective_state(node_a, node_b)
+
+    def fail_node(self, node_id: int) -> None:
+        """Fail-stop a switch: every incident link drops."""
+        self._failed_nodes.add(node_id)
+        for node_a, node_b in self.links_of(node_id):
+            self._apply_effective_state(node_a, node_b)
+
+    def restore_node(self, node_id: int) -> None:
+        """Recover a failed switch.  Incident links come back only if they
+        are not themselves failed and their other endpoint is up too."""
+        self._failed_nodes.discard(node_id)
+        for node_a, node_b in self.links_of(node_id):
+            self._apply_effective_state(node_a, node_b)
+
+    def links_of(self, node_id: int) -> List[Tuple[int, int]]:
+        """The (node_a, node_b) pairs of every link incident to a node."""
+        return [(link.node_a, link.node_b) for link in self.topology.links
+                if node_id in (link.node_a, link.node_b)]
+
+    @staticmethod
+    def _canonical(node_a: int, node_b: int) -> Tuple[int, int]:
+        return (min(node_a, node_b), max(node_a, node_b))
+
+    def _apply_effective_state(self, node_a: int, node_b: int) -> None:
+        up = (self._canonical(node_a, node_b) not in self._failed_links
+              and node_a not in self._failed_nodes
+              and node_b not in self._failed_nodes)
         port_a, _ = self.ports_for_link(node_a, node_b)
         interface = self.switches[node_a].port(port_a).interface
-        if interface.link is not None:
+        if interface.link is None:
+            return
+        if up:
+            interface.link.set_up()
+        else:
             interface.link.set_down()
+
+    def add_failure_listener(self, listener: Callable[[object], None]) -> None:
+        """Subscribe to executed failure events (fires after the physical
+        change; RouteFlow uses this to mirror it into the virtual topology)."""
+        self._failure_listeners.append(listener)
+
+    def apply_failure_event(self, event) -> None:
+        """Execute one :class:`~repro.scenarios.FailureEvent` right now."""
+        from repro.scenarios.events import FailureAction
+
+        if event.action == FailureAction.LINK_DOWN:
+            self.fail_link(event.node_a, event.node_b)
+        elif event.action == FailureAction.LINK_UP:
+            self.restore_link(event.node_a, event.node_b)
+        elif event.action == FailureAction.NODE_DOWN:
+            self.fail_node(event.node_a)
+        elif event.action == FailureAction.NODE_UP:
+            self.restore_node(event.node_a)
+        else:  # pragma: no cover - schedules validate their actions
+            raise ValueError(f"unknown failure action {event.action!r}")
+        self.failures_applied += 1
+        LOG.info("emulator: t=%.1fs %s", self.sim.now, event.describe())
+        for listener in self._failure_listeners:
+            listener(event)
+
+    def schedule_failures(self, schedule) -> int:
+        """Arm a :class:`~repro.scenarios.FailureSchedule` as kernel events.
+
+        Event times are interpreted relative to the current simulated time
+        (the failover experiment arms the schedule at configuration
+        completion).  Every event target is validated against the topology
+        up front — an unknown link or node raises
+        :class:`~repro.scenarios.FailureScheduleError` before anything is
+        armed.  Returns the number of events scheduled.
+        """
+        schedule.validate_against(
+            self.switches, ((a, b) for a, b in self.link_ports))
+        for event in schedule:
+            self.sim.schedule(event.time, self.apply_failure_event, event,
+                              label=f"failure:{event.action}")
+        return len(schedule)
+
+    # ------------------------------------------------------------- statistics
+    def stats(self) -> Dict[str, int]:
+        """Aggregate delivery/drop counters over the physical network.
+
+        Sums the interface counters of every switch port and host NIC plus
+        the per-link frame counters (host access links included).  The
+        failover experiment diffs consecutive snapshots to report frames
+        lost per failure.
+        """
+        totals = {"tx_packets": 0, "rx_packets": 0, "tx_dropped": 0,
+                  "rx_dropped": 0, "link_tx_frames": 0, "link_dropped_frames": 0}
+        interfaces = [port.interface for switch in self.switches.values()
+                      for port in switch.ports.values()]
+        interfaces += [info.host.interface for info in self.hosts.values()]
+        links = {id(link): link for link in self.links}
+        for interface in interfaces:
+            counters = interface.stats()
+            totals["tx_packets"] += counters["tx_packets"]
+            totals["rx_packets"] += counters["rx_packets"]
+            totals["tx_dropped"] += counters["tx_dropped"]
+            totals["rx_dropped"] += counters["rx_dropped"]
+            if interface.link is not None:
+                links.setdefault(id(interface.link), interface.link)
+        for link in links.values():
+            counters = link.stats()
+            totals["link_tx_frames"] += counters["tx_frames"]
+            totals["link_dropped_frames"] += counters["dropped_frames"]
+        totals["frames_delivered"] = totals["rx_packets"]
+        totals["frames_dropped"] = (totals["tx_dropped"] + totals["rx_dropped"]
+                                    + totals["link_dropped_frames"])
+        return totals
 
     @property
     def num_switches(self) -> int:

@@ -6,6 +6,7 @@ import pytest
 
 from repro.net import IPv4Address, IPv4Network
 from repro.quagga.ospf import LSDB, RouterLSA, RouterLink, build_router_graph, compute_routes, shortest_paths
+from repro.quagga.ospf.constants import MAX_AGE
 
 
 def rid(index: int) -> IPv4Address:
@@ -131,6 +132,70 @@ class TestLSDBAdvertisingRouterIndex:
         # r1 no longer advertises the r1<->r3 link: the bidirectional check
         # must drop that edge from the rebuilt graph.
         assert int(rid(3)) not in second[int(rid(1))]
+
+
+class TestMaxAge:
+    """RFC 2328 MaxAge enforcement: premature-aging flushes and expiry."""
+
+    def test_maxage_flush_removes_the_stored_copy(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=5))
+        flush = RouterLSA.originate(router_id=rid(1), sequence=6, links=[],
+                                    age=MAX_AGE)
+        assert lsdb.install(flush) is True
+        assert lsdb.router_lsa(rid(1)) is None
+        assert len(lsdb) == 0
+
+    def test_maxage_lsa_is_not_retained(self):
+        lsdb = LSDB()
+        flush = RouterLSA.originate(router_id=rid(1), sequence=6, links=[],
+                                    age=MAX_AGE)
+        # Nothing to supersede: the flush is discarded (and not re-flooded).
+        assert lsdb.install(flush) is False
+        assert len(lsdb) == 0
+
+    def test_stale_maxage_flush_is_ignored(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)], sequence=7))
+        flush = RouterLSA.originate(router_id=rid(1), sequence=6, links=[],
+                                    age=MAX_AGE)
+        assert lsdb.install(flush) is False
+        assert lsdb.router_lsa(rid(1)) is not None
+
+    def test_expire_aged_retires_old_lsas(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [stub("10.0.0.0", 24)]), now=0.0)
+        lsdb.install(lsa(rid(2), [stub("10.0.1.0", 24)]), now=3000.0)
+        expired = lsdb.expire_aged(now=float(MAX_AGE))
+        assert expired == [lsa(rid(1), []).key]
+        assert lsdb.router_lsa(rid(1)) is None
+        assert lsdb.router_lsa(rid(2)) is not None
+
+    def test_effective_age_includes_origination_age(self):
+        lsdb = LSDB()
+        aged = RouterLSA.originate(router_id=rid(1), sequence=2,
+                                   links=[stub("10.0.0.0", 24)],
+                                   age=MAX_AGE - 100)
+        lsdb.install(aged, now=0.0)
+        assert lsdb.age_of(aged.key, now=50.0) == MAX_AGE - 50
+        assert lsdb.expire_aged(now=50.0) == []
+        assert lsdb.expire_aged(now=100.0) == [aged.key]
+
+    def test_clockless_installs_accrue_no_residence_age(self):
+        lsdb = build_triangle()  # installed without now=
+        assert lsdb.expire_aged(now=float(MAX_AGE) * 10) == []
+        assert len(lsdb) == 3
+
+    def test_expiry_bumps_the_version_for_spf_caches(self):
+        lsdb = LSDB()
+        lsdb.install(lsa(rid(1), [p2p(rid(2), "172.16.0.1"),
+                                  stub("172.16.0.0")]), now=0.0)
+        lsdb.install(lsa(rid(2), [p2p(rid(1), "172.16.0.2"),
+                                  stub("172.16.0.0")]), now=0.0)
+        version = lsdb.version
+        assert lsdb.expire_aged(now=float(MAX_AGE)) != []
+        assert lsdb.version > version
+        assert compute_routes(lsdb, rid(1)) == []
 
 
 class TestSPF:

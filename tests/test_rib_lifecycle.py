@@ -1,0 +1,151 @@
+"""Route-lifecycle semantics of the RIB: reconciliation and tie-breaks.
+
+These tests pin the contract the OSPF daemon's SPF path relies on:
+``replace_routes`` diffs a protocol's full snapshot against the installed
+candidates, withdrawing anything stale — in particular the equal-metric
+candidate with an outdated next hop that the seed implementation leaked
+(the ROADMAP's OSPF/RIB wrinkle).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.net import IPv4Address, IPv4Network
+from repro.quagga import RIB, Route, RouteSource, ZebraDaemon
+
+P1 = IPv4Network("10.1.0.0/24")
+P2 = IPv4Network("10.2.0.0/24")
+P3 = IPv4Network("10.3.0.0/24")
+HOP_A = IPv4Address("172.16.0.1")
+HOP_B = IPv4Address("172.16.0.5")
+
+
+def ospf_route(prefix=P1, hop=HOP_A, metric=10, iface="eth1") -> Route:
+    return Route(prefix=prefix, next_hop=hop, interface=iface,
+                 source=RouteSource.OSPF, metric=metric)
+
+
+class TestReplaceRoutes:
+    def test_installs_a_fresh_snapshot(self):
+        rib = RIB()
+        changed = rib.replace_routes(RouteSource.OSPF,
+                                     [ospf_route(P1), ospf_route(P2)])
+        assert changed == [P1, P2]
+        assert rib.best_route(P1).next_hop == HOP_A
+        assert len(rib) == 2
+
+    def test_withdraws_prefixes_missing_from_the_snapshot(self):
+        rib = RIB()
+        rib.replace_routes(RouteSource.OSPF, [ospf_route(P1), ospf_route(P2)])
+        changed = rib.replace_routes(RouteSource.OSPF, [ospf_route(P1)])
+        assert changed == [P2]
+        assert rib.best_route(P2) is None
+        assert P2 not in rib
+
+    def test_replaces_a_changed_next_hop_without_leaking_the_old(self):
+        rib = RIB()
+        rib.replace_routes(RouteSource.OSPF, [ospf_route(hop=HOP_A)])
+        rib.replace_routes(RouteSource.OSPF,
+                           [ospf_route(hop=HOP_B, iface="eth2")])
+        candidates = rib.candidates(P1)
+        assert len(candidates) == 1
+        assert candidates[0].next_hop == HOP_B
+        assert rib.best_route(P1).next_hop == HOP_B
+
+    def test_identical_snapshot_is_a_silent_noop(self):
+        rib = RIB()
+        snapshot = [ospf_route(P1), ospf_route(P2)]
+        rib.replace_routes(RouteSource.OSPF, snapshot)
+        changes = []
+        rib.add_listener(lambda prefix, new, old: changes.append(prefix))
+        assert rib.replace_routes(RouteSource.OSPF, list(snapshot)) == []
+        assert changes == []
+
+    def test_does_not_touch_other_protocols(self):
+        rib = RIB()
+        rib.add_route(Route(prefix=P1, next_hop=None, interface="eth0",
+                            source=RouteSource.CONNECTED))
+        rib.replace_routes(RouteSource.OSPF, [ospf_route(P1), ospf_route(P2)])
+        rib.replace_routes(RouteSource.OSPF, [])
+        assert rib.best_route(P1).source == RouteSource.CONNECTED
+        assert rib.best_route(P2) is None
+
+    def test_rejects_routes_from_another_source(self):
+        rib = RIB()
+        with pytest.raises(ValueError):
+            rib.replace_routes(RouteSource.OSPF, [
+                Route(prefix=P1, next_hop=HOP_A, interface="eth1",
+                      source=RouteSource.BGP)])
+
+    def test_listener_order_is_ascending_prefix(self):
+        rib = RIB()
+        changes = []
+        rib.add_listener(lambda prefix, new, old: changes.append(prefix))
+        rib.replace_routes(RouteSource.OSPF,
+                           [ospf_route(P3), ospf_route(P1), ospf_route(P2)])
+        assert changes == [P1, P2, P3]
+
+    def test_candidates_from_reports_only_that_source(self):
+        rib = RIB()
+        rib.add_route(Route(prefix=P1, next_hop=None, interface="eth0",
+                            source=RouteSource.CONNECTED))
+        rib.replace_routes(RouteSource.OSPF, [ospf_route(P1), ospf_route(P2)])
+        ospf_only = rib.candidates_from(RouteSource.OSPF)
+        assert set(ospf_only) == {P1, P2}
+        assert all(r.source == RouteSource.OSPF
+                   for routes in ospf_only.values() for r in routes)
+
+
+class TestReselectTieBreaks:
+    def test_equal_cost_tie_break_is_first_announced_and_stable(self):
+        """min() keeps the earliest equal-cost candidate deterministically."""
+        rib = RIB()
+        rib.add_route(ospf_route(hop=HOP_A, metric=10))
+        rib.add_route(ospf_route(hop=HOP_B, metric=10, iface="eth2"))
+        assert rib.best_route(P1).next_hop == HOP_A
+        # Re-announcing the losing candidate must not flap the selection.
+        changes = []
+        rib.add_listener(lambda prefix, new, old: changes.append(prefix))
+        rib.add_route(ospf_route(hop=HOP_B, metric=10, iface="eth2"))
+        assert rib.best_route(P1).next_hop == HOP_A
+        assert changes == []
+
+    def test_stale_candidate_does_not_survive_next_hop_change(self):
+        """Regression for the seed wrinkle: an SPF run that moves a route to
+        a new equal-metric next hop must withdraw the old candidate, so the
+        old next hop cannot keep winning the tie-break."""
+        rib = RIB()
+        rib.replace_routes(RouteSource.OSPF, [ospf_route(hop=HOP_A, metric=10)])
+        # SPF now says the (only) path is via HOP_B at the same metric.
+        rib.replace_routes(RouteSource.OSPF,
+                           [ospf_route(hop=HOP_B, metric=10, iface="eth2")])
+        best = rib.best_route(P1)
+        assert best.next_hop == HOP_B
+        assert [r.next_hop for r in rib.candidates(P1)] == [HOP_B]
+
+    def test_seed_behaviour_add_route_alone_leaks_the_stale_candidate(self):
+        """Documents why announce-only is insufficient: add_route keeps the
+        old (source, next hop, interface) candidate, and the stale one wins
+        min()'s stable tie-break — exactly the bug replace_routes fixes."""
+        rib = RIB()
+        rib.add_route(ospf_route(hop=HOP_A, metric=10))
+        rib.add_route(ospf_route(hop=HOP_B, metric=10, iface="eth2"))
+        assert len(rib.candidates(P1)) == 2
+        assert rib.best_route(P1).next_hop == HOP_A  # stale winner
+
+
+class TestZebraReplaceRoutes:
+    def test_fib_reconciles_and_notifies_once_per_prefix(self):
+        zebra = ZebraDaemon("vm1")
+        zebra.start()
+        updates = []
+        zebra.add_fib_listener(lambda prefix, new, old: updates.append((prefix, new)))
+        zebra.replace_routes(RouteSource.OSPF, [ospf_route(P1), ospf_route(P2)])
+        assert len(updates) == 2
+        zebra.replace_routes(RouteSource.OSPF,
+                             [ospf_route(P1, hop=HOP_B, iface="eth2")])
+        assert zebra.fib[P1].next_hop == HOP_B
+        assert P2 not in zebra.fib
+        assert zebra.install_count == 3
+        assert zebra.withdraw_count == 1
