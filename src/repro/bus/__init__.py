@@ -1,0 +1,14 @@
+"""The explicit control-plane message bus (topics, envelopes, channels)."""
+
+from repro.bus.bus import BusError, Channel, Discipline, MessageBus
+from repro.bus.envelope import Envelope
+from repro.bus import topics
+
+__all__ = [
+    "BusError",
+    "Channel",
+    "Discipline",
+    "Envelope",
+    "MessageBus",
+    "topics",
+]

@@ -1,0 +1,241 @@
+"""The simulated control-plane message bus.
+
+RouteFlow's three components talk over an IPC bus; the seed reproduction
+collapsed that bus into direct Python calls with per-hop delay constants
+sprinkled across the components.  :class:`MessageBus` makes the bus an
+explicit object again: components *publish* JSON payloads on named topics
+and *subscribe* callbacks to them, and every hop is measurable (per-topic
+message/byte counters) and modelled (per-channel latency and queueing
+discipline) in one place.
+
+Three queueing disciplines cover every hop in the reproduction:
+
+``direct``
+    Synchronous delivery inside the publish call.  Used for co-located
+    hops (shard coordination, port-status mirroring) whose seed
+    equivalent was a plain method call — no kernel event is scheduled, so
+    refactoring such a hop onto the bus cannot perturb the event trace.
+
+``delay``
+    Each message is delivered independently after the channel latency
+    (plus any per-publish override).  Messages published at the same
+    simulated time arrive in publish order because the kernel breaks
+    timestamp ties by schedule order.  This matches the seed's
+    ``sim.schedule(IPC_DELAY, ...)`` hops exactly.
+
+``fifo``
+    A serialising queue: a message may not be delivered before the one
+    published ahead of it on the same channel, so a burst spaced closer
+    than the channel latency drains one-by-one.  Models a single-reader
+    IPC endpoint; no seed hop uses it, experiments can opt in.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Optional
+
+from repro.bus.envelope import Envelope
+from repro.sim import Simulator
+
+LOG = logging.getLogger(__name__)
+
+Subscriber = Callable[[Envelope], None]
+
+
+class BusError(Exception):
+    """Raised for inconsistent bus configuration."""
+
+
+class Discipline:
+    """Queueing disciplines a channel can be configured with."""
+
+    DIRECT = "direct"
+    DELAY = "delay"
+    FIFO = "fifo"
+
+    ALL = (DIRECT, DELAY, FIFO)
+
+
+class Channel:
+    """One topic's configuration, subscribers and counters."""
+
+    def __init__(self, bus: "MessageBus", topic: str, latency: float,
+                 label: Optional[str], discipline: str,
+                 configured: bool = True) -> None:
+        self.bus = bus
+        self.topic = topic
+        self._configure(latency, label, discipline)
+        #: False while the channel only exists because someone subscribed
+        #: to (or published on) the topic before its owner declared it;
+        #: the first explicit :meth:`MessageBus.channel` call refines it.
+        self.configured = configured
+        self.subscribers: List[Subscriber] = []
+        #: FIFO bookkeeping: simulated time the queue head frees up.
+        self._busy_until = 0.0
+        # Counters (exposed through MessageBus.stats()).
+        self._init_counters()
+
+    def _configure(self, latency: float, label: Optional[str],
+                   discipline: str) -> None:
+        if discipline not in Discipline.ALL:
+            raise BusError(f"unknown discipline {discipline!r}; "
+                           f"pick one of {Discipline.ALL}")
+        if latency < 0:
+            raise BusError(f"channel {self.topic!r}: negative latency {latency}")
+        if discipline == Discipline.DIRECT and latency:
+            raise BusError(f"channel {self.topic!r}: direct delivery cannot "
+                           f"carry a latency ({latency})")
+        self.latency = latency
+        self.label = label if label is not None else f"bus:{self.topic}"
+        self.discipline = discipline
+
+    def _init_counters(self) -> None:
+        self.published = 0
+        self.delivered = 0
+        self.dropped = 0
+        self.bytes_published = 0
+        self.bytes_delivered = 0
+
+    @property
+    def in_flight(self) -> int:
+        return self.published - self.delivered - self.dropped
+
+    def snapshot(self) -> Dict[str, float]:
+        return {
+            "published": self.published,
+            "delivered": self.delivered,
+            "dropped": self.dropped,
+            "in_flight": self.in_flight,
+            "bytes_published": self.bytes_published,
+            "bytes_delivered": self.bytes_delivered,
+            "latency": self.latency,
+            "discipline": self.discipline,
+            "subscribers": len(self.subscribers),
+        }
+
+    def __repr__(self) -> str:
+        return (f"<Channel {self.topic} {self.discipline} "
+                f"latency={self.latency} published={self.published}>")
+
+
+class MessageBus:
+    """A named-topic pub/sub bus running on the simulation kernel."""
+
+    def __init__(self, sim: Simulator, name: str = "bus") -> None:
+        self.sim = sim
+        self.name = name
+        self._channels: Dict[str, Channel] = {}
+        self._next_seq = 1
+
+    # ---------------------------------------------------------------- channels
+    def channel(self, topic: str, latency: float = 0.0,
+                label: Optional[str] = None,
+                discipline: str = Discipline.DIRECT) -> Channel:
+        """Declare (or fetch) a topic's channel.
+
+        A topic that so far exists only implicitly — someone subscribed to
+        it or published on it before its owner declared it — is refined in
+        place (subscribers and counters survive).  Redeclaring an
+        *explicitly* declared topic with conflicting latency or discipline
+        raises :class:`BusError` — channel configuration is the model, so
+        two components silently disagreeing about a hop's latency would
+        corrupt the experiment.
+        """
+        existing = self._channels.get(topic)
+        if existing is not None:
+            if not existing.configured:
+                existing._configure(latency, label, discipline)
+                existing.configured = True
+            elif existing.latency != latency or existing.discipline != discipline:
+                raise BusError(
+                    f"channel {topic!r} already declared as "
+                    f"{existing.discipline}/{existing.latency}s; conflicting "
+                    f"redeclaration {discipline}/{latency}s")
+            return existing
+        created = Channel(self, topic, latency, label, discipline)
+        self._channels[topic] = created
+        return created
+
+    def _implicit_channel(self, topic: str) -> Channel:
+        channel = self._channels.get(topic)
+        if channel is None:
+            channel = Channel(self, topic, 0.0, None, Discipline.DIRECT,
+                              configured=False)
+            self._channels[topic] = channel
+        return channel
+
+    def has_channel(self, topic: str) -> bool:
+        return topic in self._channels
+
+    @property
+    def topics(self) -> List[str]:
+        return sorted(self._channels)
+
+    def subscribe(self, topic: str, callback: Subscriber) -> None:
+        """Register a delivery callback; undeclared topics are auto-created
+        as direct channels that the owner's later explicit
+        :meth:`channel` declaration refines."""
+        self._implicit_channel(topic).subscribers.append(callback)
+
+    # ----------------------------------------------------------------- publish
+    def publish(self, topic: str, payload: str, label: Optional[str] = None,
+                latency: Optional[float] = None, sender: str = "") -> Envelope:
+        """Publish a serialised message on a topic.
+
+        ``label`` overrides the channel's kernel-event label for this one
+        message (the seed's hop labels are per-publisher, e.g.
+        ``rfclient:<vm>:routemod``, and the golden traces pin them).
+        ``latency`` overrides the channel latency for delay/fifo channels.
+        """
+        channel = self._implicit_channel(topic)
+        envelope = Envelope(topic=topic, seq=self._next_seq, sender=sender,
+                            published_at=self.sim.now, payload=payload)
+        self._next_seq += 1
+        channel.published += 1
+        channel.bytes_published += envelope.size_bytes
+        if channel.discipline == Discipline.DIRECT:
+            self._deliver(channel, envelope)
+            return envelope
+        hop_latency = channel.latency if latency is None else latency
+        event_label = label if label is not None else channel.label
+        if channel.discipline == Discipline.FIFO:
+            # One message in service at a time: each delivery occupies the
+            # channel for the hop latency, so a burst drains serially.
+            deliver_at = max(self.sim.now, channel._busy_until) + hop_latency
+            channel._busy_until = deliver_at
+            self.sim.schedule_at(deliver_at, self._deliver, channel, envelope,
+                                 label=event_label)
+        else:
+            self.sim.schedule(hop_latency, self._deliver, channel, envelope,
+                              label=event_label)
+        return envelope
+
+    def _deliver(self, channel: Channel, envelope: Envelope) -> None:
+        if not channel.subscribers:
+            channel.dropped += 1
+            return
+        channel.delivered += 1
+        channel.bytes_delivered += envelope.size_bytes
+        for subscriber in list(channel.subscribers):
+            subscriber(envelope)
+
+    # ------------------------------------------------------------------- stats
+    def stats(self) -> Dict[str, Dict[str, float]]:
+        """Per-topic counter snapshot, plus aggregate totals."""
+        report = {topic: channel.snapshot()
+                  for topic, channel in sorted(self._channels.items())}
+        report["_totals"] = {
+            "published": sum(c.published for c in self._channels.values()),
+            "delivered": sum(c.delivered for c in self._channels.values()),
+            "dropped": sum(c.dropped for c in self._channels.values()),
+            "bytes_published": sum(c.bytes_published
+                                   for c in self._channels.values()),
+            "bytes_delivered": sum(c.bytes_delivered
+                                   for c in self._channels.values()),
+            "topics": len(self._channels),
+        }
+        return report
+
+    def __repr__(self) -> str:
+        return f"<MessageBus {self.name} topics={len(self._channels)}>"

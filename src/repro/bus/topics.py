@@ -1,0 +1,44 @@
+"""Well-known topic names of the RouteFlow control-plane bus.
+
+Every control-plane hop of the reproduction has a named topic, so the
+bus's per-topic counters give a complete load breakdown of the platform
+(``MessageBus.stats()``).  Topics that are sharded — one RFServer/RFProxy
+pair per controller shard — carry the shard index as a suffix, produced by
+the ``*_topic(shard)`` helpers; the shared coordination topics (mapping,
+port-status) are global so every shard sees them.
+"""
+
+from __future__ import annotations
+
+#: RPC client -> RPC server: serialised configuration messages
+#: (:mod:`repro.core.config_messages`).
+CONFIG = "config.rpc"
+
+#: Shared coordination topic: VM/interface mapping records published by
+#: every shard's RFServer so peers can resolve next hops across the
+#: partition (the east/west interface between controller instances).
+MAPPING = "routeflow.mapping"
+
+#: Shared coordination topic: physical port-status changes relayed into
+#: the virtual topology (RFProxy -> RFServer in RouteFlow proper).
+PORT_STATUS = "routeflow.port_status"
+
+_ROUTE_MODS = "routeflow.route_mods"
+_FLOW_SPECS = "routeflow.flow_specs"
+
+
+def route_mods_topic(shard: int = 0) -> str:
+    """RFClient -> RFServer RouteMod topic of one controller shard."""
+    return f"{_ROUTE_MODS}.{shard}"
+
+
+def flow_specs_topic(shard: int = 0) -> str:
+    """RFServer -> RFProxy handoff topic of one controller shard.
+
+    The envelope carries the RouteMod being handed over; the RFServer
+    resolves it into a :class:`~repro.routeflow.rfproxy.FlowSpec` at the
+    moment of delivery (preserving the seed implementation's timing, where
+    next-hop resolution happened after the server-side IPC delay) and the
+    resolved spec goes straight into the proxy.
+    """
+    return f"{_FLOW_SPECS}.{shard}"

@@ -14,6 +14,9 @@ regenerated without writing any Python:
 * ``repro failover --scenario NAME [--link-down A:B@T ...] [--churn N]`` —
   inject a failure schedule after configuration and report reconvergence
   time and frames lost per failure.
+* ``repro ctlscale --scenario NAME [--controllers 1 2 4]`` — configure the
+  scenario under several controller-shard counts and report per-shard
+  control-plane load, convergence time and the load-conservation check.
 * ``repro bench [--json FILE] [--check BASELINE]`` — the hot-path benchmark
   suite, with machine-readable output and a perf-regression gate.
 
@@ -30,8 +33,13 @@ from typing import List, Optional
 
 from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager, ManualConfigurationModel
 from repro.experiments import (
+    check_load_conservation,
     check_regressions,
     format_table,
+    render_ctlscale_table,
+    run_ctlscale,
+    write_ctlscale_csv,
+    write_ctlscale_json,
     read_bench_json,
     render_bench_table,
     run_benchmarks,
@@ -53,6 +61,7 @@ from repro.experiments import (
     write_sweep_csv,
     write_sweep_json,
 )
+from repro.experiments.ctlscale import DEFAULT_CONTROLLER_COUNTS
 from repro.scenarios import (
     FailureAction,
     FailureEvent,
@@ -114,6 +123,9 @@ def build_parser() -> argparse.ArgumentParser:
                        help="list the registered scenarios and exit")
     sweep.add_argument("--workers", type=int, default=1,
                        help="worker processes (default: 1 = serial)")
+    sweep.add_argument("--controllers", type=int, default=None, metavar="N",
+                       help="override every scenario's controller-shard "
+                            "count for this sweep")
     sweep.add_argument("--out", metavar="FILE",
                        help="write results as JSON to FILE")
     sweep.add_argument("--csv", metavar="FILE",
@@ -154,6 +166,26 @@ def build_parser() -> argparse.ArgumentParser:
     failover.add_argument("--out", metavar="FILE",
                           help="write results as JSON to FILE")
     failover.add_argument("--csv", metavar="FILE",
+                          help="write results as CSV to FILE")
+
+    ctlscale = subparsers.add_parser(
+        "ctlscale", help="configure a scenario under several controller-shard "
+                         "counts and report per-shard load and convergence "
+                         "time")
+    ctlscale.add_argument("--scenario", metavar="NAME", required=True,
+                          help="registry scenario to scale")
+    ctlscale.add_argument("--controllers", type=int, nargs="+",
+                          default=list(DEFAULT_CONTROLLER_COUNTS),
+                          metavar="N",
+                          help="shard counts to sweep (default: 1 2 4; "
+                               "include 1 to enable the conservation check)")
+    ctlscale.add_argument("--partitioner", choices=["hash", "contiguous"],
+                          default=None,
+                          help="dpid->shard partitioner (default: the "
+                               "scenario's, i.e. hash)")
+    ctlscale.add_argument("--out", metavar="FILE",
+                          help="write results as JSON to FILE")
+    ctlscale.add_argument("--csv", metavar="FILE",
                           help="write results as CSV to FILE")
 
     bench = subparsers.add_parser(
@@ -284,9 +316,13 @@ def _command_sweep(args: argparse.Namespace) -> int:
     if export_error is not None:
         print(export_error, file=sys.stderr)
         return 2
+    if args.controllers is not None and args.controllers < 1:
+        print("--controllers must be >= 1", file=sys.stderr)
+        return 2
     try:
-        results = run_sweep(names, workers=args.workers)
-    except (ScenarioError, TopologyError) as error:
+        results = run_sweep(names, workers=args.workers,
+                            controllers=args.controllers)
+    except (ScenarioError, TopologyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
     print(render_sweep_table(results))
@@ -368,6 +404,28 @@ def _command_failover(args: argparse.Namespace) -> int:
     return 0 if all(r.reconverged for r in results) else 1
 
 
+def _command_ctlscale(args: argparse.Namespace) -> int:
+    export_error = _validate_export_paths(args.out, args.csv)
+    if export_error is not None:
+        print(export_error, file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.scenario)
+        results = run_ctlscale(spec, controller_counts=args.controllers,
+                               partitioner=args.partitioner)
+    except (ScenarioError, TopologyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_ctlscale_table(results))
+    if args.out:
+        print(f"wrote {write_ctlscale_json(results, args.out)}")
+    if args.csv:
+        print(f"wrote {write_ctlscale_csv(results, args.csv)}")
+    healthy = all(r.configured and not r.invariant_violations for r in results)
+    conserved = not check_load_conservation(results)
+    return 0 if healthy and conserved else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     document = run_benchmarks(
         quick=args.quick,
@@ -399,6 +457,7 @@ _COMMANDS = {
     "ablation": _command_ablation,
     "sweep": _command_sweep,
     "failover": _command_failover,
+    "ctlscale": _command_ctlscale,
     "bench": _command_bench,
 }
 

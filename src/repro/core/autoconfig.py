@@ -17,8 +17,9 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Dict, List, Optional
+from typing import Dict, List, Mapping, Optional, Union
 
+from repro.bus import MessageBus, topics
 from repro.controller.base import Controller
 from repro.controller.discovery import TopologyDiscovery
 from repro.core.gui import ConfigurationGUI
@@ -26,9 +27,14 @@ from repro.core.ipam import IPAddressManager
 from repro.core.manual_model import ManualConfigurationModel
 from repro.core.rpc import RPCClient, RPCServer
 from repro.core.topology_controller import TopologyControllerApp, build_topology_controller
-from repro.flowvisor import FlowVisor, build_paper_flowspace
+from repro.flowvisor import FlowVisor, build_paper_flowspace, build_sharded_flowspace
 from repro.routeflow.rfproxy import RFProxy
 from repro.routeflow.rfserver import RFServer
+from repro.routeflow.sharding import (
+    ControllerShard,
+    ShardedControlPlane,
+    make_partitioner,
+)
 from repro.sim import EventLog, PeriodicTask, Simulator
 from repro.topology.emulator import EmulatedNetwork
 
@@ -42,7 +48,8 @@ class FrameworkConfig:
     #: LXC clone/boot latency per VM — the dominant automatic-configuration cost.
     vm_boot_delay: float = 5.0
     #: Clone/boot VMs one at a time on the RF-controller host (the realistic
-    #: default) or all in parallel (ablation A4).
+    #: default) or all in parallel (ablation A4).  With several controller
+    #: shards, serialisation is per shard — each shard is its own host.
     serialize_vm_creation: bool = True
     #: OSPF timers written into every generated ospfd.conf.
     ospf_hello_interval: int = 10
@@ -63,6 +70,15 @@ class FrameworkConfig:
     generate_bgp: bool = True
     #: How often the convergence monitor samples the milestone predicates.
     monitor_interval: float = 1.0
+    #: Number of RouteFlow controller shards (RFServer + RFProxy pairs).
+    #: 1 reproduces the paper's single RF-controller; > 1 partitions the
+    #: datapaths across coordinated shards (requires ``use_flowvisor``).
+    controllers: int = 1
+    #: How datapaths map to shards: ``hash``, ``contiguous`` or ``slice``
+    #: (explicit map via :attr:`shard_map`, aligned with FlowVisor slices).
+    partitioner: str = "hash"
+    #: Explicit dpid -> shard assignment for the ``slice`` partitioner.
+    shard_map: Optional[Mapping[int, int]] = None
 
 
 class AutoConfigFramework:
@@ -80,24 +96,58 @@ class AutoConfigFramework:
         self.gui = ConfigurationGUI(sim)
         self.manual_model = ManualConfigurationModel()
 
-        # RF-controller: the OpenFlow controller hosting RouteFlow's proxy.
-        self.rf_controller = Controller(sim, name="rf-controller")
-        self.rfproxy = RFProxy()
-        self.rf_controller.register_app(self.rfproxy)
-        self.rfserver = RFServer(sim, self.rfproxy,
-                                 vm_boot_delay=self.config.vm_boot_delay,
-                                 event_log=self.event_log,
-                                 serialize_vm_creation=self.config.serialize_vm_creation)
+        # The explicit control-plane bus every IPC hop runs over.
+        self.bus = MessageBus(sim, name="control-bus")
+        num_controllers = self.config.controllers
+        if num_controllers < 1:
+            raise ValueError(f"controllers must be >= 1, got {num_controllers}")
+        if num_controllers > 1 and not self.config.use_flowvisor:
+            raise ValueError(
+                "sharded deployments (controllers > 1) need FlowVisor: the "
+                "topology-controller slice is what lets one discovery module "
+                "see switches owned by every shard")
+
+        if num_controllers == 1:
+            # RF-controller: the OpenFlow controller hosting RouteFlow's proxy.
+            self.rf_controller = Controller(sim, name="rf-controller")
+            self.rfproxy = RFProxy()
+            self.rf_controller.register_app(self.rfproxy)
+            self.rfserver = RFServer(
+                sim, self.rfproxy,
+                vm_boot_delay=self.config.vm_boot_delay,
+                event_log=self.event_log,
+                serialize_vm_creation=self.config.serialize_vm_creation,
+                bus=self.bus)
+            #: The RFServer-shaped object the RPC server and the milestone
+            #: monitor talk to; a ShardedControlPlane when controllers > 1.
+            self.control_plane: Union[RFServer, ShardedControlPlane] = self.rfserver
+            self.shards: List[ControllerShard] = []
+            self.bus.subscribe(topics.PORT_STATUS, self.rfserver._on_port_status)
+        else:
+            partitioner = make_partitioner(self.config.partitioner,
+                                           num_controllers,
+                                           self.config.shard_map)
+            self.control_plane = ShardedControlPlane(
+                sim, bus=self.bus, partitioner=partitioner,
+                event_log=self.event_log,
+                vm_boot_delay=self.config.vm_boot_delay,
+                serialize_vm_creation=self.config.serialize_vm_creation)
+            self.shards = self.control_plane.shards
+            # Compatibility aliases point at shard 0 (the coordinator host).
+            self.rf_controller = self.shards[0].controller
+            self.rfproxy = self.shards[0].rfproxy
+            self.rfserver = self.shards[0].rfserver
 
         # RPC server (inside the RF-controller) and RPC client.
         self.rpc_server = RPCServer(
-            sim, self.rfserver, ipam=self.ipam, event_log=self.event_log,
+            sim, self.control_plane, ipam=self.ipam, event_log=self.event_log,
             generate_bgp=self.config.generate_bgp,
             ospf_hello_interval=self.config.ospf_hello_interval,
             ospf_dead_interval=self.config.ospf_dead_interval)
         self.rpc_server.on_switch_configured(self.gui.mark_configured)
         self.rpc_client = RPCClient(sim, self.rpc_server,
-                                    network_delay=self.config.rpc_network_delay)
+                                    network_delay=self.config.rpc_network_delay,
+                                    bus=self.bus)
 
         # Topology controller (discovery + configuration-message generation).
         if self.config.use_flowvisor:
@@ -107,10 +157,24 @@ class AutoConfigFramework:
                 probe_interval=self.config.discovery_probe_interval,
                 edge_port_grace=self.config.edge_port_grace,
                 detect_edge_ports=self.config.detect_edge_ports)
-            flowspace = build_paper_flowspace(self.TOPOLOGY_SLICE, self.ROUTEFLOW_SLICE)
-            self.flowvisor: Optional[FlowVisor] = FlowVisor(sim, flowspace)
-            self.flowvisor.add_slice(self.TOPOLOGY_SLICE, self.topology_controller)
-            self.flowvisor.add_slice(self.ROUTEFLOW_SLICE, self.rf_controller)
+            if num_controllers == 1:
+                flowspace = build_paper_flowspace(self.TOPOLOGY_SLICE,
+                                                  self.ROUTEFLOW_SLICE)
+                self.flowvisor: Optional[FlowVisor] = FlowVisor(sim, flowspace)
+                self.flowvisor.add_slice(self.TOPOLOGY_SLICE, self.topology_controller)
+                self.flowvisor.add_slice(self.ROUTEFLOW_SLICE, self.rf_controller)
+            else:
+                slice_names = [f"{self.ROUTEFLOW_SLICE}-{shard.shard_id}"
+                               for shard in self.shards]
+                flowspace = build_sharded_flowspace(self.TOPOLOGY_SLICE,
+                                                    slice_names)
+                self.flowvisor = FlowVisor(sim, flowspace)
+                self.flowvisor.add_slice(self.TOPOLOGY_SLICE, self.topology_controller)
+                for shard, slice_name in zip(self.shards, slice_names):
+                    self.flowvisor.add_slice(
+                        slice_name, shard.controller,
+                        datapaths=lambda dpid, shard_id=shard.shard_id:
+                            partitioner.shard_for(dpid) == shard_id)
         else:
             # Single-controller deployment: discovery runs on the RF-controller
             # and switches connect to it directly.
@@ -139,6 +203,14 @@ class AutoConfigFramework:
         self.network = network
         self._expected_switches = network.num_switches
         self._expected_links = network.num_links
+        if isinstance(self.control_plane, ShardedControlPlane):
+            # Partitioners that need the datapath universe (contiguous,
+            # explicit) get it from the topology, before any switch connects;
+            # shard_down/shard_up failure events reach the control plane
+            # through a network failure listener.
+            self.control_plane.seed_partitioner(
+                node.node_id for node in network.topology.nodes)
+            network.add_failure_listener(self.control_plane.failure_listener())
         for node in network.topology.nodes:
             self.gui.add_switch(node.node_id, label=node.name)
         for link in network.topology.links:
@@ -164,12 +236,12 @@ class AutoConfigFramework:
                               self.gui.all_green
                               and len(self.gui.green_switches) >= self._expected_switches)
         self._check_milestone("all_vms_running",
-                              self.rfserver.vm_count >= self._expected_switches
-                              and self.rfserver.all_vms_running())
+                              self.control_plane.vm_count >= self._expected_switches
+                              and self.control_plane.all_vms_running())
         self._check_milestone("ospf_converged",
-                              self.rfserver.vm_count >= self._expected_switches
+                              self.control_plane.vm_count >= self._expected_switches
                               and self.rpc_server.configured_link_count >= self._expected_links
-                              and self.rfserver.ospf_converged())
+                              and self.control_plane.ospf_converged())
 
     def _check_milestone(self, name: str, reached: bool) -> None:
         if reached and name not in self.milestones:
@@ -204,6 +276,13 @@ class AutoConfigFramework:
         return result
 
     # ------------------------------------------------------------------ report
+    def shard_loads(self) -> List[Dict[str, int]]:
+        """Per-shard control-plane load counters (one entry for an unsharded
+        deployment, so ``repro ctlscale`` reports a uniform shape)."""
+        if isinstance(self.control_plane, ShardedControlPlane):
+            return self.control_plane.shard_loads()
+        return [self.rfserver.load()]
+
     def summary(self) -> Dict[str, object]:
         """A serialisable summary of the configuration run."""
         return {
@@ -212,12 +291,14 @@ class AutoConfigFramework:
             "links": self._expected_links,
             "use_flowvisor": self.config.use_flowvisor,
             "vm_boot_delay": self.config.vm_boot_delay,
+            "controllers": max(1, len(self.shards)),
             "milestones": dict(self.milestones),
             "configuration_time_s": self.configuration_time,
             "manual_time_s": self.manual_model.seconds_for(self._expected_switches),
             "green_switches": len(self.gui.green_switches),
-            "vms": self.rfserver.vm_count,
-            "flows_installed": self.rfproxy.flows_installed,
+            "vms": self.control_plane.vm_count,
+            "flows_installed": sum(load["flow_mods_installed"]
+                                   for load in self.shard_loads()),
         }
 
     def __repr__(self) -> str:

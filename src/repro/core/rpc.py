@@ -15,6 +15,7 @@ import logging
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Set, Tuple
 
+from repro.bus import Discipline, MessageBus, topics
 from repro.net.addresses import IPv4Address, IPv4Network
 from repro.core.config_messages import (
     ConfigMessage,
@@ -39,21 +40,33 @@ LOG = logging.getLogger(__name__)
 
 
 class RPCClient:
-    """Forwards configuration messages from the topology controller."""
+    """Forwards configuration messages from the topology controller.
+
+    The transport is the control-plane bus: messages are published on the
+    :data:`repro.bus.topics.CONFIG` delay channel (one-way latency
+    ``network_delay``) and delivered to :meth:`RPCServer.receive`.  The
+    client wires the server subscription itself, so one bus carries at
+    most one RPC client/server pair.
+    """
 
     def __init__(self, sim: Simulator, server: "RPCServer",
-                 network_delay: float = 0.01) -> None:
+                 network_delay: float = 0.01,
+                 bus: Optional[MessageBus] = None) -> None:
         self.sim = sim
         self.server = server
         self.network_delay = network_delay
+        self.bus = bus if bus is not None else MessageBus(sim, name="rpc-bus")
+        self.bus.channel(topics.CONFIG, latency=network_delay,
+                         discipline=Discipline.DELAY, label="rpc:deliver")
+        self.bus.subscribe(topics.CONFIG,
+                           lambda envelope: self.server.receive(envelope.payload))
         self.messages_sent = 0
 
     def send(self, message: ConfigMessage) -> None:
         """Serialise and deliver a configuration message to the RPC server."""
         payload = message.to_json()
         self.messages_sent += 1
-        self.sim.schedule(self.network_delay, self.server.receive, payload,
-                          label="rpc:deliver")
+        self.bus.publish(topics.CONFIG, payload, sender="rpc-client")
 
 
 @dataclass

@@ -220,6 +220,30 @@ def bench_convergence_64() -> Dict[str, Any]:
             "switches": result.num_switches, "links": result.num_links}
 
 
+def bench_sharded_convergence_16() -> Dict[str, Any]:
+    """Sharded control plane: a 16-ring under 2 controller shards.
+
+    Exercises the bus-based coordination path (mapping topic, cross-shard
+    next-hop resolution, dpid-filtered FlowVisor slices).  ``sim_seconds``
+    is deterministic and gated exactly, like ``convergence_64``; ``flows``
+    doubles as the load-conservation gate (it must equal the
+    single-controller steady state for this topology).
+    """
+    from repro.experiments.ctlscale import run_ctlscale
+    from repro.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec("bench-ring-16-c2", "ring", {"num_switches": 16},
+                        controllers=2)
+
+    def run():
+        return run_ctlscale(spec, controller_counts=(2,))[0]
+
+    wall, result = _best_of(run, repeats=2)
+    return {"wall_seconds": wall, "sim_seconds": result.configured_seconds,
+            "switches": result.num_switches, "links": result.num_links,
+            "flows": result.total_flows}
+
+
 #: name -> (callable, included in --quick runs)
 BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "kernel_event_churn": (bench_kernel_event_churn, True),
@@ -229,10 +253,11 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "frame_decode": (bench_frame_decode, True),
     "flow_mod_codec": (bench_flow_mod_codec, True),
     "convergence_64": (bench_convergence_64, False),
+    "sharded_convergence_16": (bench_sharded_convergence_16, False),
 }
 
 #: Keys whose values must match the baseline *exactly* (determinism gate).
-EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links")
+EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links", "flows")
 
 
 def run_benchmarks(quick: bool = False,

@@ -1,0 +1,251 @@
+"""Controller-scaling experiments: the ``repro ctlscale`` subcommand.
+
+For one registry scenario and a list of controller-shard counts, the
+experiment configures the same topology under each shard count and
+reports, per run:
+
+* the simulated configuration (convergence) time — sharding pays off
+  because VM cloning/booting serialises per controller host, so N shards
+  boot their partitions concurrently;
+* the per-shard control-plane load — RouteMods received, FlowMods
+  issued, flows currently installed — exported per shard and as totals;
+* a **conservation check**: the steady-state flow count is a function of
+  the topology alone, so the sum of every shard's ``flows_current`` must
+  equal the single-controller total (transient message *counts* may
+  differ — boot interleavings change OSPF timing — which is why the check
+  pins installed state, not traffic);
+* the SPF/RIB invariant over every VM
+  (:func:`~repro.experiments.failover.verify_spf_rib_consistency`), i.e.
+  each router's RIB equals a fresh SPF result; and
+* the control-plane bus's per-topic message counters.
+"""
+
+from __future__ import annotations
+
+import csv
+import json
+import logging
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Dict, Iterable, List, Optional, Sequence, Union
+
+from repro.core.autoconfig import AutoConfigFramework
+from repro.core.ipam import IPAddressManager
+from repro.experiments.failover import verify_spf_rib_consistency
+from repro.experiments.results import format_seconds, format_table
+from repro.scenarios import ScenarioSpec, get
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+
+LOG = logging.getLogger(__name__)
+
+#: Shard counts swept by default (1 is the conservation reference).
+DEFAULT_CONTROLLER_COUNTS = (1, 2, 4)
+
+PathLike = Union[str, Path]
+
+
+@dataclass
+class CtlScaleResult:
+    """One scenario configured under one controller-shard count."""
+
+    scenario: str
+    family: str
+    seed: int
+    controllers: int
+    partitioner: str
+    num_switches: int
+    num_links: int
+    configured_seconds: Optional[float]
+    #: One entry per shard: switches, vms, route_mods, flow_mods_installed,
+    #: flow_mods_removed, flows_current (see ``ControllerShard.load``).
+    shard_loads: List[Dict[str, int]] = field(default_factory=list)
+    invariant_violations: List[str] = field(default_factory=list)
+    #: Per-topic bus counters at the end of the run.
+    bus_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    wall_seconds: float = 0.0
+
+    @property
+    def configured(self) -> bool:
+        return self.configured_seconds is not None
+
+    @property
+    def total_route_mods(self) -> int:
+        return sum(load["route_mods"] for load in self.shard_loads)
+
+    @property
+    def total_flow_mods(self) -> int:
+        return sum(load["flow_mods_installed"] + load["flow_mods_removed"]
+                   for load in self.shard_loads)
+
+    @property
+    def total_flows(self) -> int:
+        return sum(load["flows_current"] for load in self.shard_loads)
+
+
+def run_ctlscale(scenario: Union[str, ScenarioSpec],
+                 controller_counts: Iterable[int] = DEFAULT_CONTROLLER_COUNTS,
+                 partitioner: Optional[str] = None,
+                 settle: float = 5.0) -> List[CtlScaleResult]:
+    """Configure one scenario under every shard count, in given order.
+
+    ``partitioner`` overrides the scenario's partitioner kind (default:
+    whatever the scenario's framework overrides say, i.e. ``hash``);
+    ``settle`` runs each simulation a little past convergence so trailing
+    flow installations land before the loads are sampled.
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get(scenario)
+    results: List[CtlScaleResult] = []
+    for count in controller_counts:
+        if count < 1:
+            raise ValueError(f"controller counts must be >= 1, got {count}")
+        started = time.perf_counter()
+        run_spec = spec.with_controllers(count)
+        config = run_spec.framework_config()
+        if partitioner is not None:
+            config.partitioner = partitioner
+        sim = Simulator()
+        ipam = IPAddressManager()
+        framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+        topology = run_spec.build_topology()
+        network = EmulatedNetwork(sim, topology, ipam=ipam)
+        framework.attach(network)
+        configured_at = framework.run_until_configured(max_time=run_spec.max_time,
+                                                       settle=settle)
+        result = CtlScaleResult(
+            scenario=spec.name, family=spec.family, seed=spec.seed,
+            controllers=count, partitioner=config.partitioner,
+            num_switches=topology.num_nodes, num_links=topology.num_links,
+            configured_seconds=configured_at,
+            shard_loads=framework.shard_loads(),
+            bus_stats=framework.bus.stats(),
+            wall_seconds=time.perf_counter() - started)
+        if configured_at is not None:
+            result.invariant_violations = verify_spf_rib_consistency(
+                framework.control_plane)
+        LOG.info("ctlscale: %s x%d controllers -> configured %s, "
+                 "%d flows installed", spec.name, count,
+                 format_seconds(configured_at), result.total_flows)
+        results.append(result)
+    return results
+
+
+def check_load_conservation(results: Sequence[CtlScaleResult]) -> List[str]:
+    """Cross-check the sharded runs against the single-controller run.
+
+    The steady-state per-switch flow state must be independent of how the
+    control plane is partitioned; returns a list of human-readable
+    violations (empty = conserved).  Needs a ``controllers=1`` run in the
+    result list as the reference; without one nothing is checked.
+    """
+    reference = next((r for r in results if r.controllers == 1 and r.configured),
+                     None)
+    if reference is None:
+        return []
+    problems: List[str] = []
+    for result in results:
+        if result is reference or not result.configured:
+            continue
+        if result.total_flows != reference.total_flows:
+            problems.append(
+                f"{result.scenario} x{result.controllers}: "
+                f"{result.total_flows} flows installed across shards, "
+                f"single-controller total is {reference.total_flows}")
+        if result.invariant_violations:
+            problems.append(
+                f"{result.scenario} x{result.controllers}: "
+                f"{len(result.invariant_violations)} SPF/RIB violations")
+    return problems
+
+
+def render_ctlscale_table(results: Sequence[CtlScaleResult]) -> str:
+    """Per-run summary plus a per-shard load breakdown."""
+    rows = []
+    for result in results:
+        rows.append([
+            result.scenario,
+            result.controllers,
+            result.partitioner,
+            format_seconds(result.configured_seconds),
+            result.total_route_mods,
+            result.total_flow_mods,
+            result.total_flows,
+            "OK" if result.configured and not result.invariant_violations
+            else ("n/a" if not result.configured else "VIOLATIONS"),
+        ])
+    table = format_table(
+        ["scenario", "controllers", "partitioner", "configured",
+         "route mods", "flow mods", "flows", "RIB=SPF"], rows)
+    shard_rows = []
+    for result in results:
+        for load in result.shard_loads:
+            shard_rows.append([
+                f"{result.scenario} x{result.controllers}",
+                load["shard"],
+                load["switches"],
+                load["route_mods"],
+                load["flow_mods_installed"] + load["flow_mods_removed"],
+                load["flows_current"],
+            ])
+    shard_table = format_table(
+        ["run", "shard", "switches", "route mods", "flow mods", "flows"],
+        shard_rows)
+    notes = [f"  ! {problem}" for problem in check_load_conservation(results)]
+    conservation = "\n".join(notes) if notes else \
+        "per-shard load sums match the single-controller totals"
+    return f"{table}\n\nper-shard load:\n{shard_table}\n\n{conservation}"
+
+
+def _result_payload(result: CtlScaleResult) -> Dict[str, object]:
+    return {
+        "scenario": result.scenario,
+        "family": result.family,
+        "seed": result.seed,
+        "controllers": result.controllers,
+        "partitioner": result.partitioner,
+        "switches": result.num_switches,
+        "links": result.num_links,
+        "configured_seconds": result.configured_seconds,
+        "shard_loads": list(result.shard_loads),
+        "total_route_mods": result.total_route_mods,
+        "total_flow_mods": result.total_flow_mods,
+        "total_flows": result.total_flows,
+        "invariant_violations": list(result.invariant_violations),
+        "bus_stats": dict(result.bus_stats),
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def write_ctlscale_json(results: Sequence[CtlScaleResult],
+                        path: PathLike) -> Path:
+    """Write a controller-scaling series as JSON (full per-shard detail)."""
+    target = Path(path)
+    target.write_text(json.dumps([_result_payload(r) for r in results],
+                                 indent=2, sort_keys=True) + "\n")
+    return target
+
+
+def write_ctlscale_csv(results: Sequence[CtlScaleResult],
+                       path: PathLike) -> Path:
+    """Write a controller-scaling series as CSV, one row per shard."""
+    target = Path(path)
+    with target.open("w", newline="") as handle:
+        writer = csv.writer(handle)
+        writer.writerow(["scenario", "family", "seed", "controllers",
+                         "partitioner", "switches", "links",
+                         "configured_seconds", "shard", "shard_switches",
+                         "route_mods", "flow_mods_installed",
+                         "flow_mods_removed", "flows_current"])
+        for result in results:
+            for load in result.shard_loads:
+                writer.writerow([
+                    result.scenario, result.family, result.seed,
+                    result.controllers, result.partitioner,
+                    result.num_switches, result.num_links,
+                    result.configured_seconds, load["shard"],
+                    load["switches"], load["route_mods"],
+                    load["flow_mods_installed"], load["flow_mods_removed"],
+                    load["flows_current"],
+                ])
+    return target

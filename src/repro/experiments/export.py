@@ -119,6 +119,7 @@ def write_sweep_json(results: Iterable[SweepResult], path: PathLike) -> Path:
             "scenario": result.scenario,
             "family": result.family,
             "seed": result.seed,
+            "controllers": result.controllers,
             "switches": result.num_switches,
             "links": result.num_links,
             "auto_seconds": result.auto_seconds,
@@ -144,6 +145,7 @@ def read_sweep_json(path: PathLike) -> List[SweepResult]:
             scenario=entry["scenario"],
             family=entry["family"],
             seed=int(entry["seed"]),
+            controllers=int(entry.get("controllers", 1)),
             num_switches=int(entry["switches"]),
             num_links=int(entry["links"]),
             auto_seconds=entry["auto_seconds"],
@@ -162,11 +164,13 @@ def write_sweep_csv(results: Iterable[SweepResult], path: PathLike) -> Path:
     target = Path(path)
     with target.open("w", newline="") as handle:
         writer = csv.writer(handle)
-        writer.writerow(["scenario", "family", "seed", "switches", "links",
-                         "auto_seconds", "manual_seconds", "speedup",
-                         "frames_delivered", "frames_dropped"])
+        writer.writerow(["scenario", "family", "seed", "controllers",
+                         "switches", "links", "auto_seconds",
+                         "manual_seconds", "speedup", "frames_delivered",
+                         "frames_dropped"])
         for result in results:
             writer.writerow([result.scenario, result.family, result.seed,
+                             result.controllers,
                              result.num_switches, result.num_links,
                              result.auto_seconds, result.manual_seconds,
                              result.speedup, result.frames_delivered,
@@ -189,6 +193,7 @@ def read_sweep_csv(path: PathLike) -> List[SweepResult]:
                 scenario=row["scenario"],
                 family=row["family"],
                 seed=int(row["seed"]),
+                controllers=int(row.get("controllers") or 1),
                 num_switches=int(row["switches"]),
                 num_links=int(row["links"]),
                 auto_seconds=float(auto) if auto not in ("", "None") else None,

@@ -31,11 +31,12 @@ from bisect import bisect_left, bisect_right
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
+from repro.bus import topics
 from repro.core.autoconfig import AutoConfigFramework
 from repro.core.ipam import IPAddressManager
 from repro.experiments.results import format_seconds, format_table
 from repro.quagga.rib import RouteSource
-from repro.routeflow.rfserver import RFServer
+from repro.routeflow.ipc import PortStatusRelay
 from repro.scenarios import FailureAction, FailureSchedule, ScenarioSpec, get
 from repro.sim import Simulator
 from repro.topology.emulator import EmulatedNetwork
@@ -113,12 +114,15 @@ class FailoverResult:
         return max(event.reconverge_seconds for event in self.events)
 
 
-def verify_spf_rib_consistency(rfserver: RFServer) -> List[str]:
+def verify_spf_rib_consistency(rfserver) -> List[str]:
     """Check every VM's RIB against a fresh SPF run over its LSDB.
 
-    Returns human-readable violations; an empty list means each router's
-    OSPF candidate set exactly equals its latest SPF result — no stale
-    next hops, no leftover withdrawn prefixes, no duplicate candidates.
+    ``rfserver`` is anything with a ``vms`` mapping — a single
+    :class:`RFServer` or a sharded control plane (then the check spans
+    every shard's VMs).  Returns human-readable violations; an empty list
+    means each router's OSPF candidate set exactly equals its latest SPF
+    result — no stale next hops, no leftover withdrawn prefixes, no
+    duplicate candidates.
     """
     violations: List[str] = []
     for vm in rfserver.vms.values():
@@ -151,14 +155,23 @@ def verify_spf_rib_consistency(rfserver: RFServer) -> List[str]:
     return violations
 
 
-def _mirror_into_routeflow(network: EmulatedNetwork, rfserver: RFServer):
-    """Build the physical→virtual mirroring listener for failure events."""
+def _mirror_into_routeflow(network: EmulatedNetwork, bus):
+    """Build the physical→virtual mirroring listener for failure events.
+
+    The relay rides the control-plane bus (the RFProxy→RFServer
+    port-status hop): each affected link is published as a
+    :class:`~repro.routeflow.ipc.PortStatusRelay` on the
+    :data:`~repro.bus.topics.PORT_STATUS` topic, where the control plane —
+    single RFServer or sharded — mirrors it onto the virtual wires.
+    """
 
     def mirror(event) -> None:
         if event.action in FailureAction.LINK_ACTIONS:
             pairs = [(event.node_a, event.node_b)]
-        else:
+        elif event.action in FailureAction.NODE_ACTIONS:
             pairs = network.links_of(event.node_a)
+        else:
+            return  # shard events carry no physical change to mirror
         for node_a, node_b in pairs:
             port_a, port_b = network.ports_for_link(node_a, node_b)
             # Mirror the *effective* physical state, not the event's
@@ -166,7 +179,10 @@ def _mirror_into_routeflow(network: EmulatedNetwork, rfserver: RFServer):
             # while the link (or its other endpoint) is still failed.
             interface = network.switches[node_a].port(port_a).interface
             up = interface.link is not None and interface.link.up
-            rfserver.mirror_physical_link(node_a, port_a, node_b, port_b, up)
+            bus.publish(topics.PORT_STATUS,
+                        PortStatusRelay(node_a, port_a, node_b, port_b,
+                                        up).to_json(),
+                        sender="emulator:port-status")
 
     return mirror
 
@@ -210,7 +226,8 @@ def run_failover(scenario: Union[str, ScenarioSpec],
     active = FailureSchedule(tuple(events))
     active.validate_against((node.node_id for node in topology.nodes),
                             ((link.node_a, link.node_b)
-                             for link in topology.links))
+                             for link in topology.links),
+                            shards=spec.controllers)
     sim = Simulator()
     ipam = IPAddressManager()
     framework = AutoConfigFramework(sim, config=spec.framework_config(),
@@ -228,7 +245,7 @@ def run_failover(scenario: Union[str, ScenarioSpec],
 
     # -- instrumentation -----------------------------------------------------
     change_times: List[float] = []
-    for vm in framework.rfserver.vms.values():
+    for vm in framework.control_plane.vms.values():
         vm.zebra.add_fib_listener(
             lambda prefix, new, old, _sim=sim: change_times.append(_sim.now))
     executed: List[Tuple[object, float, Dict[str, int]]] = []
@@ -237,7 +254,7 @@ def run_failover(scenario: Union[str, ScenarioSpec],
         executed.append((event, sim.now, network.stats()))
 
     network.add_failure_listener(_mirror_into_routeflow(network,
-                                                        framework.rfserver))
+                                                        framework.bus))
     network.add_failure_listener(observe)
     network.schedule_failures(active)
     armed_at = sim.now
@@ -279,7 +296,7 @@ def run_failover(scenario: Union[str, ScenarioSpec],
             frames_lost=(stats_end["frames_dropped"]
                          - stats_before["frames_dropped"]),
         ))
-    result.invariant_violations = verify_spf_rib_consistency(framework.rfserver)
+    result.invariant_violations = verify_spf_rib_consistency(framework.control_plane)
     result.link_stats = final_stats
     result.wall_seconds = time.perf_counter() - started
     for violation in result.invariant_violations:

@@ -37,6 +37,8 @@ class SweepResult:
     num_links: int
     auto_seconds: Optional[float]
     manual_seconds: float
+    #: Controller shards the scenario ran under (1 = single RF-controller).
+    controllers: int = 1
     milestones: Dict[str, float] = field(default_factory=dict)
     #: Physical frames delivered / dropped across the emulated network by
     #: the end of the run (from ``EmulatedNetwork.stats()``).
@@ -77,6 +79,7 @@ def run_scenario(spec: ScenarioSpec) -> SweepResult:
         num_links=measured.num_links,
         auto_seconds=measured.auto_seconds,
         manual_seconds=measured.manual_seconds,
+        controllers=spec.controllers,
         milestones=dict(measured.milestones),
         frames_delivered=measured.link_stats.get("frames_delivered", 0),
         frames_dropped=measured.link_stats.get("frames_dropped", 0),
@@ -95,7 +98,8 @@ def _resolve_specs(scenarios: Iterable[ScenarioLike]) -> List[ScenarioSpec]:
 
 
 def run_sweep(scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
-              workers: int = 1) -> List[SweepResult]:
+              workers: int = 1,
+              controllers: Optional[int] = None) -> List[SweepResult]:
     """Run every scenario and return their results in input order.
 
     ``scenarios`` mixes registry names and ad-hoc :class:`ScenarioSpec`
@@ -103,7 +107,9 @@ def run_sweep(scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
     the runs out over a process pool (each worker re-imports the package,
     so ad-hoc specs must be picklable — plain dataclasses always are).
     Per-scenario seeds live in the specs themselves, so the results are
-    independent of ``workers`` and of scheduling order.
+    independent of ``workers`` and of scheduling order.  ``controllers``
+    overrides every scenario's controller-shard count for the sweep
+    (``repro sweep --controllers``).
     """
     if workers < 1:
         raise ValueError("workers must be >= 1")
@@ -112,6 +118,8 @@ def run_sweep(scenarios: Union[ScenarioLike, Sequence[ScenarioLike]],
         # (character-by-character for a string).
         scenarios = [scenarios]
     specs = _resolve_specs(scenarios)
+    if controllers is not None:
+        specs = [spec.with_controllers(controllers) for spec in specs]
     if not specs:
         return []
     if workers == 1 or len(specs) == 1:

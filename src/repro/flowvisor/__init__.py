@@ -5,6 +5,7 @@ from repro.flowvisor.flowspace import (
     FlowSpaceRule,
     Permission,
     build_paper_flowspace,
+    build_sharded_flowspace,
 )
 from repro.flowvisor.proxy import FlowVisor, Slice
 
@@ -15,4 +16,5 @@ __all__ = [
     "Permission",
     "Slice",
     "build_paper_flowspace",
+    "build_sharded_flowspace",
 ]

@@ -105,6 +105,26 @@ class FlowSpace:
         return len(self._rules)
 
 
+def build_sharded_flowspace(topology_slice: str,
+                            routeflow_slices: List[str]) -> FlowSpace:
+    """The flowspace for a sharded RouteFlow deployment.
+
+    LLDP still belongs to the topology controller; every routeflow shard
+    slice holds read/write on everything else.  The per-slice *datapath*
+    restriction lives on the FlowVisor slice registration
+    (:meth:`~repro.flowvisor.proxy.FlowVisor.add_slice`), not in the
+    flowspace — matches on packet fields cannot see the dpid.
+    """
+    flowspace = FlowSpace()
+    lldp = Match.wildcard_all().set_dl_type(EtherType.LLDP)
+    flowspace.add(lldp, topology_slice, Permission.READ_WRITE, priority=200)
+    everything = Match.wildcard_all()
+    for slice_name in routeflow_slices:
+        flowspace.add(everything, slice_name, Permission.READ_WRITE,
+                      priority=100)
+    return flowspace
+
+
 def build_paper_flowspace(topology_slice: str, routeflow_slice: str) -> FlowSpace:
     """The two-slice flowspace used by the paper's framework.
 

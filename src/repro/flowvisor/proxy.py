@@ -57,6 +57,18 @@ class Slice:
 
     name: str
     controller: object  # repro.controller.base.Controller (duck-typed endpoint)
+    #: Optional datapath filter: a set of dpids or a ``dpid -> bool``
+    #: predicate.  None exposes every switch to the slice (the classic
+    #: two-slice deployment); sharded RouteFlow deployments register one
+    #: slice per controller shard, each restricted to its partition.
+    datapaths: object = None
+
+    def covers(self, datapath_id: int) -> bool:
+        if self.datapaths is None:
+            return True
+        if callable(self.datapaths):
+            return bool(self.datapaths(datapath_id))
+        return datapath_id in self.datapaths
 
 
 class _SwitchSession:
@@ -97,11 +109,17 @@ class FlowVisor:
         self.flow_mods_denied = 0
 
     # ------------------------------------------------------------------ slices
-    def add_slice(self, name: str, controller: object) -> Slice:
-        """Register a slice.  Must be done before switches connect."""
+    def add_slice(self, name: str, controller: object,
+                  datapaths: object = None) -> Slice:
+        """Register a slice.  Must be done before switches connect.
+
+        ``datapaths`` optionally restricts the slice to a subset of the
+        switches (a set of dpids or a predicate); switches outside the
+        subset are never exposed to the slice's controller.
+        """
         if name in self.slices:
             raise ValueError(f"slice {name} already exists")
-        new_slice = Slice(name=name, controller=controller)
+        new_slice = Slice(name=name, controller=controller, datapaths=datapaths)
         self.slices[name] = new_slice
         return new_slice
 
@@ -173,6 +191,8 @@ class FlowVisor:
         LOG.info("%s: switch %#x connected; exposing it to %d slice(s)",
                  self.name, features.datapath_id, len(self.slices))
         for slice_name, registered in self.slices.items():
+            if not registered.covers(features.datapath_id):
+                continue
             slice_channel = ControlChannel(
                 self.sim, latency=self.SLICE_CHANNEL_LATENCY,
                 name=f"{self.name}:{slice_name}:dpid{features.datapath_id:x}")

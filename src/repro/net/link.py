@@ -26,6 +26,12 @@ FrameHandler = Callable[["Interface", bytes], None]
 #: equivalent of a NIC driver reporting loss (or return) of carrier.
 CarrierListener = Callable[["Interface", bool], None]
 
+#: Type of the address-change callback: ``listener(interface, old_ip)``.
+#: Fired after :meth:`Interface.configure_ip` changes the address, with the
+#: previous address (or None) — the simulated equivalent of a netlink
+#: RTM_NEWADDR notification.
+AddressListener = Callable[["Interface", Optional[IPv4Address]], None]
+
 
 class Interface:
     """A network interface attached to a simulated device.
@@ -58,6 +64,7 @@ class Interface:
         self.up = True
         self._handler: Optional[FrameHandler] = None
         self._carrier_listeners: List[CarrierListener] = []
+        self._address_listeners: List[AddressListener] = []
         # Counters
         self.tx_packets = 0
         self.rx_packets = 0
@@ -80,10 +87,18 @@ class Interface:
         for listener in self._carrier_listeners:
             listener(self, up)
 
+    def add_address_listener(self, listener: AddressListener) -> None:
+        """Subscribe to IPv4 address changes on this interface."""
+        self._address_listeners.append(listener)
+
     def configure_ip(self, ip: IPv4Address, prefix_len: int) -> None:
         """Assign an IPv4 address/prefix to the interface."""
+        old_ip = self.ip
         self.ip = IPv4Address(ip)
         self.prefix_len = prefix_len
+        if old_ip != self.ip:
+            for listener in self._address_listeners:
+                listener(self, old_ip)
 
     @property
     def network(self) -> Optional[IPv4Network]:

@@ -1,25 +1,52 @@
 """RouteFlow: VMs, virtual switch, mappings, RFClient/RFServer/RFProxy."""
 
-from repro.routeflow.ipc import RouteMod, RouteModType
+from repro.routeflow.ipc import (
+    MappingRecord,
+    PortStatusRelay,
+    RouteMod,
+    RouteModType,
+)
 from repro.routeflow.mapping import MappingError, MappingTable, PortMapping
 from repro.routeflow.rfclient import RFClient
 from repro.routeflow.rfproxy import FlowSpec, HostEntry, RFProxy
 from repro.routeflow.rfserver import RFServer
+from repro.routeflow.sharding import (
+    PARTITIONERS,
+    ContiguousPartitioner,
+    ControllerShard,
+    ExplicitPartitioner,
+    HashPartitioner,
+    PartitionError,
+    Partitioner,
+    ShardedControlPlane,
+    make_partitioner,
+)
 from repro.routeflow.virtual_switch import RFVirtualSwitch
 from repro.routeflow.vm import VirtualMachine, VMState
 
 __all__ = [
+    "ContiguousPartitioner",
+    "ControllerShard",
+    "ExplicitPartitioner",
     "FlowSpec",
+    "HashPartitioner",
     "HostEntry",
     "MappingError",
+    "MappingRecord",
     "MappingTable",
+    "PARTITIONERS",
+    "PartitionError",
+    "Partitioner",
     "PortMapping",
+    "PortStatusRelay",
     "RFClient",
     "RFProxy",
     "RFServer",
     "RFVirtualSwitch",
     "RouteMod",
     "RouteModType",
+    "ShardedControlPlane",
     "VMState",
     "VirtualMachine",
+    "make_partitioner",
 ]

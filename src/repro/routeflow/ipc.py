@@ -68,3 +68,72 @@ class RouteMod:
     @property
     def is_connected(self) -> bool:
         return self.next_hop is None
+
+
+@dataclass
+class MappingRecord:
+    """A VM/interface ownership fact shared on the bus mapping topic.
+
+    Controller shards publish one record per VM registration
+    (``event="vm_mapped"``, no address), one per interface address
+    (``event="address_assigned"``) and a retraction when an address is
+    replaced (``event="address_removed"``), so every peer shard can
+    resolve next hops and answer ARP for gateways it does not host
+    itself — the east/west state exchange between coordinated controller
+    instances.
+    """
+
+    event: str     # "vm_mapped" | "address_assigned" | "address_removed"
+    vm_id: int
+    datapath_id: int
+    shard: int = 0
+    interface: str = ""       # VM interface name for address records
+    address: Optional[str] = None   # textual IP for address records
+
+    VM_MAPPED = "vm_mapped"
+    ADDRESS_ASSIGNED = "address_assigned"
+    ADDRESS_REMOVED = "address_removed"
+
+    def to_json(self) -> str:
+        return json.dumps({"kind": "mapping_record", **asdict(self)},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "MappingRecord":
+        data = json.loads(text)
+        if data.get("kind") != "mapping_record":
+            raise ValueError(f"not a MappingRecord payload: {text!r}")
+        data.pop("kind")
+        return cls(**data)
+
+    @property
+    def address_value(self) -> Optional[IPv4Address]:
+        return IPv4Address(self.address) if self.address is not None else None
+
+
+@dataclass
+class PortStatusRelay:
+    """A physical link state change relayed into the virtual topology.
+
+    In RouteFlow the RFProxy receives the switch's port-status message and
+    relays it to the RFServer over the IPC bus; the RFServer then takes
+    the corresponding virtual wire down (or up).
+    """
+
+    dpid_a: int
+    port_a: int
+    dpid_b: int
+    port_b: int
+    up: bool
+
+    def to_json(self) -> str:
+        return json.dumps({"kind": "port_status", **asdict(self)},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "PortStatusRelay":
+        data = json.loads(text)
+        if data.get("kind") != "port_status":
+            raise ValueError(f"not a PortStatusRelay payload: {text!r}")
+        data.pop("kind")
+        return cls(**data)

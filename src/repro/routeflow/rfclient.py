@@ -3,14 +3,15 @@
 In RouteFlow the RFClient runs inside each VM, watches the kernel routing
 table that zebra populates, and reports every change to the RFServer as a
 RouteMod.  Here it subscribes to the VM's zebra FIB listener hook and
-forwards JSON-encoded RouteMods over the IPC bus (modelled as a small
-constant delay).
+publishes JSON-encoded RouteMods on the control-plane bus — the
+``route_mods.<shard>`` topic of the RFServer shard owning this VM, a delay
+channel whose one-way latency is :attr:`IPC_DELAY`.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import TYPE_CHECKING, Callable, Optional
+from typing import TYPE_CHECKING, Optional
 
 from repro.net.addresses import IPv4Network
 from repro.quagga.rib import Route
@@ -34,8 +35,11 @@ class RFClient:
         self.sim = sim
         self.vm = vm
         self.rfserver = rfserver
+        self.bus = rfserver.bus
+        self.topic = rfserver.route_mods_topic
         self.route_mods_sent = 0
         self._routemod_label = f"rfclient:{vm.vm_id}:routemod"
+        self._sender = f"rfclient:{vm.vm_id}"
         vm.zebra.add_fib_listener(self._on_fib_change)
 
     def _on_fib_change(self, prefix: IPv4Network, new: Optional[Route],
@@ -48,9 +52,8 @@ class RFClient:
                                    next_hop=new.next_hop, interface=new.interface,
                                    metric=new.metric)
         self.route_mods_sent += 1
-        payload = message.to_json()
-        self.sim.schedule(self.IPC_DELAY, self.rfserver.receive_route_mod, payload,
-                          label=self._routemod_label)
+        self.bus.publish(self.topic, message.to_json(),
+                         label=self._routemod_label, sender=self._sender)
 
     def __repr__(self) -> str:
         return f"<RFClient vm={self.vm.vm_id} sent={self.route_mods_sent}>"

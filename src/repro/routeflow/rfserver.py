@@ -3,13 +3,31 @@
 The RFServer owns the virtual environment — the VMs, the RouteFlow virtual
 switch wiring them together, and the mapping tables that associate VMs with
 switches and VM interfaces with switch ports.  It receives RouteMods from
-the per-VM RFClients, resolves next hops against the virtual environment
-and hands fully resolved flow specifications to the RFProxy for
-installation on the physical switches.
+the per-VM RFClients over the control-plane bus, resolves next hops against
+the virtual environment and hands fully resolved flow specifications to the
+RFProxy for installation on the physical switches.
 
 The paper's RPC server calls into this class: creating VMs, mapping ports,
 assigning interface addresses and writing configuration files are exactly
 the operations an administrator would otherwise perform by hand.
+
+Every IPC hop runs over an explicit :class:`~repro.bus.MessageBus`:
+
+* ``route_mods.<shard>`` — RouteMods arriving from the RFClients (delay
+  channel, :attr:`RFClient.IPC_DELAY` one-way latency);
+* ``flow_specs.<shard>`` — the RFServer→RFProxy handoff (delay channel,
+  :attr:`IPC_DELAY`); next hops are resolved at delivery, and the
+  resolved :class:`~repro.routeflow.rfproxy.FlowSpec` goes straight into
+  the proxy;
+* ``routeflow.mapping`` — mapping records (VM registrations, interface
+  addresses) shared with peer controller shards (direct channel);
+* ``routeflow.port_status`` — physical link state relayed into the
+  virtual topology (direct channel).
+
+When several RFServer shards coordinate, a
+:class:`~repro.routeflow.sharding.ShardedControlPlane` provides the
+``peers`` view used to resolve next hops and VM→dpid mappings that live on
+another shard.
 """
 
 from __future__ import annotations
@@ -17,9 +35,10 @@ from __future__ import annotations
 import logging
 from typing import Dict, List, Optional, Tuple
 
+from repro.bus import Discipline, Envelope, MessageBus, topics
 from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
 from repro.net.link import Interface
-from repro.routeflow.ipc import RouteMod, RouteModType
+from repro.routeflow.ipc import MappingRecord, PortStatusRelay, RouteMod, RouteModType
 from repro.routeflow.mapping import MappingTable
 from repro.routeflow.rfclient import RFClient
 from repro.routeflow.rfproxy import FlowSpec, RFProxy
@@ -31,7 +50,7 @@ LOG = logging.getLogger(__name__)
 
 
 class RFServer:
-    """RouteFlow's central server."""
+    """RouteFlow's central server (one per controller shard)."""
 
     #: Latency of the RFServer -> RFProxy IPC hop.
     IPC_DELAY = 0.005
@@ -39,24 +58,64 @@ class RFServer:
     def __init__(self, sim: Simulator, rfproxy: RFProxy, vm_boot_delay: float = 5.0,
                  event_log: Optional[EventLog] = None,
                  hello_interval: Optional[int] = None,
-                 serialize_vm_creation: bool = True) -> None:
+                 serialize_vm_creation: bool = True,
+                 bus: Optional[MessageBus] = None,
+                 shard_id: int = 0,
+                 rfvs: Optional[RFVirtualSwitch] = None) -> None:
         self.sim = sim
         self.rfproxy = rfproxy
         self.vm_boot_delay = vm_boot_delay
         self.hello_interval = hello_interval
         #: The RF-controller host clones and boots VMs one at a time (LXC
         #: cloning is disk/CPU bound), so VM creation is serialised by default;
-        #: ablation A4 compares against fully parallel creation.
+        #: ablation A4 compares against fully parallel creation.  Each shard
+        #: is its own host, so serialisation is per-shard.
         self.serialize_vm_creation = serialize_vm_creation
         self._vm_creation_free_at = 0.0
         self.event_log = event_log if event_log is not None else EventLog(sim)
+        self.shard_id = shard_id
         self.mapping = MappingTable()
-        self.rfvs = RFVirtualSwitch(sim)
+        self.rfvs = rfvs if rfvs is not None else RFVirtualSwitch(sim)
         self.vms: Dict[int, VirtualMachine] = {}
         self.rfclients: Dict[int, RFClient] = {}
         #: IP -> (vm, interface) index used for next-hop and ARP resolution.
+        #: Fed by :meth:`assign_interface_address` and by interface address
+        #: listeners registered at VM creation, so lookups never fall back
+        #: to scanning every VM interface.
         self._ip_index: Dict[IPv4Address, Tuple[VirtualMachine, Interface]] = {}
+        #: RouteMods whose next hop was not resolvable when they arrived,
+        #: parked per next-hop address and replayed the moment the address
+        #: is assigned: next_hop -> {(vm_id, prefix): RouteMod}.
+        self._pending_by_next_hop: Dict[
+            IPv4Address, Dict[Tuple[int, str], RouteMod]] = {}
+        #: Cross-shard lookup view, set by the sharded control plane; None
+        #: in single-controller deployments.
+        self.peers = None
         self.route_mods_received = 0
+        self.route_mods_parked = 0
+        #: Decoded RouteMods in flight on the flow_specs channel, keyed by
+        #: envelope sequence number, so delivery needs no second decode.
+        self._in_flight: Dict[int, RouteMod] = {}
+        #: Shards stop processing bus traffic when their controller is
+        #: failed by the failure-injection subsystem.
+        self.active = True
+        # --- bus wiring -----------------------------------------------------
+        self._sender = f"rfserver:{shard_id}"
+        self.route_mods_topic = topics.route_mods_topic(shard_id)
+        self.flow_specs_topic = topics.flow_specs_topic(shard_id)
+        owns_bus = bus is None
+        self.bus = bus if bus is not None else MessageBus(sim, name="rfserver-bus")
+        self.bus.channel(self.route_mods_topic, latency=RFClient.IPC_DELAY,
+                         discipline=Discipline.DELAY)
+        self.bus.channel(self.flow_specs_topic, latency=self.IPC_DELAY,
+                         discipline=Discipline.DELAY, label="rfserver:routemod")
+        self.bus.subscribe(self.route_mods_topic,
+                           lambda envelope: self.receive_route_mod(envelope.payload))
+        self.bus.subscribe(self.flow_specs_topic, self._deliver_route_mod)
+        if owns_bus:
+            # Standalone deployments wire the shared topics to this server;
+            # a sharded control plane owns these subscriptions instead.
+            self.bus.subscribe(topics.PORT_STATUS, self._on_port_status)
         rfproxy.attach_rfserver(self)
 
     # --------------------------------------------------------------------- VMs
@@ -77,6 +136,7 @@ class RFServer:
         self.mapping.map_vm(vm_id, dpid)
         for port in range(1, num_ports + 1):
             self.mapping.map_port(vm_id, f"eth{port}", dpid, port)
+        vm.add_address_listener(self._on_vm_address_change)
         self.rfclients[vm_id] = RFClient(self.sim, vm, self)
         if self.serialize_vm_creation:
             start_at = max(self.sim.now, self._vm_creation_free_at)
@@ -84,6 +144,9 @@ class RFServer:
             self.sim.schedule_at(start_at, vm.start, label=f"rfserver:boot:{vm_id}")
         else:
             vm.start()
+        self.bus.publish(topics.MAPPING, MappingRecord(
+            event=MappingRecord.VM_MAPPED, vm_id=vm_id, datapath_id=dpid,
+            shard=self.shard_id).to_json(), sender=self._sender)
         self.event_log.record("vm_created", f"VM {vm.name} created for dpid {dpid:#x}",
                               vm_id=vm_id, datapath_id=dpid, num_ports=num_ports)
         return vm
@@ -114,18 +177,59 @@ class RFServer:
         interface = vm.interfaces.get(interface_name)
         if interface is None:
             raise KeyError(f"VM {vm_id} has no interface {interface_name}")
-        self._ip_index[IPv4Address(address)] = (vm, interface)
+        self._index_interface_address(vm, interface, IPv4Address(address))
+
+    def _on_vm_address_change(self, vm: VirtualMachine, interface: Interface,
+                              old_ip: Optional[IPv4Address]) -> None:
+        """A VM interface address changed (zebra applied a configuration)."""
+        if old_ip is not None and \
+                self._ip_index.get(old_ip, (None, None))[1] is interface:
+            del self._ip_index[old_ip]
+            # Retract the replaced address from peer shards' directories
+            # too, or they would keep resolving next hops to a gateway
+            # address that no longer exists.
+            self.bus.publish(topics.MAPPING, MappingRecord(
+                event=MappingRecord.ADDRESS_REMOVED, vm_id=vm.vm_id,
+                datapath_id=self.mapping.dpid_for_vm(vm.vm_id) or vm.vm_id,
+                shard=self.shard_id, interface=interface.name,
+                address=str(old_ip)).to_json(), sender=self._sender)
+        if interface.ip is not None:
+            self._index_interface_address(vm, interface, interface.ip)
+
+    def _index_interface_address(self, vm: VirtualMachine, interface: Interface,
+                                 address: IPv4Address) -> None:
+        """Index an address, share it on the mapping topic, replay parkers."""
+        known = self._ip_index.get(address)
+        self._ip_index[address] = (vm, interface)
+        if known is None or known[1] is not interface:
+            self.bus.publish(topics.MAPPING, MappingRecord(
+                event=MappingRecord.ADDRESS_ASSIGNED, vm_id=vm.vm_id,
+                datapath_id=self.mapping.dpid_for_vm(vm.vm_id) or vm.vm_id,
+                shard=self.shard_id, interface=interface.name,
+                address=str(address)).to_json(), sender=self._sender)
+        self.replay_pending_next_hop(address)
 
     def interface_owning_ip(self, address: IPv4Address):
-        """Return (vm, interface) holding the address, or None."""
+        """Return (vm, interface) holding the address, or None.
+
+        A dict hit on the hot path: interface addresses are indexed when
+        they are assigned (RPC server) or applied (zebra), so there is no
+        linear scan over every VM interface.  Addresses owned by a peer
+        controller shard are resolved through the shared mapping topic.
+        """
         entry = self._ip_index.get(IPv4Address(address))
         if entry is not None:
             return entry
-        for vm in self.vms.values():
-            interface = vm.owns_ip(address)
-            if interface is not None:
-                return (vm, interface)
+        if self.peers is not None:
+            return self.peers.interface_owning_ip(address)
         return None
+
+    def dpid_for_vm(self, vm_id: int) -> Optional[int]:
+        """The datapath mirrored by a VM, wherever the VM is hosted."""
+        dpid = self.mapping.dpid_for_vm(vm_id)
+        if dpid is None and self.peers is not None:
+            dpid = self.peers.dpid_for_vm(vm_id)
+        return dpid
 
     # ----------------------------------------------------------- virtual wiring
     def connect_virtual_link(self, vm_id_a: int, iface_a: str,
@@ -167,6 +271,14 @@ class RFServer:
                 up=up)
         return changed
 
+    def _on_port_status(self, envelope: Envelope) -> None:
+        """Bus delivery of a relayed port-status change."""
+        if not self.active:
+            return
+        relay = PortStatusRelay.from_json(envelope.payload)
+        self.mirror_physical_link(relay.dpid_a, relay.port_a,
+                                  relay.dpid_b, relay.port_b, relay.up)
+
     def write_config_file(self, vm_id: int, filename: str, text: str) -> None:
         """Write a Quagga configuration file into a VM (RPC-server helper)."""
         vm = self.vms[vm_id]
@@ -176,19 +288,37 @@ class RFServer:
 
     # --------------------------------------------------------------- RouteMods
     def receive_route_mod(self, payload: str) -> None:
-        """Entry point for JSON RouteMods arriving from RFClients."""
+        """Entry point for JSON RouteMods arriving from RFClients.
+
+        Hands the message over to the RFProxy side on the ``flow_specs``
+        channel; resolution happens at delivery, one IPC hop later.
+        """
+        if not self.active:
+            return
         route_mod = RouteMod.from_json(payload)
         self.route_mods_received += 1
-        self.sim.schedule(self.IPC_DELAY, self._process_route_mod, route_mod,
-                          label="rfserver:routemod")
+        envelope = self.bus.publish(self.flow_specs_topic, payload,
+                                    sender=self._sender)
+        self._in_flight[envelope.seq] = route_mod
+
+    def _deliver_route_mod(self, envelope: Envelope) -> None:
+        route_mod = self._in_flight.pop(envelope.seq, None)
+        if not self.active:
+            return
+        if route_mod is None:
+            route_mod = RouteMod.from_json(envelope.payload)
+        self._process_route_mod(route_mod)
 
     def _process_route_mod(self, route_mod: RouteMod) -> None:
+        if not self.active:
+            return
         dpid = self.mapping.dpid_for_vm(route_mod.vm_id)
         if dpid is None:
             LOG.warning("rfserver: RouteMod for unmapped VM %s", route_mod.vm_id)
             return
         prefix = route_mod.prefix_network
         if route_mod.mod_type == RouteModType.DELETE:
+            self._drop_parked(route_mod.vm_id, route_mod.prefix)
             self.rfproxy.remove_route(dpid, prefix)
             return
         port = self.mapping.port_for_interface(route_mod.vm_id, route_mod.interface)
@@ -205,13 +335,62 @@ class RFServer:
         if next_hop is not None:
             owner = self.interface_owning_ip(next_hop)
             if owner is None:
-                LOG.debug("rfserver: next hop %s not (yet) resolvable", next_hop)
+                self._park_route_mod(next_hop, route_mod)
                 return
             dst_mac = owner[1].mac
         spec = FlowSpec(datapath_id=dpid, prefix=prefix, out_port=port,
                         src_mac=out_interface.mac, dst_mac=dst_mac,
                         metric=route_mod.metric)
         self.rfproxy.install_route(spec)
+
+    # ------------------------------------------------------ pending RouteMods
+    def _park_route_mod(self, next_hop: IPv4Address, route_mod: RouteMod) -> None:
+        """Park a RouteMod until its next hop address is assigned.
+
+        A RouteMod can legitimately race ahead of the gateway address that
+        resolves it (the RPC link configuration and the routing protocol
+        run concurrently); dropping it would leave a permanent hole in the
+        switch's flow table because OSPF will not re-announce an unchanged
+        route.  Parked entries are keyed by (vm, prefix) so a newer
+        announcement replaces an older one instead of piling up.
+        """
+        LOG.debug("rfserver: next hop %s not (yet) resolvable; parking %s",
+                  next_hop, route_mod.prefix)
+        bucket = self._pending_by_next_hop.setdefault(IPv4Address(next_hop), {})
+        bucket[(route_mod.vm_id, route_mod.prefix)] = route_mod
+        self.route_mods_parked += 1
+
+    def _drop_parked(self, vm_id: int, prefix: str) -> None:
+        """A DELETE supersedes any parked ADD for the same (vm, prefix)."""
+        empty = []
+        for next_hop, bucket in self._pending_by_next_hop.items():
+            bucket.pop((vm_id, prefix), None)
+            if not bucket:
+                empty.append(next_hop)
+        for next_hop in empty:
+            del self._pending_by_next_hop[next_hop]
+
+    def replay_pending_next_hop(self, address: IPv4Address) -> int:
+        """Replay RouteMods that were waiting for this next-hop address.
+
+        Returns the number of replayed messages.  Called locally when the
+        address is indexed, and by the sharded control plane when a peer
+        shard announces the address on the mapping topic.  A fail-stopped
+        shard replays nothing (the parked entries stay put, like any
+        other in-flight state a dead controller holds).
+        """
+        if not self.active:
+            return 0
+        bucket = self._pending_by_next_hop.pop(IPv4Address(address), None)
+        if not bucket:
+            return 0
+        for route_mod in bucket.values():
+            self._process_route_mod(route_mod)
+        return len(bucket)
+
+    @property
+    def pending_route_mods(self) -> int:
+        return sum(len(bucket) for bucket in self._pending_by_next_hop.values())
 
     # ------------------------------------------------------------------ status
     def configured_switches(self) -> List[int]:
@@ -227,20 +406,44 @@ class RFServer:
         When ``expected_prefixes`` is None it is derived as the number of
         distinct prefixes configured across the virtual environment.
         """
-        if not self.vms:
-            return False
-        prefixes = {IPv4Network((iface.ip, iface.prefix_len)).network
-                    for vm in self.vms.values()
-                    for iface in vm.interfaces.values() if iface.ip is not None}
-        expected = expected_prefixes if expected_prefixes is not None else len(prefixes)
-        if expected == 0:
-            return False
-        for vm in self.vms.values():
-            if not vm.is_running:
-                return False
-            if len(vm.zebra.fib) < expected:
-                return False
-        return True
+        return ospf_converged_over(self.vms, expected_prefixes)
+
+    def load(self) -> Dict[str, int]:
+        """This server's control-plane load counters (one ctlscale row)."""
+        return {
+            "shard": self.shard_id,
+            "switches": len(self.mapping.mapped_datapaths),
+            "vms": self.vm_count,
+            "route_mods": self.route_mods_received,
+            "route_mods_parked": self.route_mods_parked,
+            "flow_mods_installed": self.rfproxy.flows_installed,
+            "flow_mods_removed": self.rfproxy.flows_removed,
+            "flows_current": len(self.rfproxy.installed_flows),
+        }
 
     def __repr__(self) -> str:
         return f"<RFServer vms={len(self.vms)} routes={self.route_mods_received}>"
+
+
+def ospf_converged_over(vms: Dict[int, VirtualMachine],
+                        expected_prefixes: Optional[int] = None) -> bool:
+    """The convergence predicate over a VM population.
+
+    Shared by :meth:`RFServer.ospf_converged` and the sharded control
+    plane (which applies it to the merged VM view), so single-controller
+    and sharded runs converge under the same criterion.
+    """
+    if not vms:
+        return False
+    prefixes = {IPv4Network((iface.ip, iface.prefix_len)).network
+                for vm in vms.values()
+                for iface in vm.interfaces.values() if iface.ip is not None}
+    expected = expected_prefixes if expected_prefixes is not None else len(prefixes)
+    if expected == 0:
+        return False
+    for vm in vms.values():
+        if not vm.is_running:
+            return False
+        if len(vm.zebra.fib) < expected:
+            return False
+    return True

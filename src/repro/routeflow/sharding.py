@@ -1,0 +1,478 @@
+"""Sharding the RouteFlow control plane across N controller instances.
+
+Following the distributed-controller line of work (Yazıcı et al.,
+"Controlling a Software-Defined Network via Distributed Controllers"), the
+control plane can be split into :class:`ControllerShard` instances — each
+an OpenFlow controller hosting one RFProxy plus one RFServer — with every
+shard owning a partition of the datapath space.  The partition function is
+pluggable (:data:`PARTITIONERS`): hash, contiguous blocks, or an explicit
+dpid→shard map aligned with the FlowVisor slice definitions.
+
+The shards never call each other: all east/west coordination flows over
+the shared control-plane bus.  Each shard publishes
+:class:`~repro.routeflow.ipc.MappingRecord` facts (VM registrations,
+interface addresses) on the :data:`~repro.bus.topics.MAPPING` topic; the
+:class:`ShardedControlPlane` maintains the resulting global directory and
+serves as the ``peers`` view through which a shard resolves next hops and
+VM→dpid mappings owned by another shard.  Port-status relays on the
+:data:`~repro.bus.topics.PORT_STATUS` topic are likewise handled centrally
+because one physical link's endpoints may live on two different shards.
+
+The :class:`ShardedControlPlane` duck-types the :class:`RFServer` surface
+the RPC server and the framework use (``create_vm``,
+``assign_interface_address``, ``connect_virtual_link``, milestones, …), so
+the rest of the system is oblivious to the shard count.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Callable, Dict, List, Mapping, Optional, Tuple
+
+from repro.bus import Envelope, MessageBus, topics
+from repro.controller.base import Controller
+from repro.net.addresses import IPv4Address
+from repro.routeflow.ipc import MappingRecord, PortStatusRelay
+from repro.routeflow.rfproxy import RFProxy
+from repro.routeflow.rfserver import RFServer, ospf_converged_over
+from repro.routeflow.virtual_switch import RFVirtualSwitch
+from repro.routeflow.vm import VirtualMachine
+from repro.sim import EventLog, Simulator
+
+LOG = logging.getLogger(__name__)
+
+
+class PartitionError(ValueError):
+    """Raised when a datapath cannot be assigned to a shard."""
+
+
+class Partitioner:
+    """Maps datapath ids to shard indices.  Subclasses are pure functions
+    of the dpid (plus optional seeding), so every component that asks gets
+    the same answer."""
+
+    name = "abstract"
+
+    def __init__(self, num_shards: int) -> None:
+        if num_shards < 1:
+            raise PartitionError(f"need at least one shard, got {num_shards}")
+        self.num_shards = num_shards
+
+    def seed(self, dpids) -> None:
+        """Give the partitioner the universe of datapaths (optional)."""
+
+    def shard_for(self, dpid: int) -> int:
+        raise NotImplementedError
+
+    def __repr__(self) -> str:
+        return f"<{type(self).__name__} shards={self.num_shards}>"
+
+
+class HashPartitioner(Partitioner):
+    """``dpid % num_shards`` — stateless, uniform for dense dpid spaces."""
+
+    name = "hash"
+
+    def shard_for(self, dpid: int) -> int:
+        return dpid % self.num_shards
+
+
+class ContiguousPartitioner(Partitioner):
+    """Sorted dpids split into ``num_shards`` contiguous blocks.
+
+    Needs :meth:`seed` with the full dpid universe first (the framework
+    seeds it from the topology at attach time).  Contiguous blocks keep
+    neighbouring switches of regularly-numbered fabrics on one shard, so
+    fewer links cross the partition.
+    """
+
+    name = "contiguous"
+
+    def __init__(self, num_shards: int) -> None:
+        super().__init__(num_shards)
+        self._assignment: Dict[int, int] = {}
+
+    def seed(self, dpids) -> None:
+        ordered = sorted(set(dpids))
+        if not ordered:
+            return
+        block = -(-len(ordered) // self.num_shards)  # ceil division
+        self._assignment = {dpid: min(index // block, self.num_shards - 1)
+                            for index, dpid in enumerate(ordered)}
+
+    def shard_for(self, dpid: int) -> int:
+        try:
+            return self._assignment[dpid]
+        except KeyError:
+            raise PartitionError(
+                f"dpid {dpid:#x} is not in the seeded universe of the "
+                f"contiguous partitioner (seed() it from the topology "
+                f"first)") from None
+
+
+class ExplicitPartitioner(Partitioner):
+    """An explicit dpid→shard map (FlowVisor-slice-aligned sharding).
+
+    Hand it the same dpid→slice assignment the FlowVisor flowspace uses
+    and the control-plane partition follows the slicing exactly.
+    """
+
+    name = "slice"
+
+    def __init__(self, num_shards: int,
+                 assignment: Mapping[int, int]) -> None:
+        super().__init__(num_shards)
+        bad = {dpid: shard for dpid, shard in assignment.items()
+               if not 0 <= shard < num_shards}
+        if bad:
+            raise PartitionError(
+                f"shard indices out of range [0, {num_shards}): {bad}")
+        self._assignment = dict(assignment)
+
+    def seed(self, dpids) -> None:
+        missing = sorted(set(dpids) - set(self._assignment))
+        if missing:
+            raise PartitionError(
+                f"explicit shard map misses datapaths: "
+                + ", ".join(f"{dpid:#x}" for dpid in missing))
+
+    def shard_for(self, dpid: int) -> int:
+        try:
+            return self._assignment[dpid]
+        except KeyError:
+            raise PartitionError(
+                f"dpid {dpid:#x} is not in the explicit shard map") from None
+
+
+#: Partitioner kinds selectable through ``FrameworkConfig.partitioner``.
+PARTITIONERS = ("hash", "contiguous", "slice")
+
+
+def make_partitioner(kind: str, num_shards: int,
+                     shard_map: Optional[Mapping[int, int]] = None) -> Partitioner:
+    """Build a partitioner by name (``hash``/``contiguous``/``slice``)."""
+    if kind == "hash":
+        return HashPartitioner(num_shards)
+    if kind == "contiguous":
+        return ContiguousPartitioner(num_shards)
+    if kind == "slice":
+        if shard_map is None:
+            raise PartitionError(
+                "the slice-aligned partitioner needs an explicit dpid->shard "
+                "map (FrameworkConfig.shard_map)")
+        return ExplicitPartitioner(num_shards, shard_map)
+    raise PartitionError(
+        f"unknown partitioner {kind!r}; known kinds: " + ", ".join(PARTITIONERS))
+
+
+class ControllerShard:
+    """One controller instance: an RFServer + RFProxy pair on its own
+    OpenFlow controller, owning a partition of the datapaths."""
+
+    def __init__(self, sim: Simulator, shard_id: int, bus: MessageBus,
+                 rfvs: RFVirtualSwitch, event_log: EventLog,
+                 vm_boot_delay: float = 5.0,
+                 serialize_vm_creation: bool = True,
+                 hello_interval: Optional[int] = None) -> None:
+        self.shard_id = shard_id
+        self.controller = Controller(sim, name=f"rf-controller-{shard_id}")
+        self.rfproxy = RFProxy()
+        self.controller.register_app(self.rfproxy)
+        self.rfserver = RFServer(
+            sim, self.rfproxy, vm_boot_delay=vm_boot_delay,
+            event_log=event_log, hello_interval=hello_interval,
+            serialize_vm_creation=serialize_vm_creation, bus=bus,
+            shard_id=shard_id, rfvs=rfvs)
+        self.failed = False
+
+    def fail(self) -> None:
+        """Fail-stop the shard's control processing (the VMs it created
+        keep running — in RouteFlow terms the controller process dies,
+        not the virtualised routing environment)."""
+        self.failed = True
+        self.rfserver.active = False
+
+    def restore(self) -> None:
+        self.failed = False
+        self.rfserver.active = True
+
+    def load(self) -> Dict[str, int]:
+        """Per-shard control-plane load counters (the ctlscale export)."""
+        return self.rfserver.load()
+
+    def __repr__(self) -> str:
+        state = "FAILED" if self.failed else "up"
+        return (f"<ControllerShard {self.shard_id} {state} "
+                f"vms={self.rfserver.vm_count}>")
+
+
+class _GlobalMapping:
+    """The :class:`~repro.routeflow.mapping.MappingTable` facade surface
+    the RPC server needs, answered across every shard."""
+
+    def __init__(self, plane: "ShardedControlPlane") -> None:
+        self._plane = plane
+
+    def dpid_for_vm(self, vm_id: int) -> Optional[int]:
+        return self._plane.dpid_for_vm(vm_id)
+
+    def vm_for_dpid(self, datapath_id: int) -> Optional[int]:
+        for shard in self._plane.shards:
+            vm_id = shard.rfserver.mapping.vm_for_dpid(datapath_id)
+            if vm_id is not None:
+                return vm_id
+        return None
+
+    def unmap_vm(self, vm_id: int) -> None:
+        shard = self._plane.shard_of_vm(vm_id)
+        if shard is not None:
+            shard.rfserver.mapping.unmap_vm(vm_id)
+        self._plane._forget_vm(vm_id)
+
+    @property
+    def mapped_datapaths(self) -> List[int]:
+        merged: List[int] = []
+        for shard in self._plane.shards:
+            merged.extend(shard.rfserver.mapping.mapped_datapaths)
+        return sorted(merged)
+
+
+class ShardedControlPlane:
+    """N coordinated controller shards behind the RFServer interface."""
+
+    def __init__(self, sim: Simulator, bus: MessageBus,
+                 partitioner: Partitioner, event_log: Optional[EventLog] = None,
+                 vm_boot_delay: float = 5.0,
+                 serialize_vm_creation: bool = True,
+                 hello_interval: Optional[int] = None) -> None:
+        self.sim = sim
+        self.bus = bus
+        self.partitioner = partitioner
+        self.event_log = event_log if event_log is not None else EventLog(sim)
+        #: One virtual environment spans all shards: the VM-to-VM wires of
+        #: cross-shard physical links terminate on one shared RFVS.
+        self.rfvs = RFVirtualSwitch(sim)
+        self.shards: List[ControllerShard] = [
+            ControllerShard(sim, shard_id, bus, self.rfvs, self.event_log,
+                            vm_boot_delay=vm_boot_delay,
+                            serialize_vm_creation=serialize_vm_creation,
+                            hello_interval=hello_interval)
+            for shard_id in range(partitioner.num_shards)
+        ]
+        # Global directory fed exclusively by the shared mapping topic.
+        self._vm_shard: Dict[int, int] = {}
+        self._vm_dpid: Dict[int, int] = {}
+        self._addresses: Dict[IPv4Address, Tuple[int, str]] = {}
+        self.mapping = _GlobalMapping(self)
+        bus.subscribe(topics.MAPPING, self._on_mapping_record)
+        bus.subscribe(topics.PORT_STATUS, self._on_port_status)
+        for shard in self.shards:
+            shard.rfserver.peers = self
+
+    # ------------------------------------------------------------- bus intake
+    def _on_mapping_record(self, envelope: Envelope) -> None:
+        record = MappingRecord.from_json(envelope.payload)
+        if record.event == MappingRecord.VM_MAPPED:
+            self._vm_shard[record.vm_id] = record.shard
+            self._vm_dpid[record.vm_id] = record.datapath_id
+            return
+        address = record.address_value
+        if address is None:
+            return
+        if record.event == MappingRecord.ADDRESS_REMOVED:
+            if self._addresses.get(address) == (record.vm_id, record.interface):
+                del self._addresses[address]
+            return
+        self._vm_shard.setdefault(record.vm_id, record.shard)
+        self._addresses[address] = (record.vm_id, record.interface)
+        # An address one shard just learned may unblock RouteMods parked
+        # on any other shard.
+        for shard in self.shards:
+            shard.rfserver.replay_pending_next_hop(address)
+
+    def _on_port_status(self, envelope: Envelope) -> None:
+        relay = PortStatusRelay.from_json(envelope.payload)
+        self.mirror_physical_link(relay.dpid_a, relay.port_a,
+                                  relay.dpid_b, relay.port_b, relay.up)
+
+    def _forget_vm(self, vm_id: int) -> None:
+        self._vm_shard.pop(vm_id, None)
+        self._vm_dpid.pop(vm_id, None)
+        stale = [address for address, (owner, _) in self._addresses.items()
+                 if owner == vm_id]
+        for address in stale:
+            del self._addresses[address]
+
+    # ------------------------------------------------------------ peer lookups
+    def interface_owning_ip(self, address: IPv4Address):
+        """Resolve an interface address anywhere in the partition (the
+        ``peers`` view shard RFServers fall back to)."""
+        entry = self._addresses.get(IPv4Address(address))
+        if entry is None:
+            return None
+        vm_id, interface_name = entry
+        vm = self.vm(vm_id)
+        if vm is None:
+            return None
+        interface = vm.interfaces.get(interface_name)
+        if interface is None:
+            return None
+        return (vm, interface)
+
+    def dpid_for_vm(self, vm_id: int) -> Optional[int]:
+        return self._vm_dpid.get(vm_id)
+
+    def shard_of_vm(self, vm_id: int) -> Optional[ControllerShard]:
+        index = self._vm_shard.get(vm_id)
+        return self.shards[index] if index is not None else None
+
+    def shard_for_dpid(self, datapath_id: int) -> ControllerShard:
+        return self.shards[self.partitioner.shard_for(datapath_id)]
+
+    def seed_partitioner(self, dpids) -> None:
+        self.partitioner.seed(dpids)
+
+    # ------------------------------------------------ RFServer facade surface
+    def create_vm(self, vm_id: int, num_ports: int,
+                  datapath_id: Optional[int] = None) -> VirtualMachine:
+        dpid = datapath_id if datapath_id is not None else vm_id
+        return self.shard_for_dpid(dpid).rfserver.create_vm(
+            vm_id, num_ports, datapath_id=dpid)
+
+    def vm(self, vm_id: int) -> Optional[VirtualMachine]:
+        shard = self.shard_of_vm(vm_id)
+        if shard is not None:
+            return shard.rfserver.vms.get(vm_id)
+        for candidate in self.shards:  # pre-directory fallback
+            vm = candidate.rfserver.vms.get(vm_id)
+            if vm is not None:
+                return vm
+        return None
+
+    def vm_for_dpid(self, datapath_id: int) -> Optional[VirtualMachine]:
+        for shard in self.shards:
+            vm = shard.rfserver.vm_for_dpid(datapath_id)
+            if vm is not None:
+                return vm
+        return None
+
+    @property
+    def vms(self) -> Dict[int, VirtualMachine]:
+        """Merged view over every shard's VMs (shard order, then creation)."""
+        merged: Dict[int, VirtualMachine] = {}
+        for shard in self.shards:
+            merged.update(shard.rfserver.vms)
+        return merged
+
+    @property
+    def vm_count(self) -> int:
+        return sum(shard.rfserver.vm_count for shard in self.shards)
+
+    def assign_interface_address(self, vm_id: int, interface_name: str,
+                                 address: IPv4Address, prefix_len: int) -> None:
+        shard = self.shard_of_vm(vm_id)
+        if shard is None:
+            raise KeyError(f"unknown VM {vm_id}")
+        shard.rfserver.assign_interface_address(vm_id, interface_name,
+                                                address, prefix_len)
+
+    def connect_virtual_link(self, vm_id_a: int, iface_a: str,
+                             vm_id_b: int, iface_b: str) -> None:
+        """Wire two VM interfaces together, possibly across shards."""
+        vm_a = self.vm(vm_id_a)
+        vm_b = self.vm(vm_id_b)
+        if vm_a is None or vm_b is None:
+            missing = vm_id_a if vm_a is None else vm_id_b
+            raise KeyError(missing)
+        self.rfvs.connect(vm_a.interfaces[iface_a], vm_b.interfaces[iface_b])
+        self.event_log.record(
+            "virtual_link",
+            f"virtual wire {vm_a.name}:{iface_a} <-> {vm_b.name}:{iface_b}",
+            vm_a=vm_id_a, iface_a=iface_a, vm_b=vm_id_b, iface_b=iface_b)
+
+    def write_config_file(self, vm_id: int, filename: str, text: str) -> None:
+        shard = self.shard_of_vm(vm_id)
+        if shard is None:
+            raise KeyError(vm_id)
+        shard.rfserver.write_config_file(vm_id, filename, text)
+
+    def mirror_physical_link(self, dpid_a: int, port_a: int,
+                             dpid_b: int, port_b: int, up: bool) -> bool:
+        """Mirror a physical link state change (endpoints may be on two
+        different shards; the shared RFVS holds the wire)."""
+        vm_a = self.vm_for_dpid(dpid_a)
+        vm_b = self.vm_for_dpid(dpid_b)
+        if vm_a is None or vm_b is None:
+            return False
+        iface_a = vm_a.interfaces.get(f"eth{port_a}")
+        iface_b = vm_b.interfaces.get(f"eth{port_b}")
+        if iface_a is None or iface_b is None:
+            return False
+        changed = self.rfvs.set_wire_state(iface_a, iface_b, up)
+        if changed:
+            self.event_log.record(
+                "link_state",
+                f"virtual wire {vm_a.name}:{iface_a.name} <-> "
+                f"{vm_b.name}:{iface_b.name} {'up' if up else 'down'}",
+                dpid_a=dpid_a, port_a=port_a, dpid_b=dpid_b, port_b=port_b,
+                up=up)
+        return changed
+
+    # ---------------------------------------------------------------- status
+    def configured_switches(self) -> List[int]:
+        return self.mapping.mapped_datapaths
+
+    def all_vms_running(self) -> bool:
+        vms = self.vms
+        return bool(vms) and all(vm.is_running for vm in vms.values())
+
+    def ospf_converged(self, expected_prefixes: Optional[int] = None) -> bool:
+        """RFServer's convergence predicate over the whole partition."""
+        return ospf_converged_over(self.vms, expected_prefixes)
+
+    @property
+    def route_mods_received(self) -> int:
+        return sum(shard.rfserver.route_mods_received for shard in self.shards)
+
+    # -------------------------------------------------------- failure control
+    def fail_shard(self, shard_id: int) -> None:
+        self._shard_by_index(shard_id).fail()
+        self.event_log.record("shard_failed",
+                              f"controller shard {shard_id} failed",
+                              shard=shard_id)
+
+    def restore_shard(self, shard_id: int) -> None:
+        self._shard_by_index(shard_id).restore()
+        self.event_log.record("shard_restored",
+                              f"controller shard {shard_id} restored",
+                              shard=shard_id)
+
+    def _shard_by_index(self, shard_id: int) -> ControllerShard:
+        if not 0 <= shard_id < len(self.shards):
+            raise PartitionError(
+                f"no controller shard {shard_id} (have {len(self.shards)})")
+        return self.shards[shard_id]
+
+    def failure_listener(self) -> Callable[[object], None]:
+        """A network failure listener executing shard events.
+
+        Wire it via :meth:`EmulatedNetwork.add_failure_listener` so
+        ``shard_down``/``shard_up`` entries of a
+        :class:`~repro.scenarios.FailureSchedule` reach the control plane.
+        """
+        from repro.scenarios.events import FailureAction
+
+        def dispatch(event) -> None:
+            if event.action == FailureAction.SHARD_DOWN:
+                self.fail_shard(event.node_a)
+            elif event.action == FailureAction.SHARD_UP:
+                self.restore_shard(event.node_a)
+
+        return dispatch
+
+    def shard_loads(self) -> List[Dict[str, int]]:
+        return [shard.load() for shard in self.shards]
+
+    def __repr__(self) -> str:
+        return (f"<ShardedControlPlane shards={len(self.shards)} "
+                f"vms={self.vm_count} partitioner={self.partitioner.name}>")

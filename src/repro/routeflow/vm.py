@@ -76,6 +76,10 @@ class VirtualMachine:
         self._pending_configs: List[tuple] = []
         self._boot_event = None
         self._boot_callbacks: List[Callable[["VirtualMachine"], None]] = []
+        #: ``callback(vm, interface, old_ip)`` observers of interface
+        #: address changes; the RFServer uses this to keep its next-hop
+        #: index in sync without ever scanning interfaces.
+        self._address_listeners: List[Callable] = []
         #: (iface, src-ip, dst-ip) -> precomputed frame head for ospfd sends.
         self._frame_heads: Dict[tuple, tuple] = {}
         for port in range(1, num_ports + 1):
@@ -88,8 +92,18 @@ class VirtualMachine:
         interface = Interface(name=name, mac=mac, owner=self, port_no=port)
         interface.set_handler(self._on_frame)
         interface.add_carrier_listener(self._on_carrier_change)
+        interface.add_address_listener(self._on_address_change)
         self.interfaces[name] = interface
         return interface
+
+    def add_address_listener(self, callback: Callable) -> None:
+        """Subscribe ``callback(vm, interface, old_ip)`` to address changes
+        on any of this VM's interfaces (including ports added later)."""
+        self._address_listeners.append(callback)
+
+    def _on_address_change(self, interface: Interface, old_ip) -> None:
+        for callback in self._address_listeners:
+            callback(self, interface, old_ip)
 
     def _on_carrier_change(self, interface: Interface, up: bool) -> None:
         """A virtual wire changed state (mirroring a physical link event).

@@ -30,10 +30,17 @@ class FailureAction:
     LINK_UP = "link_up"
     NODE_DOWN = "node_down"
     NODE_UP = "node_up"
+    #: Controller-shard failures: ``node_a`` is the shard index.  The
+    #: emulated network itself is untouched — the event is dispatched to
+    #: the failure listeners, where the sharded control plane stops (or
+    #: resumes) the named shard's message processing.
+    SHARD_DOWN = "shard_down"
+    SHARD_UP = "shard_up"
 
-    ALL = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP)
+    ALL = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP, SHARD_DOWN, SHARD_UP)
     LINK_ACTIONS = (LINK_DOWN, LINK_UP)
     NODE_ACTIONS = (NODE_DOWN, NODE_UP)
+    SHARD_ACTIONS = (SHARD_DOWN, SHARD_UP)
 
 
 class FailureScheduleError(ValueError):
@@ -132,12 +139,17 @@ class FailureSchedule:
         return FailureSchedule(self.events + tuple(events))
 
     def validate_against(self, nodes: Iterable[int],
-                         links: Iterable[Tuple[int, int]]) -> None:
-        """Check that every event targets an existing node or link.
+                         links: Iterable[Tuple[int, int]],
+                         shards: Optional[int] = None) -> None:
+        """Check that every event targets an existing node, link or shard.
 
-        ``links`` are (node_a, node_b) pairs in either orientation.  Raises
-        :class:`FailureScheduleError` on the first unknown target, so a bad
-        schedule fails before a simulation is spent on it.
+        ``links`` are (node_a, node_b) pairs in either orientation.
+        ``shards`` is the control plane's shard count; shard events are
+        range-checked against it when given and skipped when None (the
+        emulator, which knows nothing about the control plane, validates
+        without it).  Raises :class:`FailureScheduleError` on the first
+        unknown target, so a bad schedule fails before a simulation is
+        spent on it.
         """
         known_nodes = set(nodes)
         known_links = {(min(a, b), max(a, b)) for a, b in links}
@@ -149,6 +161,11 @@ class FailureSchedule:
                     raise FailureScheduleError(
                         f"{event.describe()}: no link between "
                         f"{event.node_a} and {event.node_b} in the topology")
+            elif event.action in FailureAction.SHARD_ACTIONS:
+                if shards is not None and not 0 <= event.node_a < shards:
+                    raise FailureScheduleError(
+                        f"{event.describe()}: no controller shard "
+                        f"{event.node_a} (the control plane has {shards})")
             elif event.node_a not in known_nodes:
                 raise FailureScheduleError(
                     f"{event.describe()}: node {event.node_a} is not in "

@@ -93,6 +93,13 @@ def _register_builtins() -> None:
         ScenarioSpec("random-16", "random",
                      {"num_switches": 16, "extra_link_probability": 0.1}, seed=2,
                      description="16-node random spanning tree + extra links"),
+        # Sharded control planes (the ctlscale family): the same fabrics
+        # under several coordinated RFServer/RFProxy shards.
+        ScenarioSpec("ring-16-c2", "ring", {"num_switches": 16}, controllers=2,
+                     description="16-ring under 2 controller shards"),
+        ScenarioSpec("torus-8x8-c4", "torus", {"rows": 8, "cols": 8},
+                     controllers=4,
+                     description="8x8 torus under 4 controller shards"),
     ):
         register(spec)
 

@@ -92,6 +92,10 @@ class ScenarioSpec:
     #: Optional failure/churn schedule executed by ``repro failover`` once
     #: the scenario is configured (event times are relative to that point).
     failures: Optional[FailureSchedule] = None
+    #: Number of RouteFlow controller shards the scenario runs under
+    #: (1 = the paper's single RF-controller; flows into
+    #: :attr:`FrameworkConfig.controllers`).
+    controllers: int = 1
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -100,6 +104,9 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"unknown topology family {self.family!r}; known families: "
                 + ", ".join(sorted(TOPOLOGY_FAMILIES)))
+        if self.controllers < 1:
+            raise ScenarioError(
+                f"controllers must be >= 1, got {self.controllers}")
         # Freeze the mappings too, so a registry spec cannot be corrupted
         # through ``get(name).params[...] = ...``.
         object.__setattr__(self, "params", MappingProxyType(dict(self.params)))
@@ -108,7 +115,7 @@ class ScenarioSpec:
 
     def __hash__(self) -> int:
         # The generated dataclass hash would choke on the mapping fields.
-        return hash((self.name, self.family, self.seed,
+        return hash((self.name, self.family, self.seed, self.controllers,
                      tuple(sorted(self.params.items())),
                      tuple(sorted(self.framework.items())),
                      self.failures))
@@ -140,9 +147,19 @@ class ScenarioSpec:
 
         Like the Figure 3 experiments, scenarios default to
         ``detect_edge_ports=False`` (the sweep topologies carry no hosts);
-        any field of :class:`FrameworkConfig` can be overridden.
+        any field of :class:`FrameworkConfig` can be overridden — except
+        ``controllers``, which only the :attr:`controllers` field may set.
+        A ``framework`` override of it would silently defeat
+        :meth:`with_controllers` (and with it ``repro ctlscale``'s
+        shard-count sweep and conservation check), so it is rejected.
         """
-        values: Dict[str, Any] = {"detect_edge_ports": False}
+        if "controllers" in self.framework:
+            raise ScenarioError(
+                f"scenario {self.name!r}: set ScenarioSpec.controllers, not "
+                f"framework['controllers'] — the framework override would "
+                f"shadow the shard-count knob")
+        values: Dict[str, Any] = {"detect_edge_ports": False,
+                                  "controllers": self.controllers}
         values.update(self.framework)
         valid = FrameworkConfig.__dataclass_fields__
         unknown = sorted(set(values) - set(valid))
@@ -156,6 +173,14 @@ class ScenarioSpec:
         """A copy of this scenario under a different seed (for seed sweeps)."""
         return replace(self, name=f"{self.name}@s{seed}", seed=seed)
 
+    def with_controllers(self, controllers: int) -> "ScenarioSpec":
+        """A copy of this scenario under a different shard count.
+
+        The name is preserved so sweep/ctlscale exports stay comparable
+        across shard counts (the controller count rides in its own column).
+        """
+        return replace(self, controllers=controllers)
+
     def to_dict(self) -> Dict[str, Any]:
         """Plain-data (JSON-ready) form, for archiving scenario definitions."""
         payload = {
@@ -167,6 +192,8 @@ class ScenarioSpec:
             "max_time": self.max_time,
             "description": self.description,
         }
+        if self.controllers != 1:
+            payload["controllers"] = self.controllers
         if self.failures is not None:
             payload["failures"] = self.failures.to_list()
         return payload
@@ -185,4 +212,5 @@ class ScenarioSpec:
             description=str(payload.get("description", "")),
             failures=(FailureSchedule.from_list(failures)
                       if failures is not None else None),
+            controllers=int(payload.get("controllers", 1)),
         )

@@ -108,3 +108,46 @@ class TestCommands:
         output = capsys.readouterr().out
         assert "ring-4" in output
         assert out.exists()
+
+    def test_sweep_controllers_override(self, capsys, tmp_path):
+        out = tmp_path / "sharded.json"
+        assert main(["sweep", "--scenario", "ring-4", "--controllers", "2",
+                     "--out", str(out)]) == 0
+        import json
+
+        payload = json.loads(out.read_text())
+        assert payload[0]["controllers"] == 2
+
+    def test_sweep_rejects_bad_controllers(self, capsys):
+        assert main(["sweep", "--scenario", "ring-4", "--controllers", "0"]) == 2
+        assert "--controllers" in capsys.readouterr().err
+
+
+class TestCtlScale:
+    def test_ctlscale_arguments(self):
+        args = build_parser().parse_args(
+            ["ctlscale", "--scenario", "ring-16-c2", "--controllers", "1", "2",
+             "--partitioner", "contiguous", "--csv", "loads.csv"])
+        assert args.scenario == "ring-16-c2"
+        assert args.controllers == [1, 2]
+        assert args.partitioner == "contiguous"
+        assert args.csv == "loads.csv"
+
+    def test_ctlscale_requires_scenario(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["ctlscale"])
+
+    def test_ctlscale_unknown_scenario_fails_cleanly(self, capsys):
+        assert main(["ctlscale", "--scenario", "nope"]) == 2
+        assert "no scenario named" in capsys.readouterr().err
+
+    def test_ctlscale_runs_and_exports(self, capsys, tmp_path):
+        out = tmp_path / "ctl.json"
+        csv_file = tmp_path / "ctl.csv"
+        assert main(["ctlscale", "--scenario", "ring-4",
+                     "--controllers", "1", "2",
+                     "--out", str(out), "--csv", str(csv_file)]) == 0
+        output = capsys.readouterr().out
+        assert "per-shard load" in output
+        assert "match the single-controller totals" in output
+        assert out.exists() and csv_file.exists()

@@ -1,0 +1,398 @@
+"""Tests for the sharded control plane and the satellite RFServer fixes
+(pending-RouteMod replay, indexed next-hop resolution)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.controller import Controller
+from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager
+from repro.experiments.ctlscale import (
+    check_load_conservation,
+    run_ctlscale,
+    write_ctlscale_csv,
+    write_ctlscale_json,
+)
+from repro.experiments.failover import verify_spf_rib_consistency
+from repro.net import IPv4Address, IPv4Network
+from repro.quagga import InterfaceConfig, generate_zebra_conf
+from repro.routeflow import (
+    ContiguousPartitioner,
+    ExplicitPartitioner,
+    HashPartitioner,
+    PartitionError,
+    RFProxy,
+    RFServer,
+    RouteMod,
+    make_partitioner,
+)
+from repro.scenarios import (
+    FailureAction,
+    FailureEvent,
+    FailureSchedule,
+    ScenarioError,
+    ScenarioSpec,
+)
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+from repro.topology.generators import linear_topology, ring_topology
+
+
+@pytest.fixture
+def sim():
+    return Simulator()
+
+
+# ---------------------------------------------------------------------------
+# partitioners
+# ---------------------------------------------------------------------------
+class TestPartitioners:
+    def test_hash_covers_every_shard(self):
+        partitioner = HashPartitioner(3)
+        shards = {partitioner.shard_for(dpid) for dpid in range(1, 10)}
+        assert shards == {0, 1, 2}
+
+    def test_contiguous_blocks_are_contiguous(self):
+        partitioner = ContiguousPartitioner(2)
+        partitioner.seed([5, 1, 3, 2, 4, 6])
+        assignment = {dpid: partitioner.shard_for(dpid) for dpid in range(1, 7)}
+        assert assignment == {1: 0, 2: 0, 3: 0, 4: 1, 5: 1, 6: 1}
+
+    def test_contiguous_unseeded_dpid_rejected(self):
+        partitioner = ContiguousPartitioner(2)
+        with pytest.raises(PartitionError, match="seeded universe"):
+            partitioner.shard_for(7)
+
+    def test_explicit_map_is_authoritative(self):
+        partitioner = ExplicitPartitioner(2, {1: 0, 2: 1, 3: 1})
+        assert [partitioner.shard_for(d) for d in (1, 2, 3)] == [0, 1, 1]
+        with pytest.raises(PartitionError, match="explicit shard map"):
+            partitioner.shard_for(9)
+        with pytest.raises(PartitionError, match="misses datapaths"):
+            partitioner.seed([1, 2, 3, 4])
+
+    def test_explicit_map_rejects_out_of_range_shards(self):
+        with pytest.raises(PartitionError, match="out of range"):
+            ExplicitPartitioner(2, {1: 5})
+
+    def test_make_partitioner(self):
+        assert isinstance(make_partitioner("hash", 2), HashPartitioner)
+        assert isinstance(make_partitioner("contiguous", 2),
+                          ContiguousPartitioner)
+        assert isinstance(make_partitioner("slice", 2, {1: 0}),
+                          ExplicitPartitioner)
+        with pytest.raises(PartitionError, match="needs an explicit"):
+            make_partitioner("slice", 2)
+        with pytest.raises(PartitionError, match="unknown partitioner"):
+            make_partitioner("round-robin", 2)
+
+
+# ---------------------------------------------------------------------------
+# satellite fixes on the (single) RFServer
+# ---------------------------------------------------------------------------
+def build_two_switch_pipeline(sim):
+    """Two switches + two VMs, configuration injected directly."""
+    controller = Controller(sim, name="rf")
+    rfproxy = RFProxy()
+    controller.register_app(rfproxy)
+    rfserver = RFServer(sim, rfproxy, vm_boot_delay=0.2)
+    network = EmulatedNetwork(sim, linear_topology(2))
+    network.connect_control_plane(controller.accept_channel, controller)
+    for vm_id in (1, 2):
+        rfserver.create_vm(vm_id=vm_id, num_ports=2)
+    return controller, rfproxy, rfserver, network
+
+
+class TestPendingRouteMods:
+    def test_route_mod_before_gateway_address_is_parked_then_replayed(self, sim):
+        """Regression: a RouteMod arriving before the next-hop gateway
+        address is assigned must install its flow once the address lands,
+        not vanish."""
+        controller, rfproxy, rfserver, network = build_two_switch_pipeline(sim)
+        rfserver.assign_interface_address(1, "eth1", IPv4Address("172.16.0.1"), 30)
+        sim.run(until=1.0)
+        mod = RouteMod.add(vm_id=1, prefix=IPv4Network("192.168.2.0/24"),
+                           next_hop=IPv4Address("172.16.0.2"), interface="eth1")
+        rfserver.receive_route_mod(mod.to_json())
+        sim.run(until=2.0)
+        # The next hop (VM 2's eth1) has no address yet: parked, no flow.
+        assert len(network.switch(1).flow_table) == 0
+        assert rfserver.pending_route_mods == 1
+        assert rfserver.route_mods_parked == 1
+        # The gateway address arrives (RPC link configuration lands).
+        rfserver.assign_interface_address(2, "eth1", IPv4Address("172.16.0.2"), 30)
+        sim.run(until=3.0)
+        assert rfserver.pending_route_mods == 0
+        flows = network.switch(1).flow_table.entries
+        assert len(flows) == 1
+        assert flows[0].match.nw_dst == IPv4Address("192.168.2.0")
+
+    def test_newer_parked_route_mod_replaces_older(self, sim):
+        controller, rfproxy, rfserver, network = build_two_switch_pipeline(sim)
+        rfserver.assign_interface_address(1, "eth1", IPv4Address("172.16.0.1"), 30)
+        for metric in (10, 20):
+            mod = RouteMod.add(vm_id=1, prefix=IPv4Network("192.168.2.0/24"),
+                               next_hop=IPv4Address("172.16.0.2"),
+                               interface="eth1", metric=metric)
+            rfserver.receive_route_mod(mod.to_json())
+        sim.run(until=1.0)
+        assert rfserver.pending_route_mods == 1  # keyed by (vm, prefix)
+        rfserver.assign_interface_address(2, "eth1", IPv4Address("172.16.0.2"), 30)
+        sim.run(until=2.0)
+        installed = rfproxy.flows_on(1)
+        assert len(installed) == 1
+        assert installed[0].metric == 20  # the newer announcement won
+
+    def test_delete_drops_parked_add(self, sim):
+        controller, rfproxy, rfserver, network = build_two_switch_pipeline(sim)
+        rfserver.assign_interface_address(1, "eth1", IPv4Address("172.16.0.1"), 30)
+        prefix = IPv4Network("192.168.2.0/24")
+        add = RouteMod.add(vm_id=1, prefix=prefix,
+                           next_hop=IPv4Address("172.16.0.2"), interface="eth1")
+        rfserver.receive_route_mod(add.to_json())
+        sim.run(until=1.0)
+        assert rfserver.pending_route_mods == 1
+        rfserver.receive_route_mod(RouteMod.delete(vm_id=1, prefix=prefix).to_json())
+        sim.run(until=2.0)
+        assert rfserver.pending_route_mods == 0
+        rfserver.assign_interface_address(2, "eth1", IPv4Address("172.16.0.2"), 30)
+        sim.run(until=3.0)
+        assert len(network.switch(1).flow_table) == 0  # nothing resurrected
+
+
+class TestAddressIndexing:
+    def test_zebra_applied_address_is_resolvable_without_assignment(self, sim):
+        """Addresses applied through zebra.conf land in the next-hop index
+        via the interface address listeners (no linear VM scan)."""
+        controller, rfproxy, rfserver, network = build_two_switch_pipeline(sim)
+        vm = rfserver.vm(2)
+        rfserver.write_config_file(2, "zebra.conf", generate_zebra_conf(
+            vm.name, [InterfaceConfig("eth1", IPv4Address("172.16.0.2"), 30)]))
+        sim.run(until=1.0)  # boot + config apply
+        owner = rfserver.interface_owning_ip(IPv4Address("172.16.0.2"))
+        assert owner is not None
+        assert owner[0] is vm
+        assert owner[1].name == "eth1"
+
+    def test_reassigned_address_drops_stale_index_entry(self, sim):
+        controller, rfproxy, rfserver, network = build_two_switch_pipeline(sim)
+        vm = rfserver.vm(2)
+        sim.run(until=1.0)
+        vm.interfaces["eth1"].configure_ip(IPv4Address("172.16.0.2"), 30)
+        assert rfserver.interface_owning_ip(IPv4Address("172.16.0.2")) is not None
+        vm.interfaces["eth1"].configure_ip(IPv4Address("172.16.0.6"), 30)
+        assert rfserver.interface_owning_ip(IPv4Address("172.16.0.2")) is None
+        assert rfserver.interface_owning_ip(
+            IPv4Address("172.16.0.6"))[1].name == "eth1"
+
+
+# ---------------------------------------------------------------------------
+# sharded convergence
+# ---------------------------------------------------------------------------
+def configure_ring(num_switches, controllers, partitioner="hash",
+                   settle=5.0):
+    sim = Simulator()
+    ipam = IPAddressManager()
+    config = FrameworkConfig(detect_edge_ports=False, controllers=controllers,
+                             partitioner=partitioner)
+    framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+    network = EmulatedNetwork(sim, ring_topology(num_switches), ipam=ipam)
+    framework.attach(network)
+    configured_at = framework.run_until_configured(max_time=1200.0,
+                                                   settle=settle)
+    return sim, framework, network, configured_at
+
+
+class TestShardedConvergence:
+    def test_two_shards_converge_with_consistent_ribs(self):
+        sim, framework, network, configured_at = configure_ring(8, 2)
+        assert configured_at is not None
+        assert verify_spf_rib_consistency(framework.control_plane) == []
+        loads = framework.shard_loads()
+        assert len(loads) == 2
+        assert sum(load["switches"] for load in loads) == 8
+        assert all(load["vms"] == 4 for load in loads)
+        # Every switch holds flows, whichever shard owns it.
+        for switch in network.switches.values():
+            assert len(switch.flow_table) >= 2
+
+    def test_sharding_reduces_configuration_time(self):
+        _, _, _, single = configure_ring(8, 1, settle=0.0)
+        _, _, _, sharded = configure_ring(8, 4, settle=0.0)
+        assert single is not None and sharded is not None
+        assert sharded < single  # per-shard VM boot serialisation
+
+    def test_flow_state_is_conserved_across_shard_counts(self):
+        spec = ScenarioSpec("tmp-ctlscale-ring8", "ring", {"num_switches": 8})
+        results = run_ctlscale(spec, controller_counts=(1, 2, 4))
+        assert all(result.configured for result in results)
+        assert check_load_conservation(results) == []
+        reference = results[0].total_flows
+        assert reference > 0
+        assert all(result.total_flows == reference for result in results)
+
+    def test_sharded_framework_requires_flowvisor(self):
+        sim = Simulator()
+        with pytest.raises(ValueError, match="FlowVisor"):
+            AutoConfigFramework(sim, config=FrameworkConfig(
+                controllers=2, use_flowvisor=False))
+
+    def test_contiguous_partition_keeps_neighbours_together(self):
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        loads = {load["shard"]: load for load in framework.shard_loads()}
+        shard0 = framework.shards[0].rfserver.mapping.mapped_datapaths
+        shard1 = framework.shards[1].rfserver.mapping.mapped_datapaths
+        assert shard0 == [1, 2, 3, 4]
+        assert shard1 == [5, 6, 7, 8]
+        assert loads[0]["flows_current"] > 0 and loads[1]["flows_current"] > 0
+
+    def test_bus_reports_per_shard_topics(self):
+        sim, framework, network, configured_at = configure_ring(8, 2)
+        stats = framework.bus.stats()
+        for shard in (0, 1):
+            assert stats[f"routeflow.route_mods.{shard}"]["delivered"] > 0
+            assert stats[f"routeflow.flow_specs.{shard}"]["delivered"] > 0
+        assert stats["routeflow.mapping"]["published"] > 0
+        assert stats["config.rpc"]["delivered"] > 0
+
+
+# ---------------------------------------------------------------------------
+# shard failure injection
+# ---------------------------------------------------------------------------
+class TestShardFailure:
+    def test_surviving_shards_keep_converging_after_shard_death(self):
+        """Kill shard 0 via the failure-injection subsystem, then fail a
+        link wholly inside shard 1's partition: shard 1 must reroute its
+        switches while the dead shard processes nothing."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        schedule = FailureSchedule((
+            FailureEvent(5.0, FailureAction.SHARD_DOWN, 0),
+            FailureEvent(10.0, FailureAction.LINK_DOWN, 6, 7),
+        ))
+        network.schedule_failures(schedule)
+        # Mirror physical changes into the virtual topology like the
+        # failover harness does (over the port-status bus topic).
+        from repro.experiments.failover import _mirror_into_routeflow
+        network.add_failure_listener(_mirror_into_routeflow(network,
+                                                            framework.bus))
+        frozen_route_mods = None
+        dead, alive = framework.shards
+        sim.run(until=sim.now + 7.0)
+        assert dead.failed and not alive.failed
+        frozen_route_mods = dead.rfserver.route_mods_received
+        flows_before = alive.rfproxy.flows_installed + alive.rfproxy.flows_removed
+        sim.run(until=sim.now + 120.0)
+        # The dead shard processed nothing after its failure...
+        assert dead.rfserver.route_mods_received == frozen_route_mods
+        # ...while the surviving shard rerouted its switches...
+        assert alive.rfproxy.flows_installed + alive.rfproxy.flows_removed \
+            > flows_before
+        # ...and every surviving-shard VM's RIB matches a fresh SPF run.
+        assert verify_spf_rib_consistency(alive.rfserver) == []
+
+    def test_restored_shard_resumes_processing(self):
+        sim, framework, network, configured_at = configure_ring(4, 2)
+        plane = framework.control_plane
+        plane.fail_shard(1)
+        assert framework.shards[1].failed
+        plane.restore_shard(1)
+        assert not framework.shards[1].failed
+        assert framework.shards[1].rfserver.active
+
+    def test_unknown_shard_index_rejected(self):
+        sim, framework, network, configured_at = configure_ring(4, 2)
+        with pytest.raises(PartitionError, match="no controller shard"):
+            framework.control_plane.fail_shard(7)
+
+    def test_failed_shard_does_not_replay_parked_route_mods(self, sim):
+        """A fail-stopped shard must not install flows through the parked
+        RouteMod replay path (a dead controller mutating switch state)."""
+        controller, rfproxy, rfserver, network = build_two_switch_pipeline(sim)
+        rfserver.assign_interface_address(1, "eth1", IPv4Address("172.16.0.1"), 30)
+        mod = RouteMod.add(vm_id=1, prefix=IPv4Network("192.168.2.0/24"),
+                           next_hop=IPv4Address("172.16.0.2"), interface="eth1")
+        rfserver.receive_route_mod(mod.to_json())
+        sim.run(until=1.0)
+        assert rfserver.pending_route_mods == 1
+        rfserver.active = False
+        assert rfserver.replay_pending_next_hop(IPv4Address("172.16.0.2")) == 0
+        assert rfserver.pending_route_mods == 1  # parked, not lost
+        assert len(network.switch(1).flow_table) == 0
+
+    def test_schedule_validation_rejects_unknown_shard_up_front(self):
+        schedule = FailureSchedule((
+            FailureEvent(5.0, FailureAction.SHARD_DOWN, 5),))
+        from repro.scenarios import FailureScheduleError
+        with pytest.raises(FailureScheduleError, match="no controller shard"):
+            schedule.validate_against([1, 2], [(1, 2)], shards=2)
+        # Without a shard count (the emulator's view) the event passes.
+        schedule.validate_against([1, 2], [(1, 2)])
+
+    def test_replaced_address_is_retracted_from_peer_directories(self):
+        """Re-addressing an interface must retract the old entry from the
+        cross-shard directory, not leave a stale gateway behind."""
+        sim, framework, network, configured_at = configure_ring(
+            4, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        vm = framework.shards[0].rfserver.vms[1]
+        old_ip = vm.interfaces["eth1"].ip
+        assert old_ip is not None
+        assert plane.interface_owning_ip(old_ip) is not None
+        vm.interfaces["eth1"].configure_ip(IPv4Address("10.99.99.1"), 30)
+        assert plane.interface_owning_ip(old_ip) is None
+        assert plane.interface_owning_ip(IPv4Address("10.99.99.1")) is not None
+
+
+# ---------------------------------------------------------------------------
+# scenario knob and exports
+# ---------------------------------------------------------------------------
+class TestControllersKnob:
+    def test_scenario_spec_controllers_round_trip(self):
+        spec = ScenarioSpec("tmp-c", "ring", {"num_switches": 4}, controllers=3)
+        assert spec.framework_config().controllers == 3
+        assert ScenarioSpec.from_dict(spec.to_dict()).controllers == 3
+        # Default stays out of the archived form.
+        assert "controllers" not in ScenarioSpec(
+            "tmp-d", "ring", {"num_switches": 4}).to_dict()
+
+    def test_with_controllers_preserves_name(self):
+        spec = ScenarioSpec("tmp-c", "ring", {"num_switches": 4})
+        copy = spec.with_controllers(2)
+        assert copy.name == spec.name
+        assert copy.controllers == 2
+        assert spec.controllers == 1
+
+    def test_invalid_controllers_rejected(self):
+        with pytest.raises(ScenarioError, match="controllers"):
+            ScenarioSpec("tmp-c", "ring", {"num_switches": 4}, controllers=0)
+
+    def test_framework_override_of_controllers_rejected(self):
+        """framework={'controllers': N} would silently defeat
+        with_controllers() and the conservation check."""
+        spec = ScenarioSpec("tmp-c", "ring", {"num_switches": 4},
+                            framework={"controllers": 2})
+        with pytest.raises(ScenarioError, match="ScenarioSpec.controllers"):
+            spec.framework_config()
+
+    def test_ctlscale_exports_round_trip(self, tmp_path):
+        spec = ScenarioSpec("tmp-ctlscale-ring4", "ring", {"num_switches": 4})
+        results = run_ctlscale(spec, controller_counts=(1, 2))
+        json_path = write_ctlscale_json(results, tmp_path / "ctl.json")
+        csv_path = write_ctlscale_csv(results, tmp_path / "ctl.csv")
+        import csv as csv_module
+        import json as json_module
+
+        payload = json_module.loads(json_path.read_text())
+        assert [entry["controllers"] for entry in payload] == [1, 2]
+        assert payload[1]["total_flows"] == payload[0]["total_flows"]
+        assert "routeflow.route_mods.0" in payload[0]["bus_stats"]
+        with csv_path.open() as handle:
+            rows = list(csv_module.DictReader(handle))
+        assert len(rows) == 3  # 1 shard + 2 shards
+        assert {row["shard"] for row in rows} == {"0", "1"}
