@@ -17,6 +17,10 @@ regenerated without writing any Python:
 * ``repro ctlscale --scenario NAME [--controllers 1 2 4]`` — configure the
   scenario under several controller-shard counts and report per-shard
   control-plane load, convergence time and the load-conservation check.
+* ``repro interdomain --scenario NAME [--no-flap] [--flap-link A:B]`` —
+  configure a multi-AS BGP scenario, verify redistribution and AS-path
+  sanity, and flap an eBGP border link to exercise the withdrawal and
+  re-advertisement lifecycle.
 * ``repro bench [--json FILE] [--check BASELINE]`` — the hot-path benchmark
   suite, with machine-readable output and a perf-regression gate.
 
@@ -48,16 +52,20 @@ from repro.experiments import (
     render_config_time_table,
     render_demo_report,
     render_failover_table,
+    render_interdomain_table,
     render_sweep_table,
     run_config_time_sweep,
     run_controller_split_ablation,
     run_demo,
     run_failover_suite,
+    run_interdomain,
     run_ospf_timer_ablation,
     run_sweep,
     run_vm_latency_ablation,
     write_failover_csv,
     write_failover_json,
+    write_interdomain_csv,
+    write_interdomain_json,
     write_sweep_csv,
     write_sweep_json,
 )
@@ -187,6 +195,27 @@ def build_parser() -> argparse.ArgumentParser:
                           help="write results as JSON to FILE")
     ctlscale.add_argument("--csv", metavar="FILE",
                           help="write results as CSV to FILE")
+
+    interdomain = subparsers.add_parser(
+        "interdomain", help="configure a multi-AS BGP scenario, verify "
+                            "redistribution, and flap an eBGP border link")
+    interdomain.add_argument("--scenario", action="append", default=None,
+                             metavar="NAME", required=True,
+                             help="interdomain registry scenario to run "
+                                  "(repeatable); see 'repro sweep --list'")
+    interdomain.add_argument("--no-flap", action="store_true",
+                             help="skip the border-link flap phase (pure "
+                                  "convergence measurement)")
+    interdomain.add_argument("--flap-link", metavar="A:B", default=None,
+                             help="border link to flap (default: the first "
+                                  "inter-AS link of the topology)")
+    interdomain.add_argument("--settle", type=float, default=20.0,
+                             help="quiet seconds that count as converged "
+                                  "(default: 20)")
+    interdomain.add_argument("--out", metavar="FILE",
+                             help="write results as JSON to FILE")
+    interdomain.add_argument("--csv", metavar="FILE",
+                             help="write results as CSV to FILE")
 
     bench = subparsers.add_parser(
         "bench", help="run the hot-path benchmark suite; optionally write a "
@@ -426,6 +455,37 @@ def _command_ctlscale(args: argparse.Namespace) -> int:
     return 0 if healthy and conserved else 1
 
 
+def _command_interdomain(args: argparse.Namespace) -> int:
+    export_error = _validate_export_paths(args.out, args.csv)
+    if export_error is not None:
+        print(export_error, file=sys.stderr)
+        return 2
+    flap_link = None
+    if args.flap_link is not None:
+        try:
+            node_a, node_b = args.flap_link.split(":")
+            flap_link = (int(node_a), int(node_b))
+        except ValueError:
+            print(f"error: bad --flap-link value {args.flap_link!r} "
+                  f"(expected A:B)", file=sys.stderr)
+            return 2
+    results = []
+    try:
+        for name in args.scenario:
+            results.append(run_interdomain(
+                name, flap=not args.no_flap, flap_link=flap_link,
+                settle=args.settle))
+    except (ScenarioError, TopologyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_interdomain_table(results))
+    if args.out:
+        print(f"wrote {write_interdomain_json(results, args.out)}")
+    if args.csv:
+        print(f"wrote {write_interdomain_csv(results, args.csv)}")
+    return 0 if all(r.healthy for r in results) else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     document = run_benchmarks(
         quick=args.quick,
@@ -458,6 +518,7 @@ _COMMANDS = {
     "sweep": _command_sweep,
     "failover": _command_failover,
     "ctlscale": _command_ctlscale,
+    "interdomain": _command_interdomain,
     "bench": _command_bench,
 }
 

@@ -28,6 +28,7 @@ from repro.core.manual_model import ManualConfigurationModel
 from repro.core.rpc import RPCClient, RPCServer
 from repro.core.topology_controller import TopologyControllerApp, build_topology_controller
 from repro.flowvisor import FlowVisor, build_paper_flowspace, build_sharded_flowspace
+from repro.quagga.bgp.daemon import BGPSessionBroker
 from repro.routeflow.rfproxy import RFProxy
 from repro.routeflow.rfserver import RFServer
 from repro.routeflow.sharding import (
@@ -68,6 +69,18 @@ class FrameworkConfig:
     #: Also generate bgpd.conf files (the paper lists bgp.conf among the
     #: generated files even though the experiments only exercise OSPF).
     generate_bgp: bool = True
+    #: Run bgpd inside the VMs as a first-class interdomain protocol: the
+    #: framework creates a shared BGP session broker, the RPC server
+    #: generates multi-AS configurations from :attr:`as_map` (eBGP on
+    #: inter-AS links, an iBGP full mesh per AS, OSPF↔BGP redistribution)
+    #: and the VMs boot bgpd from them.  Requires :attr:`as_map`.
+    enable_bgp: bool = False
+    #: Datapath id -> AS number.  Interdomain scenarios derive it from the
+    #: topology's per-node AS assignment (``as_map_from_topology``).
+    as_map: Optional[Mapping[int, int]] = None
+    #: BGP keepalive/hold timers written into every generated bgpd.conf.
+    bgp_keepalive_interval: float = 10.0
+    bgp_hold_time: float = 30.0
     #: How often the convergence monitor samples the milestone predicates.
     monitor_interval: float = 1.0
     #: Number of RouteFlow controller shards (RFServer + RFProxy pairs).
@@ -106,6 +119,15 @@ class AutoConfigFramework:
                 "sharded deployments (controllers > 1) need FlowVisor: the "
                 "topology-controller slice is what lets one discovery module "
                 "see switches owned by every shard")
+        if self.config.enable_bgp and not self.config.as_map:
+            raise ValueError(
+                "enable_bgp needs an as_map (dpid -> AS number): interdomain "
+                "scenarios derive one from the topology via "
+                "as_map_from_topology")
+        #: Shared BGP session broker (one per deployment — eBGP sessions
+        #: may cross controller shards); None in OSPF-only deployments.
+        self.bgp_broker: Optional[BGPSessionBroker] = (
+            BGPSessionBroker(sim) if self.config.enable_bgp else None)
 
         if num_controllers == 1:
             # RF-controller: the OpenFlow controller hosting RouteFlow's proxy.
@@ -117,7 +139,7 @@ class AutoConfigFramework:
                 vm_boot_delay=self.config.vm_boot_delay,
                 event_log=self.event_log,
                 serialize_vm_creation=self.config.serialize_vm_creation,
-                bus=self.bus)
+                bus=self.bus, bgp_broker=self.bgp_broker)
             #: The RFServer-shaped object the RPC server and the milestone
             #: monitor talk to; a ShardedControlPlane when controllers > 1.
             self.control_plane: Union[RFServer, ShardedControlPlane] = self.rfserver
@@ -126,12 +148,14 @@ class AutoConfigFramework:
         else:
             partitioner = make_partitioner(self.config.partitioner,
                                            num_controllers,
-                                           self.config.shard_map)
+                                           self.config.shard_map,
+                                           as_map=self.config.as_map)
             self.control_plane = ShardedControlPlane(
                 sim, bus=self.bus, partitioner=partitioner,
                 event_log=self.event_log,
                 vm_boot_delay=self.config.vm_boot_delay,
-                serialize_vm_creation=self.config.serialize_vm_creation)
+                serialize_vm_creation=self.config.serialize_vm_creation,
+                bgp_broker=self.bgp_broker)
             self.shards = self.control_plane.shards
             # Compatibility aliases point at shard 0 (the coordinator host).
             self.rf_controller = self.shards[0].controller
@@ -143,7 +167,10 @@ class AutoConfigFramework:
             sim, self.control_plane, ipam=self.ipam, event_log=self.event_log,
             generate_bgp=self.config.generate_bgp,
             ospf_hello_interval=self.config.ospf_hello_interval,
-            ospf_dead_interval=self.config.ospf_dead_interval)
+            ospf_dead_interval=self.config.ospf_dead_interval,
+            as_map=self.config.as_map if self.config.enable_bgp else None,
+            bgp_keepalive_interval=self.config.bgp_keepalive_interval,
+            bgp_hold_time=self.config.bgp_hold_time)
         self.rpc_server.on_switch_configured(self.gui.mark_configured)
         self.rpc_client = RPCClient(sim, self.rpc_server,
                                     network_delay=self.config.rpc_network_delay,

@@ -13,7 +13,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.bus import Discipline, MessageBus, topics
 from repro.net.addresses import IPv4Address, IPv4Network
@@ -77,6 +77,8 @@ class _VMConfigState:
     num_ports: int
     hostname: str
     router_id: IPv4Address
+    #: The VM's AS number (only meaningful in interdomain deployments).
+    local_as: int = 0
     interfaces: Dict[str, Tuple[IPv4Address, int]] = field(default_factory=dict)
     ospf_networks: List[IPv4Network] = field(default_factory=list)
     bgp_neighbors: List[BGPNeighbor] = field(default_factory=list)
@@ -96,7 +98,10 @@ class RPCServer:
                  ipam: Optional[IPAddressManager] = None,
                  event_log: Optional[EventLog] = None,
                  generate_bgp: bool = True, bgp_as_base: int = 65000,
-                 ospf_hello_interval: int = 10, ospf_dead_interval: int = 40) -> None:
+                 ospf_hello_interval: int = 10, ospf_dead_interval: int = 40,
+                 as_map: Optional[Mapping[int, int]] = None,
+                 bgp_keepalive_interval: float = 10.0,
+                 bgp_hold_time: float = 30.0) -> None:
         self.sim = sim
         self.rfserver = rfserver
         self.ipam = ipam if ipam is not None else IPAddressManager()
@@ -105,6 +110,13 @@ class RPCServer:
         self.bgp_as_base = bgp_as_base
         self.ospf_hello_interval = ospf_hello_interval
         self.ospf_dead_interval = ospf_dead_interval
+        #: dpid -> AS number.  When set, the server generates *interdomain*
+        #: configurations: inter-AS links run eBGP instead of OSPF, routers
+        #: of one AS form an iBGP full mesh over their loopbacks, and the
+        #: generated ospfd.conf/bgpd.conf redistribute into each other.
+        self.as_map: Optional[Dict[int, int]] = dict(as_map) if as_map else None
+        self.bgp_keepalive_interval = bgp_keepalive_interval
+        self.bgp_hold_time = bgp_hold_time
         self._vm_state: Dict[int, _VMConfigState] = {}
         self._configured_links: Set[Tuple[int, int, int, int]] = set()
         #: Link / edge-port messages that arrived before the switch they refer
@@ -152,6 +164,20 @@ class RPCServer:
         state = _VMConfigState(
             vm_id=vm_id, num_ports=message.num_ports,
             hostname=f"VM-{vm_id:016x}", router_id=self.ipam.router_id(vm_id))
+        if self.as_map is not None:
+            state.local_as = self.as_map.get(vm_id, self.bgp_as_base + vm_id)
+            # iBGP full mesh per AS, peered over the router-id loopbacks:
+            # the new router and every already-configured router of its AS
+            # name each other, and the peers' bgpd.conf files are
+            # regenerated to include it.
+            for other in self._vm_state.values():
+                if other.local_as != state.local_as:
+                    continue
+                state.bgp_neighbors.append(BGPNeighbor(
+                    address=other.router_id, remote_as=state.local_as))
+                other.bgp_neighbors.append(BGPNeighbor(
+                    address=state.router_id, remote_as=state.local_as))
+                self._write_configs(other)
         self._vm_state[vm_id] = state
         vm = self.rfserver.create_vm(vm_id=vm_id, num_ports=message.num_ports,
                                      datapath_id=message.switch_id)
@@ -200,10 +226,24 @@ class RPCServer:
         iface_a = f"eth{message.port_a}"
         iface_b = f"eth{message.port_b}"
         prefix_len = message.prefix_len
-        self._assign_interface(state_a, iface_a, IPv4Address(message.address_a), prefix_len)
-        self._assign_interface(state_b, iface_b, IPv4Address(message.address_b), prefix_len)
+        # An inter-AS link carries eBGP, not the IGP: its prefix stays out
+        # of both ends' OSPF network statements (``redistribute connected``
+        # injects it into each area as an external prefix instead).
+        border = self.as_map is not None and state_a.local_as != state_b.local_as
+        self._assign_interface(state_a, iface_a, IPv4Address(message.address_a),
+                               prefix_len, ospf=not border)
+        self._assign_interface(state_b, iface_b, IPv4Address(message.address_b),
+                               prefix_len, ospf=not border)
         self.rfserver.connect_virtual_link(state_a.vm_id, iface_a, state_b.vm_id, iface_b)
-        if self.generate_bgp:
+        if self.as_map is not None:
+            if border:
+                state_a.bgp_neighbors.append(BGPNeighbor(
+                    address=IPv4Address(message.address_b),
+                    remote_as=state_b.local_as))
+                state_b.bgp_neighbors.append(BGPNeighbor(
+                    address=IPv4Address(message.address_a),
+                    remote_as=state_a.local_as))
+        elif self.generate_bgp:
             state_a.bgp_neighbors.append(BGPNeighbor(
                 address=IPv4Address(message.address_b),
                 remote_as=self.bgp_as_base + state_b.vm_id))
@@ -249,10 +289,11 @@ class RPCServer:
 
     # ----------------------------------------------------------- config files
     def _assign_interface(self, state: _VMConfigState, iface: str,
-                          address: IPv4Address, prefix_len: int) -> None:
+                          address: IPv4Address, prefix_len: int,
+                          ospf: bool = True) -> None:
         state.interfaces[iface] = (address, prefix_len)
         network = IPv4Network((address, prefix_len))
-        if network not in state.ospf_networks:
+        if ospf and network not in state.ospf_networks:
             state.ospf_networks.append(network)
         self.rfserver.assign_interface_address(state.vm_id, iface, address, prefix_len)
 
@@ -263,16 +304,42 @@ class RPCServer:
                             description=f"auto-configured by RPC server")
             for name, (address, prefix_len) in sorted(state.interfaces.items())
         ]
+        interdomain = self.as_map is not None
+        # Only *border* routers (those with at least one eBGP neighbor)
+        # redistribute between the protocols: an interior router running
+        # ``redistribute bgp`` would re-inject its iBGP-learned routes as
+        # its own externals and shadow the border's advertisement in its
+        # own SPF — the classic mutual-redistribution feedback.
+        border = interdomain and any(n.remote_as != state.local_as
+                                     for n in state.bgp_neighbors)
+        if interdomain:
+            # The router id lives on a loopback /32 so iBGP next-hop-self
+            # addresses resolve through the IGP.
+            interface_configs.append(InterfaceConfig(
+                name="lo", ip=state.router_id, prefix_len=32,
+                description="loopback (router id)"))
         zebra_text = generate_zebra_conf(state.hostname, interface_configs)
         self.rfserver.write_config_file(state.vm_id, "zebra.conf", zebra_text)
         ospf_statements = [OSPFNetworkStatement(prefix=network, area="0.0.0.0")
                            for network in state.ospf_networks]
+        if interdomain:
+            ospf_statements.append(OSPFNetworkStatement(
+                prefix=IPv4Network((state.router_id, 32)), area="0.0.0.0"))
         ospfd_text = generate_ospfd_conf(
             hostname=f"{state.hostname}-ospfd", router_id=state.router_id,
             networks=ospf_statements, hello_interval=self.ospf_hello_interval,
-            dead_interval=self.ospf_dead_interval)
+            dead_interval=self.ospf_dead_interval,
+            redistribute_bgp=border, redistribute_connected=border)
         self.rfserver.write_config_file(state.vm_id, "ospfd.conf", ospfd_text)
-        if self.generate_bgp:
+        if interdomain:
+            bgpd_text = generate_bgpd_conf(
+                hostname=f"{state.hostname}-bgpd", local_as=state.local_as,
+                router_id=state.router_id, neighbors=state.bgp_neighbors,
+                redistribute_ospf=border, redistribute_connected=border,
+                keepalive_interval=self.bgp_keepalive_interval,
+                hold_time=self.bgp_hold_time)
+            self.rfserver.write_config_file(state.vm_id, "bgpd.conf", bgpd_text)
+        elif self.generate_bgp:
             bgpd_text = generate_bgpd_conf(
                 hostname=f"{state.hostname}-bgpd",
                 local_as=self.bgp_as_base + state.vm_id,

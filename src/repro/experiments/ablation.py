@@ -1,6 +1,7 @@
 """Ablation experiments over the framework's design choices.
 
-DESIGN.md calls out three design parameters worth isolating:
+docs/DESIGN.md ("Design parameters under ablation") calls out three
+design parameters worth isolating:
 
 * **A1 — controller split.**  The paper deliberately separates the topology
   controller from the RF-controller (behind FlowVisor) "to share the load";

@@ -244,6 +244,26 @@ def bench_sharded_convergence_16() -> Dict[str, Any]:
             "flows": result.total_flows}
 
 
+def bench_interdomain_3as() -> Dict[str, Any]:
+    """Interdomain convergence: 3 ASes of 4-router rings under eBGP/iBGP.
+
+    Exercises the whole interdomain machinery — eBGP/iBGP establishment,
+    OSPF↔BGP redistribution, recursive next-hop resolution — end to end.
+    ``sim_seconds`` (time to full interdomain reachability) and ``flows``
+    (the steady-state flow count, which the redistribution must reproduce
+    exactly) are deterministic and gated exactly.
+    """
+    from repro.experiments.interdomain import run_interdomain
+
+    def run():
+        return run_interdomain("interdomain-3as", flap=False)
+
+    wall, result = _best_of(run, repeats=2)
+    return {"wall_seconds": wall, "sim_seconds": result.configured_seconds,
+            "switches": result.num_switches, "links": result.num_links,
+            "flows": result.steady_flows}
+
+
 #: name -> (callable, included in --quick runs)
 BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "kernel_event_churn": (bench_kernel_event_churn, True),
@@ -254,6 +274,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "flow_mod_codec": (bench_flow_mod_codec, True),
     "convergence_64": (bench_convergence_64, False),
     "sharded_convergence_16": (bench_sharded_convergence_16, False),
+    "interdomain_convergence_3as": (bench_interdomain_3as, False),
 }
 
 #: Keys whose values must match the baseline *exactly* (determinism gate).

@@ -102,13 +102,13 @@ def run_ctlscale(scenario: Union[str, ScenarioSpec],
             raise ValueError(f"controller counts must be >= 1, got {count}")
         started = time.perf_counter()
         run_spec = spec.with_controllers(count)
-        config = run_spec.framework_config()
+        topology = run_spec.build_topology()
+        config = run_spec.framework_config(topology)
         if partitioner is not None:
             config.partitioner = partitioner
         sim = Simulator()
         ipam = IPAddressManager()
         framework = AutoConfigFramework(sim, config=config, ipam=ipam)
-        topology = run_spec.build_topology()
         network = EmulatedNetwork(sim, topology, ipam=ipam)
         framework.attach(network)
         configured_at = framework.run_until_configured(max_time=run_spec.max_time,

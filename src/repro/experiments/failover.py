@@ -230,7 +230,7 @@ def run_failover(scenario: Union[str, ScenarioSpec],
                             shards=spec.controllers)
     sim = Simulator()
     ipam = IPAddressManager()
-    framework = AutoConfigFramework(sim, config=spec.framework_config(),
+    framework = AutoConfigFramework(sim, config=spec.framework_config(topology),
                                     ipam=ipam)
     network = EmulatedNetwork(sim, topology, ipam=ipam)
     framework.attach(network)

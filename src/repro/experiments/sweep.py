@@ -68,8 +68,9 @@ def run_scenario(spec: ScenarioSpec) -> SweepResult:
     from the paper-figure numbers for the same topology.
     """
     started = time.perf_counter()
-    measured = run_single_configuration(spec.build_topology(),
-                                        config=spec.framework_config(),
+    topology = spec.build_topology()
+    measured = run_single_configuration(topology,
+                                        config=spec.framework_config(topology),
                                         max_time=spec.max_time)
     return SweepResult(
         scenario=spec.name,

@@ -1,4 +1,4 @@
-"""Simplified BGP speaker (config-complete; OSPF carries the evaluated traffic)."""
+"""BGP-4 speaker: eBGP/iBGP roles, per-peer policy, redistribution, flaps."""
 
 from repro.quagga.bgp.daemon import (
     BGPAnnouncement,

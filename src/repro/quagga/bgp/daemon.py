@@ -1,34 +1,69 @@
-"""A simplified BGP speaker.
+"""A BGP-4 speaker with eBGP/iBGP session roles, policy and redistribution.
 
-The paper's RPC server also writes ``bgp.conf`` files, although the
-evaluated experiments only exercise OSPF.  To keep the configuration path
-complete we provide a compact BGP implementation: speakers are configured
-from a parsed ``bgpd.conf``, sessions go through Idle → OpenSent →
-Established with a configurable establishment delay, and once established
-the speakers exchange UPDATE-equivalent announcements (prefix + AS path +
-next hop), apply AS-path loop detection and shortest-AS-path selection, and
-install the winners into zebra with the BGP administrative distance.
+The paper's RPC server writes ``bgpd.conf`` files alongside the OSPF
+configuration; this module is the daemon that boots from them.  It models
+the pieces an interdomain experiment actually measures:
 
-Peering transport is abstracted by a :class:`BGPSessionBroker` rather than
-a full TCP implementation — the broker delivers messages between speakers
-whose configurations name each other, after the session delay.  This is the
-one deliberately simplified substrate (documented in DESIGN.md); everything
-the reproduced experiments measure flows through OSPF, not BGP.
+* **Session roles.**  A neighbor in the same AS forms an *iBGP* session,
+  a neighbor in another AS an *eBGP* session.  The textbook rules apply:
+  routes learned from an iBGP peer are never re-advertised to other iBGP
+  peers (the full-mesh assumption), eBGP-learned and locally originated
+  routes go to everyone, the AS path is prepended on eBGP egress only, and
+  iBGP-learned routes install with administrative distance 200 versus
+  eBGP's 20.
+* **Per-peer policy.**  ``local-preference`` applied on ingress, ``med``
+  attached on egress, and ``prefix-list ... out`` export filters — all
+  honoured from the parsed configuration.
+* **Lifecycle.**  Sessions walk Idle → OpenSent → Established through a
+  :class:`BGPSessionBroker`; established sessions exchange keepalives and
+  tear down on **hold-timer expiry** when the peer falls silent, or
+  immediately on interface carrier loss (fast external fallover: eBGP
+  sessions are bound to the interface owning their local address).  A
+  session going down withdraws every route learned over it — from zebra,
+  and with explicit withdrawals to the remaining peers — and the broker
+  re-establishes it (and re-advertises) once both sides are back.
+* **Redistribution.**  ``redistribute ospf`` / ``redistribute connected``
+  originate the IGP's prefixes into BGP (skipping routes OSPF itself
+  derived from redistributed external prefixes — the
+  :data:`~repro.quagga.ospf.constants.EXTERNAL_ROUTE_TAG` guard against
+  AS-path-truncating re-export).  The reverse direction, BGP → OSPF, is
+  wired by the virtual machine (see ``repro.routeflow.vm``): BGP routes
+  that win the FIB are injected into the area as AS-external prefixes.
+* **Recursive next-hop resolution.**  A route whose next hop is not on a
+  connected subnet (an iBGP next-hop-self pointing at a peer's loopback)
+  resolves through the IGP: the installed zebra route carries the next
+  hop and interface of the RIB route *towards* the BGP next hop, and is
+  re-resolved whenever the underlying IGP routes change.
+
+Peering transport is abstracted by the broker rather than a full TCP
+implementation — the one deliberately simplified substrate, documented in
+docs/DESIGN.md ("BGP session broker"): message delivery is a small fixed
+delay, iBGP sessions run between any two speakers that name each other
+(loopback peering without modelling the TCP path), and loss of IGP
+reachability surfaces through next-hop resolution rather than session
+teardown.
 """
 
 from __future__ import annotations
 
 import logging
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.addresses import IPv4Address, IPv4Network
 from repro.quagga.configfile import BGPConfig
+from repro.quagga.ospf.constants import EXTERNAL_ROUTE_TAG
 from repro.quagga.rib import Route, RouteSource
 from repro.quagga.zebra import ZebraDaemon
-from repro.sim import Simulator
+from repro.sim import PeriodicTask, Simulator
 
 LOG = logging.getLogger(__name__)
+
+#: Default LOCAL_PREF assigned to routes that arrive without one (RFC 4271).
+DEFAULT_LOCAL_PREF = 100
+
+#: One-way delivery delay of a BGP UPDATE/KEEPALIVE through the broker.
+UPDATE_DELAY = 0.05
 
 
 class BGPSessionState:
@@ -37,13 +72,20 @@ class BGPSessionState:
     ESTABLISHED = "Established"
 
 
-@dataclass
+@dataclass(frozen=True)
 class BGPAnnouncement:
-    """A route announcement exchanged between peers."""
+    """A route announcement exchanged between peers.
+
+    ``as_path`` never contains the *originating* speaker's own AS while the
+    route is locally originated — the AS is prepended on eBGP egress, so a
+    receiver's loop check (own AS in path) is exact.
+    """
 
     prefix: IPv4Network
     next_hop: IPv4Address
     as_path: Tuple[int, ...]
+    local_pref: int = DEFAULT_LOCAL_PREF
+    med: int = 0
 
     @property
     def origin_as(self) -> Optional[int]:
@@ -57,13 +99,38 @@ class BGPPeerSession:
     local_address: IPv4Address
     peer_address: IPv4Address
     remote_as: int
+    local_as: int
+    #: Interface owning the local address; eBGP sessions tear down when it
+    #: loses carrier (fast external fallover).  Empty for loopback (iBGP)
+    #: sessions.
+    interface: str = ""
     state: str = BGPSessionState.IDLE
     established_at: Optional[float] = None
+    last_keepalive: float = 0.0
+    #: Adj-RIB-In: routes received from the peer.
     received: Dict[IPv4Network, BGPAnnouncement] = field(default_factory=dict)
+    #: Adj-RIB-Out: what we last advertised to the peer.
+    advertised: Dict[IPv4Network, BGPAnnouncement] = field(default_factory=dict)
+
+    @property
+    def is_ibgp(self) -> bool:
+        return self.remote_as == self.local_as
+
+    @property
+    def established(self) -> bool:
+        return self.state == BGPSessionState.ESTABLISHED
 
 
 class BGPSessionBroker:
-    """Connects speakers that name each other as neighbors."""
+    """Connects speakers that name each other as neighbors.
+
+    The broker abstracts the TCP transport: it pairs matching neighbor
+    statements, runs the (delayed) session establishment handshake, and
+    delivers UPDATEs and KEEPALIVEs between established endpoints.  It
+    retries idle sessions whenever a speaker registers an address or asks
+    for a retry (the ConnectRetry timer lives in the daemons' keepalive
+    task).
+    """
 
     def __init__(self, sim: Simulator, session_delay: float = 1.0) -> None:
         self.sim = sim
@@ -74,19 +141,32 @@ class BGPSessionBroker:
         self._speakers[IPv4Address(address)] = speaker
         self._try_establish_all()
 
+    def unregister_speaker(self, speaker: "BGPDaemon") -> None:
+        for address in [a for a, s in self._speakers.items() if s is speaker]:
+            del self._speakers[address]
+
     def speaker_at(self, address: IPv4Address) -> Optional["BGPDaemon"]:
         return self._speakers.get(IPv4Address(address))
 
+    def retry(self) -> None:
+        """Re-attempt establishment of every idle session pair."""
+        self._try_establish_all()
+
     def _try_establish_all(self) -> None:
         for speaker in list(self._speakers.values()):
+            if not speaker.running:
+                continue
             for session in speaker.sessions.values():
                 if session.state != BGPSessionState.IDLE:
                     continue
+                if not speaker.session_ready(session):
+                    continue
                 peer = self._speakers.get(session.peer_address)
-                if peer is None:
+                if peer is None or not peer.running:
                     continue
                 reverse = peer.sessions.get(session.local_address)
-                if reverse is None:
+                if reverse is None or reverse.state != BGPSessionState.IDLE \
+                        or not peer.session_ready(reverse):
                     continue
                 session.state = BGPSessionState.OPEN_SENT
                 reverse.state = BGPSessionState.OPEN_SENT
@@ -96,9 +176,22 @@ class BGPSessionBroker:
 
     def _establish(self, speaker: "BGPDaemon", session: BGPPeerSession,
                    peer: "BGPDaemon", reverse: BGPPeerSession) -> None:
-        for side, sess in ((speaker, session), (peer, reverse)):
+        # Re-check at fire time: a carrier loss or daemon stop during the
+        # handshake aborts it (the sessions go back to Idle for a retry).
+        if not (speaker.running and peer.running
+                and session.state == BGPSessionState.OPEN_SENT
+                and reverse.state == BGPSessionState.OPEN_SENT
+                and speaker.session_ready(session)
+                and peer.session_ready(reverse)):
+            if session.state == BGPSessionState.OPEN_SENT:
+                session.state = BGPSessionState.IDLE
+            if reverse.state == BGPSessionState.OPEN_SENT:
+                reverse.state = BGPSessionState.IDLE
+            return
+        for sess in (session, reverse):
             sess.state = BGPSessionState.ESTABLISHED
             sess.established_at = self.sim.now
+            sess.last_keepalive = self.sim.now
         speaker.on_session_established(session)
         peer.on_session_established(reverse)
 
@@ -107,127 +200,526 @@ class BGPSessionBroker:
         peer = self._speakers.get(session.peer_address)
         if peer is None:
             return
-        self.sim.schedule(0.05, peer.receive_announcement, session.peer_address,
-                          session.local_address, announcement, withdraw,
-                          label="bgp:update")
+        self.sim.schedule(UPDATE_DELAY, peer.receive_announcement,
+                          session.peer_address, session.local_address,
+                          announcement, withdraw, label="bgp:update")
+
+    def deliver_keepalive(self, sender: "BGPDaemon",
+                          session: BGPPeerSession) -> None:
+        peer = self._speakers.get(session.peer_address)
+        if peer is None:
+            return
+        self.sim.schedule(UPDATE_DELAY, peer.receive_keepalive,
+                          session.peer_address, session.local_address,
+                          label="bgp:keepalive")
+
+
+#: Callable returning the speaker's current address book:
+#: address -> (interface name, prefix length).
+AddressBook = Callable[[], Dict[IPv4Address, Tuple[str, int]]]
 
 
 class BGPDaemon:
     """A BGP speaker configured from a parsed bgpd.conf."""
 
     def __init__(self, sim: Simulator, zebra: ZebraDaemon, config: BGPConfig,
-                 broker: BGPSessionBroker, local_addresses: List[IPv4Address],
-                 hostname: str = "") -> None:
+                 broker: BGPSessionBroker,
+                 local_addresses: Optional[List[IPv4Address]] = None,
+                 hostname: str = "",
+                 address_book: Optional[AddressBook] = None) -> None:
         self.sim = sim
         self.zebra = zebra
         self.config = config
         self.broker = broker
         self.hostname = hostname or config.hostname
         self.local_as = config.local_as
-        self.router_id = config.router_id or (local_addresses[0] if local_addresses else IPv4Address(0))
-        self.local_addresses = [IPv4Address(a) for a in local_addresses]
-        #: keyed by the *local* address used to reach the peer — one session per neighbor
+        self.local_addresses = [IPv4Address(a) for a in (local_addresses or [])]
+        self.router_id = config.router_id or (
+            self.local_addresses[0] if self.local_addresses else IPv4Address(0))
+        if address_book is None:
+            address_book = lambda: {IPv4Address(a): ("", 0)
+                                    for a in self.local_addresses}
+        self.address_book = address_book
+        #: keyed by the *peer* address — one session per neighbor statement.
         self.sessions: Dict[IPv4Address, BGPPeerSession] = {}
-        self._local_announcements: Dict[IPv4Network, BGPAnnouncement] = {}
+        #: Locally originated prefixes (``network`` statements and
+        #: :meth:`announce_network` calls).
+        self._local_networks: Dict[IPv4Network, BGPAnnouncement] = {}
+        #: Prefixes originated through ``redistribute ospf|connected``.
+        self._redistributed: Dict[IPv4Network, BGPAnnouncement] = {}
+        #: What we currently have installed in zebra, per prefix.
+        self._installed: Dict[IPv4Network, Route] = {}
+        #: Received best routes whose next hop the IGP cannot resolve yet.
+        self._unresolved: Set[IPv4Network] = set()
+        #: prefix -> the BGP next hop its best path rides on (installed or
+        #: unresolved), so an IGP change only re-resolves the prefixes it
+        #: can actually affect (those whose next hop the changed prefix
+        #: covers), not every tracked route.
+        self._tracked_next_hops: Dict[IPv4Network, IPv4Address] = {}
+        #: Interfaces currently without carrier (fast-fallover bookkeeping).
+        self._down_interfaces: Set[str] = set()
+        self._in_reevaluate = False
+        self._fib_listener_armed = False
+        self._timer = PeriodicTask(
+            sim, max(config.keepalive_interval, 0.5), self._on_timer,
+            name=f"bgp:{self.hostname}:keepalive")
         self.running = False
+        # Statistics used by the experiments.
+        self.updates_sent = 0
+        self.updates_received = 0
+        self.withdrawals_sent = 0
+        self.sessions_established = 0
+        self.sessions_lost = 0
 
     # ---------------------------------------------------------------- control
     def start(self) -> None:
         self.running = True
+        self._ensure_sessions()
+        for network in self.config.networks:
+            self._local_networks.setdefault(
+                network, BGPAnnouncement(prefix=network, next_hop=self.router_id,
+                                         as_path=()))
+        if not self._fib_listener_armed:
+            self.zebra.add_fib_listener(self._on_fib_change)
+            self._fib_listener_armed = True
+        # Routes installed before bgpd came up (OSPF usually converges while
+        # the daemon package is still starting) seed the redistribution.
+        for route in list(self.zebra.fib.values()):
+            self._maybe_redistribute(route.prefix, route)
+        for address in self._known_addresses():
+            self.broker.register(address, self)
+        self._timer.start()
+        for prefix in self._all_prefixes():
+            self._reevaluate(prefix)
+
+    def stop(self) -> None:
+        """Shut down: close every session (peers withdraw immediately, like
+        a TCP reset) and withdraw our routes from zebra."""
+        if not self.running:
+            return
+        self.running = False
+        self._timer.stop()
+        for session in list(self.sessions.values()):
+            if session.established:
+                peer = self.broker.speaker_at(session.peer_address)
+                self._session_down(session, "daemon stopped")
+                if peer is not None:
+                    reverse = peer.sessions.get(session.local_address)
+                    if reverse is not None:
+                        peer._session_down(reverse, "peer closed the session")
+        self.broker.unregister_speaker(self)
+        self.zebra.rib.remove_all_from(RouteSource.BGP)
+        self._installed.clear()
+        self._unresolved.clear()
+        self._tracked_next_hops.clear()
+
+    def apply_config(self, config: BGPConfig) -> None:
+        """Apply a regenerated bgpd.conf (the RPC server rewrites the file
+        as new links and switches are discovered)."""
+        self.config = config
+        self.local_as = config.local_as
+        if not self.running:
+            return
+        self._ensure_sessions()
+        for network in config.networks:
+            if network not in self._local_networks:
+                self.announce_network(network)
+        # Newly enabled redistribution picks up the existing FIB.
+        for route in list(self.zebra.fib.values()):
+            self._maybe_redistribute(route.prefix, route)
+        self.broker.retry()
+
+    def local_address_added(self, address: IPv4Address) -> None:
+        """An interface address appeared (zebra applied a configuration)."""
+        if self.running:
+            self._ensure_sessions()
+            self.broker.register(IPv4Address(address), self)
+
+    # ------------------------------------------------------------- sessions
+    def _known_addresses(self) -> List[IPv4Address]:
+        book = dict(self.address_book())
+        for address in self.local_addresses:
+            book.setdefault(IPv4Address(address), ("", 0))
+        if int(self.router_id):
+            book.setdefault(IPv4Address(self.router_id), ("lo", 32))
+        return list(book)
+
+    def _ensure_sessions(self) -> None:
         for neighbor in self.config.neighbors:
+            if neighbor.address in self.sessions:
+                continue
             local = self._local_address_for(neighbor.address)
             if local is None:
                 LOG.warning("%s: no local address facing neighbor %s",
                             self.hostname, neighbor.address)
                 continue
+            book = self.address_book()
+            interface = book.get(IPv4Address(local), ("", 0))[0]
+            if interface == "lo":
+                interface = ""
             self.sessions[neighbor.address] = BGPPeerSession(
-                local_address=local, peer_address=neighbor.address,
-                remote_as=neighbor.remote_as)
-        for network in self.config.networks:
-            self.announce_network(network)
-        for address in self.local_addresses:
-            self.broker.register(address, self)
-
-    def stop(self) -> None:
-        self.running = False
-        self.zebra.rib.remove_all_from(RouteSource.BGP)
+                local_address=IPv4Address(local),
+                peer_address=IPv4Address(neighbor.address),
+                remote_as=neighbor.remote_as, local_as=self.local_as,
+                interface=interface)
 
     def _local_address_for(self, peer: IPv4Address) -> Optional[IPv4Address]:
-        # Prefer an address on the same /24 as the peer, else the first one.
-        for address in self.local_addresses:
+        """Pick the local address a session with ``peer`` binds to.
+
+        Preference order: an interface whose connected prefix contains the
+        peer (the eBGP border link), the same-/24 heuristic the session
+        broker's tests rely on, our router id for loopback (iBGP) peering,
+        else the first known address.
+        """
+        peer = IPv4Address(peer)
+        book = self.address_book()
+        for address, (name, prefix_len) in book.items():
+            if prefix_len and name != "lo" \
+                    and peer in IPv4Network((address, prefix_len)):
+                return address
+        for address in self._known_addresses():
             if int(address) >> 8 == int(peer) >> 8:
                 return address
-        return self.local_addresses[0] if self.local_addresses else None
+        if int(self.router_id) and (self.router_id in book
+                                    or not self.local_addresses):
+            return IPv4Address(self.router_id)
+        addresses = self._known_addresses()
+        return addresses[0] if addresses else None
+
+    def session_ready(self, session: BGPPeerSession) -> bool:
+        """Can this session (re-)establish right now?"""
+        return self.running and (not session.interface
+                                 or session.interface not in self._down_interfaces)
+
+    def interface_down(self, name: str) -> None:
+        """Carrier lost on an interface: fast external fallover.
+
+        Every session bound to the interface drops immediately — both ends
+        of a failed link observe the carrier loss, so the teardown is
+        symmetric without waiting out the hold timer.
+        """
+        self._down_interfaces.add(name)
+        for session in self.sessions.values():
+            if session.interface == name \
+                    and session.state != BGPSessionState.IDLE:
+                self._session_down(session, "interface down")
+
+    def interface_up(self, name: str) -> None:
+        """Carrier returned: allow the broker to re-establish."""
+        self._down_interfaces.discard(name)
+        if self.running:
+            self.broker.retry()
+
+    def _session_down(self, session: BGPPeerSession, reason: str) -> None:
+        if session.state == BGPSessionState.IDLE:
+            return
+        was_established = session.established
+        session.state = BGPSessionState.IDLE
+        session.established_at = None
+        affected = set(session.received) | set(session.advertised)
+        session.received.clear()
+        session.advertised.clear()
+        if was_established:
+            self.sessions_lost += 1
+            LOG.info("%s: BGP session with %s down (%s)", self.hostname,
+                     session.peer_address, reason)
+        for prefix in sorted(affected,
+                             key=lambda p: (int(p.network), p.prefix_len)):
+            self._reevaluate(prefix)
+
+    # ----------------------------------------------------------------- timers
+    def _on_timer(self) -> None:
+        """Keepalives out, hold-timer check, ConnectRetry for idle sessions."""
+        if not self.running:
+            return
+        now = self.sim.now
+        idle = False
+        for session in self.sessions.values():
+            if session.established:
+                self.broker.deliver_keepalive(self, session)
+                silent_since = max(session.last_keepalive,
+                                   session.established_at or 0.0)
+                if now - silent_since > self.config.hold_time:
+                    self._session_down(session, "hold timer expired")
+                    idle = True
+            elif session.state == BGPSessionState.IDLE:
+                idle = True
+        if idle:
+            self.broker.retry()
+
+    def receive_keepalive(self, local_address: IPv4Address,
+                          peer_address: IPv4Address) -> None:
+        session = self.sessions.get(IPv4Address(peer_address))
+        if session is not None and session.established:
+            session.last_keepalive = self.sim.now
 
     # ------------------------------------------------------------ origination
     def announce_network(self, prefix: IPv4Network) -> None:
-        """Originate a prefix from this AS."""
-        announcement = BGPAnnouncement(prefix=prefix, next_hop=self.router_id,
-                                       as_path=(self.local_as,))
-        self._local_announcements[prefix] = announcement
-        self._propagate(announcement)
+        """Originate a prefix from this AS (a ``network`` statement)."""
+        self._local_networks[prefix] = BGPAnnouncement(
+            prefix=prefix, next_hop=self.router_id, as_path=())
+        self._reevaluate(prefix)
 
-    def _propagate(self, announcement: BGPAnnouncement,
-                   exclude_peer: Optional[IPv4Address] = None) -> None:
-        for peer_address, session in self.sessions.items():
-            if session.state != BGPSessionState.ESTABLISHED:
-                continue
-            if exclude_peer is not None and peer_address == exclude_peer:
-                continue
-            outgoing = BGPAnnouncement(prefix=announcement.prefix,
-                                       next_hop=session.local_address,
-                                       as_path=(self.local_as,) + tuple(
-                                           a for a in announcement.as_path
-                                           if a != self.local_as))
-            self.broker.deliver(self, session, outgoing)
+    def _maybe_redistribute(self, prefix: IPv4Network,
+                            route: Optional[Route]) -> None:
+        """Sync one FIB route into the redistribution table."""
+        wanted = (
+            route is not None
+            and ((self.config.redistribute_ospf
+                  and route.source == RouteSource.OSPF and route.tag == 0)
+                 or (self.config.redistribute_connected
+                     and route.source == RouteSource.CONNECTED)))
+        if wanted:
+            if prefix not in self._redistributed:
+                self._redistributed[prefix] = BGPAnnouncement(
+                    prefix=prefix, next_hop=self.router_id, as_path=())
+                self._reevaluate(prefix)
+        elif route is None or route.source != RouteSource.BGP:
+            # A BGP route displacing the IGP route in the FIB does not
+            # withdraw the origination (the IGP candidate still exists).
+            if self._redistributed.pop(prefix, None) is not None:
+                self._reevaluate(prefix)
 
-    # ----------------------------------------------------------------- events
+    # -------------------------------------------------------------- reception
     def on_session_established(self, session: BGPPeerSession) -> None:
-        LOG.info("%s: BGP session with %s established", self.hostname,
-                 session.peer_address)
-        for announcement in self._local_announcements.values():
-            outgoing = BGPAnnouncement(prefix=announcement.prefix,
-                                       next_hop=session.local_address,
-                                       as_path=announcement.as_path)
-            self.broker.deliver(self, session, outgoing)
+        LOG.info("%s: BGP %s session with %s established", self.hostname,
+                 "iBGP" if session.is_ibgp else "eBGP", session.peer_address)
+        self.sessions_established += 1
+        for prefix in sorted(self._all_prefixes(),
+                             key=lambda p: (int(p.network), p.prefix_len)):
+            self._sync_export(session, prefix)
 
     def receive_announcement(self, local_address: IPv4Address,
                              peer_address: IPv4Address,
                              announcement: BGPAnnouncement,
                              withdraw: bool = False) -> None:
-        session = self.sessions.get(peer_address)
-        if session is None or session.state != BGPSessionState.ESTABLISHED:
+        session = self.sessions.get(IPv4Address(peer_address))
+        if session is None or not session.established:
             return
         if self.local_as in announcement.as_path:
             return  # AS-path loop
+        self.updates_received += 1
+        prefix = announcement.prefix
         if withdraw:
-            session.received.pop(announcement.prefix, None)
-            self.zebra.withdraw_route(announcement.prefix, RouteSource.BGP,
-                                      next_hop=announcement.next_hop)
-            return
-        existing = session.received.get(announcement.prefix)
-        session.received[announcement.prefix] = announcement
-        best = self._best_announcement(announcement.prefix)
-        if best is not None:
-            self.zebra.announce_route(Route(
-                prefix=best.prefix, next_hop=best.next_hop, interface="",
-                source=RouteSource.BGP, metric=len(best.as_path)))
-        if existing is None or existing.as_path != announcement.as_path:
-            self._propagate(announcement, exclude_peer=peer_address)
+            if session.received.pop(prefix, None) is None:
+                return
+        else:
+            if not session.is_ibgp:
+                # eBGP ingress: LOCAL_PREF is not transitive across AS
+                # borders; assign ours (per-peer policy or the default).
+                neighbor = self.config.neighbor(session.peer_address)
+                local_pref = neighbor.local_pref if neighbor is not None \
+                    and neighbor.local_pref is not None else DEFAULT_LOCAL_PREF
+                announcement = replace(announcement, local_pref=local_pref)
+            session.received[prefix] = announcement
+        self._reevaluate(prefix)
 
-    def _best_announcement(self, prefix: IPv4Network) -> Optional[BGPAnnouncement]:
-        candidates = [s.received[prefix] for s in self.sessions.values()
-                      if prefix in s.received]
+    # ----------------------------------------------------------- path selection
+    def _all_prefixes(self) -> Set[IPv4Network]:
+        prefixes: Set[IPv4Network] = set(self._local_networks)
+        prefixes.update(self._redistributed)
+        for session in self.sessions.values():
+            prefixes.update(session.received)
+        prefixes.update(self._installed)
+        return prefixes
+
+    def _best_received(self, prefix: IPv4Network
+                       ) -> Optional[Tuple[BGPPeerSession, BGPAnnouncement]]:
+        """RFC 4271 decision process over the Adj-RIBs-In."""
+        candidates = [(session, session.received[prefix])
+                      for session in self.sessions.values()
+                      if session.established and prefix in session.received]
         if not candidates:
             return None
-        return min(candidates, key=lambda a: (len(a.as_path), int(a.next_hop)))
+        return min(candidates, key=lambda item: (
+            -item[1].local_pref,              # highest LOCAL_PREF
+            len(item[1].as_path),             # shortest AS path
+            item[1].med,                      # lowest MED
+            1 if item[0].is_ibgp else 0,      # prefer eBGP over iBGP
+            int(item[0].peer_address),        # lowest peer address
+        ))
+
+    def _local_origination(self, prefix: IPv4Network) -> Optional[BGPAnnouncement]:
+        return self._local_networks.get(prefix) or self._redistributed.get(prefix)
+
+    def _reevaluate(self, prefix: IPv4Network) -> None:
+        """Recompute best path, zebra installation and Adj-RIBs-Out for a
+        prefix.  The single entry point for every BGP state change."""
+        best = self._best_received(prefix)
+        self._update_zebra(prefix, best)
+        for session in self.sessions.values():
+            if session.established:
+                self._sync_export(session, prefix)
+
+    # ------------------------------------------------------------ installation
+    def _update_zebra(self, prefix: IPv4Network,
+                      best: Optional[Tuple[BGPPeerSession, BGPAnnouncement]]) -> None:
+        route = None
+        if best is not None and self._local_origination(prefix) is None:
+            session, announcement = best
+            self._tracked_next_hops[prefix] = IPv4Address(announcement.next_hop)
+            if not session.is_ibgp \
+                    and announcement.next_hop == session.peer_address:
+                # The common eBGP case: the next hop *is* the peer across
+                # the shared link — directly connected by construction.
+                resolution = (IPv4Address(announcement.next_hop),
+                              session.interface)
+            else:
+                # iBGP (next-hop-self = the peer's loopback) and third-party
+                # next hops resolve recursively through the IGP.
+                resolution = self._resolve_next_hop(announcement.next_hop)
+            if resolution is None:
+                self._unresolved.add(prefix)
+            else:
+                self._unresolved.discard(prefix)
+                next_hop, interface = resolution
+                route = Route(
+                    prefix=prefix, next_hop=next_hop, interface=interface,
+                    source=RouteSource.BGP, metric=len(announcement.as_path),
+                    distance=RouteSource.IBGP_DISTANCE if session.is_ibgp else None)
+        if best is None or self._local_origination(prefix) is not None:
+            self._unresolved.discard(prefix)
+            self._tracked_next_hops.pop(prefix, None)
+        installed = self._installed.get(prefix)
+        if route == installed:
+            return
+        self._in_reevaluate = True
+        try:
+            if route is None:
+                if installed is not None:
+                    del self._installed[prefix]
+                    self.zebra.withdraw_route(prefix, RouteSource.BGP)
+            else:
+                self._installed[prefix] = route
+                if installed is not None and installed.next_hop != route.next_hop:
+                    # add_route replaces by (source, next hop, interface);
+                    # a changed next hop must drop the old candidate first.
+                    self.zebra.withdraw_route(prefix, RouteSource.BGP)
+                self.zebra.announce_route(route)
+        finally:
+            self._in_reevaluate = False
+
+    def _resolve_next_hop(self, next_hop: IPv4Address
+                          ) -> Optional[Tuple[IPv4Address, str]]:
+        """Recursively resolve a BGP next hop through the local RIB.
+
+        Directly connected next hops (an eBGP peer across the border link)
+        resolve to themselves; anything else (an iBGP peer's loopback)
+        resolves to the next hop and interface of the IGP route towards it.
+        Routes that would resolve through another BGP route stay unresolved
+        (no BGP-over-BGP recursion).
+        """
+        next_hop = IPv4Address(next_hop)
+        for address, (name, prefix_len) in self.address_book().items():
+            if prefix_len and name != "lo" \
+                    and next_hop in IPv4Network((address, prefix_len)):
+                return next_hop, name
+        via = self.zebra.rib.lookup(next_hop)
+        if via is None or via.source == RouteSource.BGP:
+            return None
+        if via.is_connected:
+            return next_hop, via.interface
+        if via.next_hop is None:
+            return None
+        return via.next_hop, via.interface
+
+    def _on_fib_change(self, prefix: IPv4Network, new: Optional[Route],
+                       old: Optional[Route]) -> None:
+        """Zebra FIB listener: drives redistribution and re-resolution."""
+        if not self.running:
+            return
+        self._maybe_redistribute(prefix, new)
+        if self._in_reevaluate:
+            return
+        touched_source = (new.source if new is not None
+                          else old.source if old is not None else None)
+        if touched_source == RouteSource.BGP:
+            return
+        # An IGP change can re-route (or break) the recursive resolution of
+        # a route — but only of routes whose BGP next hop the changed
+        # prefix covers (resolution is a longest-prefix match on the next
+        # hop, so nothing else can be affected).
+        affected = [tracked for tracked, next_hop
+                    in self._tracked_next_hops.items() if next_hop in prefix]
+        for tracked in sorted(affected,
+                              key=lambda p: (int(p.network), p.prefix_len)):
+            self._update_zebra(tracked, self._best_received(tracked))
+
+    # ---------------------------------------------------------------- egress
+    def _export_candidate(self, session: BGPPeerSession,
+                          prefix: IPv4Network) -> Optional[BGPAnnouncement]:
+        """What (if anything) we should be advertising to this peer."""
+        local = self._local_origination(prefix)
+        if local is not None:
+            source: Optional[BGPPeerSession] = None
+            candidate = local
+        else:
+            best = self._best_received(prefix)
+            if best is None:
+                return None
+            source, candidate = best
+            if source is session:
+                return None  # never back to the peer it came from
+            if source.is_ibgp and session.is_ibgp:
+                return None  # iBGP routes do not transit iBGP (full mesh)
+        neighbor = self.config.neighbor(session.peer_address)
+        export_list = neighbor.export_prefix_list if neighbor is not None else None
+        if not self.config.prefix_list_permits(export_list, prefix):
+            return None
+        if session.is_ibgp:
+            # next-hop-self towards iBGP peers: our loopback, resolvable
+            # through the IGP; LOCAL_PREF and the AS path travel unchanged.
+            return replace(candidate, next_hop=self.router_id)
+        med = neighbor.med if neighbor is not None and neighbor.med is not None \
+            else 0
+        return BGPAnnouncement(
+            prefix=prefix, next_hop=session.local_address,
+            as_path=(self.local_as,) + candidate.as_path,
+            local_pref=DEFAULT_LOCAL_PREF, med=med)
+
+    def _sync_export(self, session: BGPPeerSession, prefix: IPv4Network) -> None:
+        outgoing = self._export_candidate(session, prefix)
+        previous = session.advertised.get(prefix)
+        if outgoing == previous:
+            return
+        if outgoing is None:
+            del session.advertised[prefix]
+            self.withdrawals_sent += 1
+            self.broker.deliver(self, session, previous, withdraw=True)
+        else:
+            session.advertised[prefix] = outgoing
+            self.updates_sent += 1
+            self.broker.deliver(self, session, outgoing)
 
     # ------------------------------------------------------------------ status
     @property
     def established_sessions(self) -> List[BGPPeerSession]:
-        return [s for s in self.sessions.values()
-                if s.state == BGPSessionState.ESTABLISHED]
+        return [s for s in self.sessions.values() if s.established]
+
+    @property
+    def ebgp_sessions(self) -> List[BGPPeerSession]:
+        return [s for s in self.sessions.values() if not s.is_ibgp]
+
+    def best_routes(self) -> Dict[IPv4Network, BGPAnnouncement]:
+        """The winning announcement per prefix (received routes only)."""
+        result: Dict[IPv4Network, BGPAnnouncement] = {}
+        for prefix in self._all_prefixes():
+            best = self._best_received(prefix)
+            if best is not None and self._local_origination(prefix) is None:
+                result[prefix] = best[1]
+        return result
+
+    def show_ip_bgp_summary(self) -> str:
+        """A ``show ip bgp summary``-style dump."""
+        lines = [f"{self.hostname}# show ip bgp summary  (AS {self.local_as})"]
+        for session in self.sessions.values():
+            role = "iBGP" if session.is_ibgp else "eBGP"
+            lines.append(f"{str(session.peer_address):<16} {role} "
+                         f"AS{session.remote_as:<6} {session.state:<12} "
+                         f"pfx rcvd {len(session.received)}")
+        return "\n".join(lines)
 
     def __repr__(self) -> str:
         return (f"<BGPDaemon {self.hostname} AS{self.local_as} "
-                f"sessions={len(self.sessions)}>")
+                f"sessions={len(self.sessions)} "
+                f"established={len(self.established_sessions)}>")

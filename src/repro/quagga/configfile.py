@@ -73,6 +73,13 @@ class OSPFConfig:
     hello_interval: int = 10
     dead_interval: int = 40
     reference_bandwidth_mbps: int = 100
+    #: ``redistribute bgp``: inject BGP-learned FIB routes into the area as
+    #: AS-external prefixes (how interior routers of an AS learn routes the
+    #: border routers picked up over eBGP).
+    redistribute_bgp: bool = False
+    #: ``redistribute connected``: inject connected prefixes *not* covered
+    #: by any network statement (an eBGP border link) as external prefixes.
+    redistribute_connected: bool = False
 
     def covers(self, prefix: IPv4Network) -> bool:
         """Is a connected prefix enabled for OSPF by a network statement?"""
@@ -83,10 +90,23 @@ class OSPFConfig:
 
 @dataclass
 class BGPNeighbor:
-    """One ``neighbor`` statement."""
+    """One ``neighbor`` statement (plus its per-peer policy lines)."""
 
     address: IPv4Address
     remote_as: int
+    #: LOCAL_PREF applied to routes received *from* this neighbor
+    #: (``neighbor X local-preference N``); None = the daemon default.
+    local_pref: Optional[int] = None
+    #: MED attached to routes advertised *to* this neighbor
+    #: (``neighbor X med N``).
+    med: Optional[int] = None
+    #: Name of the ``ip prefix-list`` applied to routes advertised to this
+    #: neighbor (``neighbor X prefix-list NAME out``).
+    export_prefix_list: Optional[str] = None
+
+
+#: One ``ip prefix-list`` entry: ("permit"|"deny", prefix-or-None-for-any).
+PrefixListEntry = Tuple[str, Optional[IPv4Network]]
 
 
 @dataclass
@@ -100,6 +120,28 @@ class BGPConfig:
     neighbors: List[BGPNeighbor] = field(default_factory=list)
     networks: List[IPv4Network] = field(default_factory=list)
     redistribute_ospf: bool = False
+    redistribute_connected: bool = False
+    #: ``timers bgp <keepalive> <holdtime>``.
+    keepalive_interval: float = 10.0
+    hold_time: float = 30.0
+    #: ``ip prefix-list`` stanzas: name -> ordered (action, prefix) entries.
+    prefix_lists: Dict[str, List[PrefixListEntry]] = field(default_factory=dict)
+
+    def neighbor(self, address: IPv4Address) -> Optional[BGPNeighbor]:
+        for neighbor in self.neighbors:
+            if neighbor.address == address:
+                return neighbor
+        return None
+
+    def prefix_list_permits(self, name: Optional[str],
+                            prefix: IPv4Network) -> bool:
+        """Evaluate a prefix list: first match wins, no match = permit."""
+        if name is None:
+            return True
+        for action, entry in self.prefix_lists.get(name, ()):
+            if entry is None or entry == prefix:
+                return action == "permit"
+        return True
 
 
 # --------------------------------------------------------------------------
@@ -124,6 +166,8 @@ def generate_zebra_conf(hostname: str, interfaces: List[InterfaceConfig],
 def generate_ospfd_conf(hostname: str, router_id: IPv4Address,
                         networks: List[OSPFNetworkStatement],
                         hello_interval: int = 10, dead_interval: int = 40,
+                        redistribute_bgp: bool = False,
+                        redistribute_connected: bool = False,
                         password: str = "zebra") -> str:
     """Render an ospfd.conf enabling OSPF on the given prefixes."""
     lines = [f"hostname {hostname}", f"password {password}", "!"]
@@ -133,6 +177,10 @@ def generate_ospfd_conf(hostname: str, router_id: IPv4Address,
     lines.append(f" timers ospf dead-interval {dead_interval}")
     for statement in networks:
         lines.append(f" network {statement.prefix} area {statement.area}")
+    if redistribute_bgp:
+        lines.append(" redistribute bgp")
+    if redistribute_connected:
+        lines.append(" redistribute connected")
     lines.append("!")
     lines.append("line vty")
     lines.append("!")
@@ -143,17 +191,40 @@ def generate_bgpd_conf(hostname: str, local_as: int, router_id: IPv4Address,
                        neighbors: List[BGPNeighbor],
                        networks: Optional[List[IPv4Network]] = None,
                        redistribute_ospf: bool = False,
+                       redistribute_connected: bool = False,
+                       keepalive_interval: Optional[float] = None,
+                       hold_time: Optional[float] = None,
+                       prefix_lists: Optional[Dict[str, List[PrefixListEntry]]] = None,
                        password: str = "zebra") -> str:
     """Render a bgpd.conf with the given AS, neighbors and announcements."""
     lines = [f"hostname {hostname}", f"password {password}", "!"]
+    for name in sorted(prefix_lists or {}):
+        for index, (action, entry) in enumerate(prefix_lists[name]):
+            target = "any" if entry is None else str(entry)
+            lines.append(f"ip prefix-list {name} seq {(index + 1) * 5} "
+                         f"{action} {target}")
+    if prefix_lists:
+        lines.append("!")
     lines.append(f"router bgp {local_as}")
     lines.append(f" bgp router-id {router_id}")
+    if keepalive_interval is not None and hold_time is not None:
+        lines.append(f" timers bgp {keepalive_interval:g} {hold_time:g}")
     for neighbor in neighbors:
         lines.append(f" neighbor {neighbor.address} remote-as {neighbor.remote_as}")
+        if neighbor.local_pref is not None:
+            lines.append(f" neighbor {neighbor.address} "
+                         f"local-preference {neighbor.local_pref}")
+        if neighbor.med is not None:
+            lines.append(f" neighbor {neighbor.address} med {neighbor.med}")
+        if neighbor.export_prefix_list is not None:
+            lines.append(f" neighbor {neighbor.address} "
+                         f"prefix-list {neighbor.export_prefix_list} out")
     for network in networks or []:
         lines.append(f" network {network}")
     if redistribute_ospf:
         lines.append(" redistribute ospf")
+    if redistribute_connected:
+        lines.append(" redistribute connected")
     lines.append("!")
     lines.append("line vty")
     lines.append("!")
@@ -232,6 +303,10 @@ def parse_ospfd_conf(text: str) -> OSPFConfig:
         elif tokens[0] == "network" and len(tokens) >= 4 and tokens[2] == "area":
             config.networks.append(OSPFNetworkStatement(prefix=IPv4Network(tokens[1]),
                                                         area=tokens[3]))
+        elif tokens[:2] == ["redistribute", "bgp"]:
+            config.redistribute_bgp = True
+        elif tokens[:2] == ["redistribute", "connected"]:
+            config.redistribute_connected = True
     if config.router_id is None:
         raise ConfigError("ospfd.conf is missing 'ospf router-id'")
     return config
@@ -255,16 +330,42 @@ def parse_bgpd_conf(text: str) -> BGPConfig:
                     config.hostname = tokens[1]
                 elif tokens[0] == "password" and len(tokens) >= 2:
                     config.password = tokens[1]
+                elif tokens[:2] == ["ip", "prefix-list"] and len(tokens) >= 6 \
+                        and tokens[3] == "seq":
+                    action = tokens[5]
+                    if action not in ("permit", "deny"):
+                        raise ConfigError(f"bad prefix-list action: {stripped!r}")
+                    entry = None if len(tokens) < 7 or tokens[6] == "any" \
+                        else IPv4Network(tokens[6])
+                    config.prefix_lists.setdefault(tokens[2], []).append(
+                        (action, entry))
             continue
         if not in_router:
             continue
         if tokens[:2] == ["bgp", "router-id"] and len(tokens) >= 3:
             config.router_id = IPv4Address(tokens[2])
+        elif tokens[:2] == ["timers", "bgp"] and len(tokens) >= 4:
+            config.keepalive_interval = float(tokens[2])
+            config.hold_time = float(tokens[3])
         elif tokens[0] == "neighbor" and len(tokens) >= 4 and tokens[2] == "remote-as":
             config.neighbors.append(BGPNeighbor(address=IPv4Address(tokens[1]),
                                                 remote_as=int(tokens[3])))
+        elif tokens[0] == "neighbor" and len(tokens) >= 4 \
+                and tokens[2] in ("local-preference", "med", "prefix-list"):
+            neighbor = config.neighbor(IPv4Address(tokens[1]))
+            if neighbor is None:
+                raise ConfigError(
+                    f"policy for unknown neighbor (no remote-as yet): {stripped!r}")
+            if tokens[2] == "local-preference":
+                neighbor.local_pref = int(tokens[3])
+            elif tokens[2] == "med":
+                neighbor.med = int(tokens[3])
+            else:  # prefix-list NAME out
+                neighbor.export_prefix_list = tokens[3]
         elif tokens[0] == "network" and len(tokens) >= 2:
             config.networks.append(IPv4Network(tokens[1]))
         elif tokens[:2] == ["redistribute", "ospf"]:
             config.redistribute_ospf = True
+        elif tokens[:2] == ["redistribute", "connected"]:
+            config.redistribute_connected = True
     return config

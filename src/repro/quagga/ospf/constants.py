@@ -39,6 +39,14 @@ class RouterLinkType:
     TRANSIT = 2
     STUB = 3
     VIRTUAL = 4
+    #: A stub link describing a redistributed AS-external prefix.  Stand-in
+    #: for type-5 AS-external LSAs (which this Router-LSA-only area never
+    #: floods): the prefix rides in the originator's Router LSA like a stub
+    #: network but keeps its "external" nature on the wire, so every router
+    #: can apply the RFC 2328 preference (intra-area routes always beat
+    #: external ones) and tag the resulting RIB entries.  Value 7 is unused
+    #: by RFC 2328 link types.  See docs/DESIGN.md ("OSPF external routes").
+    EXTERNAL = 7
 
 
 class NeighborState:
@@ -82,6 +90,18 @@ DEFAULT_SPF_HOLDTIME = 5.0
 #: link bandwidth; our emulated gigabit links round up to 1, we keep 10 to
 #: match the pan-European reference studies).
 DEFAULT_INTERFACE_COST = 10
+
+#: Default metric of a redistributed (AS-external) prefix, matching the
+#: classic type-2 external default.
+DEFAULT_EXTERNAL_METRIC = 20
+#: Debounce applied to Router-LSA re-origination triggered by external
+#: route changes (a border router learning a BGP table would otherwise
+#: flood one LSA per redistributed prefix) — a small MinLSInterval.
+EXTERNAL_LSA_DELAY = 1.0
+#: Tag carried by RIB routes that OSPF computed from EXTERNAL stub links;
+#: the BGP daemon's ``redistribute ospf`` skips tagged routes so external
+#: prefixes never re-enter BGP with a truncated AS path.
+EXTERNAL_ROUTE_TAG = 1
 
 #: Initial LSA sequence number (RFC 2328 §12.1.6).
 INITIAL_SEQUENCE = 0x80000001

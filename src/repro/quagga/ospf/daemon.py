@@ -18,9 +18,12 @@ from repro.net.packet import DecodeError
 from repro.quagga.configfile import InterfaceConfig, OSPFConfig
 from repro.quagga.ospf.constants import (
     ALL_SPF_ROUTERS,
+    DEFAULT_EXTERNAL_METRIC,
     DEFAULT_INTERFACE_COST,
     DEFAULT_SPF_DELAY,
     DEFAULT_SPF_HOLDTIME,
+    EXTERNAL_LSA_DELAY,
+    EXTERNAL_ROUTE_TAG,
     INITIAL_SEQUENCE,
     LS_REFRESH_TIME,
     MAX_AGE,
@@ -73,6 +76,20 @@ class OSPFDaemon:
         self.interfaces: Dict[str, OSPFInterface] = {}
         self._interface_configs = list(interfaces)
         self._sequence = INITIAL_SEQUENCE
+        #: Passive (loopback) interfaces: advertised as stub prefixes in the
+        #: Router LSA but running no hello machinery — interface name ->
+        #: (network address, netmask, cost).  Empty outside interdomain
+        #: deployments.
+        self._passive_prefixes: Dict[str, tuple] = {}
+        #: Redistributed AS-external prefixes (``redistribute bgp`` /
+        #: ``redistribute connected``): prefix -> metric.  Carried as
+        #: EXTERNAL stub links in the Router LSA (the type-5 stand-in).
+        self._external_routes: Dict[IPv4Network, int] = {}
+        #: Interface name -> prefix for externals that came from
+        #: ``redistribute connected`` (an eBGP border link): withdrawn on
+        #: carrier loss, re-announced on restore.
+        self._connected_externals: Dict[str, IPv4Network] = {}
+        self._reoriginate_scheduled = False
         self._spf_scheduled = False
         self._last_spf_time: Optional[float] = None
         #: prefix -> Route as last installed, the daemon's copy of its own
@@ -116,6 +133,9 @@ class OSPFDaemon:
         for interface in self.interfaces.values():
             interface.stop()
         self.interfaces.clear()
+        self._passive_prefixes.clear()
+        self._external_routes.clear()
+        self._connected_externals.clear()
         self.zebra.replace_routes(RouteSource.OSPF, [])
         self._installed_routes = {}
 
@@ -130,7 +150,23 @@ class OSPFDaemon:
             return None
         if iface.name in self.interfaces:
             return self.interfaces[iface.name]
+        if iface.name == "lo" or iface.name in self._passive_prefixes:
+            # Loopbacks are passive: no hellos, no adjacencies — just a stub
+            # prefix in the Router LSA (when a network statement covers it).
+            if self.config.covers(iface.network):
+                entry = (iface.network.network, iface.network.netmask,
+                         self.interface_cost)
+                if self._passive_prefixes.get(iface.name) != entry:
+                    self._passive_prefixes[iface.name] = entry
+                    self._originate_router_lsa()
+            return None
         if not self.config.covers(iface.network):
+            # Interfaces outside every network statement (an eBGP border
+            # link) can still be injected as AS-external prefixes when the
+            # configuration says ``redistribute connected``.
+            if self.config.redistribute_connected:
+                self._connected_externals[iface.name] = iface.network
+                self.announce_external(iface.network)
             return None
         interface = OSPFInterface(
             daemon=self, name=iface.name, ip=iface.ip, prefix_len=iface.prefix_len,
@@ -148,7 +184,13 @@ class OSPFDaemon:
         FSM, the Router LSA is re-originated without the interface's links
         (lost FULL adjacencies already trigger that; an interface with no
         adjacency still needs its stub prefix withdrawn) and SPF re-runs.
+        A redistributed-connected external (an eBGP border prefix) on the
+        interface is withdrawn too — without this the area would keep
+        routing towards a border subnet the border router itself lost.
         """
+        external = self._connected_externals.get(name)
+        if external is not None:
+            self.withdraw_external(external)
         interface = self.interfaces.get(name)
         if interface is None or not interface.up:
             return
@@ -159,6 +201,9 @@ class OSPFDaemon:
 
     def interface_up(self, name: str) -> None:
         """Carrier returned on a downed interface: resume OSPF over it."""
+        external = self._connected_externals.get(name)
+        if external is not None and self.config.redistribute_connected:
+            self.announce_external(external)
         interface = self.interfaces.get(name)
         if interface is None or interface.up:
             return
@@ -210,6 +255,15 @@ class OSPFDaemon:
                 network=interface.network.network,
                 netmask=interface.netmask,
                 metric=interface.cost))
+        for name in sorted(self._passive_prefixes):
+            network, netmask, cost = self._passive_prefixes[name]
+            links.append(RouterLink.stub(network=network, netmask=netmask,
+                                         metric=cost))
+        for prefix in sorted(self._external_routes,
+                             key=lambda p: (int(p.network), p.prefix_len)):
+            links.append(RouterLink.external(
+                network=prefix.network, netmask=prefix.netmask,
+                metric=self._external_routes[prefix]))
         lsa = RouterLSA.originate(router_id=self.router_id,
                                   sequence=self._next_sequence(), links=links)
         self.lsdb.install(lsa, now=self.sim.now)
@@ -220,6 +274,45 @@ class OSPFDaemon:
     def _refresh_router_lsa(self) -> None:
         """Periodic LSRefreshTime re-origination of our own Router LSA."""
         if self.running and self.interfaces:
+            self._originate_router_lsa()
+
+    # ------------------------------------------------------- external routes
+    def announce_external(self, prefix: IPv4Network,
+                          metric: int = DEFAULT_EXTERNAL_METRIC) -> None:
+        """Redistribute an AS-external prefix into the area.
+
+        The prefix rides in our Router LSA as an EXTERNAL stub link (the
+        type-5 LSA stand-in) and every router in the area derives a route
+        to it through us, tagged :data:`EXTERNAL_ROUTE_TAG` in the RIB.
+        Re-origination is debounced by :data:`EXTERNAL_LSA_DELAY` so a
+        border router importing a whole BGP table floods one LSA, not one
+        per prefix.  Safe to call before :meth:`start`.
+        """
+        if self._external_routes.get(prefix) == metric:
+            return
+        self._external_routes[prefix] = metric
+        self._schedule_reoriginate()
+
+    def withdraw_external(self, prefix: IPv4Network) -> None:
+        """Stop redistributing an AS-external prefix."""
+        if self._external_routes.pop(prefix, None) is not None:
+            self._schedule_reoriginate()
+
+    @property
+    def external_routes(self) -> Dict[IPv4Network, int]:
+        """The prefixes this router currently redistributes (prefix -> metric)."""
+        return dict(self._external_routes)
+
+    def _schedule_reoriginate(self) -> None:
+        if self._reoriginate_scheduled or not self.running:
+            return
+        self._reoriginate_scheduled = True
+        self.sim.schedule(EXTERNAL_LSA_DELAY, self._do_reoriginate,
+                          label=f"ospf:{self.hostname}:external-lsa")
+
+    def _do_reoriginate(self) -> None:
+        self._reoriginate_scheduled = False
+        if self.running:
             self._originate_router_lsa()
 
     def on_lsa_installed(self, lsa: RouterLSA, from_interface: Optional[OSPFInterface]) -> None:
@@ -286,15 +379,17 @@ class OSPFDaemon:
                 continue
             next_hop, interface_name = resolution
             prefix = spf_route.prefix
+            tag = EXTERNAL_ROUTE_TAG if spf_route.external else 0
             installed = self._installed_routes.get(prefix)
             if installed is not None and installed.next_hop == next_hop \
                     and installed.interface == interface_name \
-                    and installed.metric == spf_route.cost:
+                    and installed.metric == spf_route.cost \
+                    and installed.tag == tag:
                 new_routes[prefix] = installed
             else:
                 new_routes[prefix] = Route(
                     prefix=prefix, next_hop=next_hop, interface=interface_name,
-                    source=RouteSource.OSPF, metric=spf_route.cost)
+                    source=RouteSource.OSPF, metric=spf_route.cost, tag=tag)
         return new_routes
 
     def _run_spf(self) -> None:

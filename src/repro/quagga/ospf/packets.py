@@ -113,6 +113,12 @@ class RouterLink:
     def stub(cls, network: IPv4Address, netmask: IPv4Address, metric: int) -> "RouterLink":
         return cls(network, netmask, RouterLinkType.STUB, metric)
 
+    @classmethod
+    def external(cls, network: IPv4Address, netmask: IPv4Address,
+                 metric: int) -> "RouterLink":
+        """A redistributed AS-external prefix (the type-5 LSA stand-in)."""
+        return cls(network, netmask, RouterLinkType.EXTERNAL, metric)
+
     def encode(self) -> bytes:
         return (self.link_id.packed + self.link_data.packed
                 + struct.pack("!BBH", self.link_type, 0, self.metric))
@@ -132,7 +138,8 @@ class RouterLink:
         return self.encode() == other.encode()
 
     def __repr__(self) -> str:
-        kind = {1: "p2p", 2: "transit", 3: "stub", 4: "virtual"}.get(self.link_type, "?")
+        kind = {1: "p2p", 2: "transit", 3: "stub", 4: "virtual",
+                7: "external"}.get(self.link_type, "?")
         return f"<RouterLink {kind} id={self.link_id} data={self.link_data} metric={self.metric}>"
 
 

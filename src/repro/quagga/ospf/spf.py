@@ -47,6 +47,10 @@ class SPFRoute(NamedTuple):
     first_hop: Optional[IPv4Address]
     #: Router id of the router advertising the stub network.
     advertising_router: IPv4Address
+    #: True when the prefix was redistributed into the area (an EXTERNAL
+    #: stub link, the type-5 stand-in); intra-area routes always win over
+    #: external ones regardless of cost, per RFC 2328 §16.4.
+    external: bool = False
 
 
 class SPFNode:
@@ -107,17 +111,19 @@ def build_router_graph(lsdb: LSDB) -> Dict[int, Dict[int, int]]:
     return graph
 
 
-def _stub_links(lsdb: LSDB) -> List[Tuple[int, IPv4Network, int]]:
-    """Flattened ``(advertising router, prefix, metric)`` stub list.
+def _stub_links(lsdb: LSDB) -> List[Tuple[int, IPv4Network, int, bool]]:
+    """Flattened ``(advertising router, prefix, metric, external)`` stubs.
 
-    Cached per LSDB version so the per-SPF cost of rebuilding every stub's
-    :class:`IPv4Network` (including the netmask → prefix-length conversion)
-    is paid once per database change, not once per SPF run.
+    Covers plain STUB links and the EXTERNAL (redistributed-prefix) links,
+    distinguished by the trailing flag.  Cached per LSDB version so the
+    per-SPF cost of rebuilding every stub's :class:`IPv4Network` (including
+    the netmask → prefix-length conversion) is paid once per database
+    change, not once per SPF run.
     """
     cached = getattr(lsdb, "_spf_stubs", None)
     if cached is not None and lsdb._spf_stubs_version == lsdb.version:
         return cached
-    stubs: List[Tuple[int, IPv4Network, int]] = []
+    stubs: List[Tuple[int, IPv4Network, int, bool]] = []
     networks = _NETWORK_CACHE
     for lsa in lsdb.lsas:
         # Like the p2p list in build_router_graph, the parsed stub list is
@@ -126,7 +132,8 @@ def _stub_links(lsdb: LSDB) -> List[Tuple[int, IPv4Network, int]]:
         if lsa_stubs is None:
             lsa_stubs = []
             for link in lsa.links:
-                if link.link_type != RouterLinkType.STUB:
+                if link.link_type not in (RouterLinkType.STUB,
+                                          RouterLinkType.EXTERNAL):
                     continue
                 netmask = int(link.link_data)
                 prefix_len = PREFIXLEN_FROM_NETMASK.get(netmask)
@@ -138,11 +145,12 @@ def _stub_links(lsdb: LSDB) -> List[Tuple[int, IPv4Network, int]]:
                     prefix = IPv4Network((link.link_id, prefix_len))
                     if len(networks) < _NETWORK_CACHE_LIMIT:
                         networks[network_key] = prefix
-                lsa_stubs.append((prefix, link.metric))
+                lsa_stubs.append((prefix, link.metric,
+                                  link.link_type == RouterLinkType.EXTERNAL))
             lsa._spf_stubs = lsa_stubs
         adv = int(lsa.header.advertising_router)
-        for prefix, metric in lsa_stubs:
-            stubs.append((adv, prefix, metric))
+        for prefix, metric, external in lsa_stubs:
+            stubs.append((adv, prefix, metric, external))
     lsdb._spf_stubs = stubs
     lsdb._spf_stubs_version = lsdb.version
     return stubs
@@ -195,16 +203,20 @@ def compute_routes(lsdb: LSDB, root: IPv4Address) -> List[SPFRoute]:
     # final sort key, so the result ordering costs one C-level tuple sort
     # instead of a per-route lambda.
     best: Dict[Tuple[int, int], SPFRoute] = {}
-    for adv_int, prefix, metric in _stub_links(lsdb):
+    for adv_int, prefix, metric, external in _stub_links(lsdb):
         node = nodes.get(adv_int)
         if node is None:
             continue  # advertising router unreachable
         cost = node.distance + metric
         key = (prefix.network._value, prefix.prefix_len)
         existing = best.get(key)
-        if existing is None or cost < existing.cost:
+        # Intra-area stubs beat external (redistributed) prefixes no matter
+        # the cost; within a class, the cheapest wins.
+        if existing is None or (external, cost) < (existing.external,
+                                                   existing.cost):
             best[key] = SPFRoute(
                 prefix=prefix, cost=cost,
                 first_hop=node.first_hop if adv_int != root_int else None,
-                advertising_router=IPv4Address(adv_int))
+                advertising_router=IPv4Address(adv_int),
+                external=external)
     return [route for _, route in sorted(best.items())]

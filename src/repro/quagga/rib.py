@@ -31,6 +31,12 @@ class RouteSource:
         BGP: 20,
     }
 
+    #: Routes learned over *internal* BGP sessions carry the classic 200
+    #: administrative distance (set per-route via :attr:`Route.distance`),
+    #: so an iBGP path never beats the IGP to the same prefix while an
+    #: eBGP path (20) always does.
+    IBGP_DISTANCE = 200
+
     @classmethod
     def distance(cls, source: str) -> int:
         return cls.DISTANCES.get(source, 255)
@@ -46,6 +52,13 @@ class Route:
     source: str
     metric: int = 0
     distance: Optional[int] = None
+    #: Opaque route tag carried with the route (like the OSPF external route
+    #: tag): OSPF marks routes it computed from redistributed (AS-external)
+    #: prefixes with :data:`repro.quagga.ospf.constants.EXTERNAL_ROUTE_TAG`,
+    #: and the BGP daemon's ``redistribute ospf`` skips them — the guard
+    #: that keeps a leaked external route from re-entering BGP with a
+    #: truncated AS path.
+    tag: int = 0
 
     @property
     def admin_distance(self) -> int:

@@ -44,6 +44,12 @@ class RFClient:
 
     def _on_fib_change(self, prefix: IPv4Network, new: Optional[Route],
                        old: Optional[Route]) -> None:
+        interface = new.interface if new is not None \
+            else old.interface if old is not None else ""
+        if interface == "lo":
+            # Loopback routes (the router id /32) stay inside the VM: the
+            # physical switch has no port to mirror them onto.
+            return
         if new is None:
             message = RouteMod.delete(vm_id=self.vm.vm_id, prefix=prefix,
                                       interface=old.interface if old else "")

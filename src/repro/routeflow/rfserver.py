@@ -61,11 +61,15 @@ class RFServer:
                  serialize_vm_creation: bool = True,
                  bus: Optional[MessageBus] = None,
                  shard_id: int = 0,
-                 rfvs: Optional[RFVirtualSwitch] = None) -> None:
+                 rfvs: Optional[RFVirtualSwitch] = None,
+                 bgp_broker=None) -> None:
         self.sim = sim
         self.rfproxy = rfproxy
         self.vm_boot_delay = vm_boot_delay
         self.hello_interval = hello_interval
+        #: BGP session broker handed to every VM (interdomain deployments);
+        #: None leaves the VMs OSPF-only.
+        self.bgp_broker = bgp_broker
         #: The RF-controller host clones and boots VMs one at a time (LXC
         #: cloning is disk/CPU bound), so VM creation is serialised by default;
         #: ablation A4 compares against fully parallel creation.  Each shard
@@ -131,7 +135,8 @@ class RFServer:
         dpid = datapath_id if datapath_id is not None else vm_id
         vm = VirtualMachine(sim=self.sim, vm_id=vm_id, num_ports=num_ports,
                             boot_delay=self.vm_boot_delay,
-                            hello_interval=self.hello_interval)
+                            hello_interval=self.hello_interval,
+                            bgp_broker=self.bgp_broker)
         self.vms[vm_id] = vm
         self.mapping.map_vm(vm_id, dpid)
         for port in range(1, num_ports + 1):

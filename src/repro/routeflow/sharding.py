@@ -110,6 +110,34 @@ class ContiguousPartitioner(Partitioner):
                 f"first)") from None
 
 
+class ASPartitioner(Partitioner):
+    """Shard per autonomous system: every switch of an AS lands on the
+    same controller shard (ASes are dealt round-robin over the shards in
+    ascending AS-number order).  Interdomain deployments use this so each
+    shard hosts whole routing domains and only eBGP border traffic crosses
+    the partition."""
+
+    name = "as"
+
+    def __init__(self, num_shards: int, as_map: Mapping[int, int]) -> None:
+        super().__init__(num_shards)
+        if not as_map:
+            raise PartitionError(
+                "the AS partitioner needs a dpid->AS map "
+                "(FrameworkConfig.as_map, set by interdomain scenarios)")
+        self._as_map = dict(as_map)
+        ases = sorted(set(self._as_map.values()))
+        self._shard_of_as = {asn: index % num_shards
+                             for index, asn in enumerate(ases)}
+
+    def shard_for(self, dpid: int) -> int:
+        asn = self._as_map.get(dpid)
+        if asn is None:
+            raise PartitionError(
+                f"dpid {dpid:#x} has no AS assignment in the as_map")
+        return self._shard_of_as[asn]
+
+
 class ExplicitPartitioner(Partitioner):
     """An explicit dpid→shard map (FlowVisor-slice-aligned sharding).
 
@@ -145,12 +173,13 @@ class ExplicitPartitioner(Partitioner):
 
 
 #: Partitioner kinds selectable through ``FrameworkConfig.partitioner``.
-PARTITIONERS = ("hash", "contiguous", "slice")
+PARTITIONERS = ("hash", "contiguous", "slice", "as")
 
 
 def make_partitioner(kind: str, num_shards: int,
-                     shard_map: Optional[Mapping[int, int]] = None) -> Partitioner:
-    """Build a partitioner by name (``hash``/``contiguous``/``slice``)."""
+                     shard_map: Optional[Mapping[int, int]] = None,
+                     as_map: Optional[Mapping[int, int]] = None) -> Partitioner:
+    """Build a partitioner by name (``hash``/``contiguous``/``slice``/``as``)."""
     if kind == "hash":
         return HashPartitioner(num_shards)
     if kind == "contiguous":
@@ -161,6 +190,8 @@ def make_partitioner(kind: str, num_shards: int,
                 "the slice-aligned partitioner needs an explicit dpid->shard "
                 "map (FrameworkConfig.shard_map)")
         return ExplicitPartitioner(num_shards, shard_map)
+    if kind == "as":
+        return ASPartitioner(num_shards, as_map or {})
     raise PartitionError(
         f"unknown partitioner {kind!r}; known kinds: " + ", ".join(PARTITIONERS))
 
@@ -173,7 +204,8 @@ class ControllerShard:
                  rfvs: RFVirtualSwitch, event_log: EventLog,
                  vm_boot_delay: float = 5.0,
                  serialize_vm_creation: bool = True,
-                 hello_interval: Optional[int] = None) -> None:
+                 hello_interval: Optional[int] = None,
+                 bgp_broker=None) -> None:
         self.shard_id = shard_id
         self.controller = Controller(sim, name=f"rf-controller-{shard_id}")
         self.rfproxy = RFProxy()
@@ -182,7 +214,7 @@ class ControllerShard:
             sim, self.rfproxy, vm_boot_delay=vm_boot_delay,
             event_log=event_log, hello_interval=hello_interval,
             serialize_vm_creation=serialize_vm_creation, bus=bus,
-            shard_id=shard_id, rfvs=rfvs)
+            shard_id=shard_id, rfvs=rfvs, bgp_broker=bgp_broker)
         self.failed = False
 
     def fail(self) -> None:
@@ -244,19 +276,23 @@ class ShardedControlPlane:
                  partitioner: Partitioner, event_log: Optional[EventLog] = None,
                  vm_boot_delay: float = 5.0,
                  serialize_vm_creation: bool = True,
-                 hello_interval: Optional[int] = None) -> None:
+                 hello_interval: Optional[int] = None,
+                 bgp_broker=None) -> None:
         self.sim = sim
         self.bus = bus
         self.partitioner = partitioner
         self.event_log = event_log if event_log is not None else EventLog(sim)
         #: One virtual environment spans all shards: the VM-to-VM wires of
-        #: cross-shard physical links terminate on one shared RFVS.
+        #: cross-shard physical links terminate on one shared RFVS.  The
+        #: BGP session broker is likewise shared — eBGP sessions cross the
+        #: shard partition like any other control-plane state.
         self.rfvs = RFVirtualSwitch(sim)
         self.shards: List[ControllerShard] = [
             ControllerShard(sim, shard_id, bus, self.rfvs, self.event_log,
                             vm_boot_delay=vm_boot_delay,
                             serialize_vm_creation=serialize_vm_creation,
-                            hello_interval=hello_interval)
+                            hello_interval=hello_interval,
+                            bgp_broker=bgp_broker)
             for shard_id in range(partitioner.num_shards)
         ]
         # Global directory fed exclusively by the shared mapping topic.

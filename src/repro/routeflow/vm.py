@@ -25,6 +25,7 @@ from repro.net.fastpath import ethernet_framing, ipv4_framing
 from repro.net.ipv4 import IPProtocol
 from repro.net.link import Interface
 from repro.net.packet import DecodeError
+from repro.quagga.bgp.daemon import BGPDaemon, BGPSessionBroker
 from repro.quagga.configfile import (
     InterfaceConfig,
     OSPFConfig,
@@ -35,6 +36,7 @@ from repro.quagga.configfile import (
 from repro.quagga.ospf.constants import ALL_SPF_ROUTERS, ALL_SPF_ROUTERS_MAC
 from repro.quagga.ospf.daemon import OSPFDaemon
 from repro.quagga.ospf.packets import OSPFPacket
+from repro.quagga.rib import Route, RouteSource
 from repro.quagga.zebra import ZebraDaemon
 from repro.sim import Simulator
 
@@ -57,7 +59,8 @@ class VirtualMachine:
 
     def __init__(self, sim: Simulator, vm_id: int, num_ports: int,
                  name: str = "", boot_delay: float = 5.0,
-                 hello_interval: Optional[int] = None) -> None:
+                 hello_interval: Optional[int] = None,
+                 bgp_broker: Optional[BGPSessionBroker] = None) -> None:
         self.sim = sim
         self.vm_id = vm_id
         self.name = name or f"VM-{vm_id:016x}"
@@ -66,13 +69,17 @@ class VirtualMachine:
         self.created_at = sim.now
         self.running_since: Optional[float] = None
         self.hello_interval_override = hello_interval
+        #: The session broker bgpd peers through; None leaves bgpd.conf
+        #: configuration-complete but unwired (the OSPF-only deployments).
+        self.bgp_broker = bgp_broker
         #: interface name ("eth<N>") -> Interface; eth0 is the management NIC.
         self.interfaces: Dict[str, Interface] = {}
         #: The generated configuration files, exactly as the RPC server wrote them.
         self.config_files: Dict[str, str] = {}
         self.zebra = ZebraDaemon(hostname=self.name)
         self.ospf: Optional[OSPFDaemon] = None
-        self.bgp = None
+        self.bgp: Optional[BGPDaemon] = None
+        self.zebra.add_fib_listener(self._redistribute_fib_change)
         self._pending_configs: List[tuple] = []
         self._boot_event = None
         self._boot_callbacks: List[Callable[["VirtualMachine"], None]] = []
@@ -104,14 +111,19 @@ class VirtualMachine:
     def _on_address_change(self, interface: Interface, old_ip) -> None:
         for callback in self._address_listeners:
             callback(self, interface, old_ip)
+        if self.bgp is not None and interface.ip is not None:
+            self.bgp.local_address_added(interface.ip)
 
     def _on_carrier_change(self, interface: Interface, up: bool) -> None:
         """A virtual wire changed state (mirroring a physical link event).
 
         Exactly what a Linux kernel + Quagga stack does on carrier change:
-        the connected route is withdrawn (reinstated) in zebra and ospfd
-        tears down (re-forms) the adjacency over the interface, which in
-        turn withdraws the routes through it everywhere in the area.
+        the connected route is withdrawn (reinstated) in zebra, ospfd
+        tears down (re-forms) the adjacency over the interface — which in
+        turn withdraws the routes through it everywhere in the area — and
+        bgpd drops (re-establishes) the eBGP sessions bound to the
+        interface (fast external fallover), withdrawing the routes learned
+        over them.
         """
         if not self.is_running or interface.ip is None:
             return
@@ -120,10 +132,27 @@ class VirtualMachine:
             self.zebra.announce_connected(prefix, interface.name)
             if self.ospf is not None:
                 self.ospf.interface_up(interface.name)
+            if self.bgp is not None:
+                self.bgp.interface_up(interface.name)
         else:
             if self.ospf is not None:
                 self.ospf.interface_down(interface.name)
+            if self.bgp is not None:
+                self.bgp.interface_down(interface.name)
             self.zebra.withdraw_connected(prefix)
+
+    def _create_loopback(self) -> Interface:
+        """Create the loopback interface (declared by an ``interface lo``
+        stanza in zebra.conf — interdomain deployments put the router id
+        on it as a /32 so iBGP next-hop-self resolves through the IGP).
+        The loopback is never wired to the virtual topology and OSPF treats
+        it as passive."""
+        interface = Interface(name="lo",
+                              mac=MACAddress.from_local_id(0x20000 + self.vm_id, 0),
+                              owner=self, port_no=0)
+        interface.add_address_listener(self._on_address_change)
+        self.interfaces["lo"] = interface
+        return interface
 
     def add_port(self, port: int) -> Interface:
         """Add an extra interface (switch grew a port after VM creation)."""
@@ -140,7 +169,7 @@ class VirtualMachine:
 
     @property
     def num_ports(self) -> int:
-        return len(self.interfaces)
+        return len([name for name in self.interfaces if name != "lo"])
 
     # --------------------------------------------------------------- lifecycle
     def start(self) -> None:
@@ -177,6 +206,8 @@ class VirtualMachine:
         self.state = VMState.STOPPED
         if self._boot_event is not None:
             self._boot_event.cancel()
+        if self.bgp is not None:
+            self.bgp.stop()
         if self.ospf is not None:
             self.ospf.stop()
         self.zebra.stop()
@@ -208,6 +239,9 @@ class VirtualMachine:
     def _apply_zebra_config(self, text: str) -> None:
         config = parse_zebra_conf(text)
         for iface_config in config.interfaces:
+            if iface_config.name == "lo" and "lo" not in self.interfaces \
+                    and iface_config.ip is not None:
+                self._create_loopback()
             interface = self.interfaces.get(iface_config.name)
             if interface is None or iface_config.ip is None:
                 continue
@@ -232,13 +266,23 @@ class VirtualMachine:
             self.sim.schedule(self.DAEMON_START_DELAY, self._start_ospf,
                               label=f"{self.name}:ospfd-start")
         else:
-            # Updated configuration: merge network statements and cover any
-            # newly enabled interfaces.
+            # Updated configuration: merge network statements, redistribute
+            # flags and cover any newly enabled interfaces.
+            became_redistribute_bgp = (config.redistribute_bgp
+                                       and not self.ospf.config.redistribute_bgp)
             self.ospf.config.networks = config.networks
             self.ospf.config.hello_interval = config.hello_interval
             self.ospf.config.dead_interval = config.dead_interval
+            self.ospf.config.redistribute_bgp = config.redistribute_bgp
+            self.ospf.config.redistribute_connected = config.redistribute_connected
             for iface_config in self._configured_interfaces():
                 self.ospf.add_interface(iface_config)
+            if became_redistribute_bgp and self.ospf.running:
+                # The router became a border: BGP routes already in the FIB
+                # seed the redistribution.
+                for prefix, route in list(self.zebra.fib.items()):
+                    if route.source == RouteSource.BGP:
+                        self.ospf.announce_external(prefix)
 
     def _start_ospf(self) -> None:
         if self.ospf is not None and self.is_running and not self.ospf.running:
@@ -248,12 +292,57 @@ class VirtualMachine:
             # enabled now; add_interface is idempotent.
             for iface_config in self._configured_interfaces():
                 self.ospf.add_interface(iface_config)
+            if self.ospf.config.redistribute_bgp:
+                # BGP routes that beat ospfd into the FIB seed the
+                # redistribution now.
+                for prefix, route in list(self.zebra.fib.items()):
+                    if route.source == RouteSource.BGP:
+                        self.ospf.announce_external(prefix)
 
     def _apply_bgpd_config(self, text: str) -> None:
-        # BGP is configuration-complete but not wired into the virtual data
-        # plane by default; see repro.quagga.bgp for the standalone speaker.
-        self.config_files.setdefault("bgpd.conf", text)
-        parse_bgpd_conf(text)
+        config = parse_bgpd_conf(text)
+        if self.bgp_broker is None:
+            # BGP stays configuration-complete but unwired: the OSPF-only
+            # deployments generate and parse bgpd.conf without running it.
+            return
+        if self.bgp is None:
+            self.bgp = BGPDaemon(sim=self.sim, zebra=self.zebra, config=config,
+                                 broker=self.bgp_broker, hostname=self.name,
+                                 address_book=self._bgp_address_book)
+            self.sim.schedule(self.DAEMON_START_DELAY, self._start_bgp,
+                              label=f"{self.name}:bgpd-start")
+        else:
+            self.bgp.apply_config(config)
+
+    def _start_bgp(self) -> None:
+        if self.bgp is not None and self.is_running and not self.bgp.running:
+            self.bgp.start()
+
+    def _bgp_address_book(self) -> Dict[IPv4Address, tuple]:
+        """bgpd's view of the local addressing: ip -> (interface, plen)."""
+        book = {}
+        for name, interface in sorted(self.interfaces.items()):
+            if interface.ip is not None:
+                book[interface.ip] = (name, interface.prefix_len)
+        return book
+
+    def _redistribute_fib_change(self, prefix: IPv4Network,
+                                 new: Optional[Route],
+                                 old: Optional[Route]) -> None:
+        """BGP → OSPF redistribution glue (``redistribute bgp``).
+
+        A BGP route winning the FIB is injected into the OSPF area as an
+        AS-external prefix, so interior routers learn interdomain routes
+        through the IGP; losing it withdraws the external prefix.  No-op
+        unless the parsed ospfd.conf asked for it.
+        """
+        ospf = self.ospf
+        if ospf is None or not ospf.config.redistribute_bgp:
+            return
+        if new is not None and new.source == RouteSource.BGP:
+            ospf.announce_external(prefix)
+        elif old is not None and old.source == RouteSource.BGP:
+            ospf.withdraw_external(prefix)
 
     def _configured_interfaces(self) -> List[InterfaceConfig]:
         configs = []

@@ -11,6 +11,7 @@ from __future__ import annotations
 
 from typing import Dict, Iterable, List
 
+from repro.scenarios.events import FailureAction, FailureEvent, FailureSchedule
 from repro.scenarios.spec import ScenarioError, ScenarioSpec
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
@@ -100,6 +101,31 @@ def _register_builtins() -> None:
         ScenarioSpec("torus-8x8-c4", "torus", {"rows": 8, "cols": 8},
                      controllers=4,
                      description="8x8 torus under 4 controller shards"),
+        # Interdomain routing (the multi-AS BGP family): bgpd runs in every
+        # VM, inter-AS links speak eBGP, OSPF and BGP redistribute into
+        # each other.  See ``repro interdomain`` and docs/scenarios.md.
+        ScenarioSpec("interdomain-3as", "multi-as",
+                     {"num_ases": 3, "as_size": 4}, interdomain=True,
+                     description="3 ASes of 4-router rings on an eBGP border ring"),
+        ScenarioSpec("interdomain-4as-torus", "multi-as",
+                     {"num_ases": 4, "shape": "torus",
+                      "as_rows": 2, "as_cols": 2}, interdomain=True,
+                     description="4 ASes of 2x2 grids stitched by eBGP"),
+        ScenarioSpec("interdomain-transit-3", "transit-stub",
+                     {"num_stubs": 3, "stub_size": 3, "transit_size": 3},
+                     interdomain=True,
+                     description="transit mesh carrying 3 stub ASes (Internet-like)"),
+        ScenarioSpec("interdomain-3as-c3", "multi-as",
+                     {"num_ases": 3, "as_size": 4}, interdomain=True,
+                     controllers=3, framework={"partitioner": "as"},
+                     description="3-AS ring under 3 shards partitioned per AS"),
+        ScenarioSpec("interdomain-3as-flap", "multi-as",
+                     {"num_ases": 3, "as_size": 4}, interdomain=True,
+                     failures=FailureSchedule((
+                         FailureEvent(30.0, FailureAction.LINK_DOWN, 4, 5),
+                         FailureEvent(120.0, FailureAction.LINK_UP, 4, 5),
+                     )),
+                     description="3-AS ring; the 4<->5 eBGP border link bounces"),
     ):
         register(spec)
 

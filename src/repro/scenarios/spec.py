@@ -17,14 +17,17 @@ from typing import Any, Callable, Dict, Mapping, Optional
 from repro.core.autoconfig import FrameworkConfig
 from repro.scenarios.events import FailureSchedule
 from repro.topology.generators import (
+    as_map_from_topology,
     dumbbell_topology,
     fat_tree_topology,
     full_mesh_topology,
     linear_topology,
+    multi_as_topology,
     random_topology,
     ring_topology,
     star_topology,
     torus_topology,
+    transit_stub_topology,
     tree_topology,
     waxman_topology,
 )
@@ -68,6 +71,8 @@ TOPOLOGY_FAMILIES: Dict[str, Callable[[Dict[str, Any], int], Topology]] = {
     "waxman": _seeded(waxman_topology),
     "dumbbell": _seedless(dumbbell_topology),
     "pan-european": _seedless(pan_european_topology),
+    "multi-as": _seedless(multi_as_topology),
+    "transit-stub": _seedless(transit_stub_topology),
 }
 
 
@@ -96,6 +101,11 @@ class ScenarioSpec:
     #: (1 = the paper's single RF-controller; flows into
     #: :attr:`FrameworkConfig.controllers`).
     controllers: int = 1
+    #: Run the scenario as an *interdomain* experiment: the topology must
+    #: carry a per-node AS assignment (the ``multi-as``/``transit-stub``
+    #: families), bgpd runs in every VM, inter-AS links speak eBGP and the
+    #: convergence criterion covers the whole interdomain route exchange.
+    interdomain: bool = False
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -116,6 +126,7 @@ class ScenarioSpec:
     def __hash__(self) -> int:
         # The generated dataclass hash would choke on the mapping fields.
         return hash((self.name, self.family, self.seed, self.controllers,
+                     self.interdomain,
                      tuple(sorted(self.params.items())),
                      tuple(sorted(self.framework.items())),
                      self.failures))
@@ -142,7 +153,8 @@ class ScenarioSpec:
             raise ScenarioError(
                 f"bad parameters for family {self.family!r}: {exc}") from exc
 
-    def framework_config(self) -> FrameworkConfig:
+    def framework_config(self,
+                         topology: Optional[Topology] = None) -> FrameworkConfig:
         """The framework configuration with this scenario's overrides applied.
 
         Like the Figure 3 experiments, scenarios default to
@@ -152,6 +164,11 @@ class ScenarioSpec:
         A ``framework`` override of it would silently defeat
         :meth:`with_controllers` (and with it ``repro ctlscale``'s
         shard-count sweep and conservation check), so it is rejected.
+
+        Interdomain scenarios additionally set ``enable_bgp`` and derive
+        the dpid → AS map from the topology's per-node AS assignment; pass
+        the already-built ``topology`` to avoid generating it twice (the
+        run paths that have one in hand do).
         """
         if "controllers" in self.framework:
             raise ScenarioError(
@@ -160,6 +177,16 @@ class ScenarioSpec:
                 f"shadow the shard-count knob")
         values: Dict[str, Any] = {"detect_edge_ports": False,
                                   "controllers": self.controllers}
+        if self.interdomain:
+            if topology is None:
+                topology = self.build_topology()
+            try:
+                as_map = as_map_from_topology(topology)
+            except TopologyError as exc:
+                raise ScenarioError(
+                    f"interdomain scenario {self.name!r}: {exc}") from exc
+            values["enable_bgp"] = True
+            values["as_map"] = as_map
         values.update(self.framework)
         valid = FrameworkConfig.__dataclass_fields__
         unknown = sorted(set(values) - set(valid))
@@ -194,6 +221,8 @@ class ScenarioSpec:
         }
         if self.controllers != 1:
             payload["controllers"] = self.controllers
+        if self.interdomain:
+            payload["interdomain"] = True
         if self.failures is not None:
             payload["failures"] = self.failures.to_list()
         return payload
@@ -213,4 +242,5 @@ class ScenarioSpec:
             failures=(FailureSchedule.from_list(failures)
                       if failures is not None else None),
             controllers=int(payload.get("controllers", 1)),
+            interdomain=bool(payload.get("interdomain", False)),
         )

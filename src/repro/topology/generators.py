@@ -11,11 +11,35 @@ wider test suite and the ablation benchmarks.
 from __future__ import annotations
 
 import math
-from typing import Dict, List, Set, Tuple
+from typing import Dict, List, Optional, Set, Tuple
 
 from repro.sim import SeededRandom
 from repro.topology.graph import Topology, TopologyError
 from repro.topology.pan_european import link_delay_seconds
+
+#: First AS number handed out by the multi-AS generators (the start of the
+#: RFC 6996 private-use range).
+BASE_ASN = 64512
+
+
+def as_map_from_topology(topology: Topology) -> Dict[int, int]:
+    """Extract the node -> AS assignment of a multi-AS topology.
+
+    Raises :class:`TopologyError` when the topology carries no (or only a
+    partial) AS assignment — interdomain experiments need every switch to
+    belong to exactly one AS.
+    """
+    as_map = {node.node_id: node.asn for node in topology.nodes if node.asn}
+    if not as_map:
+        raise TopologyError(
+            f"topology {topology.name} carries no AS assignment; use a "
+            f"multi-AS generator (multi_as_topology, transit_stub_topology)")
+    missing = [node.node_id for node in topology.nodes if not node.asn]
+    if missing:
+        raise TopologyError(
+            f"topology {topology.name}: nodes without an AS assignment: "
+            + ", ".join(map(str, missing)))
+    return as_map
 
 
 def ring_topology(num_switches: int, delay: float = 0.001,
@@ -276,6 +300,130 @@ def waxman_topology(num_switches: int, alpha: float = 0.4, beta: float = 0.4,
                           delay=fibre_delay(distance_km(node_a, node_b)),
                           bandwidth_bps=bandwidth_bps)
         block.extend(other)
+    return topology
+
+
+def _add_as_members(topology: Topology, asn: int, as_label: str,
+                    node_ids: List[int], shape: str, rows: int, cols: int,
+                    delay: float, bandwidth_bps: float) -> None:
+    """Populate one AS: add its nodes and intra-AS (IGP) links."""
+    for index, node_id in enumerate(node_ids):
+        topology.add_node(node_id, name=f"{as_label}r{index + 1}", asn=asn)
+    size = len(node_ids)
+    if shape == "ring":
+        if size >= 3:
+            for index in range(size):
+                topology.add_link(node_ids[index], node_ids[(index + 1) % size],
+                                  delay=delay, bandwidth_bps=bandwidth_bps)
+        elif size == 2:
+            topology.add_link(node_ids[0], node_ids[1], delay=delay,
+                              bandwidth_bps=bandwidth_bps)
+    elif shape == "torus":
+        def grid(row: int, col: int) -> int:
+            return node_ids[row * cols + col]
+
+        for row in range(rows):
+            for col in range(cols):
+                if col + 1 < cols:
+                    topology.add_link(grid(row, col), grid(row, col + 1),
+                                      delay=delay, bandwidth_bps=bandwidth_bps)
+                if row + 1 < rows:
+                    topology.add_link(grid(row, col), grid(row + 1, col),
+                                      delay=delay, bandwidth_bps=bandwidth_bps)
+            if cols > 2:
+                topology.add_link(grid(row, cols - 1), grid(row, 0),
+                                  delay=delay, bandwidth_bps=bandwidth_bps)
+        if rows > 2:
+            for col in range(cols):
+                topology.add_link(grid(rows - 1, col), grid(0, col),
+                                  delay=delay, bandwidth_bps=bandwidth_bps)
+    elif shape == "mesh":
+        for a in range(size):
+            for b in range(a + 1, size):
+                topology.add_link(node_ids[a], node_ids[b], delay=delay,
+                                  bandwidth_bps=bandwidth_bps)
+    else:
+        raise TopologyError(f"unknown AS shape {shape!r} (ring/torus/mesh)")
+
+
+def multi_as_topology(num_ases: int, as_size: int = 4, shape: str = "ring",
+                      as_rows: Optional[int] = None,
+                      as_cols: Optional[int] = None,
+                      delay: float = 0.001, border_delay: float = 0.002,
+                      bandwidth_bps: float = 1e9) -> Topology:
+    """A ring of autonomous systems stitched together by eBGP border links.
+
+    Each AS is a ring (or, with ``shape="torus"`` and ``as_rows`` ×
+    ``as_cols``, a torus/grid) of ``as_size`` switches running the IGP
+    internally; AS *i* and AS *i+1* are joined by one border link between
+    a router of each (the last router of one, the first of the next), and
+    the last AS closes the ring back to the first — so every AS has two
+    border routers and interdomain traffic can route around a failed
+    border link.  AS numbers start at :data:`BASE_ASN` (the private-use
+    range).
+    """
+    if num_ases < 2:
+        raise TopologyError("a multi-AS topology needs at least 2 ASes")
+    if shape == "torus":
+        if as_rows is None or as_cols is None:
+            raise TopologyError("shape='torus' needs as_rows and as_cols")
+        if as_rows < 2 or as_cols < 2:
+            raise TopologyError("an AS torus needs at least 2x2 routers")
+        as_size = as_rows * as_cols
+    elif as_size < 1:
+        raise TopologyError("as_size must be at least 1")
+    topology = Topology(f"multi-as-{shape}-{num_ases}x{as_size}")
+    members: List[List[int]] = []
+    next_id = 1
+    for index in range(num_ases):
+        node_ids = list(range(next_id, next_id + as_size))
+        next_id += as_size
+        _add_as_members(topology, BASE_ASN + index + 1, f"as{index + 1}-",
+                        node_ids, shape, as_rows or 0, as_cols or 0,
+                        delay, bandwidth_bps)
+        members.append(node_ids)
+    # Stitch the ASes into a ring of eBGP border links (a single link for
+    # two ASes — a 2-AS "ring" would duplicate it).
+    pairs = num_ases if num_ases > 2 else 1
+    for index in range(pairs):
+        left = members[index]
+        right = members[(index + 1) % num_ases]
+        topology.add_link(left[-1], right[0], delay=border_delay,
+                          bandwidth_bps=bandwidth_bps)
+    return topology
+
+
+def transit_stub_topology(num_stubs: int, stub_size: int = 3,
+                          transit_size: int = 3, delay: float = 0.001,
+                          border_delay: float = 0.002,
+                          bandwidth_bps: float = 1e9) -> Topology:
+    """An Internet-like transit/stub arrangement of autonomous systems.
+
+    One transit (provider) AS — a full mesh of ``transit_size`` routers,
+    AS number :data:`BASE_ASN` — carries traffic between ``num_stubs``
+    stub (customer) ASes, each a ring of ``stub_size`` routers homed onto
+    one transit router by an eBGP border link (stubs are dealt over the
+    transit routers round-robin).  Stub-to-stub traffic must transit the
+    provider: the shape that exercises iBGP route propagation across the
+    transit core.
+    """
+    if num_stubs < 1:
+        raise TopologyError("a transit/stub topology needs at least one stub AS")
+    if transit_size < 1 or stub_size < 1:
+        raise TopologyError("transit_size and stub_size must be at least 1")
+    topology = Topology(f"transit-stub-{num_stubs}x{stub_size}")
+    transit_ids = list(range(1, transit_size + 1))
+    _add_as_members(topology, BASE_ASN, "transit-", transit_ids, "mesh",
+                    0, 0, delay, bandwidth_bps)
+    next_id = transit_size + 1
+    for index in range(num_stubs):
+        node_ids = list(range(next_id, next_id + stub_size))
+        next_id += stub_size
+        _add_as_members(topology, BASE_ASN + index + 1, f"stub{index + 1}-",
+                        node_ids, "ring", 0, 0, delay, bandwidth_bps)
+        home = transit_ids[index % transit_size]
+        topology.add_link(home, node_ids[0], delay=border_delay,
+                          bandwidth_bps=bandwidth_bps)
     return topology
 
 

@@ -25,6 +25,9 @@ class TopologyNode:
     #: Optional geographic coordinates (used by the pan-European topology).
     latitude: float = 0.0
     longitude: float = 0.0
+    #: Autonomous-system number of the router mirroring this switch
+    #: (multi-AS topologies; 0 = no AS assignment, single-domain).
+    asn: int = 0
 
 
 @dataclass(frozen=True)
@@ -60,13 +63,13 @@ class Topology:
 
     # --------------------------------------------------------------- building
     def add_node(self, node_id: int, name: str = "", latitude: float = 0.0,
-                 longitude: float = 0.0) -> TopologyNode:
+                 longitude: float = 0.0, asn: int = 0) -> TopologyNode:
         if node_id in self._nodes:
             raise TopologyError(f"node {node_id} already exists")
         if node_id <= 0:
             raise TopologyError("node ids must be positive (they become datapath ids)")
         node = TopologyNode(node_id=node_id, name=name or f"s{node_id}",
-                            latitude=latitude, longitude=longitude)
+                            latitude=latitude, longitude=longitude, asn=asn)
         self._nodes[node_id] = node
         return node
 

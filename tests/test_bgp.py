@@ -1,28 +1,38 @@
-"""Tests for the simplified BGP speaker."""
+"""Tests for the BGP speaker: sessions, policy, lifecycle, redistribution."""
 
 from __future__ import annotations
 
 import pytest
 
 from repro.net import IPv4Address, IPv4Network
-from repro.quagga import BGPNeighbor, generate_bgpd_conf, parse_bgpd_conf
+from repro.quagga import BGPNeighbor, Route, generate_bgpd_conf, parse_bgpd_conf
 from repro.quagga.bgp import BGPDaemon, BGPSessionBroker, BGPSessionState
+from repro.quagga.ospf.constants import EXTERNAL_ROUTE_TAG
 from repro.quagga.rib import RouteSource
 from repro.quagga.zebra import ZebraDaemon
 
 
 def build_speaker(sim, broker, local_as, router_id, local_ip, neighbors,
-                  networks=None):
-    """Construct a BGP speaker from a generated-then-parsed bgpd.conf."""
+                  networks=None, address_book=None, **config_kwargs):
+    """Construct a BGP speaker from a generated-then-parsed bgpd.conf.
+
+    ``neighbors`` entries are ``(ip, remote_as)`` tuples or full
+    :class:`BGPNeighbor` objects; extra keyword arguments flow into
+    :func:`generate_bgpd_conf` (timers, redistribution, prefix lists).
+    """
+    neighbor_objs = [n if isinstance(n, BGPNeighbor)
+                     else BGPNeighbor(IPv4Address(n[0]), n[1])
+                     for n in neighbors]
     text = generate_bgpd_conf(f"as{local_as}", local_as, IPv4Address(router_id),
-                              [BGPNeighbor(IPv4Address(ip), remote)
-                               for ip, remote in neighbors],
-                              networks=[IPv4Network(n) for n in (networks or [])])
+                              neighbor_objs,
+                              networks=[IPv4Network(n) for n in (networks or [])],
+                              **config_kwargs)
     config = parse_bgpd_conf(text)
     zebra = ZebraDaemon(f"as{local_as}")
     zebra.start()
     daemon = BGPDaemon(sim, zebra, config, broker,
-                       local_addresses=[IPv4Address(local_ip)])
+                       local_addresses=[IPv4Address(local_ip)],
+                       address_book=address_book)
     daemon.start()
     return daemon, zebra
 
@@ -108,3 +118,248 @@ class TestBGPPathSelection:
         assert any(r.source == RouteSource.BGP for r in zebra_a.fib_routes)
         a.stop()
         assert not any(r.source == RouteSource.BGP for r in zebra_a.fib_routes)
+
+
+class TestSessionRolesAndDistances:
+    def test_ebgp_installs_with_distance_20(self, sim, bgp_pair):
+        _, (a, zebra_a), _ = bgp_pair
+        sim.run(until=5.0)
+        route = zebra_a.fib[IPv4Network("192.168.2.0/24")]
+        assert route.admin_distance == 20
+
+    def test_ibgp_installs_with_distance_200(self, sim):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        book_a = lambda: {IPv4Address("10.0.12.1"): ("eth1", 30)}
+        book_b = lambda: {IPv4Address("10.0.12.2"): ("eth1", 30)}
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("10.0.12.2", 65001)], address_book=book_a)
+        b, _ = build_speaker(sim, broker, 65001, "2.2.2.2", "10.0.12.2",
+                             [("10.0.12.1", 65001)], networks=["192.168.9.0/24"],
+                             address_book=book_b)
+        # iBGP next-hop-self points at b's loopback; a's IGP knows the way.
+        zebra_a.announce_route(Route(prefix=IPv4Network("2.2.2.2/32"),
+                                     next_hop=IPv4Address("10.0.12.2"),
+                                     interface="eth1",
+                                     source=RouteSource.OSPF, metric=10))
+        sim.run(until=5.0)
+        session = a.sessions[IPv4Address("10.0.12.2")]
+        assert session.is_ibgp
+        route = zebra_a.fib[IPv4Network("192.168.9.0/24")]
+        assert route.admin_distance == RouteSource.IBGP_DISTANCE == 200
+
+    def test_ebgp_beats_ospf_but_ibgp_loses(self, sim, bgp_pair):
+        """The redistribution tie-breaks: eBGP 20 < OSPF 110 < iBGP 200."""
+        _, (a, zebra_a), _ = bgp_pair
+        sim.run(until=5.0)
+        prefix = IPv4Network("192.168.2.0/24")
+        zebra_a.announce_route(Route(prefix=prefix,
+                                     next_hop=IPv4Address("10.0.99.1"),
+                                     interface="eth9",
+                                     source=RouteSource.OSPF, metric=10))
+        assert zebra_a.fib[prefix].source == RouteSource.BGP  # eBGP wins
+        ibgp = Route(prefix=prefix, next_hop=IPv4Address("10.0.99.2"),
+                     interface="eth8", source=RouteSource.BGP,
+                     distance=RouteSource.IBGP_DISTANCE)
+        rib = ZebraDaemon("tie").rib
+        rib.add_route(Route(prefix=prefix, next_hop=IPv4Address("10.0.99.1"),
+                            interface="eth9", source=RouteSource.OSPF,
+                            metric=10))
+        rib.add_route(ibgp)
+        assert rib.best_route(prefix).source == RouteSource.OSPF  # iBGP loses
+
+
+class TestPolicy:
+    def test_local_pref_beats_shorter_as_path(self, sim):
+        """A peer with local-preference 200 wins despite a longer AS path."""
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        prefer = BGPNeighbor(IPv4Address("10.0.12.2"), 65002, local_pref=200)
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [prefer, ("10.0.13.2", 65003)])
+        a.local_addresses.append(IPv4Address("10.0.13.1"))
+        b, _ = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                             [("10.0.12.1", 65001)])
+        c, _ = build_speaker(sim, broker, 65003, "3.3.3.3", "10.0.13.2",
+                             [("10.0.13.1", 65001)])
+        broker.register(IPv4Address("10.0.13.1"), a)
+        sim.run(until=3.0)
+        prefix = IPv4Network("10.50.0.0/16")
+        from repro.quagga.bgp import BGPAnnouncement
+
+        # b's path is two ASes long, c's is one — local_pref must override.
+        long_path = BGPAnnouncement(prefix=prefix,
+                                    next_hop=IPv4Address("10.0.12.2"),
+                                    as_path=(65002, 65009))
+        a.receive_announcement(IPv4Address("10.0.12.1"),
+                               IPv4Address("10.0.12.2"), long_path)
+        short_path = BGPAnnouncement(prefix=prefix,
+                                     next_hop=IPv4Address("10.0.13.2"),
+                                     as_path=(65003,))
+        a.receive_announcement(IPv4Address("10.0.13.1"),
+                               IPv4Address("10.0.13.2"), short_path)
+        best = a.best_routes()[prefix]
+        assert best.as_path == (65002, 65009)  # local_pref 200 won
+        assert zebra_a.fib[prefix].next_hop == IPv4Address("10.0.12.2")
+
+    def test_med_attached_on_egress(self, sim):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        toward_b = BGPNeighbor(IPv4Address("10.0.12.2"), 65002, med=77)
+        a, _ = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                             [toward_b], networks=["192.168.1.0/24"])
+        b, _ = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                             [("10.0.12.1", 65001)])
+        sim.run(until=5.0)
+        received = b.sessions[IPv4Address("10.0.12.1")].received
+        assert received[IPv4Network("192.168.1.0/24")].med == 77
+
+    def test_export_prefix_list_filters(self, sim):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        secret = "10.99.0.0/16"
+        toward_b = BGPNeighbor(IPv4Address("10.0.12.2"), 65002,
+                               export_prefix_list="NO-SECRET")
+        a, _ = build_speaker(
+            sim, broker, 65001, "1.1.1.1", "10.0.12.1", [toward_b],
+            networks=["192.168.1.0/24", secret],
+            prefix_lists={"NO-SECRET": [("deny", IPv4Network(secret)),
+                                        ("permit", None)]})
+        b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                                   [("10.0.12.1", 65001)])
+        sim.run(until=5.0)
+        assert IPv4Network("192.168.1.0/24") in zebra_b.fib
+        assert IPv4Network(secret) not in zebra_b.fib
+
+
+class TestSessionLifecycle:
+    def _flapping_pair(self, sim, hold=30.0):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        book_a = lambda: {IPv4Address("10.0.12.1"): ("eth1", 30)}
+        book_b = lambda: {IPv4Address("10.0.12.2"): ("eth1", 30)}
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("10.0.12.2", 65002)],
+                                   address_book=book_a,
+                                   keepalive_interval=hold / 3, hold_time=hold)
+        b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                                   [("10.0.12.1", 65001)],
+                                   networks=["192.168.2.0/24"],
+                                   address_book=book_b,
+                                   keepalive_interval=hold / 3, hold_time=hold)
+        return broker, (a, zebra_a), (b, zebra_b)
+
+    def test_interface_down_drops_session_and_withdraws(self, sim):
+        _, (a, zebra_a), (b, _) = self._flapping_pair(sim)
+        sim.run(until=5.0)
+        prefix = IPv4Network("192.168.2.0/24")
+        assert prefix in zebra_a.fib
+        a.interface_down("eth1")
+        b.interface_down("eth1")  # both ends see the carrier loss
+        assert a.sessions[IPv4Address("10.0.12.2")].state == BGPSessionState.IDLE
+        assert prefix not in zebra_a.fib
+
+    def test_session_reestablishes_and_readvertises_on_restore(self, sim):
+        _, (a, zebra_a), (b, _) = self._flapping_pair(sim)
+        sim.run(until=5.0)
+        prefix = IPv4Network("192.168.2.0/24")
+        a.interface_down("eth1")
+        b.interface_down("eth1")
+        sim.run(until=10.0)
+        assert prefix not in zebra_a.fib
+        a.interface_up("eth1")
+        b.interface_up("eth1")
+        sim.run(until=15.0)
+        session = a.sessions[IPv4Address("10.0.12.2")]
+        assert session.state == BGPSessionState.ESTABLISHED
+        assert prefix in zebra_a.fib
+
+    def test_hold_timer_expires_when_peer_falls_silent(self, sim):
+        _, (a, zebra_a), (b, _) = self._flapping_pair(sim, hold=3.0)
+        sim.run(until=2.0)
+        assert a.established_sessions
+        # The peer's process freezes: no keepalives, no TCP close.
+        b._timer.stop()
+        b.running = False
+        sim.run(until=10.0)
+        assert not a.established_sessions
+        assert IPv4Network("192.168.2.0/24") not in zebra_a.fib
+
+    def test_withdrawal_propagates_between_speakers(self, sim, bgp_pair):
+        _, (a, zebra_a), (b, _) = bgp_pair
+        sim.run(until=5.0)
+        prefix = IPv4Network("192.168.2.0/24")
+        assert prefix in zebra_a.fib
+        # b's origination disappears (the IGP route it redistributed died).
+        del b._local_networks[prefix]
+        b._reevaluate(prefix)
+        sim.run(until=7.0)
+        assert prefix not in zebra_a.fib
+
+
+class TestRedistributionAndResolution:
+    def test_redistribute_ospf_announces_and_withdraws(self, sim):
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("10.0.12.2", 65002)],
+                                   redistribute_ospf=True)
+        b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                                   [("10.0.12.1", 65001)])
+        sim.run(until=3.0)
+        prefix = IPv4Network("10.7.0.0/24")
+        zebra_a.announce_route(Route(prefix=prefix,
+                                     next_hop=IPv4Address("10.1.1.1"),
+                                     interface="eth2",
+                                     source=RouteSource.OSPF, metric=10))
+        sim.run(until=5.0)
+        assert prefix in zebra_b.fib
+        zebra_a.withdraw_route(prefix, RouteSource.OSPF)
+        sim.run(until=7.0)
+        assert prefix not in zebra_b.fib
+
+    def test_tagged_external_ospf_routes_not_reexported(self, sim):
+        """The EXTERNAL_ROUTE_TAG guard against AS-path truncation."""
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("10.0.12.2", 65002)],
+                                   redistribute_ospf=True)
+        b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                                   [("10.0.12.1", 65001)])
+        sim.run(until=3.0)
+        leaked = IPv4Network("10.8.0.0/24")
+        zebra_a.announce_route(Route(prefix=leaked,
+                                     next_hop=IPv4Address("10.1.1.1"),
+                                     interface="eth2",
+                                     source=RouteSource.OSPF, metric=20,
+                                     tag=EXTERNAL_ROUTE_TAG))
+        sim.run(until=5.0)
+        assert leaked not in zebra_b.fib
+
+    def test_recursive_next_hop_resolution_via_igp(self, sim):
+        """An iBGP next-hop-self resolves through the IGP route to it."""
+        from repro.quagga.bgp import BGPAnnouncement
+
+        broker = BGPSessionBroker(sim, session_delay=0.5)
+        book = lambda: {IPv4Address("10.0.12.1"): ("eth1", 30)}
+        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                                   [("9.9.9.9", 65001)], address_book=book)
+        peer_loopback = IPv4Address("9.9.9.9")
+        session = a.sessions[peer_loopback]
+        session.state = BGPSessionState.ESTABLISHED
+        session.established_at = sim.now
+        # The IGP knows the way to the peer's loopback.
+        igp_next_hop = IPv4Address("10.0.12.2")
+        zebra_a.announce_route(Route(prefix=IPv4Network("9.9.9.9/32"),
+                                     next_hop=igp_next_hop, interface="eth1",
+                                     source=RouteSource.OSPF, metric=10))
+        prefix = IPv4Network("172.30.0.0/16")
+        a.receive_announcement(IPv4Address("10.0.12.1"), peer_loopback,
+                               BGPAnnouncement(prefix=prefix,
+                                               next_hop=peer_loopback,
+                                               as_path=(65002,)))
+        route = zebra_a.fib[prefix]
+        assert route.next_hop == igp_next_hop
+        assert route.interface == "eth1"
+        # The IGP route dies: the BGP route is unresolvable and withdrawn.
+        zebra_a.withdraw_route(IPv4Network("9.9.9.9/32"), RouteSource.OSPF)
+        assert prefix not in zebra_a.fib
+        # It comes back: the BGP route is re-installed.
+        zebra_a.announce_route(Route(prefix=IPv4Network("9.9.9.9/32"),
+                                     next_hop=igp_next_hop, interface="eth1",
+                                     source=RouteSource.OSPF, metric=10))
+        assert prefix in zebra_a.fib
