@@ -23,6 +23,12 @@ MAPPING = "routeflow.mapping"
 #: the virtual topology (RFProxy -> RFServer in RouteFlow proper).
 PORT_STATUS = "routeflow.port_status"
 
+#: Shared coordination topic: liveness heartbeats published by every
+#: controller shard.  The failure detector watches this topic; a master
+#: shard that misses enough beats has its dpid partition taken over by
+#: its standby (announced on :data:`MAPPING`).
+HEARTBEAT = "routeflow.heartbeat"
+
 _ROUTE_MODS = "routeflow.route_mods"
 _FLOW_SPECS = "routeflow.flow_specs"
 

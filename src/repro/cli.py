@@ -40,8 +40,11 @@ from repro.experiments import (
     check_load_conservation,
     check_regressions,
     format_table,
+    render_ctlscale_churn,
     render_ctlscale_table,
     run_ctlscale,
+    run_ctlscale_churn,
+    write_ctlscale_churn_json,
     write_ctlscale_csv,
     write_ctlscale_json,
     read_bench_json,
@@ -183,18 +186,39 @@ def build_parser() -> argparse.ArgumentParser:
     ctlscale.add_argument("--scenario", metavar="NAME", required=True,
                           help="registry scenario to scale")
     ctlscale.add_argument("--controllers", type=int, nargs="+",
-                          default=list(DEFAULT_CONTROLLER_COUNTS),
-                          metavar="N",
+                          default=None, metavar="N",
                           help="shard counts to sweep (default: 1 2 4; "
-                               "include 1 to enable the conservation check)")
+                               "include 1 to enable the conservation check). "
+                               "With --churn, the largest count given is "
+                               "used (default: the scenario's own count)")
     ctlscale.add_argument("--partitioner", choices=["hash", "contiguous"],
                           default=None,
                           help="dpid->shard partitioner (default: the "
                                "scenario's, i.e. hash)")
+    ctlscale.add_argument("--churn", action="store_true",
+                          help="drive the sharded run through controller "
+                               "churn (shard failovers with standby "
+                               "takeover, live resharding, link churn) and "
+                               "report reconvergence time and flow loss")
+    ctlscale.add_argument("--churn-seed", type=int, default=0,
+                          help="seed of the churn schedule (default: 0)")
+    ctlscale.add_argument("--churn-failovers", type=int, default=1,
+                          help="shard failover/restore cycles (default: 1)")
+    ctlscale.add_argument("--churn-reshards", type=int, default=1,
+                          help="live dpid reshards (default: 1)")
+    ctlscale.add_argument("--churn-links", type=int, default=2,
+                          help="random link bounces interleaved with the "
+                               "controller churn (default: 2)")
+    ctlscale.add_argument("--churn-spacing", type=float, default=30.0,
+                          help="seconds between churn events (default: 30)")
+    ctlscale.add_argument("--settle", type=float, default=15.0,
+                          help="quiet seconds that count as reconverged "
+                               "after churn (default: 15)")
     ctlscale.add_argument("--out", metavar="FILE",
                           help="write results as JSON to FILE")
     ctlscale.add_argument("--csv", metavar="FILE",
-                          help="write results as CSV to FILE")
+                          help="write results as CSV to FILE (sweep mode "
+                               "only)")
 
     interdomain = subparsers.add_parser(
         "interdomain", help="configure a multi-AS BGP scenario, verify "
@@ -438,9 +462,12 @@ def _command_ctlscale(args: argparse.Namespace) -> int:
     if export_error is not None:
         print(export_error, file=sys.stderr)
         return 2
+    if args.churn:
+        return _command_ctlscale_churn(args)
+    counts = args.controllers or list(DEFAULT_CONTROLLER_COUNTS)
     try:
         spec = get_scenario(args.scenario)
-        results = run_ctlscale(spec, controller_counts=args.controllers,
+        results = run_ctlscale(spec, controller_counts=counts,
                                partitioner=args.partitioner)
     except (ScenarioError, TopologyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
@@ -453,6 +480,34 @@ def _command_ctlscale(args: argparse.Namespace) -> int:
     healthy = all(r.configured and not r.invariant_violations for r in results)
     conserved = not check_load_conservation(results)
     return 0 if healthy and conserved else 1
+
+
+def _command_ctlscale_churn(args: argparse.Namespace) -> int:
+    if args.csv:
+        print("error: --csv is not supported with --churn (use --out)",
+              file=sys.stderr)
+        return 2
+    controllers = max(args.controllers) if args.controllers else None
+    try:
+        spec = get_scenario(args.scenario)
+        result = run_ctlscale_churn(
+            spec,
+            controllers=controllers,
+            partitioner=args.partitioner,
+            failovers=args.churn_failovers,
+            reshards=args.churn_reshards,
+            link_churn=args.churn_links,
+            churn_seed=args.churn_seed,
+            spacing=args.churn_spacing,
+            settle=args.settle,
+        )
+    except (ScenarioError, TopologyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_ctlscale_churn(result))
+    if args.out:
+        print(f"wrote {write_ctlscale_churn_json(result, args.out)}")
+    return 0 if result.healthy else 1
 
 
 def _command_interdomain(args: argparse.Namespace) -> int:

@@ -197,11 +197,17 @@ class AutoConfigFramework:
                                                     slice_names)
                 self.flowvisor = FlowVisor(sim, flowspace)
                 self.flowvisor.add_slice(self.TOPOLOGY_SLICE, self.topology_controller)
+                # Slice membership follows the control plane's *ownership*
+                # map, not the static partitioner: after a takeover or a
+                # reshard the new owner's slice covers the dpid, and
+                # FlowVisor.rehome_datapath moves the slice channels.
                 for shard, slice_name in zip(self.shards, slice_names):
                     self.flowvisor.add_slice(
                         slice_name, shard.controller,
                         datapaths=lambda dpid, shard_id=shard.shard_id:
-                            partitioner.shard_for(dpid) == shard_id)
+                            self.control_plane.owner_of(dpid) == shard_id)
+                self.control_plane.on_ownership_change = \
+                    self.flowvisor.rehome_datapath
         else:
             # Single-controller deployment: discovery runs on the RF-controller
             # and switches connect to it directly.

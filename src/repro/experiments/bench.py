@@ -244,6 +244,42 @@ def bench_sharded_convergence_16() -> Dict[str, Any]:
             "flows": result.total_flows}
 
 
+def bench_sharded_churn_16() -> Dict[str, Any]:
+    """Controller churn: the 16-ring under 2 shards driven through the
+    seeded default churn schedule (a shard failover with standby
+    takeover, a live reshard, two link bounces).
+
+    Exercises the takeover machinery end to end — dpid migration,
+    FlowVisor slice rehoming, RFClient resync, parked-RouteMod transfer.
+    ``flows`` is the zero-flow-loss gate (the final installed-flow count
+    must equal the single-controller reference exactly) and
+    ``sim_seconds`` pins the reconvergence time after the last scheduled
+    event.
+    """
+    from repro.experiments.ctlscale import run_ctlscale_churn
+    from repro.scenarios import ScenarioSpec
+
+    spec = ScenarioSpec("bench-ring-16-c2-churn", "ring",
+                        {"num_switches": 16}, controllers=2)
+
+    def run():
+        result = run_ctlscale_churn(spec)
+        if not result.healthy:
+            raise RuntimeError(
+                "churn benchmark run unhealthy: "
+                + "; ".join(result.invariant_violations
+                            + result.ownership_violations
+                            + result.orphaned_route_mods)
+                or "flow loss or missed settle")
+        return result
+
+    wall, result = _best_of(run, repeats=2)
+    return {"wall_seconds": wall,
+            "sim_seconds": result.reconvergence_seconds,
+            "switches": result.num_switches, "links": result.num_links,
+            "flows": result.final_flows}
+
+
 def bench_interdomain_3as() -> Dict[str, Any]:
     """Interdomain convergence: 3 ASes of 4-router rings under eBGP/iBGP.
 
@@ -274,6 +310,7 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "flow_mod_codec": (bench_flow_mod_codec, True),
     "convergence_64": (bench_convergence_64, False),
     "sharded_convergence_16": (bench_sharded_convergence_16, False),
+    "sharded_churn_16": (bench_sharded_churn_16, False),
     "interdomain_convergence_3as": (bench_interdomain_3as, False),
 }
 

@@ -32,10 +32,15 @@ from typing import Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.core.autoconfig import AutoConfigFramework
 from repro.core.ipam import IPAddressManager
-from repro.experiments.failover import verify_spf_rib_consistency
+from repro.experiments.failover import (
+    _mirror_into_routeflow,
+    verify_spf_rib_consistency,
+)
 from repro.experiments.results import format_seconds, format_table
 from repro.scenarios import ScenarioSpec, get
+from repro.scenarios.events import FailureAction, FailureEvent, FailureSchedule
 from repro.sim import Simulator
+from repro.sim.rng import SeededRandom
 from repro.topology.emulator import EmulatedNetwork
 
 LOG = logging.getLogger(__name__)
@@ -157,6 +162,286 @@ def check_load_conservation(results: Sequence[CtlScaleResult]) -> List[str]:
                 f"{result.scenario} x{result.controllers}: "
                 f"{len(result.invariant_violations)} SPF/RIB violations")
     return problems
+
+
+# ---------------------------------------------------------------------------
+# controller churn: takeover / resharding under a failure schedule
+# ---------------------------------------------------------------------------
+@dataclass
+class CtlScaleChurnResult:
+    """One scenario driven through controller churn under N shards.
+
+    ``reference_flows`` is the single-controller steady state (the
+    conservation reference), ``steady_flows`` the sharded steady state
+    before churn, ``final_flows`` the count after the schedule ran and
+    the network re-settled.  Zero flow loss means all three agree.
+    """
+
+    scenario: str
+    family: str
+    seed: int
+    controllers: int
+    partitioner: str
+    num_switches: int
+    num_links: int
+    churn_seed: int
+    configured_seconds: Optional[float]
+    reference_flows: int = 0
+    steady_flows: int = 0
+    final_flows: int = 0
+    takeovers: int = 0
+    reshards: int = 0
+    settled: bool = False
+    #: Seconds between the last churn event and the last FIB change (how
+    #: long the control plane needed to reconverge after the churn).
+    reconvergence_seconds: Optional[float] = None
+    schedule: List[Dict[str, object]] = field(default_factory=list)
+    shard_roles: List[str] = field(default_factory=list)
+    shard_loads: List[Dict[str, int]] = field(default_factory=list)
+    invariant_violations: List[str] = field(default_factory=list)
+    ownership_violations: List[str] = field(default_factory=list)
+    orphaned_route_mods: List[str] = field(default_factory=list)
+    wall_seconds: float = 0.0
+
+    @property
+    def configured(self) -> bool:
+        return self.configured_seconds is not None
+
+    @property
+    def flow_loss(self) -> int:
+        return self.steady_flows - self.final_flows
+
+    @property
+    def conserved(self) -> bool:
+        """The load-conservation gate under churn: the post-churn flow
+        state matches both the pre-churn sharded steady state and the
+        single-controller reference."""
+        return (self.configured
+                and self.final_flows == self.steady_flows
+                and self.final_flows == self.reference_flows)
+
+    @property
+    def healthy(self) -> bool:
+        return (self.configured and self.settled and self.conserved
+                and not self.invariant_violations
+                and not self.ownership_violations
+                and not self.orphaned_route_mods)
+
+
+def churn_schedule(num_shards: int, dpids: Sequence[int],
+                   links: Sequence[tuple], failovers: int = 1,
+                   reshards: int = 1, link_churn: int = 2, seed: int = 0,
+                   spacing: float = 30.0,
+                   start: float = 5.0) -> FailureSchedule:
+    """A seeded controller-churn schedule: shard failovers (each later
+    restored), live reshards onto random live shards, interleaved with
+    random link churn.  At least two shards stay live at all times, so a
+    takeover always has a standby.  Deterministic in the seed."""
+    if num_shards < 2:
+        raise ValueError(
+            f"controller churn needs >= 2 shards, got {num_shards}")
+    rng = SeededRandom(seed)
+    events: List[FailureEvent] = []
+    failed: set = set()
+    when = start
+    for _ in range(failovers):
+        live = [s for s in range(num_shards) if s not in failed]
+        if len(live) < 2:
+            break
+        victim = rng.choice(live)
+        events.append(FailureEvent(when, FailureAction.SHARD_FAILOVER, victim))
+        failed.add(victim)
+        when += spacing
+        events.append(FailureEvent(when, FailureAction.SHARD_UP, victim))
+        failed.discard(victim)
+        when += spacing
+    ordered_dpids = sorted(dpids)
+    for _ in range(reshards):
+        live = [s for s in range(num_shards) if s not in failed]
+        dpid = rng.choice(ordered_dpids)
+        target = rng.choice(live)
+        events.append(FailureEvent(when, FailureAction.RESHARD, dpid, target))
+        when += spacing
+    schedule = FailureSchedule(tuple(events))
+    if link_churn:
+        schedule = schedule.extended(FailureSchedule.random_churn(
+            list(links), link_churn, seed=seed + 1, start=start + spacing / 2,
+            spacing=spacing, recovery=spacing / 2).events)
+    return schedule
+
+
+def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
+                       controllers: Optional[int] = None,
+                       partitioner: Optional[str] = None,
+                       failovers: int = 1, reshards: int = 1,
+                       link_churn: int = 2, churn_seed: int = 0,
+                       spacing: float = 30.0, settle: float = 15.0,
+                       max_extra: float = 900.0) -> CtlScaleChurnResult:
+    """Measure reconvergence time and flow loss under controller churn.
+
+    Configures the scenario twice: once with a single controller (the
+    conservation reference) and once with ``controllers`` shards (default:
+    the scenario's own count).  The sharded run is then driven through a
+    seeded churn schedule — shard failovers with standby takeover, live
+    resharding, link churn — and run to quiescence; the result carries the
+    flow-conservation gate plus the SPF/RIB, ownership and parked-RouteMod
+    invariants.
+    """
+    spec = scenario if isinstance(scenario, ScenarioSpec) else get(scenario)
+    count = controllers if controllers is not None else spec.controllers
+    if count < 2:
+        raise ValueError(
+            f"controller churn needs >= 2 shards; scenario {spec.name} "
+            f"defaults to {count} (pass a controller count >= 2)")
+    reference = run_ctlscale(spec, controller_counts=(1,))[0]
+
+    started = time.perf_counter()
+    run_spec = spec.with_controllers(count)
+    topology = run_spec.build_topology()
+    config = run_spec.framework_config(topology)
+    if partitioner is not None:
+        config.partitioner = partitioner
+    sim = Simulator()
+    ipam = IPAddressManager()
+    framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+    network = EmulatedNetwork(sim, topology, ipam=ipam)
+    framework.attach(network)
+    configured_at = framework.run_until_configured(max_time=run_spec.max_time,
+                                                   settle=5.0)
+    result = CtlScaleChurnResult(
+        scenario=spec.name, family=spec.family, seed=spec.seed,
+        controllers=count, partitioner=config.partitioner,
+        num_switches=topology.num_nodes, num_links=topology.num_links,
+        churn_seed=churn_seed, configured_seconds=configured_at,
+        reference_flows=reference.total_flows)
+    if configured_at is None:
+        result.wall_seconds = time.perf_counter() - started
+        return result
+
+    plane = framework.control_plane
+    result.steady_flows = sum(load["flows_current"]
+                              for load in framework.shard_loads())
+    change_times: List[float] = []
+    for vm in plane.vms.values():
+        vm.zebra.add_fib_listener(
+            lambda prefix, new, old: change_times.append(sim.now))
+    network.add_failure_listener(_mirror_into_routeflow(network,
+                                                        framework.bus))
+    schedule = churn_schedule(
+        count, [node.node_id for node in topology.nodes],
+        list(network.link_ports), failovers=failovers, reshards=reshards,
+        link_churn=link_churn, seed=churn_seed, spacing=spacing)
+    schedule.validate_against(network.switches,
+                              ((a, b) for a, b in network.link_ports),
+                              shards=count)
+    result.schedule = schedule.to_list()
+    armed_at = sim.now
+    network.schedule_failures(schedule)
+    horizon = armed_at + schedule.duration
+    deadline = horizon + max_extra
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + 1.0, deadline))
+        last_activity = max([horizon] + change_times[-1:])
+        if sim.now >= last_activity + settle:
+            result.settled = True
+            break
+
+    last_change = max((t for t in change_times if t >= armed_at),
+                      default=horizon)
+    result.reconvergence_seconds = max(0.0, last_change - horizon)
+    result.final_flows = sum(load["flows_current"]
+                             for load in framework.shard_loads())
+    result.takeovers = plane.takeovers
+    result.reshards = plane.reshards
+    result.shard_roles = [plane.role_of(shard.shard_id)
+                          for shard in plane.shards]
+    result.shard_loads = framework.shard_loads()
+    result.invariant_violations = verify_spf_rib_consistency(plane)
+    result.ownership_violations = plane.ownership_violations()
+    result.orphaned_route_mods = plane.orphaned_parked_route_mods()
+    result.wall_seconds = time.perf_counter() - started
+    LOG.info("ctlscale churn: %s x%d -> %d takeovers, %d reshards, "
+             "flow loss %d, reconverged in %.1fs", spec.name, count,
+             result.takeovers, result.reshards, result.flow_loss,
+             result.reconvergence_seconds)
+    return result
+
+
+def render_ctlscale_churn(result: CtlScaleChurnResult) -> str:
+    """Human-readable churn report with the gate verdicts."""
+    rows = [[
+        result.scenario, result.controllers, result.partitioner,
+        format_seconds(result.configured_seconds), result.takeovers,
+        result.reshards,
+        "-" if result.reconvergence_seconds is None
+        else format_seconds(result.reconvergence_seconds),
+        result.flow_loss,
+        "yes" if result.settled else "NO",
+    ]]
+    table = format_table(
+        ["scenario", "controllers", "partitioner", "configured",
+         "takeovers", "reshards", "reconvergence", "flow loss", "settled"],
+        rows)
+    lines = [table, ""]
+    lines.append("schedule: " + (
+        FailureSchedule.from_list(result.schedule).describe()
+        if result.schedule else "(empty)"))
+    lines.append(f"shard roles: {', '.join(result.shard_roles) or 'n/a'}")
+    gates = [
+        ("flows conserved "
+         f"(reference {result.reference_flows}, steady {result.steady_flows},"
+         f" final {result.final_flows})", result.conserved),
+        ("SPF/RIB invariant", not result.invariant_violations),
+        ("one live master per dpid", not result.ownership_violations),
+        ("no orphaned parked RouteMods", not result.orphaned_route_mods),
+    ]
+    for label, passed in gates:
+        lines.append(f"  {'OK  ' if passed else 'FAIL'} {label}")
+    for problem in (result.invariant_violations
+                    + result.ownership_violations
+                    + result.orphaned_route_mods):
+        lines.append(f"  ! {problem}")
+    return "\n".join(lines)
+
+
+def churn_result_payload(result: CtlScaleChurnResult) -> Dict[str, object]:
+    """JSON-ready form of a churn run (the ``--churn --out`` schema)."""
+    return {
+        "scenario": result.scenario,
+        "family": result.family,
+        "seed": result.seed,
+        "controllers": result.controllers,
+        "partitioner": result.partitioner,
+        "switches": result.num_switches,
+        "links": result.num_links,
+        "churn_seed": result.churn_seed,
+        "configured_seconds": result.configured_seconds,
+        "reference_flows": result.reference_flows,
+        "steady_flows": result.steady_flows,
+        "final_flows": result.final_flows,
+        "flow_loss": result.flow_loss,
+        "takeovers": result.takeovers,
+        "reshards": result.reshards,
+        "settled": result.settled,
+        "reconvergence_seconds": result.reconvergence_seconds,
+        "schedule": list(result.schedule),
+        "shard_roles": list(result.shard_roles),
+        "shard_loads": list(result.shard_loads),
+        "invariant_violations": list(result.invariant_violations),
+        "ownership_violations": list(result.ownership_violations),
+        "orphaned_route_mods": list(result.orphaned_route_mods),
+        "conserved": result.conserved,
+        "healthy": result.healthy,
+        "wall_seconds": result.wall_seconds,
+    }
+
+
+def write_ctlscale_churn_json(result: CtlScaleChurnResult,
+                              path: PathLike) -> Path:
+    target = Path(path)
+    target.write_text(json.dumps(churn_result_payload(result), indent=2,
+                                 sort_keys=True) + "\n")
+    return target
 
 
 def render_ctlscale_table(results: Sequence[CtlScaleResult]) -> str:

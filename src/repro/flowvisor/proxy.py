@@ -193,13 +193,45 @@ class FlowVisor:
         for slice_name, registered in self.slices.items():
             if not registered.covers(features.datapath_id):
                 continue
-            slice_channel = ControlChannel(
-                self.sim, latency=self.SLICE_CHANNEL_LATENCY,
-                name=f"{self.name}:{slice_name}:dpid{features.datapath_id:x}")
-            slice_channel.connect(self, registered.controller)
-            session.slice_channels[slice_name] = slice_channel
-            self._slice_channel_index[slice_channel] = (session, slice_name)
-            registered.controller.accept_channel(slice_channel)
+            self._open_slice_channel(session, slice_name, registered)
+
+    def _open_slice_channel(self, session: _SwitchSession, slice_name: str,
+                            registered: Slice) -> ControlChannel:
+        slice_channel = ControlChannel(
+            self.sim, latency=self.SLICE_CHANNEL_LATENCY,
+            name=f"{self.name}:{slice_name}:dpid{session.datapath_id:x}")
+        slice_channel.connect(self, registered.controller)
+        session.slice_channels[slice_name] = slice_channel
+        self._slice_channel_index[slice_channel] = (session, slice_name)
+        registered.controller.accept_channel(slice_channel)
+        return slice_channel
+
+    def rehome_datapath(self, datapath_id: int) -> int:
+        """Re-evaluate which slices cover a connected switch.
+
+        Called by the sharded control plane after a dpid changes owner
+        (takeover or resharding): slices that now cover the switch get a
+        fresh channel — completing the same handshake as at connect time,
+        with the FEATURES_REPLY answered from FlowVisor's cache — and
+        slices that no longer cover it lose theirs.  The switch itself
+        notices nothing; its flow table is untouched.  Returns the number
+        of slice channels opened or closed.
+        """
+        changed = 0
+        for session in list(self._switch_sessions.values()):
+            if (session.datapath_id != datapath_id
+                    or not session.handshake_complete):
+                continue
+            for slice_name, registered in self.slices.items():
+                attached = slice_name in session.slice_channels
+                covered = registered.covers(datapath_id)
+                if covered and not attached:
+                    self._open_slice_channel(session, slice_name, registered)
+                    changed += 1
+                elif attached and not covered:
+                    session.slice_channels.pop(slice_name).close()
+                    changed += 1
+        return changed
 
     def _route_packet_in(self, session: _SwitchSession, message: PacketIn,
                          data: bytes) -> None:

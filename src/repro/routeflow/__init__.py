@@ -5,6 +5,9 @@ from repro.routeflow.ipc import (
     PortStatusRelay,
     RouteMod,
     RouteModType,
+    ShardHeartbeat,
+    TakeoverAnnouncement,
+    payload_kind,
 )
 from repro.routeflow.mapping import MappingError, MappingTable, PortMapping
 from repro.routeflow.rfclient import RFClient
@@ -18,6 +21,7 @@ from repro.routeflow.sharding import (
     HashPartitioner,
     PartitionError,
     Partitioner,
+    ShardRole,
     ShardedControlPlane,
     make_partitioner,
 )
@@ -45,8 +49,12 @@ __all__ = [
     "RFVirtualSwitch",
     "RouteMod",
     "RouteModType",
+    "ShardHeartbeat",
+    "ShardRole",
     "ShardedControlPlane",
+    "TakeoverAnnouncement",
     "VMState",
     "VirtualMachine",
     "make_partitioner",
+    "payload_kind",
 ]

@@ -89,6 +89,7 @@ class MappingRecord:
     shard: int = 0
     interface: str = ""       # VM interface name for address records
     address: Optional[str] = None   # textual IP for address records
+    num_ports: int = 0        # VM port count, replicated on "vm_mapped"
 
     VM_MAPPED = "vm_mapped"
     ADDRESS_ASSIGNED = "address_assigned"
@@ -109,6 +110,84 @@ class MappingRecord:
     @property
     def address_value(self) -> Optional[IPv4Address]:
         return IPv4Address(self.address) if self.address is not None else None
+
+
+@dataclass
+class ShardHeartbeat:
+    """A controller shard's periodic "I am alive" beacon.
+
+    Every live shard publishes one on :data:`repro.bus.topics.HEARTBEAT`
+    each heartbeat interval.  The control plane's failure detector keeps
+    the last beat per shard; a master that stays silent past the failure
+    timeout while still owning datapaths is declared dead and its
+    partition is taken over by its standby.
+    """
+
+    shard_id: int
+    sent_at: float      # simulated publish time, echoed for observability
+    epoch: int = 0      # bumped on restore so stale beats are recognisable
+
+    def to_json(self) -> str:
+        return json.dumps({"kind": "shard_heartbeat", **asdict(self)},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "ShardHeartbeat":
+        data = json.loads(text)
+        if data.get("kind") != "shard_heartbeat":
+            raise ValueError(f"not a ShardHeartbeat payload: {text!r}")
+        data.pop("kind")
+        return cls(**data)
+
+
+@dataclass
+class TakeoverAnnouncement:
+    """A coordinated change of dpid-partition ownership.
+
+    Published on the shared mapping topic (:data:`repro.bus.topics.MAPPING`)
+    so every shard applies the same ownership flip at the same bus step.
+    Two events share the envelope: ``takeover`` (a standby adopts the full
+    partition of a failed master) and ``reshard`` (live re-balancing moves
+    a dpid between two healthy shards).
+    """
+
+    event: str          # "takeover" | "reshard"
+    from_shard: int
+    to_shard: int
+    datapaths: list     # dpids changing owner, ascending
+    reason: str = ""
+
+    TAKEOVER = "takeover"
+    RESHARD = "reshard"
+
+    def to_json(self) -> str:
+        return json.dumps({"kind": "takeover", **asdict(self)},
+                          sort_keys=True)
+
+    @classmethod
+    def from_json(cls, text: str) -> "TakeoverAnnouncement":
+        data = json.loads(text)
+        if data.get("kind") != "takeover":
+            raise ValueError(f"not a TakeoverAnnouncement payload: {text!r}")
+        data.pop("kind")
+        return cls(**data)
+
+
+def payload_kind(text: str) -> Optional[str]:
+    """The ``kind`` discriminator of a serialised IPC payload (or None).
+
+    Topics that carry more than one message family (the mapping topic
+    carries both :class:`MappingRecord` and :class:`TakeoverAnnouncement`)
+    peek at the kind before choosing a decoder.
+    """
+    try:
+        data = json.loads(text)
+    except ValueError:
+        return None
+    if isinstance(data, dict):
+        kind = data.get("kind")
+        return kind if isinstance(kind, str) else None
+    return None
 
 
 @dataclass

@@ -61,5 +61,39 @@ class RFClient:
         self.bus.publish(self.topic, message.to_json(),
                          label=self._routemod_label, sender=self._sender)
 
+    def repoint(self, rfserver: "RFServer") -> None:
+        """Re-target this client at a different RFServer shard.
+
+        Called when the VM's dpid migrates (takeover or resharding): the
+        client keeps watching the same zebra FIB but publishes subsequent
+        RouteMods on the new master's ``route_mods.<shard>`` topic.
+        """
+        self.rfserver = rfserver
+        self.bus = rfserver.bus
+        self.topic = rfserver.route_mods_topic
+
+    def resync(self) -> int:
+        """Re-announce the VM's entire FIB to the current RFServer.
+
+        The new master after a takeover adopted the old master's installed
+        flow records, but any FIB change that happened while the partition
+        was in flight never reached it.  A full resync is idempotent — the
+        RFProxy overwrites flow entries keyed by (dpid, prefix) — and
+        closes that gap.  Returns the number of RouteMods published.
+        """
+        published = 0
+        for prefix, route in self.vm.zebra.fib.items():
+            if route.interface == "lo":
+                continue
+            message = RouteMod.add(vm_id=self.vm.vm_id, prefix=prefix,
+                                   next_hop=route.next_hop,
+                                   interface=route.interface,
+                                   metric=route.metric)
+            self.route_mods_sent += 1
+            published += 1
+            self.bus.publish(self.topic, message.to_json(),
+                             label=self._routemod_label, sender=self._sender)
+        return published
+
     def __repr__(self) -> str:
         return f"<RFClient vm={self.vm.vm_id} sent={self.route_mods_sent}>"

@@ -151,7 +151,8 @@ class RFServer:
             vm.start()
         self.bus.publish(topics.MAPPING, MappingRecord(
             event=MappingRecord.VM_MAPPED, vm_id=vm_id, datapath_id=dpid,
-            shard=self.shard_id).to_json(), sender=self._sender)
+            shard=self.shard_id, num_ports=num_ports).to_json(),
+            sender=self._sender)
         self.event_log.record("vm_created", f"VM {vm.name} created for dpid {dpid:#x}",
                               vm_id=vm_id, datapath_id=dpid, num_ports=num_ports)
         return vm

@@ -108,6 +108,19 @@ class VirtualMachine:
         on any of this VM's interfaces (including ports added later)."""
         self._address_listeners.append(callback)
 
+    def replace_address_listener(self, old: Callable, new: Callable) -> None:
+        """Swap one address listener for another, in place.
+
+        Used when the VM's dpid migrates to a different controller shard:
+        the adopting RFServer takes over the slot the old master held, so
+        the dead shard's index never hears another address change."""
+        try:
+            index = self._address_listeners.index(old)
+        except ValueError:
+            self._address_listeners.append(new)
+        else:
+            self._address_listeners[index] = new
+
     def _on_address_change(self, interface: Interface, old_ip) -> None:
         for callback in self._address_listeners:
             callback(self, interface, old_ip)

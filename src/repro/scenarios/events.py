@@ -36,11 +36,22 @@ class FailureAction:
     #: resumes) the named shard's message processing.
     SHARD_DOWN = "shard_down"
     SHARD_UP = "shard_up"
+    #: Fail-stop a shard *and* have its standby take over its dpid
+    #: partition (shard_down alone leaves the partition with the dead
+    #: master until the heartbeat failure detector notices).
+    SHARD_FAILOVER = "shard_failover"
+    #: Live re-balancing: migrate one dpid (``node_a``) onto the healthy
+    #: shard ``node_b`` without dropping the switch's installed flows.
+    RESHARD = "reshard"
 
-    ALL = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP, SHARD_DOWN, SHARD_UP)
+    ALL = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP, SHARD_DOWN, SHARD_UP,
+           SHARD_FAILOVER, RESHARD)
     LINK_ACTIONS = (LINK_DOWN, LINK_UP)
     NODE_ACTIONS = (NODE_DOWN, NODE_UP)
-    SHARD_ACTIONS = (SHARD_DOWN, SHARD_UP)
+    SHARD_ACTIONS = (SHARD_DOWN, SHARD_UP, SHARD_FAILOVER)
+    #: Actions that target the control plane rather than the physical
+    #: network; the emulator passes them through to failure listeners.
+    CONTROL_ACTIONS = SHARD_ACTIONS + (RESHARD,)
 
 
 class FailureScheduleError(ValueError):
@@ -75,6 +86,11 @@ class FailureEvent:
             if self.node_a == self.node_b:
                 raise FailureScheduleError(
                     f"{self.action} endpoints must differ, got {self.node_a}")
+        elif self.action == FailureAction.RESHARD:
+            if self.node_b is None:
+                raise FailureScheduleError(
+                    "reshard requires a target shard: node_a is the dpid, "
+                    "node_b the shard index it moves to")
         elif self.node_b is not None:
             raise FailureScheduleError(
                 f"{self.action} takes a single node, got a second endpoint")
@@ -87,6 +103,8 @@ class FailureEvent:
         """Short human-readable form, e.g. ``link_down 3<->7 @ 60s``."""
         if self.is_link_event:
             subject = f"{self.node_a}<->{self.node_b}"
+        elif self.action == FailureAction.RESHARD:
+            subject = f"dpid {self.node_a} -> shard {self.node_b}"
         else:
             subject = str(self.node_a)
         return f"{self.action} {subject} @ {self.time:g}s"
@@ -161,6 +179,15 @@ class FailureSchedule:
                     raise FailureScheduleError(
                         f"{event.describe()}: no link between "
                         f"{event.node_a} and {event.node_b} in the topology")
+            elif event.action == FailureAction.RESHARD:
+                if event.node_a not in known_nodes:
+                    raise FailureScheduleError(
+                        f"{event.describe()}: dpid {event.node_a} is not in "
+                        f"the topology")
+                if shards is not None and not 0 <= event.node_b < shards:
+                    raise FailureScheduleError(
+                        f"{event.describe()}: no controller shard "
+                        f"{event.node_b} (the control plane has {shards})")
             elif event.action in FailureAction.SHARD_ACTIONS:
                 if shards is not None and not 0 <= event.node_a < shards:
                     raise FailureScheduleError(

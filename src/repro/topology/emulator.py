@@ -247,9 +247,10 @@ class EmulatedNetwork:
             self.fail_node(event.node_a)
         elif event.action == FailureAction.NODE_UP:
             self.restore_node(event.node_a)
-        elif event.action in FailureAction.SHARD_ACTIONS:
-            # Controller-shard failures leave the physical network alone;
-            # the control plane acts on them through a failure listener.
+        elif event.action in FailureAction.CONTROL_ACTIONS:
+            # Controller-shard failures and resharding leave the physical
+            # network alone; the control plane acts on them through a
+            # failure listener.
             pass
         else:  # pragma: no cover - schedules validate their actions
             raise ValueError(f"unknown failure action {event.action!r}")

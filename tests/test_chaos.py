@@ -1,0 +1,291 @@
+"""Seeded property-based chaos harness for the sharded control plane.
+
+Each seed expands deterministically into a randomized churn schedule —
+shard kills (exercising the heartbeat failure detector), coordinated
+failovers, restores, live resharding, link and node failures — which is
+run against a sharded ring and checked against the system invariants at
+quiescence:
+
+* **flows conserved** — the installed-flow count returns to the pre-churn
+  steady state once every injected failure is repaired;
+* **SPF/RIB invariant** — every VM's RIB matches a fresh SPF run;
+* **one live master per dpid** — no datapath is orphaned on a failed
+  shard or mapped on two shards at once;
+* **no orphaned parked RouteMods** — a fail-stopped shard holds nothing
+  it could wrongly replay.
+
+Shard outages are serialized (at most one shard down at a time, so a
+takeover always has a live standby) while physical link/node failures run
+on their own timeline and freely overlap the control-plane churn.  Every
+outage op carries its own repair, so any subset of ops still restores the
+network — which is what lets a failing seed be minimized by greedy delta
+debugging over whole ops and reported as the smallest reproducing
+schedule.
+
+The seed budget defaults to a handful so the tier-1 run stays fast; the
+CI chaos smoke job raises it with the ``CHAOS_SEEDS`` env var.
+"""
+
+from __future__ import annotations
+
+import os
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import pytest
+
+from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager
+from repro.experiments.failover import (
+    _mirror_into_routeflow,
+    verify_spf_rib_consistency,
+)
+from repro.scenarios import FailureAction, FailureEvent, FailureSchedule
+from repro.sim import SeededRandom, Simulator
+from repro.topology.emulator import EmulatedNetwork
+from repro.topology.generators import ring_topology
+
+#: Seeds exercised by the tier-1 run; CI's nightly-style smoke raises this.
+CHAOS_SEEDS = int(os.environ.get("CHAOS_SEEDS", "4"))
+
+NUM_SWITCHES = 8
+NUM_SHARDS = 3
+
+#: Quiet seconds after the last FIB change before the run counts as settled.
+SETTLE = 15.0
+
+#: Extra simulated time allowed past the schedule horizon before giving up.
+MAX_EXTRA = 600.0
+
+
+# ---------------------------------------------------------------------------
+# chaos operations: self-repairing units a schedule is built from
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ChaosOp:
+    """One self-contained churn operation (an outage plus its repair).
+
+    Minimization drops whole ops, never single events, so every candidate
+    schedule still repairs everything it breaks and the flows-conserved
+    invariant stays meaningful.
+    """
+
+    kind: str  # shard_kill | shard_failover | reshard | link | node
+    start: float
+    duration: float = 0.0
+    subject: int = 0  # shard id, dpid, node id, or link endpoint a
+    target: int = 0  # reshard target shard, or link endpoint b
+
+    def events(self) -> List[FailureEvent]:
+        end = self.start + self.duration
+        if self.kind == "shard_kill":
+            return [FailureEvent(self.start, FailureAction.SHARD_DOWN,
+                                 self.subject),
+                    FailureEvent(end, FailureAction.SHARD_UP, self.subject)]
+        if self.kind == "shard_failover":
+            return [FailureEvent(self.start, FailureAction.SHARD_FAILOVER,
+                                 self.subject),
+                    FailureEvent(end, FailureAction.SHARD_UP, self.subject)]
+        if self.kind == "reshard":
+            return [FailureEvent(self.start, FailureAction.RESHARD,
+                                 self.subject, self.target)]
+        if self.kind == "link":
+            return [FailureEvent(self.start, FailureAction.LINK_DOWN,
+                                 self.subject, self.target),
+                    FailureEvent(end, FailureAction.LINK_UP,
+                                 self.subject, self.target)]
+        if self.kind == "node":
+            return [FailureEvent(self.start, FailureAction.NODE_DOWN,
+                                 self.subject),
+                    FailureEvent(end, FailureAction.NODE_UP, self.subject)]
+        raise ValueError(f"unknown chaos op kind {self.kind!r}")
+
+    def describe(self) -> str:
+        return "; ".join(event.describe() for event in self.events())
+
+
+def ops_to_schedule(ops: Sequence[ChaosOp]) -> FailureSchedule:
+    events: List[FailureEvent] = []
+    for op in ops:
+        events.extend(op.events())
+    return FailureSchedule(tuple(events))
+
+
+def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
+                 nodes: Sequence[int] = (),
+                 links: Sequence[Tuple[int, int]] = (),
+                 shard_ops: int = 3, reshard_ops: int = 2,
+                 net_ops: int = 3) -> List[ChaosOp]:
+    """Expand a seed into a churn schedule.  Deterministic in the seed.
+
+    Shard outages are placed back to back on one timeline (at most one
+    shard down at a time, so a live standby always exists); reshards
+    follow; link/node outages run on a second timeline that overlaps the
+    control-plane churn.  Reshard targets may be dead at execution time —
+    the control plane rejects those gracefully, and chaos should poke at
+    exactly that path.
+    """
+    rng = SeededRandom(seed)
+    node_list = sorted(nodes)
+    link_list = sorted(links)
+    ops: List[ChaosOp] = []
+    when = 5.0
+    for _ in range(shard_ops):
+        kind = rng.choice(["shard_kill", "shard_failover"])
+        victim = rng.choice(range(num_shards))
+        duration = rng.uniform(6.0, 15.0)
+        ops.append(ChaosOp(kind, when, duration, victim))
+        when += duration + rng.uniform(5.0, 10.0)
+    for _ in range(reshard_ops):
+        ops.append(ChaosOp("reshard", when, 0.0, rng.choice(node_list),
+                           rng.choice(range(num_shards))))
+        when += rng.uniform(3.0, 8.0)
+    when = 8.0
+    for _ in range(net_ops):
+        duration = rng.uniform(5.0, 15.0)
+        if rng.random() < 0.3:
+            ops.append(ChaosOp("node", when, duration,
+                               rng.choice(node_list)))
+        else:
+            node_a, node_b = rng.choice(link_list)
+            ops.append(ChaosOp("link", when, duration, node_a, node_b))
+        when += duration + rng.uniform(4.0, 10.0)
+    return ops
+
+
+# ---------------------------------------------------------------------------
+# runner: one configured ring driven through one schedule
+# ---------------------------------------------------------------------------
+def run_chaos(ops: Sequence[ChaosOp], num_switches: int = NUM_SWITCHES,
+              num_shards: int = NUM_SHARDS) -> List[str]:
+    """Run one churn schedule; return every invariant violation (empty ==
+    the seed is green)."""
+    sim = Simulator()
+    ipam = IPAddressManager()
+    config = FrameworkConfig(detect_edge_ports=False, controllers=num_shards,
+                             partitioner="hash")
+    framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+    network = EmulatedNetwork(sim, ring_topology(num_switches), ipam=ipam)
+    framework.attach(network)
+    configured_at = framework.run_until_configured(max_time=1200.0, settle=5.0)
+    if configured_at is None:
+        return ["network did not reach the configured state before churn"]
+
+    plane = framework.control_plane
+    steady = sum(load["flows_current"] for load in framework.shard_loads())
+    change_times: List[float] = []
+    for vm in plane.vms.values():
+        vm.zebra.add_fib_listener(
+            lambda prefix, new, old: change_times.append(sim.now))
+    network.add_failure_listener(_mirror_into_routeflow(network,
+                                                        framework.bus))
+    schedule = ops_to_schedule(ops)
+    horizon = sim.now + schedule.duration
+    if schedule:
+        schedule.validate_against(network.switches,
+                                  ((a, b) for a, b in network.link_ports),
+                                  shards=num_shards)
+        network.schedule_failures(schedule)
+
+    settled = False
+    deadline = horizon + MAX_EXTRA
+    while sim.now < deadline:
+        sim.run(until=min(sim.now + 1.0, deadline))
+        if sim.now >= max([horizon] + change_times[-1:]) + SETTLE:
+            settled = True
+            break
+
+    violations: List[str] = []
+    if not settled:
+        violations.append(
+            f"did not settle within {MAX_EXTRA:g}s of the churn horizon")
+    final = sum(load["flows_current"] for load in framework.shard_loads())
+    if final != steady:
+        violations.append(
+            f"flows not conserved: steady {steady}, final {final}")
+    violations.extend(f"spf/rib: {v}"
+                      for v in verify_spf_rib_consistency(plane))
+    violations.extend(f"ownership: {v}"
+                      for v in plane.ownership_violations())
+    violations.extend(f"parked: {v}"
+                      for v in plane.orphaned_parked_route_mods())
+    return violations
+
+
+def minimize_ops(ops: Sequence[ChaosOp]) -> List[ChaosOp]:
+    """Greedy delta debugging over whole ops: repeatedly drop any single
+    op whose removal keeps the schedule failing."""
+    current = list(ops)
+    shrinking = True
+    while shrinking and len(current) > 1:
+        shrinking = False
+        for index in range(len(current)):
+            candidate = current[:index] + current[index + 1:]
+            if run_chaos(candidate):
+                current = candidate
+                shrinking = True
+                break
+    return current
+
+
+# ---------------------------------------------------------------------------
+# the property: every seed's schedule keeps the invariants
+# ---------------------------------------------------------------------------
+@pytest.mark.parametrize("seed", range(CHAOS_SEEDS))
+def test_chaos_schedule_preserves_invariants(seed):
+    topology = ring_topology(NUM_SWITCHES)
+    nodes = [node.node_id for node in topology.nodes]
+    links = [(link.node_a, link.node_b) for link in topology.links]
+    ops = generate_ops(seed, nodes=nodes, links=links)
+    violations = run_chaos(ops)
+    if violations:
+        minimized = minimize_ops(ops)
+        replay = run_chaos(minimized)
+        pytest.fail(
+            f"chaos seed {seed} violated invariants:\n  "
+            + "\n  ".join(violations)
+            + f"\nminimized to {len(minimized)}/{len(ops)} ops:\n  "
+            + "\n  ".join(op.describe() for op in minimized)
+            + ("\nviolations on minimized schedule:\n  "
+               + "\n  ".join(replay) if replay else ""))
+
+
+# ---------------------------------------------------------------------------
+# generator sanity: the harness itself must be deterministic and balanced
+# ---------------------------------------------------------------------------
+class TestGenerator:
+    def test_deterministic_in_seed(self):
+        topology = ring_topology(NUM_SWITCHES)
+        nodes = [node.node_id for node in topology.nodes]
+        links = [(link.node_a, link.node_b) for link in topology.links]
+        first = generate_ops(7, nodes=nodes, links=links)
+        second = generate_ops(7, nodes=nodes, links=links)
+        assert first == second
+        assert first != generate_ops(8, nodes=nodes, links=links)
+
+    def test_every_outage_carries_its_repair(self):
+        topology = ring_topology(NUM_SWITCHES)
+        nodes = [node.node_id for node in topology.nodes]
+        links = [(link.node_a, link.node_b) for link in topology.links]
+        for seed in range(20):
+            for op in generate_ops(seed, nodes=nodes, links=links):
+                events = op.events()
+                if op.kind == "reshard":
+                    assert len(events) == 1
+                else:
+                    down, up = events
+                    assert up.time > down.time
+                    assert up.action in (FailureAction.SHARD_UP,
+                                         FailureAction.LINK_UP,
+                                         FailureAction.NODE_UP)
+
+    def test_shard_outages_never_overlap(self):
+        topology = ring_topology(NUM_SWITCHES)
+        nodes = [node.node_id for node in topology.nodes]
+        links = [(link.node_a, link.node_b) for link in topology.links]
+        for seed in range(20):
+            windows = [(op.start, op.start + op.duration)
+                       for op in generate_ops(seed, nodes=nodes, links=links)
+                       if op.kind in ("shard_kill", "shard_failover")]
+            windows.sort()
+            for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+                assert next_start > prev_end

@@ -236,6 +236,65 @@ class TestInterdomainEndToEnd:
                    for load in framework.shard_loads()) == steady_flows
         assert verify_spf_rib_consistency(framework.control_plane) == []
 
+    def test_border_teardown_races_shard_failover(self):
+        """BGP session teardown racing shard failover: the border dpid
+        migrates to the standby while its eBGP hold timer is already
+        running.  The adopting shard must process the teardown — flow
+        withdrawals included — and the later session recovery; the dead
+        shard must stay frozen throughout."""
+        topology = multi_as_topology(2, as_size=2)
+        config = FrameworkConfig(detect_edge_ports=False, enable_bgp=True,
+                                 as_map=as_map_from_topology(topology),
+                                 controllers=2, partitioner="as")
+        sim = Simulator()
+        ipam = IPAddressManager()
+        framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+        network = EmulatedNetwork(sim, topology, ipam=ipam)
+        framework.attach(network)
+        configured = framework.run_until_configured(max_time=900.0)
+        assert configured is not None
+        sim.run(until=configured + 60.0)
+        plane = framework.control_plane
+        steady_flows = sum(load["flows_current"]
+                           for load in framework.shard_loads())
+        network.add_failure_listener(
+            _mirror_into_routeflow(network, framework.bus))
+        from repro.scenarios import FailureAction, FailureEvent
+
+        victim = plane.owner_of(2)  # the shard hosting border dpid 2
+        survivor = 1 - victim
+        network.schedule_failures(FailureSchedule((
+            FailureEvent(5.0, FailureAction.LINK_DOWN, 2, 3),
+            # 10s into the 30s hold window: the border dpid migrates
+            # while its hold timer is running.
+            FailureEvent(15.0, FailureAction.SHARD_FAILOVER, victim),
+            FailureEvent(100.0, FailureAction.LINK_UP, 2, 3),
+            FailureEvent(100.0, FailureAction.SHARD_UP, victim),
+        )))
+        dead_proxy = framework.shards[victim].rfproxy
+        # Run past the hold-timer expiry (~35s after the link drop).
+        sim.run(until=sim.now + 60.0)
+        assert plane.takeovers == 1
+        assert plane.owner_of(2) == survivor
+        dead_installed = dead_proxy.flows_installed
+        dead_removed = dead_proxy.flows_removed
+        vm2 = plane.vms[2]
+        assert all(s.is_ibgp for s in vm2.bgp.established_sessions)
+        # The withdrawals reached the switches through the adopting shard.
+        assert sum(load["flows_current"]
+                   for load in framework.shard_loads()) < steady_flows
+        # Recovery: the link returns, the session re-establishes under the
+        # adopting shard, and the flows come back exactly.
+        sim.run(until=sim.now + 120.0)
+        assert any(not s.is_ibgp for s in vm2.bgp.established_sessions)
+        assert sum(load["flows_current"]
+                   for load in framework.shard_loads()) == steady_flows
+        assert dead_proxy.flows_installed == dead_installed
+        assert dead_proxy.flows_removed == dead_removed
+        assert verify_spf_rib_consistency(plane) == []
+        assert plane.ownership_violations() == []
+        assert plane.orphaned_parked_route_mods() == []
+
     def test_node_failure_tears_down_border_sessions(self):
         """A fail-stopped border switch takes its eBGP sessions with it."""
         topology = multi_as_topology(2, as_size=2)

@@ -1,0 +1,165 @@
+"""Property-based round-trip tests for every bus message kind.
+
+Each serialisable IPC payload — RouteMod, MappingRecord, ShardHeartbeat,
+TakeoverAnnouncement, PortStatusRelay — and the bus Envelope itself must
+survive ``to_json`` → ``from_json`` unchanged for randomized payloads, and
+``payload_kind`` must discriminate every kind.  Hypothesis drives the
+generation; ``derandomize=True`` pins the example stream so runs are
+reproducible (the property suite is seeded, not flaky).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+hypothesis = pytest.importorskip("hypothesis")
+
+from hypothesis import given, settings  # noqa: E402
+from hypothesis import strategies as st  # noqa: E402
+
+from repro.bus import Envelope  # noqa: E402
+from repro.routeflow.ipc import (  # noqa: E402
+    MappingRecord,
+    PortStatusRelay,
+    RouteMod,
+    ShardHeartbeat,
+    TakeoverAnnouncement,
+    payload_kind,
+)
+
+# JSON-safe building blocks.  Text stays unicode-arbitrary on purpose:
+# json.dumps must escape whatever ends up in an interface name or reason.
+names = st.text(max_size=40)
+small_ints = st.integers(min_value=0, max_value=2**32)
+sim_times = st.floats(min_value=0.0, max_value=1e9,
+                      allow_nan=False, allow_infinity=False)
+octet = st.integers(min_value=0, max_value=255)
+ip_strings = st.builds(lambda a, b, c, d: f"{a}.{b}.{c}.{d}",
+                       octet, octet, octet, octet)
+prefix_strings = st.builds(lambda ip, length: f"{ip}/{length}",
+                           ip_strings, st.integers(min_value=0, max_value=32))
+
+route_mods = st.builds(
+    RouteMod,
+    mod_type=st.sampled_from(["add", "delete"]),
+    vm_id=small_ints,
+    prefix=prefix_strings,
+    next_hop=st.one_of(st.none(), ip_strings),
+    interface=names,
+    metric=small_ints,
+)
+
+mapping_records = st.builds(
+    MappingRecord,
+    event=st.sampled_from([MappingRecord.VM_MAPPED,
+                           MappingRecord.ADDRESS_ASSIGNED,
+                           MappingRecord.ADDRESS_REMOVED]),
+    vm_id=small_ints,
+    datapath_id=small_ints,
+    shard=st.integers(min_value=0, max_value=64),
+    interface=names,
+    address=st.one_of(st.none(), ip_strings),
+    num_ports=st.integers(min_value=0, max_value=48),
+)
+
+heartbeats = st.builds(
+    ShardHeartbeat,
+    shard_id=st.integers(min_value=0, max_value=64),
+    sent_at=sim_times,
+    epoch=small_ints,
+)
+
+takeovers = st.builds(
+    TakeoverAnnouncement,
+    event=st.sampled_from([TakeoverAnnouncement.TAKEOVER,
+                           TakeoverAnnouncement.RESHARD]),
+    from_shard=st.integers(min_value=0, max_value=64),
+    to_shard=st.integers(min_value=0, max_value=64),
+    datapaths=st.lists(small_ints, max_size=16),
+    reason=names,
+)
+
+port_statuses = st.builds(
+    PortStatusRelay,
+    dpid_a=small_ints,
+    port_a=st.integers(min_value=1, max_value=255),
+    dpid_b=small_ints,
+    port_b=st.integers(min_value=1, max_value=255),
+    up=st.booleans(),
+)
+
+KINDS = [
+    ("route_mod", route_mods, RouteMod),
+    ("mapping_record", mapping_records, MappingRecord),
+    ("shard_heartbeat", heartbeats, ShardHeartbeat),
+    ("takeover", takeovers, TakeoverAnnouncement),
+    ("port_status", port_statuses, PortStatusRelay),
+]
+
+
+class TestPayloadRoundTrips:
+    @settings(derandomize=True)
+    @given(message=route_mods)
+    def test_route_mod(self, message):
+        assert RouteMod.from_json(message.to_json()) == message
+
+    @settings(derandomize=True)
+    @given(message=mapping_records)
+    def test_mapping_record(self, message):
+        assert MappingRecord.from_json(message.to_json()) == message
+
+    @settings(derandomize=True)
+    @given(message=heartbeats)
+    def test_shard_heartbeat(self, message):
+        assert ShardHeartbeat.from_json(message.to_json()) == message
+
+    @settings(derandomize=True)
+    @given(message=takeovers)
+    def test_takeover_announcement(self, message):
+        assert TakeoverAnnouncement.from_json(message.to_json()) == message
+
+    @settings(derandomize=True)
+    @given(message=port_statuses)
+    def test_port_status_relay(self, message):
+        assert PortStatusRelay.from_json(message.to_json()) == message
+
+    @settings(derandomize=True)
+    @given(envelope=st.builds(
+        Envelope, topic=names, seq=small_ints, sender=names,
+        published_at=sim_times, payload=st.text(max_size=200)))
+    def test_envelope(self, envelope):
+        assert Envelope.from_json(envelope.to_json()) == envelope
+
+    @settings(derandomize=True)
+    @given(message=st.one_of(*(strategy for _, strategy, _ in KINDS)))
+    def test_payload_kind_discriminates(self, message):
+        expected = {cls: kind for kind, _, cls in KINDS}[type(message)]
+        assert payload_kind(message.to_json()) == expected
+
+    @settings(derandomize=True)
+    @given(message=takeovers)
+    def test_wrong_decoder_rejects(self, message):
+        text = message.to_json()
+        for kind, _, cls in KINDS:
+            if cls is TakeoverAnnouncement:
+                continue
+            with pytest.raises(ValueError, match="not a"):
+                cls.from_json(text)
+
+
+class TestPayloadKindEdgeCases:
+    def test_garbage_is_none(self):
+        assert payload_kind("not json at all") is None
+
+    def test_non_dict_json_is_none(self):
+        assert payload_kind("[1, 2, 3]") is None
+        assert payload_kind('"route_mod"') is None
+
+    def test_missing_or_non_string_kind_is_none(self):
+        assert payload_kind('{"vm_id": 3}') is None
+        assert payload_kind('{"kind": 7}') is None
+
+    def test_envelope_kind_visible(self):
+        envelope = Envelope(topic="t", seq=1, sender="s", published_at=0.0,
+                            payload="p")
+        assert payload_kind(envelope.to_json()) == "envelope"

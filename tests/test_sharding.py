@@ -24,12 +24,14 @@ from repro.routeflow import (
     RFProxy,
     RFServer,
     RouteMod,
+    ShardRole,
     make_partitioner,
 )
 from repro.scenarios import (
     FailureAction,
     FailureEvent,
     FailureSchedule,
+    FailureScheduleError,
     ScenarioError,
     ScenarioSpec,
 )
@@ -396,3 +398,189 @@ class TestControllersKnob:
             rows = list(csv_module.DictReader(handle))
         assert len(rows) == 3  # 1 shard + 2 shards
         assert {row["shard"] for row in rows} == {"0", "1"}
+
+
+# ---------------------------------------------------------------------------
+# master/standby roles, takeover and live resharding
+# ---------------------------------------------------------------------------
+class TestTakeoverAndResharding:
+    def test_coordinated_failover_preserves_flows(self):
+        """A standby adopting a failed master's partition must not drop a
+        single installed flow."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        flows_before = sum(len(switch.flow_table)
+                           for switch in network.switches.values())
+        plane.fail_shard(0)
+        assert plane.takeover(0, reason="test") == 1
+        sim.run(until=sim.now + 10.0)
+        assert plane.takeovers == 1
+        assert plane.role_of(0) == ShardRole.FAILED
+        assert plane.role_of(1) == ShardRole.MASTER
+        assert plane.owned_dpids(0) == []
+        assert plane.owned_dpids(1) == [1, 2, 3, 4, 5, 6, 7, 8]
+        assert sum(len(switch.flow_table)
+                   for switch in network.switches.values()) == flows_before
+        assert plane.ownership_violations() == []
+        assert plane.orphaned_parked_route_mods() == []
+        assert verify_spf_rib_consistency(plane) == []
+
+    def test_adopted_partition_keeps_reconverging(self):
+        """After takeover the adopting shard must route around failures
+        inside the adopted partition (the datapaths really moved, control
+        channels included)."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        from repro.experiments.failover import _mirror_into_routeflow
+        network.add_failure_listener(_mirror_into_routeflow(network,
+                                                            framework.bus))
+        plane.fail_shard(0)
+        plane.takeover(0)
+        sim.run(until=sim.now + 10.0)
+        survivor = framework.shards[1]
+        activity_before = (survivor.rfproxy.flows_installed
+                          + survivor.rfproxy.flows_removed)
+        # Link 2-3 lies wholly inside the partition shard 1 adopted.
+        network.apply_failure_event(
+            FailureEvent(0.0, FailureAction.LINK_DOWN, 2, 3))
+        sim.run(until=sim.now + 120.0)
+        assert (survivor.rfproxy.flows_installed
+                + survivor.rfproxy.flows_removed) > activity_before
+        assert verify_spf_rib_consistency(plane) == []
+
+    def test_failure_detector_triggers_takeover(self):
+        """A silently dead master (no coordinated failover event) must be
+        detected by heartbeat silence and its partition taken over."""
+        sim, framework, network, configured_at = configure_ring(8, 2)
+        assert configured_at is not None
+        plane = framework.control_plane
+        plane.fail_shard(0)
+        assert plane.takeovers == 0
+        sim.run(until=sim.now + plane.FAILURE_TIMEOUT
+                + 2 * plane.HEARTBEAT_INTERVAL + 1.0)
+        assert plane.takeovers == 1
+        assert plane.owned_dpids(0) == []
+        assert plane.ownership_violations() == []
+
+    def test_standby_is_next_live_shard_in_ring_order(self):
+        sim, framework, network, configured_at = configure_ring(8, 3)
+        assert configured_at is not None
+        plane = framework.control_plane
+        assert plane.standby_for(0) == 1
+        assert plane.standby_for(2) == 0
+        plane.fail_shard(1)
+        assert plane.standby_for(0) == 2
+        assert plane.role_of(1) == ShardRole.FAILED
+        plane.takeover(1)
+        plane.restore_shard(1)
+        # Its partition was taken over, so the restored shard owns
+        # nothing: it comes back as a standby.
+        assert plane.owned_dpids(1) == []
+        assert plane.role_of(1) == ShardRole.STANDBY
+
+    def test_reshard_moves_one_dpid_without_flow_loss(self):
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        flows_before = sum(len(switch.flow_table)
+                           for switch in network.switches.values())
+        assert plane.reshard(3, 1) is True
+        sim.run(until=sim.now + 10.0)
+        assert plane.reshards == 1
+        assert plane.owner_of(3) == 1
+        assert 3 in framework.shards[1].rfserver.mapping.mapped_datapaths
+        assert 3 not in framework.shards[0].rfserver.mapping.mapped_datapaths
+        assert sum(len(switch.flow_table)
+                   for switch in network.switches.values()) == flows_before
+        assert plane.ownership_violations() == []
+        assert verify_spf_rib_consistency(plane) == []
+
+    def test_reshard_rejects_failed_target_and_self_moves(self):
+        sim, framework, network, configured_at = configure_ring(
+            4, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        assert plane.reshard(1, 0) is False  # already the owner
+        assert plane.reshards == 0
+        plane.fail_shard(1)
+        with pytest.raises(PartitionError, match="failed"):
+            plane.reshard(1, 1)
+
+    def test_takeover_transfers_parked_route_mods_and_blocks_dead_replay(self):
+        """Regression: a fail-stopped shard must never install flows via
+        parked-RouteMod replay after takeover transfers its partition.
+        The parked entry follows its VM to the adopting shard and replays
+        there — and only there — once the gateway address lands."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        shard0, shard1 = framework.shards
+        gateway = IPv4Address("10.123.45.2")
+        mod = RouteMod.add(vm_id=1, prefix=IPv4Network("203.0.113.0/24"),
+                           next_hop=gateway, interface="eth1")
+        shard0.rfserver.receive_route_mod(mod.to_json())
+        sim.run(until=sim.now + 2.0)
+        assert shard0.rfserver.pending_route_mods == 1
+        plane.fail_shard(0)
+        plane.takeover(0)
+        sim.run(until=sim.now + 5.0)
+        assert shard0.rfserver.pending_route_mods == 0
+        assert shard1.rfserver.pending_route_mods == 1
+        assert plane.orphaned_parked_route_mods() == []
+        dead_installed = shard0.rfproxy.flows_installed
+        # The awaited gateway address lands on a VM the adopter now hosts.
+        shard1.rfserver.vms[2].interfaces["eth1"].configure_ip(gateway, 30)
+        sim.run(until=sim.now + 5.0)
+        assert shard1.rfserver.pending_route_mods == 0
+        assert (1, "203.0.113.0/24") in shard1.rfproxy.installed_flows
+        assert (1, "203.0.113.0/24") not in shard0.rfproxy.installed_flows
+        assert shard0.rfproxy.flows_installed == dead_installed
+
+
+class TestReshardEvents:
+    def test_reshard_event_requires_target_shard(self):
+        with pytest.raises(FailureScheduleError,
+                           match="reshard requires a target shard"):
+            FailureEvent(1.0, FailureAction.RESHARD, 3)
+
+    def test_reshard_event_describe(self):
+        event = FailureEvent(1.0, FailureAction.RESHARD, 3, 1)
+        assert event.describe() == "reshard dpid 3 -> shard 1 @ 1s"
+
+    def test_reshard_validation_checks_dpid_and_shard_range(self):
+        bad_dpid = FailureSchedule((
+            FailureEvent(1.0, FailureAction.RESHARD, 99, 0),))
+        with pytest.raises(FailureScheduleError, match="not in"):
+            bad_dpid.validate_against([1, 2], [(1, 2)], shards=2)
+        bad_shard = FailureSchedule((
+            FailureEvent(1.0, FailureAction.RESHARD, 1, 5),))
+        with pytest.raises(FailureScheduleError, match="no controller shard"):
+            bad_shard.validate_against([1, 2], [(1, 2)], shards=2)
+        # The emulator validates without a shard count: the dpid is still
+        # checked, the target shard is not its business.
+        bad_shard.validate_against([1, 2], [(1, 2)])
+
+    def test_injected_failover_and_reshard_round_trip(self):
+        """The failure-injection path (schedule -> emulator -> control
+        plane listener) drives both new actions end to end."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        schedule = FailureSchedule((
+            FailureEvent(5.0, FailureAction.SHARD_FAILOVER, 0),
+            FailureEvent(15.0, FailureAction.SHARD_UP, 0),
+            FailureEvent(25.0, FailureAction.RESHARD, 5, 0),
+        ))
+        network.schedule_failures(schedule)
+        sim.run(until=sim.now + 40.0)
+        assert plane.takeovers == 1
+        assert plane.reshards == 1
+        assert plane.owner_of(5) == 0
+        assert plane.ownership_violations() == []
