@@ -2,13 +2,31 @@
 
 from repro.bus.bus import BusError, Channel, Discipline, MessageBus
 from repro.bus.envelope import Envelope
+from repro.bus.faults import ChannelFaults
+from repro.bus.reliable import (
+    DEFAULT_POLICIES,
+    PassthroughPublisher,
+    ReliableConsumer,
+    ReliablePolicy,
+    ReliablePublisher,
+    acquire_publisher,
+    consume,
+)
 from repro.bus import topics
 
 __all__ = [
     "BusError",
     "Channel",
+    "ChannelFaults",
+    "DEFAULT_POLICIES",
     "Discipline",
     "Envelope",
     "MessageBus",
+    "PassthroughPublisher",
+    "ReliableConsumer",
+    "ReliablePolicy",
+    "ReliablePublisher",
+    "acquire_publisher",
+    "consume",
     "topics",
 ]

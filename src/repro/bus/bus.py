@@ -28,19 +28,37 @@ Three queueing disciplines cover every hop in the reproduction:
     published ahead of it on the same channel, so a burst spaced closer
     than the channel latency drains one-by-one.  Models a single-reader
     IPC endpoint; no seed hop uses it, experiments can opt in.
+
+The bus is a perfect transport by default.  A per-channel
+:class:`~repro.bus.faults.ChannelFaults` model (seeded drop/duplicate/
+reorder probabilities, delay jitter) can be attached by topic pattern
+(:meth:`MessageBus.configure_faults`), and endpoint pairs can be
+partitioned from each other (:meth:`MessageBus.partition`).  With no
+faults configured and no partitions the publish/deliver code path is
+bit-identical to the perfect bus — the golden traces pin that.  A faulted
+``direct`` channel whose message draws a non-zero extra delay converts
+that one delivery into a scheduled kernel event; that only ever happens
+with faults configured, never on the default path.
 """
 
 from __future__ import annotations
 
 import logging
-from typing import Callable, Dict, List, Optional
+from fnmatch import fnmatchcase
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.bus.envelope import Envelope
+from repro.bus.faults import ChannelFaults, fault_stream_seed
 from repro.sim import Simulator
+from repro.sim.rng import SeededRandom
 
 LOG = logging.getLogger(__name__)
 
 Subscriber = Callable[[Envelope], None]
+
+#: Suffix of the acknowledgement companion topic the reliable-delivery
+#: layer pairs with a data topic (see :mod:`repro.bus.reliable`).
+ACK_SUFFIX = ".ack"
 
 
 class BusError(Exception):
@@ -57,6 +75,29 @@ class Discipline:
     ALL = (DIRECT, DELAY, FIFO)
 
 
+class Subscription:
+    """One subscriber callback plus the endpoint label it listens at.
+
+    The endpoint is what partitions act on: a delivery is suppressed when
+    the publisher's endpoint and the subscriber's endpoint are on opposite
+    sides of an active partition.  ``None`` means "not partitionable" —
+    global observers (statistics, tests) always hear everything.
+    """
+
+    __slots__ = ("callback", "endpoint")
+
+    def __init__(self, callback: Subscriber,
+                 endpoint: Optional[str] = None) -> None:
+        self.callback = callback
+        self.endpoint = endpoint
+
+    def __call__(self, envelope: Envelope) -> None:
+        self.callback(envelope)
+
+    def __repr__(self) -> str:
+        return f"<Subscription endpoint={self.endpoint!r}>"
+
+
 class Channel:
     """One topic's configuration, subscribers and counters."""
 
@@ -70,9 +111,12 @@ class Channel:
         #: to (or published on) the topic before its owner declared it;
         #: the first explicit :meth:`MessageBus.channel` call refines it.
         self.configured = configured
-        self.subscribers: List[Subscriber] = []
+        self.subscribers: List[Subscription] = []
         #: FIFO bookkeeping: simulated time the queue head frees up.
         self._busy_until = 0.0
+        #: Fault model in force (None = perfect channel) and its RNG.
+        self.faults: Optional[ChannelFaults] = None
+        self._fault_rng: Optional[SeededRandom] = None
         # Counters (exposed through MessageBus.stats()).
         self._init_counters()
 
@@ -93,25 +137,69 @@ class Channel:
     def _init_counters(self) -> None:
         self.published = 0
         self.delivered = 0
-        self.dropped = 0
+        #: Messages that found no subscriber at delivery time (publishing
+        #: into the void — a wiring gap, not an injected fault).
+        self.dropped_no_subscriber = 0
+        #: Messages lost to the fault model: probabilistic drops plus
+        #: deliveries whose every subscriber was partitioned away.
+        self.dropped_fault = 0
         self.bytes_published = 0
         self.bytes_delivered = 0
+        # Fault-model activity.
+        self.fault_duplicated = 0
+        self.fault_reordered = 0
+        #: Per-subscriber deliveries suppressed by an active partition
+        #: (the message may still have reached unpartitioned subscribers).
+        self.partitioned = 0
+        # Reliable-delivery layer activity on this topic (incremented by
+        # repro.bus.reliable; always zero on the perfect default path).
+        self.retransmits = 0
+        self.acked = 0
+        self.exhausted = 0
+        self.rx_duplicates = 0
+        self.rx_out_of_order = 0
+        self.rx_out_of_window = 0
+        self.rx_stale = 0
+
+    @property
+    def dropped(self) -> int:
+        """Total messages never delivered to anyone (both drop families)."""
+        return self.dropped_no_subscriber + self.dropped_fault
 
     @property
     def in_flight(self) -> int:
-        return self.published - self.delivered - self.dropped
+        # Fault duplication mints extra deliveries, so the balance counts
+        # the duplicated copies on the published side.
+        return (self.published + self.fault_duplicated
+                - self.delivered - self.dropped)
+
+    def max_fault_delay(self) -> float:
+        """Worst-case extra delivery delay the active fault model can add."""
+        return self.faults.max_extra_delay if self.faults is not None else 0.0
 
     def snapshot(self) -> Dict[str, float]:
         return {
             "published": self.published,
             "delivered": self.delivered,
             "dropped": self.dropped,
+            "dropped_no_subscriber": self.dropped_no_subscriber,
+            "dropped_fault": self.dropped_fault,
             "in_flight": self.in_flight,
             "bytes_published": self.bytes_published,
             "bytes_delivered": self.bytes_delivered,
             "latency": self.latency,
             "discipline": self.discipline,
             "subscribers": len(self.subscribers),
+            "fault_duplicated": self.fault_duplicated,
+            "fault_reordered": self.fault_reordered,
+            "partitioned": self.partitioned,
+            "retransmits": self.retransmits,
+            "acked": self.acked,
+            "exhausted": self.exhausted,
+            "rx_duplicates": self.rx_duplicates,
+            "rx_out_of_order": self.rx_out_of_order,
+            "rx_out_of_window": self.rx_out_of_window,
+            "rx_stale": self.rx_stale,
         }
 
     def __repr__(self) -> str:
@@ -122,11 +210,22 @@ class Channel:
 class MessageBus:
     """A named-topic pub/sub bus running on the simulation kernel."""
 
-    def __init__(self, sim: Simulator, name: str = "bus") -> None:
+    def __init__(self, sim: Simulator, name: str = "bus",
+                 fault_seed: int = 0) -> None:
         self.sim = sim
         self.name = name
         self._channels: Dict[str, Channel] = {}
         self._next_seq = 1
+        #: Seed the per-channel fault RNGs derive from.
+        self.fault_seed = fault_seed
+        #: Ordered (pattern, profile) fault assignments; the last match
+        #: wins, so a narrow reconfiguration overrides a broad one.
+        self._fault_profiles: List[Tuple[str, ChannelFaults]] = []
+        #: Active partitions as unordered endpoint-label pairs.
+        self._partitions: Set[frozenset] = set()
+        #: Ordered (pattern, policy) reliability assignments (see
+        #: :meth:`enable_reliability`); empty = reliability off.
+        self._reliability: List[Tuple[str, object]] = []
 
     # ---------------------------------------------------------------- channels
     def channel(self, topic: str, latency: float = 0.0,
@@ -148,13 +247,16 @@ class MessageBus:
                 existing._configure(latency, label, discipline)
                 existing.configured = True
             elif existing.latency != latency or existing.discipline != discipline:
+                claimant = label if label is not None else f"bus:{topic}"
                 raise BusError(
                     f"channel {topic!r} already declared as "
-                    f"{existing.discipline}/{existing.latency}s; conflicting "
-                    f"redeclaration {discipline}/{latency}s")
+                    f"{existing.discipline}/{existing.latency}s by "
+                    f"{existing.label!r}; conflicting redeclaration "
+                    f"{discipline}/{latency}s by {claimant!r}")
             return existing
         created = Channel(self, topic, latency, label, discipline)
         self._channels[topic] = created
+        self._attach_faults(created)
         return created
 
     def _implicit_channel(self, topic: str) -> Channel:
@@ -163,6 +265,7 @@ class MessageBus:
             channel = Channel(self, topic, 0.0, None, Discipline.DIRECT,
                               configured=False)
             self._channels[topic] = channel
+            self._attach_faults(channel)
         return channel
 
     def has_channel(self, topic: str) -> bool:
@@ -172,21 +275,135 @@ class MessageBus:
     def topics(self) -> List[str]:
         return sorted(self._channels)
 
-    def subscribe(self, topic: str, callback: Subscriber) -> None:
+    def subscribe(self, topic: str, callback: Subscriber,
+                  endpoint: Optional[str] = None) -> None:
         """Register a delivery callback; undeclared topics are auto-created
         as direct channels that the owner's later explicit
-        :meth:`channel` declaration refines."""
-        self._implicit_channel(topic).subscribers.append(callback)
+        :meth:`channel` declaration refines.  ``endpoint`` names the
+        subscribing component for partition purposes (None = hear
+        everything, even across partitions)."""
+        self._implicit_channel(topic).subscribers.append(
+            Subscription(callback, endpoint))
+
+    # ------------------------------------------------------------------ faults
+    def configure_faults(self, pattern: str,
+                         faults: Optional[ChannelFaults] = None,
+                         **params: float) -> None:
+        """Attach (or replace) a fault profile for every topic matching a
+        pattern.  ``configure_faults("routeflow.*", drop=0.05)`` degrades
+        every RouteFlow topic; a later call with the same pattern replaces
+        the earlier profile, and an all-zero profile removes it.
+        """
+        profile = faults if faults is not None else ChannelFaults(**params)
+        self._fault_profiles = [(p, f) for p, f in self._fault_profiles
+                                if p != pattern]
+        if profile.active:
+            self._fault_profiles.append((pattern, profile))
+        self._refresh_faults()
+
+    def clear_faults(self, pattern: Optional[str] = None) -> None:
+        """Remove fault profiles: all of them (no argument), or every
+        profile whose pattern equals or is matched by ``pattern``."""
+        if pattern is None:
+            self._fault_profiles = []
+        else:
+            self._fault_profiles = [
+                (p, f) for p, f in self._fault_profiles
+                if p != pattern and not fnmatchcase(p, pattern)]
+        self._refresh_faults()
+
+    def faults_for(self, topic: str) -> Optional[ChannelFaults]:
+        """The fault profile a topic resolves to (last match wins).
+
+        The reliability layer's ``<topic>.ack`` companions inherit the
+        data topic's profile, so acknowledgements are exactly as lossy as
+        the messages they acknowledge.
+        """
+        base = topic[:-len(ACK_SUFFIX)] if topic.endswith(ACK_SUFFIX) else topic
+        result = None
+        for pattern, profile in self._fault_profiles:
+            if fnmatchcase(topic, pattern) or fnmatchcase(base, pattern):
+                result = profile
+        return result
+
+    def _refresh_faults(self) -> None:
+        for channel in self._channels.values():
+            self._attach_faults(channel)
+
+    def _attach_faults(self, channel: Channel) -> None:
+        channel.faults = self.faults_for(channel.topic)
+        if channel.faults is not None and channel._fault_rng is None:
+            channel._fault_rng = SeededRandom(
+                fault_stream_seed(self.fault_seed, channel.topic))
+
+    # -------------------------------------------------------------- partitions
+    def partition(self, endpoint_a: str, endpoint_b: str) -> None:
+        """Partition two endpoints: messages published at one no longer
+        reach subscriptions registered at the other (both directions)."""
+        if endpoint_a == endpoint_b:
+            raise BusError(f"cannot partition {endpoint_a!r} from itself")
+        self._partitions.add(frozenset((endpoint_a, endpoint_b)))
+
+    def heal_partition(self, endpoint_a: Optional[str] = None,
+                       endpoint_b: Optional[str] = None) -> None:
+        """Heal one partition pair, or every partition (no arguments)."""
+        if endpoint_a is None:
+            self._partitions.clear()
+            return
+        self._partitions.discard(frozenset((endpoint_a, endpoint_b)))
+
+    def is_partitioned(self, endpoint_a: Optional[str],
+                       endpoint_b: Optional[str]) -> bool:
+        if not self._partitions or endpoint_a is None or endpoint_b is None:
+            return False
+        return frozenset((endpoint_a, endpoint_b)) in self._partitions
+
+    @property
+    def partitions(self) -> List[Tuple[str, str]]:
+        return sorted(tuple(sorted(pair)) for pair in self._partitions)
+
+    # ------------------------------------------------------------- reliability
+    def enable_reliability(self, policies=None) -> None:
+        """Turn on the reliable-delivery layer for the critical topics.
+
+        ``policies`` is an ordered sequence of ``(topic_pattern, policy)``
+        pairs (see :mod:`repro.bus.reliable`; default: the critical
+        RouteFlow topics).  Publishers and consumers constructed through
+        :func:`repro.bus.reliable.acquire_publisher` / ``consume`` consult
+        this table at construction time, so enable reliability before
+        building the components.
+        """
+        from repro.bus.reliable import DEFAULT_POLICIES
+        self._reliability = list(DEFAULT_POLICIES if policies is None
+                                 else policies)
+
+    def reliability_for(self, topic: str):
+        """The reliability policy for a topic, or None (last match wins).
+        Ack companion topics are never themselves reliable."""
+        if topic.endswith(ACK_SUFFIX):
+            return None
+        result = None
+        for pattern, policy in self._reliability:
+            if fnmatchcase(topic, pattern):
+                result = policy
+        return result
+
+    @property
+    def reliable(self) -> bool:
+        return bool(self._reliability)
 
     # ----------------------------------------------------------------- publish
     def publish(self, topic: str, payload: str, label: Optional[str] = None,
-                latency: Optional[float] = None, sender: str = "") -> Envelope:
+                latency: Optional[float] = None, sender: str = "",
+                endpoint: Optional[str] = None) -> Envelope:
         """Publish a serialised message on a topic.
 
         ``label`` overrides the channel's kernel-event label for this one
         message (the seed's hop labels are per-publisher, e.g.
         ``rfclient:<vm>:routemod``, and the golden traces pin them).
         ``latency`` overrides the channel latency for delay/fifo channels.
+        ``endpoint`` names the publishing component for partition purposes
+        (default: the sender label).
         """
         channel = self._implicit_channel(topic)
         envelope = Envelope(topic=topic, seq=self._next_seq, sender=sender,
@@ -194,45 +411,108 @@ class MessageBus:
         self._next_seq += 1
         channel.published += 1
         channel.bytes_published += envelope.size_bytes
+        source = endpoint if endpoint is not None else (sender or None)
+        faults = channel.faults
+        copies = 1
+        if faults is not None:
+            rng = channel._fault_rng
+            if faults.drop and rng.random() < faults.drop:
+                channel.dropped_fault += 1
+                return envelope
+            if faults.duplicate and rng.random() < faults.duplicate:
+                copies = 2
+                channel.fault_duplicated += 1
         if channel.discipline == Discipline.DIRECT:
-            self._deliver(channel, envelope)
+            for _ in range(copies):
+                extra = self._fault_delay(channel)
+                if extra > 0.0:
+                    # The fault model is the only thing that can turn a
+                    # direct hop into a scheduled one; the default path
+                    # stays synchronous and schedules nothing.
+                    self.sim.schedule(
+                        extra, self._deliver, channel, envelope, source,
+                        label=label if label is not None else channel.label)
+                else:
+                    self._deliver(channel, envelope, source)
             return envelope
         hop_latency = channel.latency if latency is None else latency
         event_label = label if label is not None else channel.label
-        if channel.discipline == Discipline.FIFO:
-            # One message in service at a time: each delivery occupies the
-            # channel for the hop latency, so a burst drains serially.
-            deliver_at = max(self.sim.now, channel._busy_until) + hop_latency
-            channel._busy_until = deliver_at
-            self.sim.schedule_at(deliver_at, self._deliver, channel, envelope,
-                                 label=event_label)
-        else:
-            self.sim.schedule(hop_latency, self._deliver, channel, envelope,
-                              label=event_label)
+        for _ in range(copies):
+            extra = self._fault_delay(channel)
+            if channel.discipline == Discipline.FIFO:
+                # One message in service at a time: each delivery occupies
+                # the channel for the hop latency, so a burst drains
+                # serially; fault jitter lands on top of the queue slot.
+                deliver_at = max(self.sim.now, channel._busy_until) + hop_latency
+                channel._busy_until = deliver_at
+                self.sim.schedule_at(deliver_at + extra, self._deliver,
+                                     channel, envelope, source,
+                                     label=event_label)
+            else:
+                self.sim.schedule(hop_latency + extra, self._deliver,
+                                  channel, envelope, source,
+                                  label=event_label)
         return envelope
 
-    def _deliver(self, channel: Channel, envelope: Envelope) -> None:
+    def _fault_delay(self, channel: Channel) -> float:
+        faults = channel.faults
+        if faults is None:
+            return 0.0
+        extra = 0.0
+        rng = channel._fault_rng
+        if faults.jitter:
+            extra += rng.uniform(0.0, faults.jitter)
+        if faults.reorder and rng.random() < faults.reorder:
+            channel.fault_reordered += 1
+            extra += rng.uniform(0.0, faults.reorder_delay)
+        return extra
+
+    def _deliver(self, channel: Channel, envelope: Envelope,
+                 source: Optional[str] = None) -> None:
         if not channel.subscribers:
-            channel.dropped += 1
+            channel.dropped_no_subscriber += 1
             return
+        eligible = channel.subscribers
+        if self._partitions and source is not None:
+            eligible = [subscription for subscription in channel.subscribers
+                        if not self.is_partitioned(source,
+                                                   subscription.endpoint)]
+            suppressed = len(channel.subscribers) - len(eligible)
+            if suppressed:
+                channel.partitioned += suppressed
+            if not eligible:
+                channel.dropped_fault += 1
+                return
         channel.delivered += 1
         channel.bytes_delivered += envelope.size_bytes
-        for subscriber in list(channel.subscribers):
-            subscriber(envelope)
+        for subscription in list(eligible):
+            subscription(envelope)
 
     # ------------------------------------------------------------------- stats
     def stats(self) -> Dict[str, Dict[str, float]]:
         """Per-topic counter snapshot, plus aggregate totals."""
         report = {topic: channel.snapshot()
                   for topic, channel in sorted(self._channels.items())}
+        channels = list(self._channels.values())
         report["_totals"] = {
-            "published": sum(c.published for c in self._channels.values()),
-            "delivered": sum(c.delivered for c in self._channels.values()),
-            "dropped": sum(c.dropped for c in self._channels.values()),
-            "bytes_published": sum(c.bytes_published
-                                   for c in self._channels.values()),
-            "bytes_delivered": sum(c.bytes_delivered
-                                   for c in self._channels.values()),
+            "published": sum(c.published for c in channels),
+            "delivered": sum(c.delivered for c in channels),
+            "dropped": sum(c.dropped for c in channels),
+            "dropped_no_subscriber": sum(c.dropped_no_subscriber
+                                         for c in channels),
+            "dropped_fault": sum(c.dropped_fault for c in channels),
+            "bytes_published": sum(c.bytes_published for c in channels),
+            "bytes_delivered": sum(c.bytes_delivered for c in channels),
+            "fault_duplicated": sum(c.fault_duplicated for c in channels),
+            "fault_reordered": sum(c.fault_reordered for c in channels),
+            "partitioned": sum(c.partitioned for c in channels),
+            "retransmits": sum(c.retransmits for c in channels),
+            "acked": sum(c.acked for c in channels),
+            "exhausted": sum(c.exhausted for c in channels),
+            "rx_duplicates": sum(c.rx_duplicates for c in channels),
+            "rx_out_of_order": sum(c.rx_out_of_order for c in channels),
+            "rx_out_of_window": sum(c.rx_out_of_window for c in channels),
+            "rx_stale": sum(c.rx_stale for c in channels),
             "topics": len(self._channels),
         }
         return report

@@ -214,6 +214,27 @@ def build_parser() -> argparse.ArgumentParser:
     ctlscale.add_argument("--settle", type=float, default=15.0,
                           help="quiet seconds that count as reconverged "
                                "after churn (default: 15)")
+    ctlscale.add_argument("--churn-bus-drop", type=float, default=0.0,
+                          metavar="P",
+                          help="with --churn: drop probability injected on "
+                               "every routeflow.*/config.rpc bus topic "
+                               "(enables reliable IPC; default: 0)")
+    ctlscale.add_argument("--churn-bus-duplicate", type=float, default=0.0,
+                          metavar="P",
+                          help="with --churn: duplication probability on the "
+                               "lossy bus topics (default: 0)")
+    ctlscale.add_argument("--churn-bus-reorder", type=float, default=0.0,
+                          metavar="P",
+                          help="with --churn: reorder probability on the "
+                               "lossy bus topics (default: 0)")
+    ctlscale.add_argument("--churn-bus-jitter", type=float, default=0.0,
+                          metavar="SECONDS",
+                          help="with --churn: max uniform delivery jitter on "
+                               "the lossy bus topics (default: 0)")
+    ctlscale.add_argument("--churn-bus-seed", type=int, default=None,
+                          metavar="N",
+                          help="seed of the bus fault streams (default: "
+                               "--churn-seed)")
     ctlscale.add_argument("--out", metavar="FILE",
                           help="write results as JSON to FILE")
     ctlscale.add_argument("--csv", metavar="FILE",
@@ -500,6 +521,11 @@ def _command_ctlscale_churn(args: argparse.Namespace) -> int:
             churn_seed=args.churn_seed,
             spacing=args.churn_spacing,
             settle=args.settle,
+            bus_drop=args.churn_bus_drop,
+            bus_duplicate=args.churn_bus_duplicate,
+            bus_reorder=args.churn_bus_reorder,
+            bus_jitter=args.churn_bus_jitter,
+            bus_fault_seed=args.churn_bus_seed,
         )
     except (ScenarioError, TopologyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)

@@ -19,7 +19,8 @@ import logging
 from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Union
 
-from repro.bus import MessageBus, topics
+from repro.bus import ChannelFaults, MessageBus, topics
+from repro.bus.reliable import consume
 from repro.controller.base import Controller
 from repro.controller.discovery import TopologyDiscovery
 from repro.core.gui import ConfigurationGUI
@@ -92,6 +93,18 @@ class FrameworkConfig:
     partitioner: str = "hash"
     #: Explicit dpid -> shard assignment for the ``slice`` partitioner.
     shard_map: Optional[Mapping[int, int]] = None
+    #: Control-plane bus fault profiles: topic pattern -> fault parameters
+    #: (``drop``/``duplicate``/``reorder``/``jitter``/``reorder_delay``,
+    #: see :class:`repro.bus.ChannelFaults`).  None/empty leaves the bus a
+    #: perfect transport, the behaviour every golden trace pins.
+    bus_faults: Optional[Mapping[str, Mapping[str, float]]] = None
+    #: Seed of the per-channel fault RNG streams (a lossy run replays
+    #: identically from (bus_faults, bus_fault_seed)).
+    bus_fault_seed: int = 0
+    #: Run the critical IPC topics over the reliable-delivery layer
+    #: (acks, retransmission, per-sender dedup/reorder windows).  None =
+    #: automatic: enabled exactly when :attr:`bus_faults` injects faults.
+    reliable_ipc: Optional[bool] = None
 
 
 class AutoConfigFramework:
@@ -109,8 +122,20 @@ class AutoConfigFramework:
         self.gui = ConfigurationGUI(sim)
         self.manual_model = ManualConfigurationModel()
 
-        # The explicit control-plane bus every IPC hop runs over.
-        self.bus = MessageBus(sim, name="control-bus")
+        # The explicit control-plane bus every IPC hop runs over.  Fault
+        # profiles and the reliability table must be in place before any
+        # component wires itself to the bus: publishers and consumers
+        # consult them at construction time.
+        self.bus = MessageBus(sim, name="control-bus",
+                              fault_seed=self.config.bus_fault_seed)
+        reliable_ipc = self.config.reliable_ipc
+        if reliable_ipc is None:
+            reliable_ipc = bool(self.config.bus_faults)
+        self.reliable_ipc = reliable_ipc
+        if reliable_ipc:
+            self.bus.enable_reliability()
+        for pattern, params in (self.config.bus_faults or {}).items():
+            self.bus.configure_faults(pattern, ChannelFaults.from_dict(params))
         num_controllers = self.config.controllers
         if num_controllers < 1:
             raise ValueError(f"controllers must be >= 1, got {num_controllers}")
@@ -144,7 +169,9 @@ class AutoConfigFramework:
             #: monitor talk to; a ShardedControlPlane when controllers > 1.
             self.control_plane: Union[RFServer, ShardedControlPlane] = self.rfserver
             self.shards: List[ControllerShard] = []
-            self.bus.subscribe(topics.PORT_STATUS, self.rfserver._on_port_status)
+            consume(self.bus, topics.PORT_STATUS, self.rfserver._on_port_status,
+                    endpoint=self.rfserver._endpoint,
+                    active=lambda: self.rfserver.active)
         else:
             partitioner = make_partitioner(self.config.partitioner,
                                            num_controllers,
@@ -244,6 +271,9 @@ class AutoConfigFramework:
             self.control_plane.seed_partitioner(
                 node.node_id for node in network.topology.nodes)
             network.add_failure_listener(self.control_plane.failure_listener())
+        # Bus perturbation events (bus_degrade / bus_partition / bus_heal)
+        # act on the framework's bus directly, in every deployment shape.
+        network.add_failure_listener(self._bus_failure_listener)
         for node in network.topology.nodes:
             self.gui.add_switch(node.node_id, label=node.name)
         for link in network.topology.links:
@@ -258,6 +288,37 @@ class AutoConfigFramework:
         self.event_log.record("attach", f"attached to {network.topology.name}",
                               switches=self._expected_switches,
                               links=self._expected_links)
+
+    def _bus_endpoint_pair(self, event) -> tuple:
+        """The bus endpoint labels a partition event refers to: shard
+        ``node_a`` against shard ``node_b``, or — with node_b omitted —
+        against the coordination plane."""
+        partner = "plane" if event.node_b is None else f"shard:{event.node_b}"
+        return f"shard:{event.node_a}", partner
+
+    def _bus_failure_listener(self, event) -> None:
+        """Execute bus perturbation events from a failure schedule."""
+        from repro.scenarios.events import FailureAction
+
+        if event.action == FailureAction.BUS_DEGRADE:
+            params = event.params_dict
+            patterns = str(params.pop("topics", "routeflow.*"))
+            profile = ChannelFaults.from_dict(params)
+            for pattern in patterns.split(","):
+                self.bus.configure_faults(pattern.strip(), profile)
+            self.event_log.record("bus_degraded", event.describe(),
+                                  patterns=patterns)
+        elif event.action == FailureAction.BUS_PARTITION:
+            endpoint_a, endpoint_b = self._bus_endpoint_pair(event)
+            self.bus.partition(endpoint_a, endpoint_b)
+            self.event_log.record("bus_partitioned", event.describe())
+        elif event.action == FailureAction.BUS_HEAL:
+            if event.node_a < 0:
+                self.bus.clear_faults()
+                self.bus.heal_partition()
+            else:
+                self.bus.heal_partition(*self._bus_endpoint_pair(event))
+            self.event_log.record("bus_healed", event.describe())
 
     # -------------------------------------------------------------- milestones
     def _sample_milestones(self) -> None:

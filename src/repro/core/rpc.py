@@ -16,6 +16,7 @@ from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Mapping, Optional, Set, Tuple
 
 from repro.bus import Discipline, MessageBus, topics
+from repro.bus.reliable import acquire_publisher, consume
 from repro.net.addresses import IPv4Address, IPv4Network
 from repro.core.config_messages import (
     ConfigMessage,
@@ -58,15 +59,22 @@ class RPCClient:
         self.bus = bus if bus is not None else MessageBus(sim, name="rpc-bus")
         self.bus.channel(topics.CONFIG, latency=network_delay,
                          discipline=Discipline.DELAY, label="rpc:deliver")
-        self.bus.subscribe(topics.CONFIG,
-                           lambda envelope: self.server.receive(envelope.payload))
+        # Pub/sub runs through the reliability layer: a passthrough shim on
+        # a perfect bus, acknowledged retransmission when the framework
+        # enables reliable IPC (a lost configuration message would
+        # otherwise permanently miss a VM or link).
+        consume(self.bus, topics.CONFIG,
+                lambda envelope: self.server.receive(envelope.payload),
+                endpoint="rpc-server")
+        self._publisher = acquire_publisher(self.bus, topics.CONFIG,
+                                            "rpc-client", endpoint="rpc-client")
         self.messages_sent = 0
 
     def send(self, message: ConfigMessage) -> None:
         """Serialise and deliver a configuration message to the RPC server."""
         payload = message.to_json()
         self.messages_sent += 1
-        self.bus.publish(topics.CONFIG, payload, sender="rpc-client")
+        self._publisher.publish(payload)
 
 
 @dataclass

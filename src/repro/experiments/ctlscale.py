@@ -192,6 +192,27 @@ class CtlScaleChurnResult:
     takeovers: int = 0
     reshards: int = 0
     settled: bool = False
+    #: Fault profile injected on the sharded run's bus (pattern ->
+    #: ChannelFaults params); empty means the bus was lossless.
+    bus_faults: Dict[str, Dict[str, float]] = field(default_factory=dict)
+    bus_fault_seed: int = 0
+    reliable_ipc: bool = False
+    #: Reliability counters summed across topics (``stats()["_totals"]``).
+    retransmits: int = 0
+    acked: int = 0
+    exhausted: int = 0
+    dropped_fault: int = 0
+    fault_duplicated: int = 0
+    fault_reordered: int = 0
+    rx_duplicates: int = 0
+    rx_out_of_order: int = 0
+    rx_out_of_window: int = 0
+    #: Fencing + idempotence counters from the components themselves.
+    stale_announcements: int = 0
+    duplicate_installs: int = 0
+    client_resyncs: int = 0
+    #: Per-topic bus counters at the end of the run.
+    bus_stats: Dict[str, Dict[str, float]] = field(default_factory=dict)
     #: Seconds between the last churn event and the last FIB change (how
     #: long the control plane needed to reconverge after the churn).
     reconvergence_seconds: Optional[float] = None
@@ -270,13 +291,29 @@ def churn_schedule(num_shards: int, dpids: Sequence[int],
     return schedule
 
 
+def _harvest_bus_counters(result: CtlScaleChurnResult,
+                          framework: AutoConfigFramework) -> None:
+    """Copy the bus's end-of-run reliability counters into the result."""
+    stats = framework.bus.stats()
+    totals = stats.get("_totals", {})
+    for key in ("retransmits", "acked", "exhausted", "dropped_fault",
+                "fault_duplicated", "fault_reordered", "rx_duplicates",
+                "rx_out_of_order", "rx_out_of_window"):
+        setattr(result, key, int(totals.get(key, 0)))
+    result.bus_stats = stats
+
+
 def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
                        controllers: Optional[int] = None,
                        partitioner: Optional[str] = None,
                        failovers: int = 1, reshards: int = 1,
                        link_churn: int = 2, churn_seed: int = 0,
                        spacing: float = 30.0, settle: float = 15.0,
-                       max_extra: float = 900.0) -> CtlScaleChurnResult:
+                       max_extra: float = 900.0,
+                       bus_drop: float = 0.0, bus_duplicate: float = 0.0,
+                       bus_reorder: float = 0.0, bus_jitter: float = 0.0,
+                       bus_fault_seed: Optional[int] = None
+                       ) -> CtlScaleChurnResult:
     """Measure reconvergence time and flow loss under controller churn.
 
     Configures the scenario twice: once with a single controller (the
@@ -286,6 +323,14 @@ def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
     resharding, link churn — and run to quiescence; the result carries the
     flow-conservation gate plus the SPF/RIB, ownership and parked-RouteMod
     invariants.
+
+    ``bus_drop`` / ``bus_duplicate`` / ``bus_reorder`` / ``bus_jitter``
+    degrade the sharded run's control bus on every ``routeflow.*`` and
+    ``config.rpc`` topic (the single-controller reference stays lossless
+    so the conservation baseline is exact).  Any non-zero value switches
+    the bus to reliable at-least-once delivery; ``bus_fault_seed``
+    defaults to ``churn_seed`` so a lossy run is deterministic in one
+    seed.
     """
     spec = scenario if isinstance(scenario, ScenarioSpec) else get(scenario)
     count = controllers if controllers is not None else spec.controllers
@@ -293,6 +338,13 @@ def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
         raise ValueError(
             f"controller churn needs >= 2 shards; scenario {spec.name} "
             f"defaults to {count} (pass a controller count >= 2)")
+    fault_params = {key: value for key, value in (
+        ("drop", bus_drop), ("duplicate", bus_duplicate),
+        ("reorder", bus_reorder), ("jitter", bus_jitter)) if value}
+    bus_faults = ({"routeflow.*": dict(fault_params),
+                   "config.rpc": dict(fault_params)}
+                  if fault_params else {})
+    fault_seed = churn_seed if bus_fault_seed is None else bus_fault_seed
     reference = run_ctlscale(spec, controller_counts=(1,))[0]
 
     started = time.perf_counter()
@@ -301,6 +353,9 @@ def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
     config = run_spec.framework_config(topology)
     if partitioner is not None:
         config.partitioner = partitioner
+    if bus_faults:
+        config.bus_faults = bus_faults
+        config.bus_fault_seed = fault_seed
     sim = Simulator()
     ipam = IPAddressManager()
     framework = AutoConfigFramework(sim, config=config, ipam=ipam)
@@ -313,12 +368,40 @@ def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
         controllers=count, partitioner=config.partitioner,
         num_switches=topology.num_nodes, num_links=topology.num_links,
         churn_seed=churn_seed, configured_seconds=configured_at,
-        reference_flows=reference.total_flows)
+        reference_flows=reference.total_flows,
+        bus_faults={pattern: dict(params)
+                    for pattern, params in bus_faults.items()},
+        bus_fault_seed=fault_seed if bus_faults else 0,
+        reliable_ipc=framework.bus.reliable)
     if configured_at is None:
         result.wall_seconds = time.perf_counter() - started
+        _harvest_bus_counters(result, framework)
         return result
 
     plane = framework.control_plane
+    if bus_faults:
+        # Under a lossy bus the flow-install tail outlives the VM-running
+        # convergence signal (retransmits may still be draining); sample
+        # the steady state only once the bus is quiet.  The signature
+        # includes the retransmit/ack counters because a pending message
+        # can sit silent for up to max_rto (5 s) between attempts without
+        # the flow count moving — the quiet window must outlast that.
+        def signature():
+            stats = framework.bus.stats()["_totals"]
+            flows = sum(load["flows_current"]
+                        for load in framework.shard_loads())
+            return (flows, stats["retransmits"], stats["acked"])
+
+        quiet = signature()
+        quiet_since = sim.now
+        drain_deadline = sim.now + 180.0
+        while sim.now < drain_deadline:
+            sim.run(until=sim.now + 1.0)
+            current = signature()
+            if current != quiet:
+                quiet, quiet_since = current, sim.now
+            elif sim.now - quiet_since >= 6.0:
+                break
     result.steady_flows = sum(load["flows_current"]
                               for load in framework.shard_loads())
     change_times: List[float] = []
@@ -359,6 +442,14 @@ def run_ctlscale_churn(scenario: Union[str, ScenarioSpec],
     result.invariant_violations = verify_spf_rib_consistency(plane)
     result.ownership_violations = plane.ownership_violations()
     result.orphaned_route_mods = plane.orphaned_parked_route_mods()
+    result.stale_announcements = plane.stale_announcements
+    result.duplicate_installs = sum(shard.rfproxy.duplicate_installs
+                                    for shard in plane.shards)
+    result.client_resyncs = sum(
+        client.resyncs
+        for shard in plane.shards
+        for client in shard.rfserver.rfclients.values())
+    _harvest_bus_counters(result, framework)
     result.wall_seconds = time.perf_counter() - started
     LOG.info("ctlscale churn: %s x%d -> %d takeovers, %d reshards, "
              "flow loss %d, reconverged in %.1fs", spec.name, count,
@@ -387,6 +478,21 @@ def render_ctlscale_churn(result: CtlScaleChurnResult) -> str:
         FailureSchedule.from_list(result.schedule).describe()
         if result.schedule else "(empty)"))
     lines.append(f"shard roles: {', '.join(result.shard_roles) or 'n/a'}")
+    if result.bus_faults:
+        profile = "; ".join(
+            f"{pattern}: " + ", ".join(f"{key}={value:g}"
+                                       for key, value in sorted(params.items()))
+            for pattern, params in sorted(result.bus_faults.items()))
+        lines.append(f"bus faults (seed {result.bus_fault_seed}): {profile}")
+        lines.append(
+            "reliable IPC: "
+            f"{result.retransmits} retransmits, {result.acked} acked, "
+            f"{result.exhausted} exhausted, {result.client_resyncs} resyncs; "
+            f"rx {result.rx_duplicates} dup / {result.rx_out_of_order} ooo / "
+            f"{result.rx_out_of_window} out-of-window; "
+            f"{result.dropped_fault} dropped by faults, "
+            f"{result.stale_announcements} stale announcements fenced, "
+            f"{result.duplicate_installs} duplicate installs")
     gates = [
         ("flows conserved "
          f"(reference {result.reference_flows}, steady {result.steady_flows},"
@@ -432,6 +538,23 @@ def churn_result_payload(result: CtlScaleChurnResult) -> Dict[str, object]:
         "orphaned_route_mods": list(result.orphaned_route_mods),
         "conserved": result.conserved,
         "healthy": result.healthy,
+        "bus_faults": {pattern: dict(params)
+                       for pattern, params in result.bus_faults.items()},
+        "bus_fault_seed": result.bus_fault_seed,
+        "reliable_ipc": result.reliable_ipc,
+        "retransmits": result.retransmits,
+        "acked": result.acked,
+        "exhausted": result.exhausted,
+        "dropped_fault": result.dropped_fault,
+        "fault_duplicated": result.fault_duplicated,
+        "fault_reordered": result.fault_reordered,
+        "rx_duplicates": result.rx_duplicates,
+        "rx_out_of_order": result.rx_out_of_order,
+        "rx_out_of_window": result.rx_out_of_window,
+        "stale_announcements": result.stale_announcements,
+        "duplicate_installs": result.duplicate_installs,
+        "client_resyncs": result.client_resyncs,
+        "bus_stats": dict(result.bus_stats),
         "wall_seconds": result.wall_seconds,
     }
 

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple, Union
 
 from repro.bus import topics
+from repro.bus.reliable import acquire_publisher
 from repro.core.autoconfig import AutoConfigFramework
 from repro.core.ipam import IPAddressManager
 from repro.experiments.results import format_seconds, format_table
@@ -162,8 +163,12 @@ def _mirror_into_routeflow(network: EmulatedNetwork, bus):
     port-status hop): each affected link is published as a
     :class:`~repro.routeflow.ipc.PortStatusRelay` on the
     :data:`~repro.bus.topics.PORT_STATUS` topic, where the control plane —
-    single RFServer or sharded — mirrors it onto the virtual wires.
+    single RFServer or sharded — mirrors it onto the virtual wires.  On a
+    reliable bus the relay acquires an acknowledged publisher, so a lossy
+    fault profile cannot silently eat a port-status transition.
     """
+    publisher = acquire_publisher(bus, topics.PORT_STATUS,
+                                  "emulator:port-status")
 
     def mirror(event) -> None:
         if event.action in FailureAction.LINK_ACTIONS:
@@ -179,10 +184,8 @@ def _mirror_into_routeflow(network: EmulatedNetwork, bus):
             # while the link (or its other endpoint) is still failed.
             interface = network.switches[node_a].port(port_a).interface
             up = interface.link is not None and interface.link.up
-            bus.publish(topics.PORT_STATUS,
-                        PortStatusRelay(node_a, port_a, node_b, port_b,
-                                        up).to_json(),
-                        sender="emulator:port-status")
+            publisher.publish(
+                PortStatusRelay(node_a, port_a, node_b, port_b, up).to_json())
 
     return mirror
 

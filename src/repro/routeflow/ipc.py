@@ -156,6 +156,11 @@ class TakeoverAnnouncement:
     to_shard: int
     datapaths: list     # dpids changing owner, ascending
     reason: str = ""
+    #: Fencing epoch: the coordinator stamps a strictly increasing value
+    #: (>= 1) so a duplicated or stale announcement replayed by a lossy
+    #: bus can never roll ownership backwards.  0 = unfenced (legacy
+    #: payloads and hand-built announcements apply unconditionally).
+    epoch: int = 0
 
     TAKEOVER = "takeover"
     RESHARD = "reshard"

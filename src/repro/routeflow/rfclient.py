@@ -6,6 +6,13 @@ RouteMod.  Here it subscribes to the VM's zebra FIB listener hook and
 publishes JSON-encoded RouteMods on the control-plane bus — the
 ``route_mods.<shard>`` topic of the RFServer shard owning this VM, a delay
 channel whose one-way latency is :attr:`IPC_DELAY`.
+
+Publishing goes through a bus publisher handle
+(:func:`repro.bus.reliable.acquire_publisher`): on a perfect bus that is
+a passthrough shim identical to a bare ``bus.publish``; when the
+framework enables reliable IPC it becomes an acknowledged, retransmitting
+publisher whose escape hatch — retransmit budget exhausted, e.g. after a
+long partition — schedules a full :meth:`resync`.
 """
 
 from __future__ import annotations
@@ -13,6 +20,7 @@ from __future__ import annotations
 import logging
 from typing import TYPE_CHECKING, Optional
 
+from repro.bus.reliable import acquire_publisher
 from repro.net.addresses import IPv4Network
 from repro.quagga.rib import Route
 from repro.routeflow.ipc import RouteMod
@@ -31,16 +39,30 @@ class RFClient:
     #: One-way latency of the RFClient -> RFServer IPC hop.
     IPC_DELAY = 0.005
 
+    #: Minimum gap between exhaustion-triggered resyncs, so a chain of
+    #: exhaustions during one long outage collapses into one recovery.
+    RESYNC_COOLDOWN = 1.0
+
     def __init__(self, sim: Simulator, vm: VirtualMachine, rfserver: "RFServer") -> None:
         self.sim = sim
         self.vm = vm
         self.rfserver = rfserver
         self.bus = rfserver.bus
-        self.topic = rfserver.route_mods_topic
         self.route_mods_sent = 0
+        self.resyncs = 0
         self._routemod_label = f"rfclient:{vm.vm_id}:routemod"
         self._sender = f"rfclient:{vm.vm_id}"
+        self._endpoint = f"vm:{vm.vm_id}"
+        self._resync_scheduled = False
+        self._last_resync_at = float("-inf")
+        self._publisher = acquire_publisher(
+            self.bus, rfserver.route_mods_topic, self._sender,
+            endpoint=self._endpoint, on_exhausted=self._on_exhausted)
         vm.zebra.add_fib_listener(self._on_fib_change)
+
+    @property
+    def topic(self) -> str:
+        return self._publisher.topic
 
     def _on_fib_change(self, prefix: IPv4Network, new: Optional[Route],
                        old: Optional[Route]) -> None:
@@ -58,19 +80,41 @@ class RFClient:
                                    next_hop=new.next_hop, interface=new.interface,
                                    metric=new.metric)
         self.route_mods_sent += 1
-        self.bus.publish(self.topic, message.to_json(),
-                         label=self._routemod_label, sender=self._sender)
+        self._publisher.publish(message.to_json(), label=self._routemod_label)
 
     def repoint(self, rfserver: "RFServer") -> None:
         """Re-target this client at a different RFServer shard.
 
         Called when the VM's dpid migrates (takeover or resharding): the
         client keeps watching the same zebra FIB but publishes subsequent
-        RouteMods on the new master's ``route_mods.<shard>`` topic.
+        RouteMods on the new master's ``route_mods.<shard>`` topic.  A
+        reliable publisher carries its unacked window along, re-offering
+        those RouteMods to the new master.
         """
         self.rfserver = rfserver
         self.bus = rfserver.bus
-        self.topic = rfserver.route_mods_topic
+        self._publisher.retarget(rfserver.route_mods_topic)
+
+    def _on_exhausted(self) -> None:
+        """Escape hatch: the retransmit budget ran out (dead shard, long
+        partition).  Protocol-level recovery is impossible, so schedule a
+        full FIB resync — idempotent at the receiver — once the dust
+        settles."""
+        if self._resync_scheduled:
+            return
+        if self.sim.now - self._last_resync_at < self.RESYNC_COOLDOWN:
+            return
+        self._resync_scheduled = True
+        LOG.warning("rfclient %d: retransmit budget exhausted, scheduling "
+                    "full resync", self.vm.vm_id)
+        self.sim.schedule(self.RESYNC_COOLDOWN, self._exhaustion_resync,
+                          label=f"rfclient:{self.vm.vm_id}:resync")
+
+    def _exhaustion_resync(self) -> None:
+        self._resync_scheduled = False
+        self._last_resync_at = self.sim.now
+        self.resyncs += 1
+        self.resync()
 
     def resync(self) -> int:
         """Re-announce the VM's entire FIB to the current RFServer.
@@ -91,8 +135,8 @@ class RFClient:
                                    metric=route.metric)
             self.route_mods_sent += 1
             published += 1
-            self.bus.publish(self.topic, message.to_json(),
-                             label=self._routemod_label, sender=self._sender)
+            self._publisher.publish(message.to_json(),
+                                    label=self._routemod_label)
         return published
 
     def __repr__(self) -> str:

@@ -78,6 +78,13 @@ class RFProxy(ControllerApp):
         self.arp_requests_sent = 0
         self.flows_installed = 0
         self.flows_removed = 0
+        #: Installs that re-sent a spec identical to the one already in
+        #: place for (dpid, prefix).  Flow installation is idempotent —
+        #: the switch overwrites by (match, priority) and the record dict
+        #: overwrites by key — so duplicates are harmless, but under a
+        #: lossy bus (retransmits, resyncs) this counter shows how much
+        #: redundant work reached the proxy.
+        self.duplicate_installs = 0
 
     def attach_rfserver(self, rfserver: "RFServer") -> None:
         self.rfserver = rfserver
@@ -92,6 +99,8 @@ class RFProxy(ControllerApp):
             self._pending_connected[key] = spec
             self._install_flows_for_known_hosts(spec)
             return
+        if self.installed_flows.get(key) == spec:
+            self.duplicate_installs += 1
         self._send_flow(spec, command=OFPFlowModCommand.ADD)
         self.installed_flows[key] = spec
 

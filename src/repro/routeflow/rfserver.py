@@ -36,6 +36,7 @@ import logging
 from typing import Dict, List, Optional, Tuple
 
 from repro.bus import Discipline, Envelope, MessageBus, topics
+from repro.bus.reliable import acquire_publisher, consume
 from repro.net.addresses import IPv4Address, IPv4Network, MACAddress
 from repro.net.link import Interface
 from repro.routeflow.ipc import MappingRecord, PortStatusRelay, RouteMod, RouteModType
@@ -105,6 +106,7 @@ class RFServer:
         self.active = True
         # --- bus wiring -----------------------------------------------------
         self._sender = f"rfserver:{shard_id}"
+        self._endpoint = f"shard:{shard_id}"
         self.route_mods_topic = topics.route_mods_topic(shard_id)
         self.flow_specs_topic = topics.flow_specs_topic(shard_id)
         owns_bus = bus is None
@@ -113,13 +115,25 @@ class RFServer:
                          discipline=Discipline.DELAY)
         self.bus.channel(self.flow_specs_topic, latency=self.IPC_DELAY,
                          discipline=Discipline.DELAY, label="rfserver:routemod")
-        self.bus.subscribe(self.route_mods_topic,
-                           lambda envelope: self.receive_route_mod(envelope.payload))
-        self.bus.subscribe(self.flow_specs_topic, self._deliver_route_mod)
+        # Consumption and publication go through the reliability layer:
+        # on a perfect bus these degrade to the bare subscribe/publish
+        # calls; with reliable IPC enabled the consumers dedup and
+        # re-order per sender and the publishers retransmit until acked.
+        consume(self.bus, self.route_mods_topic,
+                lambda envelope: self.receive_route_mod(envelope.payload),
+                endpoint=self._endpoint, active=lambda: self.active)
+        consume(self.bus, self.flow_specs_topic, self._deliver_route_mod,
+                endpoint=self._endpoint, active=lambda: self.active)
+        self._flow_pub = acquire_publisher(
+            self.bus, self.flow_specs_topic, self._sender,
+            endpoint=self._endpoint)
+        self._mapping_pub = acquire_publisher(
+            self.bus, topics.MAPPING, self._sender, endpoint=self._endpoint)
         if owns_bus:
             # Standalone deployments wire the shared topics to this server;
             # a sharded control plane owns these subscriptions instead.
-            self.bus.subscribe(topics.PORT_STATUS, self._on_port_status)
+            consume(self.bus, topics.PORT_STATUS, self._on_port_status,
+                    endpoint=self._endpoint, active=lambda: self.active)
         rfproxy.attach_rfserver(self)
 
     # --------------------------------------------------------------------- VMs
@@ -149,10 +163,9 @@ class RFServer:
             self.sim.schedule_at(start_at, vm.start, label=f"rfserver:boot:{vm_id}")
         else:
             vm.start()
-        self.bus.publish(topics.MAPPING, MappingRecord(
+        self._mapping_pub.publish(MappingRecord(
             event=MappingRecord.VM_MAPPED, vm_id=vm_id, datapath_id=dpid,
-            shard=self.shard_id, num_ports=num_ports).to_json(),
-            sender=self._sender)
+            shard=self.shard_id, num_ports=num_ports).to_json())
         self.event_log.record("vm_created", f"VM {vm.name} created for dpid {dpid:#x}",
                               vm_id=vm_id, datapath_id=dpid, num_ports=num_ports)
         return vm
@@ -194,11 +207,11 @@ class RFServer:
             # Retract the replaced address from peer shards' directories
             # too, or they would keep resolving next hops to a gateway
             # address that no longer exists.
-            self.bus.publish(topics.MAPPING, MappingRecord(
+            self._mapping_pub.publish(MappingRecord(
                 event=MappingRecord.ADDRESS_REMOVED, vm_id=vm.vm_id,
                 datapath_id=self.mapping.dpid_for_vm(vm.vm_id) or vm.vm_id,
                 shard=self.shard_id, interface=interface.name,
-                address=str(old_ip)).to_json(), sender=self._sender)
+                address=str(old_ip)).to_json())
         if interface.ip is not None:
             self._index_interface_address(vm, interface, interface.ip)
 
@@ -208,11 +221,11 @@ class RFServer:
         known = self._ip_index.get(address)
         self._ip_index[address] = (vm, interface)
         if known is None or known[1] is not interface:
-            self.bus.publish(topics.MAPPING, MappingRecord(
+            self._mapping_pub.publish(MappingRecord(
                 event=MappingRecord.ADDRESS_ASSIGNED, vm_id=vm.vm_id,
                 datapath_id=self.mapping.dpid_for_vm(vm.vm_id) or vm.vm_id,
                 shard=self.shard_id, interface=interface.name,
-                address=str(address)).to_json(), sender=self._sender)
+                address=str(address)).to_json())
         self.replay_pending_next_hop(address)
 
     def interface_owning_ip(self, address: IPv4Address):
@@ -303,9 +316,12 @@ class RFServer:
             return
         route_mod = RouteMod.from_json(payload)
         self.route_mods_received += 1
-        envelope = self.bus.publish(self.flow_specs_topic, payload,
-                                    sender=self._sender)
-        self._in_flight[envelope.seq] = route_mod
+        envelope = self._flow_pub.publish(payload)
+        if not self._flow_pub.is_reliable:
+            # The decoded-message cache is keyed by the bus sequence of
+            # the publish; a reliable publisher may retransmit under a
+            # fresh sequence, so in that mode delivery re-decodes instead.
+            self._in_flight[envelope.seq] = route_mod
 
     def _deliver_route_mod(self, envelope: Envelope) -> None:
         route_mod = self._in_flight.pop(envelope.seq, None)

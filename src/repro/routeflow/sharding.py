@@ -42,6 +42,7 @@ import logging
 from typing import Callable, Dict, List, Mapping, Optional, Tuple
 
 from repro.bus import Envelope, MessageBus, topics
+from repro.bus.reliable import acquire_publisher, consume
 from repro.controller.base import Controller
 from repro.net.addresses import IPv4Address
 from repro.routeflow.ipc import (
@@ -353,16 +354,40 @@ class ShardedControlPlane:
         self.on_ownership_change: Optional[Callable[[int], None]] = None
         self.takeovers = 0
         self.reshards = 0
+        #: Takeover announcements discarded by the fencing check (stale
+        #: or duplicated replays on a lossy bus).
+        self.stale_announcements = 0
+        #: Fencing: every announced ownership change carries a strictly
+        #: increasing epoch, and each dpid remembers the highest epoch
+        #: applied to it — a replayed announcement can never roll a dpid
+        #: back to a previous owner.
+        self._fence_epoch = 0
+        self._dpid_fence: Dict[int, int] = {}
         self.mapping = _GlobalMapping(self)
-        bus.subscribe(topics.MAPPING, self._on_mapping_record)
-        bus.subscribe(topics.PORT_STATUS, self._on_port_status)
+        # The plane's bus attachments go through the reliability layer
+        # (passthrough on a perfect bus): it consumes the shared topics at
+        # the "plane" endpoint and announces ownership changes through one
+        # reliable publisher, so announcements are retransmitted until
+        # every live consumer has acknowledged them.
+        consume(bus, topics.MAPPING, self._on_mapping_record,
+                endpoint="plane")
+        consume(bus, topics.PORT_STATUS, self._on_port_status,
+                endpoint="plane")
+        self._announce_pub = acquire_publisher(
+            bus, topics.MAPPING, "plane", endpoint="plane")
         for shard in self.shards:
             shard.rfserver.peers = self
         # Liveness: every shard beats on the heartbeat topic; the detector
         # declares a silent master dead and hands its partition over.
         self._last_heartbeat: Dict[int, float] = {
             shard.shard_id: sim.now for shard in self.shards}
-        bus.subscribe(topics.HEARTBEAT, self._on_heartbeat)
+        consume(bus, topics.HEARTBEAT, self._on_heartbeat,
+                endpoint="plane")
+        self._heartbeat_pubs = {
+            shard.shard_id: acquire_publisher(
+                bus, topics.HEARTBEAT, f"shard:{shard.shard_id}",
+                endpoint=f"shard:{shard.shard_id}")
+            for shard in self.shards}
         self._heartbeat_tasks = [
             PeriodicTask(sim, self.HEARTBEAT_INTERVAL,
                          functools.partial(self._publish_heartbeat, shard),
@@ -439,7 +464,15 @@ class ShardedControlPlane:
 
     def shard_of_vm(self, vm_id: int) -> Optional[ControllerShard]:
         index = self._vm_shard.get(vm_id)
-        return self.shards[index] if index is not None else None
+        if index is not None:
+            return self.shards[index]
+        # Pre-directory fallback: on a jittery bus the vm_mapped record may
+        # still be in flight when a local lookup (e.g. the RPC server writing
+        # config files right after create_vm) needs the owner.
+        for shard in self.shards:
+            if vm_id in shard.rfserver.vms:
+                return shard
+        return None
 
     def owner_of(self, datapath_id: int) -> int:
         """The shard index currently owning a dpid.
@@ -599,24 +632,43 @@ class ShardedControlPlane:
     def _publish_heartbeat(self, shard: ControllerShard) -> None:
         if shard.failed:
             return  # a fail-stopped controller process emits nothing
-        self.bus.publish(
-            topics.HEARTBEAT,
+        self._heartbeat_pubs[shard.shard_id].publish(
             ShardHeartbeat(shard_id=shard.shard_id, sent_at=self.sim.now,
-                           epoch=shard.epoch).to_json(),
-            sender=f"shard:{shard.shard_id}")
+                           epoch=shard.epoch).to_json())
 
     def _on_heartbeat(self, envelope: Envelope) -> None:
         beat = ShardHeartbeat.from_json(envelope.payload)
-        if 0 <= beat.shard_id < len(self.shards):
-            self._last_heartbeat[beat.shard_id] = self.sim.now
+        if not 0 <= beat.shard_id < len(self.shards):
+            return
+        if beat.epoch != self.shards[beat.shard_id].epoch:
+            # A beat from a previous life of the shard, delayed on a lossy
+            # bus past a fail/restore cycle: it proves nothing about the
+            # shard's *current* incarnation being alive.
+            return
+        self._last_heartbeat[beat.shard_id] = self.sim.now
+
+    @property
+    def effective_failure_timeout(self) -> float:
+        """The takeover deadline adjusted for the heartbeat channel.
+
+        :attr:`FAILURE_TIMEOUT` budgets for lost beats; on top of that a
+        beat needs the channel's one-way latency to arrive at all, plus
+        whatever extra delay the channel's fault model can legally add
+        (jitter, reorder hold-back).  A delayed-but-delivered heartbeat
+        therefore never looks like silence.  On the default direct,
+        fault-free channel this is exactly ``FAILURE_TIMEOUT``.
+        """
+        channel = self.bus._implicit_channel(topics.HEARTBEAT)
+        return self.FAILURE_TIMEOUT + channel.latency + channel.max_fault_delay()
 
     def _check_liveness(self) -> None:
         """The failure detector tick: any master silent past the timeout
         loses its partition to its standby.  Idempotent — after a takeover
         the dead shard owns nothing, so it is not flagged again."""
+        deadline = self.effective_failure_timeout
         for shard in self.shards:
             silence = self.sim.now - self._last_heartbeat[shard.shard_id]
-            if silence <= self.FAILURE_TIMEOUT:
+            if silence <= deadline:
                 continue
             if not self.owned_dpids(shard.shard_id):
                 continue
@@ -650,10 +702,11 @@ class ShardedControlPlane:
                 f"shard {target}")
         if target == shard_id:
             return None
-        self.bus.publish(topics.MAPPING, TakeoverAnnouncement(
+        self._fence_epoch += 1
+        self._announce_pub.publish(TakeoverAnnouncement(
             event=TakeoverAnnouncement.TAKEOVER, from_shard=shard_id,
-            to_shard=target, datapaths=datapaths, reason=reason).to_json(),
-            sender=f"shard:{target}")
+            to_shard=target, datapaths=datapaths, reason=reason,
+            epoch=self._fence_epoch).to_json())
         return target
 
     def reshard(self, datapath_id: int, to_shard: int,
@@ -672,16 +725,32 @@ class ShardedControlPlane:
         from_shard = self.owner_of(datapath_id)
         if from_shard == to_shard:
             return False
-        self.bus.publish(topics.MAPPING, TakeoverAnnouncement(
+        self._fence_epoch += 1
+        self._announce_pub.publish(TakeoverAnnouncement(
             event=TakeoverAnnouncement.RESHARD, from_shard=from_shard,
             to_shard=to_shard, datapaths=[datapath_id],
-            reason=reason).to_json(), sender=f"shard:{from_shard}")
+            reason=reason, epoch=self._fence_epoch).to_json())
         return True
 
     def _apply_takeover(self, announcement: TakeoverAnnouncement) -> None:
+        datapaths = announcement.datapaths
+        if announcement.epoch:
+            # Fencing: apply only dpids whose recorded fence is older than
+            # this announcement.  A duplicated or delayed replay (lossy
+            # bus) is filtered wholesale — it must not bump the takeover
+            # counters, let alone roll ownership backwards.  Unfenced
+            # (epoch 0) announcements apply unconditionally for
+            # compatibility with hand-built payloads.
+            datapaths = [dpid for dpid in datapaths
+                         if announcement.epoch > self._dpid_fence.get(dpid, 0)]
+            if not datapaths:
+                self.stale_announcements += 1
+                return
+            for dpid in datapaths:
+                self._dpid_fence[dpid] = announcement.epoch
         source = self._shard_by_index(announcement.from_shard)
         target = self._shard_by_index(announcement.to_shard)
-        migrated = [dpid for dpid in announcement.datapaths
+        migrated = [dpid for dpid in datapaths
                     if self._migrate_dpid(dpid, source, target)]
         if announcement.event == TakeoverAnnouncement.TAKEOVER:
             self.takeovers += 1

@@ -43,15 +43,31 @@ class FailureAction:
     #: Live re-balancing: migrate one dpid (``node_a``) onto the healthy
     #: shard ``node_b`` without dropping the switch's installed flows.
     RESHARD = "reshard"
+    #: Degrade the control-plane bus: attach a fault profile (drop /
+    #: duplicate / reorder probabilities, jitter — carried in ``params``,
+    #: plus an optional ``topics`` pattern list defaulting to
+    #: ``routeflow.*``) to the matching channels.  ``node_a`` is unused
+    #: and conventionally 0.  An all-zero profile removes the pattern's
+    #: faults again.
+    BUS_DEGRADE = "bus_degrade"
+    #: Partition two control-plane endpoints from each other:
+    #: shard ``node_a`` from shard ``node_b``, or — with ``node_b``
+    #: omitted — shard ``node_a`` from the coordination plane.
+    BUS_PARTITION = "bus_partition"
+    #: Heal the bus: with ``node_a`` >= 0, heal that one partition pair
+    #: (same endpoint convention as ``bus_partition``); with
+    #: ``node_a`` == -1, clear every fault profile and every partition.
+    BUS_HEAL = "bus_heal"
 
     ALL = (LINK_DOWN, LINK_UP, NODE_DOWN, NODE_UP, SHARD_DOWN, SHARD_UP,
-           SHARD_FAILOVER, RESHARD)
+           SHARD_FAILOVER, RESHARD, BUS_DEGRADE, BUS_PARTITION, BUS_HEAL)
     LINK_ACTIONS = (LINK_DOWN, LINK_UP)
     NODE_ACTIONS = (NODE_DOWN, NODE_UP)
     SHARD_ACTIONS = (SHARD_DOWN, SHARD_UP, SHARD_FAILOVER)
+    BUS_ACTIONS = (BUS_DEGRADE, BUS_PARTITION, BUS_HEAL)
     #: Actions that target the control plane rather than the physical
     #: network; the emulator passes them through to failure listeners.
-    CONTROL_ACTIONS = SHARD_ACTIONS + (RESHARD,)
+    CONTROL_ACTIONS = SHARD_ACTIONS + (RESHARD,) + BUS_ACTIONS
 
 
 class FailureScheduleError(ValueError):
@@ -70,6 +86,11 @@ class FailureEvent:
     node_a: int
     #: The other link endpoint; must be None for node events.
     node_b: Optional[int] = None
+    #: Action parameters (``bus_degrade`` fault probabilities and topic
+    #: patterns).  Normalised to a sorted tuple of (key, value) pairs so
+    #: events stay hashable; build from a dict and read via
+    #: :attr:`params_dict`.
+    params: Tuple[Tuple[str, Any], ...] = ()
 
     def __post_init__(self) -> None:
         if self.time < 0:
@@ -79,6 +100,16 @@ class FailureEvent:
             raise FailureScheduleError(
                 f"unknown failure action {self.action!r}; known actions: "
                 + ", ".join(FailureAction.ALL))
+        if isinstance(self.params, Mapping):
+            object.__setattr__(self, "params",
+                               tuple(sorted(self.params.items())))
+        else:
+            object.__setattr__(self, "params",
+                               tuple((str(k), v) for k, v in self.params))
+        if self.params and self.action != FailureAction.BUS_DEGRADE:
+            raise FailureScheduleError(
+                f"{self.action} takes no parameters (params are for "
+                f"{FailureAction.BUS_DEGRADE})")
         if self.action in FailureAction.LINK_ACTIONS:
             if self.node_b is None:
                 raise FailureScheduleError(
@@ -91,6 +122,22 @@ class FailureEvent:
                 raise FailureScheduleError(
                     "reshard requires a target shard: node_a is the dpid, "
                     "node_b the shard index it moves to")
+        elif self.action == FailureAction.BUS_DEGRADE:
+            if self.node_b is not None:
+                raise FailureScheduleError(
+                    "bus_degrade targets topics (via params), not a pair of "
+                    "nodes")
+        elif self.action in (FailureAction.BUS_PARTITION,
+                             FailureAction.BUS_HEAL):
+            if self.node_a == self.node_b:
+                raise FailureScheduleError(
+                    f"{self.action} endpoints must differ, got {self.node_a}")
+            if self.action == FailureAction.BUS_PARTITION and self.node_a < 0:
+                raise FailureScheduleError(
+                    "bus_partition needs a shard index (node_a >= 0)")
+            if self.action == FailureAction.BUS_HEAL and self.node_a < -1:
+                raise FailureScheduleError(
+                    "bus_heal takes a shard index or -1 (heal everything)")
         elif self.node_b is not None:
             raise FailureScheduleError(
                 f"{self.action} takes a single node, got a second endpoint")
@@ -99,12 +146,27 @@ class FailureEvent:
     def is_link_event(self) -> bool:
         return self.action in FailureAction.LINK_ACTIONS
 
+    @property
+    def params_dict(self) -> Dict[str, Any]:
+        return dict(self.params)
+
     def describe(self) -> str:
         """Short human-readable form, e.g. ``link_down 3<->7 @ 60s``."""
         if self.is_link_event:
             subject = f"{self.node_a}<->{self.node_b}"
         elif self.action == FailureAction.RESHARD:
             subject = f"dpid {self.node_a} -> shard {self.node_b}"
+        elif self.action == FailureAction.BUS_DEGRADE:
+            subject = ", ".join(f"{key}={value}" for key, value in self.params) \
+                or "(no faults)"
+        elif self.action in (FailureAction.BUS_PARTITION,
+                             FailureAction.BUS_HEAL):
+            if self.action == FailureAction.BUS_HEAL and self.node_a < 0:
+                subject = "everything"
+            else:
+                partner = "plane" if self.node_b is None \
+                    else f"shard {self.node_b}"
+                subject = f"shard {self.node_a} <-> {partner}"
         else:
             subject = str(self.node_a)
         return f"{self.action} {subject} @ {self.time:g}s"
@@ -114,6 +176,8 @@ class FailureEvent:
             "time": self.time, "action": self.action, "node_a": self.node_a}
         if self.node_b is not None:
             payload["node_b"] = self.node_b
+        if self.params:
+            payload["params"] = dict(self.params)
         return payload
 
     @classmethod
@@ -121,7 +185,8 @@ class FailureEvent:
         return cls(time=float(payload["time"]), action=str(payload["action"]),
                    node_a=int(payload["node_a"]),
                    node_b=(int(payload["node_b"])
-                           if payload.get("node_b") is not None else None))
+                           if payload.get("node_b") is not None else None),
+                   params=dict(payload.get("params") or {}))
 
 
 @dataclass(frozen=True)
@@ -193,6 +258,16 @@ class FailureSchedule:
                     raise FailureScheduleError(
                         f"{event.describe()}: no controller shard "
                         f"{event.node_a} (the control plane has {shards})")
+            elif event.action in FailureAction.BUS_ACTIONS:
+                if shards is None or event.action == FailureAction.BUS_DEGRADE:
+                    continue
+                endpoints = [event.node_a] if event.node_b is None \
+                    else [event.node_a, event.node_b]
+                for endpoint in endpoints:
+                    if endpoint >= 0 and not endpoint < shards:
+                        raise FailureScheduleError(
+                            f"{event.describe()}: no controller shard "
+                            f"{endpoint} (the control plane has {shards})")
             elif event.node_a not in known_nodes:
                 raise FailureScheduleError(
                     f"{event.describe()}: node {event.node_a} is not in "

@@ -2,7 +2,14 @@
 
 import pytest
 
-from repro.bus import BusError, Discipline, Envelope, MessageBus, topics
+from repro.bus import (
+    BusError,
+    ChannelFaults,
+    Discipline,
+    Envelope,
+    MessageBus,
+    topics,
+)
 from repro.sim import Simulator
 
 
@@ -149,6 +156,19 @@ class TestStats:
         assert stats["dropped"] == 1
         assert stats["delivered"] == 0
 
+    def test_dropped_splits_no_subscriber_from_fault(self, sim, bus):
+        bus.channel("t", discipline=Discipline.DIRECT)
+        bus.publish("t", "no listener")           # nobody subscribed
+        bus.configure_faults("t", drop=1.0)
+        bus.subscribe("t", lambda env: None)
+        bus.publish("t", "eaten by the fault")    # dropped by injection
+        stats = bus.stats()["t"]
+        assert stats["dropped_no_subscriber"] == 1
+        assert stats["dropped_fault"] == 1
+        # The aggregate stays the historical sum of both.
+        assert stats["dropped"] == 2
+        assert bus.stats()["_totals"]["dropped"] == 2
+
     def test_totals_aggregate_topics(self, sim, bus):
         bus.channel("a", discipline=Discipline.DIRECT)
         bus.channel("b", discipline=Discipline.DIRECT)
@@ -174,6 +194,18 @@ class TestConfiguration:
         assert bus.channel("t", latency=0.5,
                            discipline=Discipline.DELAY) is bus.channel(
             "t", latency=0.5, discipline=Discipline.DELAY)
+
+    def test_conflicting_redeclaration_names_both_claimants(self, sim, bus):
+        """The error must identify *both* sides of the conflict: who holds
+        the channel and who tried to redeclare it."""
+        bus.channel("t", latency=0.5, discipline=Discipline.DELAY,
+                    label="rfserver:ipc")
+        with pytest.raises(BusError) as excinfo:
+            bus.channel("t", latency=0.7, discipline=Discipline.FIFO,
+                        label="rfproxy:ipc")
+        message = str(excinfo.value)
+        assert "rfserver:ipc" in message and "rfproxy:ipc" in message
+        assert "0.5" in message and "0.7" in message
 
     def test_direct_channel_with_latency_rejected(self, sim, bus):
         with pytest.raises(BusError, match="direct"):
@@ -205,6 +237,124 @@ class TestConfiguration:
         # A second *explicit* conflicting declaration still fails.
         with pytest.raises(BusError, match="conflicting"):
             bus.channel("t", latency=0.9, discipline=Discipline.DELAY)
+
+
+class TestFaultInjection:
+    def test_faults_are_dormant_by_default(self, sim, bus):
+        bus.channel("d", discipline=Discipline.DIRECT)
+        seen = []
+        bus.subscribe("d", lambda env: seen.append(sim.now))
+        bus.publish("d", "x")
+        assert seen == [0.0]          # still synchronous
+        assert sim.pending() == 0     # still no kernel event
+        snapshot = bus.stats()["d"]
+        assert snapshot["dropped_fault"] == 0
+        assert snapshot["fault_duplicated"] == 0
+
+    def test_drop_probability_one_eats_everything(self, sim, bus):
+        bus.configure_faults("t", drop=1.0)
+        seen = []
+        bus.subscribe("t", lambda env: seen.append(env.payload))
+        for index in range(10):
+            bus.publish("t", str(index))
+        sim.run()
+        assert seen == []
+        assert bus.stats()["t"]["dropped_fault"] == 10
+
+    def test_duplicate_probability_one_doubles_delivery(self, sim, bus):
+        bus.channel("t", latency=0.1, discipline=Discipline.DELAY)
+        bus.configure_faults("t", duplicate=1.0)
+        seen = []
+        bus.subscribe("t", lambda env: seen.append(env.payload))
+        bus.publish("t", "x")
+        sim.run()
+        assert seen == ["x", "x"]
+        stats = bus.stats()["t"]
+        assert stats["fault_duplicated"] == 1
+        assert stats["delivered"] == 2
+        assert stats["in_flight"] == 0
+
+    def test_jitter_delays_direct_channels(self, sim, bus):
+        bus.channel("d", discipline=Discipline.DIRECT)
+        bus.configure_faults("d", jitter=0.5)
+        seen = []
+        bus.subscribe("d", lambda env: seen.append(sim.now))
+        bus.publish("d", "x")
+        assert seen == []             # jitter forced a scheduled delivery
+        sim.run()
+        assert len(seen) == 1 and 0.0 < seen[0] <= 0.5
+
+    def test_fault_streams_deterministic_in_seed(self, sim):
+        def run(seed):
+            sim = Simulator()
+            bus = MessageBus(sim, fault_seed=seed)
+            bus.configure_faults("t", drop=0.3, duplicate=0.2, jitter=0.1)
+            seen = []
+            bus.subscribe("t", lambda env: seen.append((sim.now, env.payload)))
+            for index in range(50):
+                bus.publish("t", str(index))
+            sim.run()
+            return seen
+
+        assert run(7) == run(7)
+        assert run(7) != run(8)
+
+    def test_pattern_matching_last_wins_and_covers_acks(self, sim, bus):
+        bus.configure_faults("routeflow.*", drop=0.5)
+        bus.configure_faults("routeflow.heartbeat", drop=0.0, jitter=1.0)
+        assert bus.faults_for("routeflow.mapping").drop == 0.5
+        hb = bus.faults_for("routeflow.heartbeat")
+        assert hb.drop == 0.0 and hb.jitter == 1.0
+        # Ack companion topics inherit the data topic's profile.
+        assert bus.faults_for("routeflow.mapping.ack").drop == 0.5
+
+    def test_clear_faults_restores_losslessness(self, sim, bus):
+        bus.configure_faults("t", drop=1.0)
+        bus.clear_faults("t")
+        seen = []
+        bus.subscribe("t", lambda env: seen.append(env.payload))
+        bus.publish("t", "x")
+        assert seen == ["x"]
+
+    def test_channel_faults_validation(self):
+        with pytest.raises(ValueError):
+            ChannelFaults(drop=1.5)
+        with pytest.raises(ValueError):
+            ChannelFaults(jitter=-0.1)
+        with pytest.raises(ValueError):
+            ChannelFaults.from_dict({"latency": 0.5})  # unknown key
+
+
+class TestPartitions:
+    def test_partition_blocks_only_the_pair(self, sim, bus):
+        seen = []
+        bus.subscribe("t", lambda env: seen.append(env.payload),
+                      endpoint="plane")
+        bus.partition("shard:0", "plane")
+        bus.publish("t", "blocked", endpoint="shard:0")
+        bus.publish("t", "passes", endpoint="shard:1")
+        assert seen == ["passes"]
+        stats = bus.stats()["t"]
+        assert stats["partitioned"] == 1
+        assert stats["dropped_fault"] == 1
+
+    def test_partition_never_blocks_unattributed_traffic(self, sim, bus):
+        seen = []
+        bus.subscribe("t", lambda env: seen.append(env.payload),
+                      endpoint="plane")
+        bus.partition("shard:0", "plane")
+        bus.publish("t", "anonymous")   # no endpoint -> never filtered
+        assert seen == ["anonymous"]
+
+    def test_heal_partition(self, sim, bus):
+        seen = []
+        bus.subscribe("t", lambda env: seen.append(env.payload),
+                      endpoint="plane")
+        bus.partition("shard:0", "plane")
+        bus.heal_partition("shard:0", "plane")
+        bus.publish("t", "x", endpoint="shard:0")
+        assert seen == ["x"]
+        assert not bus.partitions
 
 
 class TestEnvelope:

@@ -47,8 +47,23 @@ from repro.topology.generators import ring_topology
 #: Seeds exercised by the tier-1 run; CI's nightly-style smoke raises this.
 CHAOS_SEEDS = int(os.environ.get("CHAOS_SEEDS", "4"))
 
+#: Number of bus-perturbation ops (fault-profile windows / shard<->plane
+#: partitions) mixed into each schedule; 0 keeps the bus lossless.  CI's
+#: lossy chaos smoke sets this, which *also* applies :data:`LOSSY_PROFILE`
+#: as a standing fault floor for the whole run.
+CHAOS_BUS = int(os.environ.get("CHAOS_BUS", "0"))
+
 NUM_SWITCHES = 8
 NUM_SHARDS = 3
+
+#: The acceptance fault profile: 5% drop, 2% duplication, reordering and
+#: jitter on every control-plane topic (ack topics inherit it too).
+LOSSY_PROFILE = {
+    "routeflow.*": {"drop": 0.05, "duplicate": 0.02,
+                    "reorder": 0.05, "jitter": 0.02},
+    "config.rpc": {"drop": 0.05, "duplicate": 0.02,
+                   "reorder": 0.05, "jitter": 0.02},
+}
 
 #: Quiet seconds after the last FIB change before the run counts as settled.
 SETTLE = 15.0
@@ -70,13 +85,25 @@ class ChaosOp:
     """
 
     kind: str  # shard_kill | shard_failover | reshard | link | node
+    #        | bus_degrade | bus_partition
     start: float
     duration: float = 0.0
     subject: int = 0  # shard id, dpid, node id, or link endpoint a
     target: int = 0  # reshard target shard, or link endpoint b
+    #: bus_degrade fault probabilities, as sorted (key, value) pairs so the
+    #: op stays hashable and comparable.
+    params: Tuple[Tuple[str, float], ...] = ()
 
     def events(self) -> List[FailureEvent]:
         end = self.start + self.duration
+        if self.kind == "bus_degrade":
+            return [FailureEvent(self.start, FailureAction.BUS_DEGRADE, 0,
+                                 params=self.params),
+                    FailureEvent(end, FailureAction.BUS_HEAL, -1)]
+        if self.kind == "bus_partition":
+            return [FailureEvent(self.start, FailureAction.BUS_PARTITION,
+                                 self.subject),
+                    FailureEvent(end, FailureAction.BUS_HEAL, self.subject)]
         if self.kind == "shard_kill":
             return [FailureEvent(self.start, FailureAction.SHARD_DOWN,
                                  self.subject),
@@ -114,7 +141,7 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
                  nodes: Sequence[int] = (),
                  links: Sequence[Tuple[int, int]] = (),
                  shard_ops: int = 3, reshard_ops: int = 2,
-                 net_ops: int = 3) -> List[ChaosOp]:
+                 net_ops: int = 3, bus_ops: int = 0) -> List[ChaosOp]:
     """Expand a seed into a churn schedule.  Deterministic in the seed.
 
     Shard outages are placed back to back on one timeline (at most one
@@ -123,6 +150,13 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
     control-plane churn.  Reshard targets may be dead at execution time —
     the control plane rejects those gracefully, and chaos should poke at
     exactly that path.
+
+    ``bus_ops > 0`` adds a third, equally serialized timeline of bus
+    perturbations: windows of seeded drop/duplicate/reorder/jitter on
+    every control-plane topic, or a shard<->plane partition long enough
+    to trigger a spurious takeover.  Serialization matters because a
+    ``bus_degrade`` repair heals the *whole* bus, so overlapping windows
+    would repair each other and break op-level minimization.
     """
     rng = SeededRandom(seed)
     node_list = sorted(nodes)
@@ -149,6 +183,22 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
             node_a, node_b = rng.choice(link_list)
             ops.append(ChaosOp("link", when, duration, node_a, node_b))
         when += duration + rng.uniform(4.0, 10.0)
+    when = 12.0
+    for _ in range(bus_ops):
+        duration = rng.uniform(6.0, 15.0)
+        if rng.random() < 0.5:
+            profile = {
+                "drop": round(rng.uniform(0.01, 0.06), 3),
+                "duplicate": round(rng.uniform(0.0, 0.03), 3),
+                "reorder": round(rng.uniform(0.0, 0.1), 3),
+                "jitter": round(rng.uniform(0.0, 0.03), 3),
+            }
+            ops.append(ChaosOp("bus_degrade", when, duration,
+                               params=tuple(sorted(profile.items()))))
+        else:
+            ops.append(ChaosOp("bus_partition", when, duration,
+                               rng.choice(range(num_shards))))
+        when += duration + rng.uniform(5.0, 10.0)
     return ops
 
 
@@ -156,13 +206,26 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
 # runner: one configured ring driven through one schedule
 # ---------------------------------------------------------------------------
 def run_chaos(ops: Sequence[ChaosOp], num_switches: int = NUM_SWITCHES,
-              num_shards: int = NUM_SHARDS) -> List[str]:
+              num_shards: int = NUM_SHARDS,
+              bus_faults=None, bus_fault_seed: int = 0) -> List[str]:
     """Run one churn schedule; return every invariant violation (empty ==
-    the seed is green)."""
+    the seed is green).
+
+    ``bus_faults`` applies a standing fault profile from configuration
+    onward (pattern -> ChannelFaults params).  Reliable IPC is switched on
+    whenever the run is lossy — via the standing profile or via bus ops in
+    the schedule — and stays off otherwise, so fault-free chaos runs keep
+    exercising the bare bus.
+    """
+    lossy = bool(bus_faults) or any(
+        op.kind in ("bus_degrade", "bus_partition") for op in ops)
     sim = Simulator()
     ipam = IPAddressManager()
     config = FrameworkConfig(detect_edge_ports=False, controllers=num_shards,
-                             partitioner="hash")
+                             partitioner="hash",
+                             bus_faults=dict(bus_faults) if bus_faults else None,
+                             bus_fault_seed=bus_fault_seed,
+                             reliable_ipc=True if lossy else None)
     framework = AutoConfigFramework(sim, config=config, ipam=ipam)
     network = EmulatedNetwork(sim, ring_topology(num_switches), ipam=ipam)
     framework.attach(network)
@@ -211,16 +274,18 @@ def run_chaos(ops: Sequence[ChaosOp], num_switches: int = NUM_SWITCHES,
     return violations
 
 
-def minimize_ops(ops: Sequence[ChaosOp]) -> List[ChaosOp]:
+def minimize_ops(ops: Sequence[ChaosOp], **run_kwargs) -> List[ChaosOp]:
     """Greedy delta debugging over whole ops: repeatedly drop any single
-    op whose removal keeps the schedule failing."""
+    op whose removal keeps the schedule failing.  ``run_kwargs`` are
+    forwarded to :func:`run_chaos` so a lossy run minimizes under the
+    same standing fault profile it failed with."""
     current = list(ops)
     shrinking = True
     while shrinking and len(current) > 1:
         shrinking = False
         for index in range(len(current)):
             candidate = current[:index] + current[index + 1:]
-            if run_chaos(candidate):
+            if run_chaos(candidate, **run_kwargs):
                 current = candidate
                 shrinking = True
                 break
@@ -235,11 +300,13 @@ def test_chaos_schedule_preserves_invariants(seed):
     topology = ring_topology(NUM_SWITCHES)
     nodes = [node.node_id for node in topology.nodes]
     links = [(link.node_a, link.node_b) for link in topology.links]
-    ops = generate_ops(seed, nodes=nodes, links=links)
-    violations = run_chaos(ops)
+    ops = generate_ops(seed, nodes=nodes, links=links, bus_ops=CHAOS_BUS)
+    run_kwargs = ({"bus_faults": LOSSY_PROFILE, "bus_fault_seed": seed}
+                  if CHAOS_BUS else {})
+    violations = run_chaos(ops, **run_kwargs)
     if violations:
-        minimized = minimize_ops(ops)
-        replay = run_chaos(minimized)
+        minimized = minimize_ops(ops, **run_kwargs)
+        replay = run_chaos(minimized, **run_kwargs)
         pytest.fail(
             f"chaos seed {seed} violated invariants:\n  "
             + "\n  ".join(violations)
@@ -247,6 +314,19 @@ def test_chaos_schedule_preserves_invariants(seed):
             + "\n  ".join(op.describe() for op in minimized)
             + ("\nviolations on minimized schedule:\n  "
                + "\n  ".join(replay) if replay else ""))
+
+
+def test_lossy_bus_chaos_fixed_seed():
+    """Tier-1 anchor for the lossy-bus path: one fixed seed with bus
+    perturbation ops *and* the standing acceptance fault profile (5% drop,
+    2% duplication, reordering, jitter) must keep every invariant.  CI's
+    lossy chaos smoke widens this to many seeds via CHAOS_BUS/CHAOS_SEEDS.
+    """
+    topology = ring_topology(NUM_SWITCHES)
+    nodes = [node.node_id for node in topology.nodes]
+    links = [(link.node_a, link.node_b) for link in topology.links]
+    ops = generate_ops(1, nodes=nodes, links=links, bus_ops=2)
+    assert run_chaos(ops, bus_faults=LOSSY_PROFILE, bus_fault_seed=1) == []
 
 
 # ---------------------------------------------------------------------------
@@ -257,17 +337,17 @@ class TestGenerator:
         topology = ring_topology(NUM_SWITCHES)
         nodes = [node.node_id for node in topology.nodes]
         links = [(link.node_a, link.node_b) for link in topology.links]
-        first = generate_ops(7, nodes=nodes, links=links)
-        second = generate_ops(7, nodes=nodes, links=links)
+        first = generate_ops(7, nodes=nodes, links=links, bus_ops=2)
+        second = generate_ops(7, nodes=nodes, links=links, bus_ops=2)
         assert first == second
-        assert first != generate_ops(8, nodes=nodes, links=links)
+        assert first != generate_ops(8, nodes=nodes, links=links, bus_ops=2)
 
     def test_every_outage_carries_its_repair(self):
         topology = ring_topology(NUM_SWITCHES)
         nodes = [node.node_id for node in topology.nodes]
         links = [(link.node_a, link.node_b) for link in topology.links]
         for seed in range(20):
-            for op in generate_ops(seed, nodes=nodes, links=links):
+            for op in generate_ops(seed, nodes=nodes, links=links, bus_ops=2):
                 events = op.events()
                 if op.kind == "reshard":
                     assert len(events) == 1
@@ -276,7 +356,8 @@ class TestGenerator:
                     assert up.time > down.time
                     assert up.action in (FailureAction.SHARD_UP,
                                          FailureAction.LINK_UP,
-                                         FailureAction.NODE_UP)
+                                         FailureAction.NODE_UP,
+                                         FailureAction.BUS_HEAL)
 
     def test_shard_outages_never_overlap(self):
         topology = ring_topology(NUM_SWITCHES)
@@ -289,3 +370,31 @@ class TestGenerator:
             windows.sort()
             for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
                 assert next_start > prev_end
+
+    def test_bus_windows_never_overlap(self):
+        # A bus_degrade repair heals the whole bus, so two overlapping bus
+        # ops would repair each other and op-level minimization would lie.
+        topology = ring_topology(NUM_SWITCHES)
+        nodes = [node.node_id for node in topology.nodes]
+        links = [(link.node_a, link.node_b) for link in topology.links]
+        for seed in range(20):
+            ops = generate_ops(seed, nodes=nodes, links=links, bus_ops=3)
+            windows = [(op.start, op.start + op.duration) for op in ops
+                       if op.kind in ("bus_degrade", "bus_partition")]
+            assert len(windows) == 3
+            windows.sort()
+            for (_, prev_end), (next_start, _) in zip(windows, windows[1:]):
+                assert next_start > prev_end
+
+    def test_bus_ops_expand_to_valid_events(self):
+        degrade = ChaosOp("bus_degrade", 5.0, 10.0,
+                          params=(("drop", 0.05), ("duplicate", 0.02)))
+        down, up = degrade.events()
+        assert down.action == FailureAction.BUS_DEGRADE
+        assert down.params_dict == {"drop": 0.05, "duplicate": 0.02}
+        assert up.action == FailureAction.BUS_HEAL and up.node_a == -1
+        partition = ChaosOp("bus_partition", 5.0, 10.0, 2)
+        down, up = partition.events()
+        assert down.action == FailureAction.BUS_PARTITION
+        assert (down.node_a, up.node_a) == (2, 2)
+        assert up.action == FailureAction.BUS_HEAL

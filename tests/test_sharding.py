@@ -25,6 +25,7 @@ from repro.routeflow import (
     RFServer,
     RouteMod,
     ShardRole,
+    TakeoverAnnouncement,
     make_partitioner,
 )
 from repro.scenarios import (
@@ -192,11 +193,11 @@ class TestAddressIndexing:
 # sharded convergence
 # ---------------------------------------------------------------------------
 def configure_ring(num_switches, controllers, partitioner="hash",
-                   settle=5.0):
+                   settle=5.0, **config_kwargs):
     sim = Simulator()
     ipam = IPAddressManager()
     config = FrameworkConfig(detect_edge_ports=False, controllers=controllers,
-                             partitioner=partitioner)
+                             partitioner=partitioner, **config_kwargs)
     framework = AutoConfigFramework(sim, config=config, ipam=ipam)
     network = EmulatedNetwork(sim, ring_topology(num_switches), ipam=ipam)
     framework.attach(network)
@@ -541,6 +542,92 @@ class TestTakeoverAndResharding:
         assert (1, "203.0.113.0/24") in shard1.rfproxy.installed_flows
         assert (1, "203.0.113.0/24") not in shard0.rfproxy.installed_flows
         assert shard0.rfproxy.flows_installed == dead_installed
+
+
+class TestFailureDetectorOnLossyBus:
+    def test_takeover_deadline_tracks_heartbeat_channel_delay(self):
+        """The detector's deadline is FAILURE_TIMEOUT plus the heartbeat
+        channel's latency and worst-case fault delay — exactly the plain
+        constant on the default direct, fault-free channel."""
+        sim, framework, network, configured_at = configure_ring(4, 2)
+        plane = framework.control_plane
+        assert plane.effective_failure_timeout == plane.FAILURE_TIMEOUT
+        framework.bus.configure_faults("routeflow.heartbeat",
+                                       jitter=3.0, reorder=0.2,
+                                       reorder_delay=0.5)
+        assert plane.effective_failure_timeout == pytest.approx(
+            plane.FAILURE_TIMEOUT + 3.5)
+
+    def test_delayed_heartbeats_never_trigger_spurious_takeover(self):
+        """Regression: heartbeat jitter close to FAILURE_TIMEOUT itself
+        must not look like shard death.  With a 3 s jitter a beat can land
+        ~4 s after its predecessor — past the raw 3.5 s constant — but the
+        deadline stretches by the channel's worst-case delay, so a
+        delayed-but-delivered beat is never mistaken for silence."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, bus_faults={"routeflow.heartbeat": {"jitter": 3.0}},
+            bus_fault_seed=7)
+        assert configured_at is not None
+        plane = framework.control_plane
+        assert plane.effective_failure_timeout == pytest.approx(
+            plane.FAILURE_TIMEOUT + 3.0)
+        sim.run(until=sim.now + 60.0)
+        assert plane.takeovers == 0
+        assert plane.ownership_violations() == []
+        # The detector still works: actual silence past the stretched
+        # deadline is declared dead.
+        plane.fail_shard(0)
+        sim.run(until=sim.now + plane.effective_failure_timeout
+                + 2 * plane.HEARTBEAT_INTERVAL + 1.0)
+        assert plane.takeovers == 1
+        assert plane.owned_dpids(0) == []
+
+    def test_replayed_takeover_announcement_is_fenced(self):
+        """A duplicated or delayed TakeoverAnnouncement (lossy bus) must
+        not double-count a takeover or roll ownership backwards."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        partition = plane.owned_dpids(0)
+        plane.fail_shard(0)
+        plane.takeover(0, reason="test")
+        sim.run(until=sim.now + 5.0)
+        assert plane.takeovers == 1
+        owned = plane.owned_dpids(1)
+        stale_before = plane.stale_announcements
+        replay = TakeoverAnnouncement(
+            event=TakeoverAnnouncement.TAKEOVER, from_shard=0, to_shard=1,
+            datapaths=list(partition), reason="replay", epoch=1)
+        framework.bus.publish("routeflow.mapping", replay.to_json(),
+                              sender="plane")
+        assert plane.takeovers == 1                  # not double-applied
+        assert plane.stale_announcements == stale_before + 1
+        assert plane.owned_dpids(1) == owned
+        assert plane.ownership_violations() == []
+
+    def test_stale_epoch_cannot_roll_ownership_backwards(self):
+        """After a reshard moved a dpid forward under a newer epoch, a
+        delayed announcement from an older epoch must not reclaim it."""
+        sim, framework, network, configured_at = configure_ring(
+            8, 2, partitioner="contiguous")
+        assert configured_at is not None
+        plane = framework.control_plane
+        assert plane.reshard(3, 1) is True           # epoch 1: dpid 3 -> shard 1
+        sim.run(until=sim.now + 5.0)
+        assert plane.owner_of(3) == 1
+        rollback = TakeoverAnnouncement(
+            event=TakeoverAnnouncement.RESHARD, from_shard=1, to_shard=0,
+            datapaths=[3], reason="delayed duplicate", epoch=1)
+        framework.bus.publish("routeflow.mapping", rollback.to_json(),
+                              sender="plane")
+        assert plane.owner_of(3) == 1                # still with shard 1
+        assert plane.stale_announcements == 1
+        assert plane.reshards == 1
+        # A genuinely newer epoch still moves it.
+        assert plane.reshard(3, 0) is True
+        sim.run(until=sim.now + 5.0)
+        assert plane.owner_of(3) == 0
 
 
 class TestReshardEvents:
