@@ -217,12 +217,27 @@ class ReliablePublisher:
         self.base_seq = 1
         self._next_seq = 1
         self._pending: Dict[int, _PendingSend] = {}
+        #: Messages acked *out of order* — the consumer buffered them
+        #: behind a gap, so an ack proves receipt but not application.
+        #: Kept until every lower sequence number is acked (which proves
+        #: the consumer's in-order watermark passed them) so retarget()
+        #: can re-offer them to a new shard; bounded by ``window``.
+        self._retained: Dict[int, _PendingSend] = {}
         #: Messages awaiting a transmission slot (window flow control).
         self._queue: Deque[_PendingSend] = deque()
+        #: Ack topics _on_ack is already subscribed to (the bus has no
+        #: unsubscribe, so retarget must not re-register on a revisit).
+        self._ack_topics: set = set()
         if policy.mode == "ack":
             _ensure_ack_channel(bus, topic)
-            bus.subscribe(ack_topic(topic), self._on_ack,
-                          endpoint=self.endpoint)
+            self._subscribe_acks(topic)
+
+    def _subscribe_acks(self, topic: str) -> None:
+        if topic in self._ack_topics:
+            return
+        self._ack_topics.add(topic)
+        self.bus.subscribe(ack_topic(topic), self._on_ack,
+                           endpoint=self.endpoint)
 
     # ----------------------------------------------------------------- publish
     def publish(self, payload: str, label: Optional[str] = None,
@@ -239,9 +254,17 @@ class ReliablePublisher:
             # at-least-once only holds between live endpoints.
             wrapper = _wrap(self.sender, self.incarnation, self.base_seq,
                             seq, payload)
-            return self.bus.publish(self.topic, wrapper, label=label,
-                                    latency=latency, sender=self.sender,
-                                    endpoint=self.endpoint)
+            envelope = self.bus.publish(self.topic, wrapper, label=label,
+                                        latency=latency, sender=self.sender,
+                                        endpoint=self.endpoint)
+            if (self.policy.mode == "ack" and not self._pending
+                    and not self._queue):
+                # The untracked seq was dropped into the void; a consumer
+                # subscribing later must not wait for it.  Restart the
+                # stream just past it so the next tracked message carries
+                # base == its own seq.
+                self.base_seq = self._next_seq
+            return envelope
         pending = _PendingSend(seq, payload, label, latency)
         if self._queue or not self._may_transmit(seq):
             self._queue.append(pending)
@@ -329,6 +352,7 @@ class ReliablePublisher:
             if pending.timer is not None:
                 pending.timer.cancel()
         self._pending.clear()
+        self._retained.clear()
         self._queue.clear()
         self._channel().exhausted += 1
         self.incarnation += 1
@@ -352,38 +376,57 @@ class ReliablePublisher:
         if pending.timer is not None:
             pending.timer.cancel()
         self._channel().acked += 1
+        # An ack proves receipt; application is only proven once every
+        # lower seq is acked too (the consumer applies in order).  Retain
+        # the message until then in case a retarget has to re-offer it.
+        self._retained[pending.seq] = pending
+        floor = min(self._pending) if self._pending else None
+        if floor is None:
+            self._retained.clear()
+        else:
+            for seq in [seq for seq in self._retained if seq < floor]:
+                del self._retained[seq]
         self._pump()
 
     # --------------------------------------------------------------- retarget
     def retarget(self, topic: str) -> None:
-        """Repoint at another topic, carrying the unacked window along.
+        """Repoint at another topic, carrying the in-doubt window along.
 
-        Used when a client migrates between shards: the messages the old
-        shard never acked are re-published to the new one under a fresh
-        incarnation (at-least-once across the migration; the consumer's
-        dedup absorbs any that the old shard did apply but not ack).
+        Used when a client migrates between shards: every message the old
+        shard has not provably *applied* — unacked, queued, or acked out
+        of order (received into the old consumer's reorder buffer but
+        stuck behind a gap, hence never handed to its callback) — is
+        re-published to the new one under a fresh incarnation
+        (at-least-once across the migration; component-level idempotence
+        absorbs any the old shard did apply).
+
+        The carried messages are renumbered contiguously from
+        ``_next_seq``: keeping old numbers would leave permanent holes at
+        the seqs the old shard acked, wedging the new consumer's in-order
+        watermark forever while everything later sat acked in its buffer.
         """
         if topic == self.topic:
             return
-        resend = sorted(list(self._pending.values()) + list(self._queue),
+        resend = sorted(list(self._pending.values())
+                        + list(self._retained.values()) + list(self._queue),
                         key=lambda pending: pending.seq)
         for pending in resend:
             if pending.timer is not None:
                 pending.timer.cancel()
         self._pending.clear()
+        self._retained.clear()
         self._queue.clear()
         if self.policy.mode == "ack":
             _ensure_ack_channel(self.bus, topic)
-            self.bus.subscribe(ack_topic(topic), self._on_ack,
-                               endpoint=self.endpoint)
+            self._subscribe_acks(topic)
         self.topic = topic
         self.incarnation += 1
-        # Fresh incarnation restarts the stream at the first re-sent
-        # message's sequence number (or the next one if nothing pends).
-        self.base_seq = resend[0].seq if resend else self._next_seq
-        for old in resend:
+        self.base_seq = self._next_seq
+        for offset, old in enumerate(resend):
             self._queue.append(
-                _PendingSend(old.seq, old.payload, old.label, old.latency))
+                _PendingSend(self.base_seq + offset, old.payload, old.label,
+                             old.latency))
+        self._next_seq = self.base_seq + len(resend)
         self._pump()
 
 

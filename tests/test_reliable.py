@@ -228,6 +228,72 @@ class TestRetarget:
         assert new_seen == ["applied but unacked"]
         assert publisher.pending == 0
 
+    def test_out_of_order_ack_then_retarget_leaves_no_holes(self, sim):
+        """Regression: seqs the old shard acked *out of order* must not
+        become permanent gaps in the new incarnation.  m1's first tx is
+        lost, so the old shard acks-and-buffers m2/m3 behind the gap;
+        they are in doubt (received, never applied) and must ride the
+        migration, renumbered so the new stream has no holes — without
+        this, the new consumer delivered only m1 and held every later
+        message in its reorder buffer forever."""
+        bus = reliable_bus(sim, policies=(("shard.*", ReliablePolicy()),))
+        old_seen, new_seen = [], []
+        consume(bus, "shard.0", lambda env: old_seen.append(env.payload))
+        consume(bus, "shard.1", lambda env: new_seen.append(env.payload))
+        publisher = acquire_publisher(bus, "shard.0", "me")
+        bus.configure_faults("shard.0", drop=1.0)
+        publisher.publish("m1")                # lost on the wire
+        bus.clear_faults("shard.0")
+        publisher.publish("m2")                # acked+buffered at old shard
+        publisher.publish("m3")
+        assert old_seen == []
+        assert publisher.pending == 1          # only m1 awaits its ack
+        assert bus.stats()["shard.0"]["rx_out_of_order"] == 2
+        publisher.retarget("shard.1")
+        publisher.publish("m4")
+        publisher.publish("m5")
+        assert new_seen == ["m1", "m2", "m3", "m4", "m5"]
+        assert publisher.pending == 0
+        sim.run()                              # no retransmit stragglers
+        assert new_seen == ["m1", "m2", "m3", "m4", "m5"]
+
+    def test_repeated_migration_does_not_stack_ack_subscriptions(self, sim):
+        """Regression: migrating back to a previously-used topic must not
+        register a duplicate ack subscription (the bus has no
+        unsubscribe, so churn would grow them without bound)."""
+        bus = reliable_bus(sim, policies=(("shard.*", ReliablePolicy()),))
+        seen = []
+        consume(bus, "shard.0", lambda env: seen.append(env.payload))
+        consume(bus, "shard.1", lambda env: seen.append(env.payload))
+        publisher = acquire_publisher(bus, "shard.0", "me")
+        for _ in range(5):
+            publisher.retarget("shard.1")
+            publisher.retarget("shard.0")
+        for topic in ("shard.0", "shard.1"):
+            assert bus.stats()[ack_topic(topic)]["subscribers"] == 1
+        publisher.publish("after churn")
+        assert seen == ["after churn"]
+        assert publisher.pending == 0
+
+
+class TestLateJoiningConsumer:
+    def test_untracked_publishes_leave_no_holes_for_late_joiners(self, sim):
+        """Regression: ack-mode publishes with no subscriber are dropped
+        by the bus but consume seqs; a consumer subscribing afterwards
+        must start cleanly at the next tracked message rather than wait
+        forever for the untracked ones."""
+        bus = reliable_bus(sim)
+        publisher = acquire_publisher(bus, "t", "me")
+        publisher.publish("void 1")            # nobody listening: dropped
+        publisher.publish("void 2")
+        assert publisher.pending == 0          # untracked, not retried
+        seen = []
+        consume(bus, "t", lambda env: seen.append(env.payload))
+        publisher.publish("first heard")
+        publisher.publish("second heard")
+        assert seen == ["first heard", "second heard"]
+        assert publisher.pending == 0
+
 
 class TestSeqMode:
     def test_seq_mode_never_acks(self, sim):
