@@ -20,6 +20,25 @@ class SinkStats:
     last_arrival: Optional[float] = None
 
 
+@dataclass
+class SourceStats:
+    """What a traffic source emitted — the sender-side mirror of
+    :class:`SinkStats`, so offered vs. delivered load can be compared
+    directly."""
+
+    packets: int = 0
+    bytes: int = 0
+    first_send: Optional[float] = None
+    last_send: Optional[float] = None
+
+    def record(self, now: float, payload_bytes: int) -> None:
+        self.packets += 1
+        self.bytes += payload_bytes
+        if self.first_send is None:
+            self.first_send = now
+        self.last_send = now
+
+
 class UDPSink:
     """Counts datagrams arriving on a UDP port."""
 
@@ -49,9 +68,13 @@ class ConstantBitRateSource:
         self.target = IPv4Address(target)
         self.port = port
         self.payload_size = payload_size
-        self.packets_sent = 0
+        self.stats = SourceStats()
         self._task = PeriodicTask(sim, 1.0 / rate_pps, self._send,
                                   name=f"cbr:{host.name}")
+
+    @property
+    def packets_sent(self) -> int:
+        return self.stats.packets
 
     def start(self) -> None:
         self._task.start(fire_immediately=True)
@@ -62,7 +85,7 @@ class ConstantBitRateSource:
     def _send(self) -> None:
         self.host.send_udp(self.target, self.port, bytes(self.payload_size),
                            src_port=self.port)
-        self.packets_sent += 1
+        self.stats.record(self.sim.now, self.payload_size)
 
 
 class PoissonSource:
@@ -78,8 +101,12 @@ class PoissonSource:
         self.mean_rate_pps = mean_rate_pps
         self.payload_size = payload_size
         self.rng = SeededRandom(seed)
-        self.packets_sent = 0
+        self.stats = SourceStats()
         self._running = False
+
+    @property
+    def packets_sent(self) -> int:
+        return self.stats.packets
 
     def start(self) -> None:
         if self._running:
@@ -99,5 +126,5 @@ class PoissonSource:
             return
         self.host.send_udp(self.target, self.port, bytes(self.payload_size),
                            src_port=self.port)
-        self.packets_sent += 1
+        self.stats.record(self.sim.now, self.payload_size)
         self._schedule_next()

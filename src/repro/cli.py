@@ -21,8 +21,12 @@ regenerated without writing any Python:
   configure a multi-AS BGP scenario, verify redistribution and AS-path
   sanity, and flap an eBGP border link to exercise the withdrawal and
   re-advertisement lifecycle.
-* ``repro bench [--json FILE] [--check BASELINE]`` — the hot-path benchmark
-  suite, with machine-readable output and a perf-regression gate.
+* ``repro traffic --scenario NAME [--demands N] [--model uniform|gravity]``
+  — run a seeded demand set through the fluid fast path and report
+  delivered throughput, loss and per-link utilization.
+* ``repro bench [--json FILE] [--check BASELINE] [--filter GLOB]`` — the
+  hot-path benchmark suite, with machine-readable output and a
+  perf-regression gate.
 
 Also reachable as ``python -m repro``.
 """
@@ -57,6 +61,7 @@ from repro.experiments import (
     render_failover_table,
     render_interdomain_table,
     render_sweep_table,
+    render_traffic_table,
     run_config_time_sweep,
     run_controller_split_ablation,
     run_demo,
@@ -64,6 +69,7 @@ from repro.experiments import (
     run_interdomain,
     run_ospf_timer_ablation,
     run_sweep,
+    run_traffic_suite,
     run_vm_latency_ablation,
     write_failover_csv,
     write_failover_json,
@@ -71,8 +77,10 @@ from repro.experiments import (
     write_interdomain_json,
     write_sweep_csv,
     write_sweep_json,
+    write_traffic_json,
 )
 from repro.experiments.ctlscale import DEFAULT_CONTROLLER_COUNTS
+from repro.traffic import DEMAND_MODELS, DemandSpec
 from repro.scenarios import (
     FailureAction,
     FailureEvent,
@@ -262,6 +270,36 @@ def build_parser() -> argparse.ArgumentParser:
     interdomain.add_argument("--csv", metavar="FILE",
                              help="write results as CSV to FILE")
 
+    traffic = subparsers.add_parser(
+        "traffic", help="configure a scenario and run a seeded demand set "
+                        "through the fluid fast path; reports delivered "
+                        "throughput, loss and per-link utilization")
+    traffic.add_argument("--scenario", action="append", default=None,
+                         metavar="NAME", required=True,
+                         help="registry scenario to run (repeatable)")
+    traffic.add_argument("--demands", type=int, default=None, metavar="N",
+                         help="number of demands (default: the scenario's "
+                              "demand spec, or 100)")
+    traffic.add_argument("--model", choices=list(DEMAND_MODELS), default=None,
+                         help="traffic matrix model (default: uniform)")
+    traffic.add_argument("--rate", type=float, default=None, metavar="BPS",
+                         help="offered rate per demand in bits/second "
+                              "(default: 1e6)")
+    traffic.add_argument("--duration", type=float, default=None,
+                         metavar="SECONDS",
+                         help="demand lifetime; 0 = whole experiment "
+                              "(default: 0)")
+    traffic.add_argument("--demand-seed", type=int, default=None, metavar="N",
+                         help="seed of the demand generator (default: 0)")
+    traffic.add_argument("--window", type=float, default=30.0,
+                         help="traffic phase length for open-ended demands "
+                              "(default: 30)")
+    traffic.add_argument("--settle", type=float, default=5.0,
+                         help="extra seconds past the last demand/failure "
+                              "event (default: 5)")
+    traffic.add_argument("--out", metavar="FILE",
+                         help="write results as JSON to FILE")
+
     bench = subparsers.add_parser(
         "bench", help="run the hot-path benchmark suite; optionally write a "
                       "machine-readable JSON record and check it against a "
@@ -279,6 +317,9 @@ def build_parser() -> argparse.ArgumentParser:
     bench.add_argument("--quick", action="store_true",
                        help="microbenchmarks only (skip the 64-router "
                             "convergence scenario)")
+    bench.add_argument("--filter", metavar="GLOB", default=None,
+                       help="run only the benchmark cases whose name matches "
+                            "the glob (e.g. 'demand_*')")
 
     return parser
 
@@ -567,18 +608,58 @@ def _command_interdomain(args: argparse.Namespace) -> int:
     return 0 if all(r.healthy for r in results) else 1
 
 
+def _command_traffic(args: argparse.Namespace) -> int:
+    export_error = _validate_export_paths(args.out)
+    if export_error is not None:
+        print(export_error, file=sys.stderr)
+        return 2
+    try:
+        specs = [get_scenario(name) for name in args.scenario]
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    overrides = {"count": args.demands, "model": args.model,
+                 "rate_bps": args.rate, "duration": args.duration,
+                 "seed": args.demand_seed}
+    overrides = {key: value for key, value in overrides.items()
+                 if value is not None}
+    results = []
+    try:
+        for spec in specs:
+            base = spec.demands if spec.demands is not None else DemandSpec()
+            demands = DemandSpec(**{**base.to_dict(), **overrides}) \
+                if overrides else None
+            results.extend(run_traffic_suite([spec], demands=demands,
+                                             settle=args.settle,
+                                             window=args.window))
+    except (ScenarioError, TopologyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_traffic_table(results))
+    if args.out:
+        print(f"wrote {write_traffic_json(results, args.out)}")
+    return 0 if all(r.configured for r in results) else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     document = run_benchmarks(
         quick=args.quick,
-        progress=lambda name: print(f"running {name} ...", file=sys.stderr))
+        progress=lambda name: print(f"running {name} ...", file=sys.stderr),
+        name_filter=args.filter)
+    if not document["benchmarks"]:
+        print(f"error: no benchmark case matches {args.filter!r}",
+              file=sys.stderr)
+        return 2
     print(render_bench_table(document))
     if args.json:
         print(f"wrote {write_bench_json(document, args.json)}")
     if args.check:
         baseline = read_bench_json(args.check)
-        # --quick deliberately skips the slow scenarios; compare only what
-        # actually ran instead of flagging them as missing.
-        only = document["benchmarks"].keys() if args.quick else None
+        # --quick deliberately skips the slow scenarios, and --filter
+        # narrows further; compare only what actually ran instead of
+        # flagging the rest as missing.
+        only = document["benchmarks"].keys() \
+            if (args.quick or args.filter) else None
         failures = check_regressions(document, baseline,
                                      tolerance=args.tolerance, only=only)
         if failures:
@@ -600,6 +681,7 @@ _COMMANDS = {
     "failover": _command_failover,
     "ctlscale": _command_ctlscale,
     "interdomain": _command_interdomain,
+    "traffic": _command_traffic,
     "bench": _command_bench,
 }
 

@@ -105,6 +105,12 @@ class FrameworkConfig:
     #: (acks, retransmission, per-sender dedup/reorder windows).  None =
     #: automatic: enabled exactly when :attr:`bus_faults` injects faults.
     reliable_ipc: Optional[bool] = None
+    #: Also advertise each router's loopback (its router id, a /32) into
+    #: OSPF in single-domain scenarios.  Interdomain configurations always
+    #: do this (iBGP needs it); traffic experiments enable it so fluid
+    #: demands have a routable per-router destination address.  Off by
+    #: default — the OSPF-only golden traces pin the no-loopback configs.
+    advertise_loopbacks: bool = False
 
 
 class AutoConfigFramework:
@@ -197,7 +203,8 @@ class AutoConfigFramework:
             ospf_dead_interval=self.config.ospf_dead_interval,
             as_map=self.config.as_map if self.config.enable_bgp else None,
             bgp_keepalive_interval=self.config.bgp_keepalive_interval,
-            bgp_hold_time=self.config.bgp_hold_time)
+            bgp_hold_time=self.config.bgp_hold_time,
+            advertise_loopbacks=self.config.advertise_loopbacks)
         self.rpc_server.on_switch_configured(self.gui.mark_configured)
         self.rpc_client = RPCClient(sim, self.rpc_server,
                                     network_delay=self.config.rpc_network_delay,

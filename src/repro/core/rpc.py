@@ -109,7 +109,8 @@ class RPCServer:
                  ospf_hello_interval: int = 10, ospf_dead_interval: int = 40,
                  as_map: Optional[Mapping[int, int]] = None,
                  bgp_keepalive_interval: float = 10.0,
-                 bgp_hold_time: float = 30.0) -> None:
+                 bgp_hold_time: float = 30.0,
+                 advertise_loopbacks: bool = False) -> None:
         self.sim = sim
         self.rfserver = rfserver
         self.ipam = ipam if ipam is not None else IPAddressManager()
@@ -125,6 +126,9 @@ class RPCServer:
         self.as_map: Optional[Dict[int, int]] = dict(as_map) if as_map else None
         self.bgp_keepalive_interval = bgp_keepalive_interval
         self.bgp_hold_time = bgp_hold_time
+        #: Also put the router id on a loopback /32 and announce it into
+        #: OSPF when running single-domain (interdomain always does).
+        self.advertise_loopbacks = advertise_loopbacks
         self._vm_state: Dict[int, _VMConfigState] = {}
         self._configured_links: Set[Tuple[int, int, int, int]] = set()
         #: Link / edge-port messages that arrived before the switch they refer
@@ -320,9 +324,11 @@ class RPCServer:
         # own SPF — the classic mutual-redistribution feedback.
         border = interdomain and any(n.remote_as != state.local_as
                                      for n in state.bgp_neighbors)
-        if interdomain:
+        announce_lo = interdomain or self.advertise_loopbacks
+        if announce_lo:
             # The router id lives on a loopback /32 so iBGP next-hop-self
-            # addresses resolve through the IGP.
+            # addresses resolve through the IGP (interdomain), and so the
+            # fluid traffic path has a routable per-router destination.
             interface_configs.append(InterfaceConfig(
                 name="lo", ip=state.router_id, prefix_len=32,
                 description="loopback (router id)"))
@@ -330,7 +336,7 @@ class RPCServer:
         self.rfserver.write_config_file(state.vm_id, "zebra.conf", zebra_text)
         ospf_statements = [OSPFNetworkStatement(prefix=network, area="0.0.0.0")
                            for network in state.ospf_networks]
-        if interdomain:
+        if announce_lo:
             ospf_statements.append(OSPFNetworkStatement(
                 prefix=IPv4Network((state.router_id, 32)), area="0.0.0.0"))
         ospfd_text = generate_ospfd_conf(

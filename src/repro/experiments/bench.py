@@ -300,6 +300,95 @@ def bench_interdomain_3as() -> Dict[str, Any]:
             "flows": result.steady_flows}
 
 
+def _torus_fluid_fixture(rows: int = 16, cols: int = 16):
+    """A 256-router torus with synthetic RouteFlow-shaped flow tables.
+
+    Returns ``(sim, network, routes, engine, addresses)`` ready for
+    demand registration — the shared setup of the fluid-path benchmarks.
+    """
+    from repro.sim import Simulator
+    from repro.topology.emulator import EmulatedNetwork
+    from repro.topology.generators import torus_topology
+    from repro.traffic import FluidEngine, SyntheticRoutes, service_address
+
+    sim = Simulator()
+    network = EmulatedNetwork(sim, torus_topology(rows, cols))
+    routes = SyntheticRoutes(network)
+    routes.install()
+    addresses = {dpid: service_address(dpid) for dpid in network.switches}
+    owners = {int(address): dpid for dpid, address in addresses.items()}
+    engine = FluidEngine(sim, network, owner_of=owners.get)
+    engine.attach()
+    return sim, network, routes, engine, addresses
+
+
+def bench_demand_resolution_1m() -> Dict[str, Any]:
+    """Resolve one million concurrent demands on a 256-router torus.
+
+    The timed region registers 1M pre-generated uniform demands and runs
+    one full resolution + max-min allocation pass.  The memoized resolver
+    collapses the million demands into one table walk per (source,
+    destination) commodity, so this gates the fast path's headline claim:
+    million-user traffic at flow-table fidelity without a packet pipeline.
+    ``demands``/``commodities``/``delivered`` are deterministic and gated
+    exactly.
+    """
+    from repro.traffic import uniform_demands
+
+    _sim, network, _routes, engine, addresses = _torus_fluid_fixture()
+    demands = uniform_demands(addresses, 1_000_000, rate_bps=1_000.0, seed=7)
+
+    def run():
+        engine.register(demands, schedule=False)
+        engine.reallocate()
+        return engine.stats()
+
+    wall, stats = _best_of(run, repeats=1)
+    return {"wall_seconds": wall,
+            "demands": int(stats["demands"]),
+            "commodities": int(stats["commodities"]),
+            "delivered": int(stats["delivered_commodities"]),
+            "switches": len(network.switches)}
+
+
+def bench_churn_under_load() -> Dict[str, Any]:
+    """Route churn under 200k live demands: fail a link, reroute, restore.
+
+    The timed region takes a torus link down, applies the resulting
+    shortest-path diff as strict deletes + adds (the OFPFC_DELETE churn a
+    reconvergence causes), reallocates, then restores and repeats — the
+    fluid engine must re-resolve only the commodities whose paths crossed
+    the changed switches.  ``affected`` (demands inside re-resolved
+    commodities) is deterministic and gated exactly: it measures that
+    churn cost scales with the affected demands, not the total.
+    """
+    from repro.traffic import uniform_demands
+
+    sim, network, routes, engine, addresses = _torus_fluid_fixture()
+    demands = uniform_demands(addresses, 200_000, rate_bps=1_000.0, seed=11)
+    engine.register(demands, schedule=False)
+    engine.reallocate()
+    link_a, link_b = 1, 2
+
+    def run():
+        affected_before = engine.affected_demands
+        network.fail_link(link_a, link_b)
+        routes.reroute()
+        engine.reallocate()
+        network.restore_link(link_a, link_b)
+        routes.reroute()
+        engine.reallocate()
+        return engine.affected_demands - affected_before
+
+    # Each cycle restores the original tables (with bumped versions), so
+    # repeats do identical work and best-of squeezes allocator/GC noise.
+    wall, affected = _best_of(run, repeats=3)
+    return {"wall_seconds": wall,
+            "demands": int(engine.stats()["demands"]),
+            "affected": int(affected),
+            "switches": len(network.switches)}
+
+
 #: name -> (callable, included in --quick runs)
 BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "kernel_event_churn": (bench_kernel_event_churn, True),
@@ -312,24 +401,33 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "sharded_convergence_16": (bench_sharded_convergence_16, False),
     "sharded_churn_16": (bench_sharded_churn_16, False),
     "interdomain_convergence_3as": (bench_interdomain_3as, False),
+    "demand_resolution_1m": (bench_demand_resolution_1m, False),
+    "churn_under_load": (bench_churn_under_load, False),
 }
 
 #: Keys whose values must match the baseline *exactly* (determinism gate).
-EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links", "flows")
+EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links", "flows",
+              "demands", "commodities", "delivered", "affected")
 
 
 def run_benchmarks(quick: bool = False,
-                   progress: Optional[Callable[[str], None]] = None) -> Dict[str, Any]:
+                   progress: Optional[Callable[[str], None]] = None,
+                   name_filter: Optional[str] = None) -> Dict[str, Any]:
     """Run the suite and return the result document.
 
     Every benchmark is bracketed by its own calibration measurements and
     normalized against their mean — CPU throttling mid-suite (common on CI
     runners) would otherwise skew a single up-front calibration.
+    ``name_filter`` is a shell-style glob restricting which cases run.
     """
+    from fnmatch import fnmatchcase
+
     results: Dict[str, Dict[str, Any]] = {}
     calibrations: List[float] = [calibrate()]
     for name, (function, in_quick) in BENCHMARKS.items():
         if quick and not in_quick:
+            continue
+        if name_filter is not None and not fnmatchcase(name, name_filter):
             continue
         if progress is not None:
             progress(name)

@@ -72,6 +72,14 @@ class Interface:
         self.rx_bytes = 0
         self.tx_dropped = 0
         self.rx_dropped = 0
+        # Utilization accounting, shared by the packet path (per-frame
+        # serialization time, fed by Link.transmit) and the fluid fast
+        # path (rate integrals, fed by the fluid engine): cumulative
+        # transmit busy time plus the peak observed transmit rate.
+        self.tx_busy_seconds = 0.0
+        self.peak_tx_bps = 0.0
+        self._rate_window_start = 0.0
+        self._rate_window_bits = 0.0
 
     # ----------------------------------------------------------- configuration
     def set_handler(self, handler: FrameHandler) -> None:
@@ -136,6 +144,35 @@ class Interface:
         if self._handler is not None:
             self._handler(self, frame)
 
+    #: Width of the sliding window the packet path derives peak rates over.
+    RATE_WINDOW = 1.0
+
+    def account_tx(self, now: float, bits: float, busy_seconds: float) -> None:
+        """Charge one transmitted frame (packet path).
+
+        ``busy_seconds`` is the frame's serialization time on the attached
+        link; the peak rate is tracked over :attr:`RATE_WINDOW`-second
+        windows of transmitted bits.
+        """
+        self.tx_busy_seconds += busy_seconds
+        elapsed = now - self._rate_window_start
+        if elapsed >= self.RATE_WINDOW:
+            if self._rate_window_bits:
+                rate = self._rate_window_bits / elapsed
+                if rate > self.peak_tx_bps:
+                    self.peak_tx_bps = rate
+            self._rate_window_start = now
+            self._rate_window_bits = 0.0
+        self._rate_window_bits += bits
+
+    def account_rate(self, rate_bps: float, seconds: float,
+                     capacity_bps: float) -> None:
+        """Charge a sustained transmit rate over an interval (fluid path)."""
+        if capacity_bps > 0.0:
+            self.tx_busy_seconds += seconds * min(1.0, rate_bps / capacity_bps)
+        if rate_bps > self.peak_tx_bps:
+            self.peak_tx_bps = rate_bps
+
     def stats(self) -> dict:
         """Snapshot of the delivery/drop counters."""
         return {
@@ -145,6 +182,8 @@ class Interface:
             "rx_bytes": self.rx_bytes,
             "tx_dropped": self.tx_dropped,
             "rx_dropped": self.rx_dropped,
+            "tx_busy_seconds": self.tx_busy_seconds,
+            "peak_tx_bps": self.peak_tx_bps,
         }
 
     def __repr__(self) -> str:
@@ -193,8 +232,10 @@ class Link:
             self.dropped_frames += 1
             return
         peer = self.peer_of(from_iface)
-        serialization = (len(frame) * 8) / self.bandwidth_bps if self.bandwidth_bps else 0.0
+        bits = len(frame) * 8
+        serialization = bits / self.bandwidth_bps if self.bandwidth_bps else 0.0
         self.tx_frames += 1
+        from_iface.account_tx(self.sim.now, bits, serialization)
         self.sim.schedule(self.delay + serialization, peer.deliver, frame,
                           label=self._event_label)
 
@@ -219,8 +260,17 @@ class Link:
         self.iface_b.notify_carrier(True)
 
     def stats(self) -> dict:
-        """Snapshot of the link's frame counters."""
-        return {"tx_frames": self.tx_frames, "dropped_frames": self.dropped_frames}
+        """Snapshot of the link's frame counters and utilization."""
+        return {
+            "tx_frames": self.tx_frames,
+            "dropped_frames": self.dropped_frames,
+            # Both directions share the physical link, so busy time sums
+            # and the peak is the hotter direction.
+            "busy_seconds": (self.iface_a.tx_busy_seconds
+                             + self.iface_b.tx_busy_seconds),
+            "peak_bps": max(self.iface_a.peak_tx_bps,
+                            self.iface_b.peak_tx_bps),
+        }
 
     def __repr__(self) -> str:
         state = "up" if self.up else "down"

@@ -8,7 +8,7 @@ simulated time, emitting FLOW_REMOVED when the entry asked for it.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Optional
+from typing import Callable, Iterable, List, Optional
 
 from repro.openflow.actions import Action
 from repro.openflow.constants import OFPFlowModFlags, OFPPort
@@ -76,6 +76,15 @@ class FlowTable:
         self._entries: List[FlowEntry] = []
         self.lookup_count = 0
         self.matched_count = 0
+        #: Monotonic mutation counter: bumped on every content change
+        #: (add/modify/delete/expire/clear).  The fluid fast path keys its
+        #: per-table lookup memo on it, so a stale cached resolution can
+        #: never survive a flow-mod.
+        self.version = 0
+        #: Observers of content changes, called as ``listener(table)``
+        #: after the mutation landed.  Empty (and therefore free) unless a
+        #: fluid engine is attached.
+        self._change_listeners: List[Callable[["FlowTable"], None]] = []
         #: True while any installed entry carries a timeout; lets expire()
         #: return immediately for the common all-permanent-routes table.
         self._may_expire = False
@@ -94,6 +103,15 @@ class FlowTable:
     @property
     def is_full(self) -> bool:
         return len(self._entries) >= self.max_entries
+
+    def add_change_listener(self, listener: Callable[["FlowTable"], None]) -> None:
+        """Subscribe to content changes (any add/modify/delete/expiry)."""
+        self._change_listeners.append(listener)
+
+    def _changed(self) -> None:
+        self.version += 1
+        for listener in self._change_listeners:
+            listener(self)
 
     # --------------------------------------------------------------- mutate
     def add(self, entry: FlowEntry, replace_identical: bool = True) -> None:
@@ -124,6 +142,7 @@ class FlowTable:
         entries.insert(lo, entry)
         if entry.idle_timeout or entry.hard_timeout:
             self._may_expire = True
+        self._changed()
 
     def modify(self, match: Match, actions: List[Action], strict: bool,
                priority: int) -> int:
@@ -133,6 +152,8 @@ class FlowTable:
             if self._selected(entry, match, strict, priority, OFPPort.NONE):
                 entry.actions = list(actions)
                 touched += 1
+        if touched:
+            self._changed()
         return touched
 
     def delete(self, match: Match, strict: bool, priority: int,
@@ -140,7 +161,9 @@ class FlowTable:
         """Apply DELETE / DELETE_STRICT semantics; returns removed entries."""
         removed = [e for e in self._entries
                    if self._selected(e, match, strict, priority, out_port)]
-        self._entries = [e for e in self._entries if e not in removed]
+        if removed:
+            self._entries = [e for e in self._entries if e not in removed]
+            self._changed()
         return removed
 
     def expire(self, now: float) -> List[tuple]:
@@ -160,6 +183,8 @@ class FlowTable:
                 expired.append((entry, reason))
         self._entries = remaining
         self._may_expire = may_expire
+        if expired:
+            self._changed()
         return expired
 
     @staticmethod
@@ -192,7 +217,9 @@ class FlowTable:
         return None
 
     def clear(self) -> None:
-        self._entries.clear()
+        if self._entries:
+            self._entries.clear()
+            self._changed()
 
     def __repr__(self) -> str:
         return f"<FlowTable {self.table_id} entries={len(self._entries)}>"

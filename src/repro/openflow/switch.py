@@ -125,6 +125,11 @@ class OpenFlowSwitch:
         self.flow_mod_count = 0
         self.data_packets_forwarded = 0
         self.data_packets_missed = 0
+        #: Optional pipeline observer called after every data-plane lookup
+        #: as ``observer(switch, in_port, fields, entry_or_None)``.  None
+        #: (the default) costs nothing; the fluid-vs-packet equivalence
+        #: test uses it to trace the hop sequence a frame takes.
+        self.lookup_observer = None
 
     # ------------------------------------------------------------------ ports
     def add_port(self, port_no: int, interface: Interface) -> SwitchPort:
@@ -331,6 +336,8 @@ class OpenFlowSwitch:
     def _process_frame(self, in_port: int, data: bytes) -> None:
         fields = PacketFields.from_frame(data, in_port=in_port)
         entry = self.flow_table.lookup(fields)
+        if self.lookup_observer is not None:
+            self.lookup_observer(self, in_port, fields, entry)
         if entry is None:
             self.data_packets_missed += 1
             self._table_miss(in_port, data)

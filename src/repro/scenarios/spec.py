@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core.autoconfig import FrameworkConfig
 from repro.scenarios.events import FailureSchedule
+from repro.traffic.demand import DemandSpec
 from repro.topology.generators import (
     as_map_from_topology,
     dumbbell_topology,
@@ -97,6 +98,10 @@ class ScenarioSpec:
     #: Optional failure/churn schedule executed by ``repro failover`` once
     #: the scenario is configured (event times are relative to that point).
     failures: Optional[FailureSchedule] = None
+    #: Optional aggregate traffic demands driven by ``repro traffic``
+    #: through the fluid fast path (demand times are relative to the
+    #: configured point).  None keeps the scenario packet-only.
+    demands: Optional[DemandSpec] = None
     #: Number of RouteFlow controller shards the scenario runs under
     #: (1 = the paper's single RF-controller; flows into
     #: :attr:`FrameworkConfig.controllers`).
@@ -129,7 +134,7 @@ class ScenarioSpec:
                      self.interdomain,
                      tuple(sorted(self.params.items())),
                      tuple(sorted(self.framework.items())),
-                     self.failures))
+                     self.failures, self.demands))
 
     # Mapping proxies are not picklable, so spell out the process-pool
     # transfer in terms of plain dicts.
@@ -225,12 +230,15 @@ class ScenarioSpec:
             payload["interdomain"] = True
         if self.failures is not None:
             payload["failures"] = self.failures.to_list()
+        if self.demands is not None:
+            payload["demands"] = self.demands.to_dict()
         return payload
 
     @classmethod
     def from_dict(cls, payload: Mapping[str, Any]) -> "ScenarioSpec":
         """Inverse of :meth:`to_dict`."""
         failures = payload.get("failures")
+        demands = payload.get("demands")
         return cls(
             name=payload["name"],
             family=payload["family"],
@@ -241,6 +249,8 @@ class ScenarioSpec:
             description=str(payload.get("description", "")),
             failures=(FailureSchedule.from_list(failures)
                       if failures is not None else None),
+            demands=(DemandSpec.from_dict(demands)
+                     if demands is not None else None),
             controllers=int(payload.get("controllers", 1)),
             interdomain=bool(payload.get("interdomain", False)),
         )

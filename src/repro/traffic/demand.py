@@ -1,0 +1,179 @@
+"""Flow demands: the unit of aggregate (fluid) traffic.
+
+A :class:`FlowDemand` describes one unidirectional traffic aggregate — a
+"user flow" in the millions-of-users sense — as (source switch,
+destination address, offered rate, start, duration).  Demands never become
+packets: the fluid engine resolves each one **once** against the installed
+flow tables into a concrete path and then advances it analytically.
+
+:class:`DemandSpec` is the declarative, serializable description of a whole
+demand *set* (how many, which traffic matrix, which seed) that rides on
+:class:`~repro.scenarios.ScenarioSpec` the same way a failure schedule
+does; :func:`generate_demands` turns it into concrete demands against the
+addresses of a configured network.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_right
+from dataclasses import dataclass
+from typing import Any, Dict, List, Mapping, Optional, Sequence
+
+from repro.net.addresses import IPv4Address
+from repro.sim import SeededRandom
+
+#: The traffic-matrix models :func:`generate_demands` understands.
+DEMAND_MODELS = ("uniform", "gravity")
+
+
+class FlowDemand:
+    """One unidirectional traffic aggregate.
+
+    Kept deliberately small (``__slots__``, integer destination): the
+    demand-resolution benchmark holds a million of these at once.
+    """
+
+    __slots__ = ("src_dpid", "dst", "rate_bps", "start", "duration")
+
+    def __init__(self, src_dpid: int, dst: IPv4Address, rate_bps: float,
+                 start: float = 0.0, duration: float = float("inf")) -> None:
+        self.src_dpid = src_dpid
+        self.dst = int(dst)
+        self.rate_bps = rate_bps
+        self.start = start
+        self.duration = duration
+
+    @property
+    def dst_ip(self) -> IPv4Address:
+        return IPv4Address(self.dst)
+
+    @property
+    def end(self) -> float:
+        return self.start + self.duration
+
+    def __repr__(self) -> str:
+        return (f"<FlowDemand {self.src_dpid}->{IPv4Address(self.dst)} "
+                f"{self.rate_bps:.0f}bps [{self.start}, {self.end})>")
+
+
+@dataclass(frozen=True)
+class DemandSpec:
+    """Declarative description of a seeded demand set.
+
+    Attached to :attr:`~repro.scenarios.ScenarioSpec.demands`; the traffic
+    experiment materializes it with :func:`generate_demands` once the
+    network is configured and per-router addresses are known.
+    """
+
+    #: Traffic matrix model: ``uniform`` or ``gravity``.
+    model: str = "uniform"
+    #: Number of demands to generate.
+    count: int = 100
+    #: Offered rate per demand (bits/second).
+    rate_bps: float = 1_000_000.0
+    #: Seed of the demand generator.
+    seed: int = 0
+    #: Demand start times are uniform in [0, start_window) seconds.
+    start_window: float = 0.0
+    #: Demand lifetime; 0 means "for the whole experiment".
+    duration: float = 0.0
+
+    def __post_init__(self) -> None:
+        if self.model not in DEMAND_MODELS:
+            raise ValueError(f"unknown demand model {self.model!r}; "
+                             f"known models: {', '.join(DEMAND_MODELS)}")
+        if self.count < 1:
+            raise ValueError(f"demand count must be >= 1, got {self.count}")
+        if self.rate_bps <= 0:
+            raise ValueError(f"rate_bps must be > 0, got {self.rate_bps}")
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {"model": self.model, "count": self.count,
+                "rate_bps": self.rate_bps, "seed": self.seed,
+                "start_window": self.start_window, "duration": self.duration}
+
+    @classmethod
+    def from_dict(cls, payload: Mapping[str, Any]) -> "DemandSpec":
+        return cls(model=str(payload.get("model", "uniform")),
+                   count=int(payload.get("count", 100)),
+                   rate_bps=float(payload.get("rate_bps", 1_000_000.0)),
+                   seed=int(payload.get("seed", 0)),
+                   start_window=float(payload.get("start_window", 0.0)),
+                   duration=float(payload.get("duration", 0.0)))
+
+
+def _pick_times(rng: SeededRandom, spec: DemandSpec) -> tuple:
+    start = rng.uniform(0.0, spec.start_window) if spec.start_window > 0 else 0.0
+    duration = spec.duration if spec.duration > 0 else float("inf")
+    return start, duration
+
+
+def uniform_demands(addresses: Mapping[int, IPv4Address], count: int,
+                    rate_bps: float, seed: int = 0,
+                    spec: Optional[DemandSpec] = None) -> List[FlowDemand]:
+    """``count`` demands between uniformly random distinct router pairs."""
+    rng = SeededRandom(seed)
+    dpids: Sequence[int] = sorted(addresses)
+    if len(dpids) < 2:
+        raise ValueError("uniform demands need at least two routers")
+    spec = spec if spec is not None else DemandSpec(
+        model="uniform", count=count, rate_bps=rate_bps, seed=seed)
+    last = len(dpids) - 1
+    demands = []
+    for _ in range(count):
+        src = dpids[rng.randint(0, last)]
+        dst = dpids[rng.randint(0, last)]
+        while dst == src:
+            dst = dpids[rng.randint(0, last)]
+        start, duration = _pick_times(rng, spec)
+        demands.append(FlowDemand(src, addresses[dst], rate_bps,
+                                  start=start, duration=duration))
+    return demands
+
+
+def gravity_demands(addresses: Mapping[int, IPv4Address], count: int,
+                    rate_bps: float, seed: int = 0,
+                    spec: Optional[DemandSpec] = None) -> List[FlowDemand]:
+    """``count`` demands from a seeded gravity model.
+
+    Each router gets a random "mass"; the probability of an (s, d) demand
+    is proportional to ``mass[s] * mass[d]`` — the classic gravity traffic
+    matrix, producing the hot-spot skew uniform sampling lacks.
+    """
+    rng = SeededRandom(seed)
+    dpids: Sequence[int] = sorted(addresses)
+    if len(dpids) < 2:
+        raise ValueError("gravity demands need at least two routers")
+    spec = spec if spec is not None else DemandSpec(
+        model="gravity", count=count, rate_bps=rate_bps, seed=seed)
+    # Heavy-tailed masses (a bounded Pareto draw) so a handful of routers
+    # dominate the matrix, like real PoP traffic.
+    masses = [min(100.0, rng.random() ** -0.8) for _ in dpids]
+    cumulative = []
+    total = 0.0
+    for mass in masses:
+        total += mass
+        cumulative.append(total)
+
+    def draw() -> int:
+        return min(bisect_right(cumulative, rng.uniform(0.0, total)),
+                   len(dpids) - 1)
+
+    demands = []
+    for _ in range(count):
+        src = draw()
+        dst = draw()
+        while dst == src:
+            dst = draw()
+        start, duration = _pick_times(rng, spec)
+        demands.append(FlowDemand(dpids[src], addresses[dpids[dst]], rate_bps,
+                                  start=start, duration=duration))
+    return demands
+
+
+def generate_demands(spec: DemandSpec,
+                     addresses: Mapping[int, IPv4Address]) -> List[FlowDemand]:
+    """Materialize a :class:`DemandSpec` against a configured address map."""
+    generator = uniform_demands if spec.model == "uniform" else gravity_demands
+    return generator(addresses, spec.count, spec.rate_bps, seed=spec.seed,
+                     spec=spec)

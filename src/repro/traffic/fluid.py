@@ -1,0 +1,390 @@
+"""The fluid traffic engine: analytic advancement of resolved demands.
+
+Instead of pushing frames through the switch pipeline, demands are
+aggregated into *commodities* — one per (source datapath, destination
+address) pair — resolved once by the :class:`~repro.traffic.PathResolver`
+and then advanced analytically: per-link rates follow a weighted max-min
+fair allocation (weight = number of demands in the commodity, ceiling =
+the commodity's offered rate), and delivered/offered byte counters are
+integrals of those rates over simulated time.
+
+Everything is recomputed only at **events**:
+
+* demand arrival / expiry (scheduled in the simulation kernel),
+* a flow-table change on any switch (the RouteMod / OFPFC_DELETE
+  lifecycle — observed through :meth:`FlowTable.add_change_listener`),
+* a link or node failure / restore (observed through the emulator's
+  failure listeners).
+
+Route churn stays incremental: a table change at datapath *d* marks dirty
+only the commodities whose current path consulted *d*'s table, so the
+re-resolution cost after a reconvergence scales with the demands actually
+crossing the changed switches, not with the total demand count.
+"""
+
+from __future__ import annotations
+
+import logging
+from typing import Dict, Hashable, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.traffic.demand import FlowDemand
+from repro.traffic.resolver import PathResolver
+
+LOG = logging.getLogger(__name__)
+
+#: Relative slack used when freezing commodities at a water-filling level.
+_EPS = 1e-9
+
+
+def max_min_allocation(commodities: Sequence[Tuple[Sequence[Hashable], float, float]],
+                       capacities: Mapping[Hashable, float]) -> List[float]:
+    """Weighted max-min fair rates for rate-capped commodities.
+
+    ``commodities`` is a sequence of ``(links, weight, ceiling)`` triples:
+    the (hashable) capacity units the commodity crosses, its fairness
+    weight and the rate it would send if unconstrained.  ``capacities``
+    maps each capacity unit to its bits-per-second limit.
+
+    Progressive water-filling: the common per-weight level rises until a
+    link saturates or a commodity hits its ceiling; whoever is pinned
+    freezes, the rest keep growing.  Each round freezes at least one
+    commodity, so the loop terminates after at most ``len(commodities)``
+    rounds (in the uncongested case, a single round freezes everyone at
+    their ceiling).
+    """
+    rates: List[float] = [0.0] * len(commodities)
+    remaining = dict(capacities)
+    link_weight: Dict[Hashable, float] = {}
+    link_members: Dict[Hashable, Set[int]] = {}
+    active: Set[int] = set()
+    for index, (links, weight, ceiling) in enumerate(commodities):
+        if weight <= 0 or ceiling <= 0:
+            continue
+        if not links:
+            rates[index] = ceiling  # crosses no capacity unit: unconstrained
+            continue
+        active.add(index)
+        for link in links:
+            link_weight[link] = link_weight.get(link, 0.0) + weight
+            link_members.setdefault(link, set()).add(index)
+    while active:
+        level = None
+        bottlenecks: List[Hashable] = []
+        for link, weight in link_weight.items():
+            # Freezing subtracts member weights, so a fully-drained link can
+            # keep a tiny float residue — gate on live members, not weight.
+            if weight <= 0 or not (link_members[link] & active):
+                continue
+            share = max(0.0, remaining.get(link, float("inf"))) / weight
+            if level is None or share < level - _EPS * (1.0 + share):
+                level = share
+                bottlenecks = [link]
+            elif share <= level + _EPS * (1.0 + level):
+                bottlenecks.append(link)
+        ceiling_level = min(commodities[i][2] / commodities[i][1] for i in active)
+        if level is None or ceiling_level < level:
+            level = ceiling_level
+            bottlenecks = []
+        slack = _EPS * (1.0 + level)
+        frozen = {i for i in active
+                  if commodities[i][2] / commodities[i][1] <= level + slack}
+        for link in bottlenecks:
+            frozen |= link_members[link] & active
+        if not frozen:  # numerical safety net: pin everyone at the level
+            frozen = set(active)
+        for index in frozen:
+            links, weight, ceiling = commodities[index]
+            rate = min(ceiling, level * weight)
+            rates[index] = rate
+            for link in links:
+                remaining[link] = max(0.0, remaining.get(link, float("inf")) - rate)
+                link_weight[link] -= weight
+                link_members[link].discard(index)
+        active -= frozen
+    return rates
+
+
+class Commodity:
+    """All demands sharing one (source datapath, destination) pair."""
+
+    __slots__ = ("src_dpid", "dst", "count", "offered_bps", "path", "links")
+
+    def __init__(self, src_dpid: int, dst: int) -> None:
+        self.src_dpid = src_dpid
+        self.dst = dst
+        self.count = 0
+        self.offered_bps = 0.0
+        self.path = None          # ResolvedPath, set by the engine
+        self.links = ()           # tx interfaces crossed (capacity units)
+
+
+class FluidEngine:
+    """Event-driven fluid advancement of a demand set."""
+
+    def __init__(self, sim, network,
+                 owner_of=None) -> None:
+        self.sim = sim
+        self.network = network
+        self.resolver = PathResolver(network, owner_of=owner_of)
+        self.commodities: Dict[Tuple[int, int], Commodity] = {}
+        #: dpid -> commodity keys whose current path consulted that dpid's
+        #: flow table; the invalidation fan-out of a RouteMod.
+        self._dpid_index: Dict[int, Set[Tuple[int, int]]] = {}
+        self._dirty: Set[Tuple[int, int]] = set()
+        self._rates_dirty = False
+        self._realloc_scheduled = False
+        self._attached = False
+        self._initial_resolved = False
+        #: tx interface -> currently allocated rate (bps), for accrual.
+        self._iface_loads: Dict[object, float] = {}
+        self.delivered_bps = 0.0
+        self.offered_bps = 0.0
+        self.delivered_bits = 0.0
+        self.offered_bits = 0.0
+        self._last_accrual = sim.now
+        self.demand_count = 0
+        self.arrivals = 0
+        self.expiries = 0
+        #: Commodity re-resolutions caused by invalidation (table change,
+        #: failure event) — *not* counting the initial resolution pass.
+        self.reresolutions = 0
+        #: Demands inside those re-resolved commodities: the "affected
+        #: demands" number churn cost must scale with.
+        self.affected_demands = 0
+
+    # ------------------------------------------------------------------ wiring
+    def attach(self) -> None:
+        """Hook the RouteMod/OFPFC_DELETE lifecycle and the failure engine.
+
+        Call once, after the network is configured and before demands run.
+        Nothing here schedules simulation events on its own: with no
+        demands registered the hooks are inert bookkeeping.
+        """
+        if self._attached:
+            return
+        self._attached = True
+        for dpid, switch in self.network.switches.items():
+            switch.flow_table.add_change_listener(
+                lambda _table, dpid=dpid: self._on_table_change(dpid))
+        self.network.add_failure_listener(self._on_failure_event)
+
+    def _on_table_change(self, dpid: int) -> None:
+        self.resolver.invalidate(dpid)
+        affected = self._dpid_index.get(dpid)
+        if affected:
+            self._dirty |= affected
+        self._mark_stale()
+
+    def _on_failure_event(self, event) -> None:
+        """A physical failure/restore executed: re-resolve the crossers.
+
+        Any commodity whose path crosses the failed link visits one of its
+        endpoints, so the dpid index over-approximates the affected set
+        cheaply; re-resolution sorts out who actually changed.
+        """
+        from repro.scenarios.events import FailureAction
+
+        if event.action in FailureAction.LINK_ACTIONS:
+            dpids = [event.node_a, event.node_b]
+        elif event.action in FailureAction.NODE_ACTIONS:
+            dpids = [event.node_a]
+        else:
+            return
+        for dpid in dpids:
+            affected = self._dpid_index.get(dpid)
+            if affected:
+                self._dirty |= affected
+        self._mark_stale()
+
+    def _mark_stale(self) -> None:
+        self._rates_dirty = True
+        if not self._realloc_scheduled:
+            self._realloc_scheduled = True
+            self.sim.schedule(0.0, self._scheduled_reallocate,
+                              label="fluid:reallocate")
+
+    def _scheduled_reallocate(self) -> None:
+        self._realloc_scheduled = False
+        self.reallocate()
+
+    # ----------------------------------------------------------------- demands
+    def register(self, demands: Iterable[FlowDemand],
+                 schedule: bool = True) -> int:
+        """Add demands to the engine.
+
+        With ``schedule=True`` each demand's start/expiry (offsets from
+        now) become simulation events; with ``schedule=False`` every
+        demand is active immediately and the caller is expected to drive
+        :meth:`reallocate` by hand (the benchmark mode).
+        """
+        count = 0
+        for demand in demands:
+            count += 1
+            if not schedule or demand.start <= 0.0:
+                self._activate(demand)
+            else:
+                self.sim.schedule(demand.start, self._activate, demand,
+                                  label="fluid:arrival")
+            if schedule and demand.duration != float("inf"):
+                self.sim.schedule(demand.end, self._expire, demand,
+                                  label="fluid:expiry")
+        return count
+
+    def _key(self, demand: FlowDemand) -> Tuple[int, int]:
+        return (demand.src_dpid, demand.dst)
+
+    def _activate(self, demand: FlowDemand) -> None:
+        self._accrue(self.sim.now)
+        key = self._key(demand)
+        commodity = self.commodities.get(key)
+        if commodity is None:
+            commodity = Commodity(demand.src_dpid, demand.dst)
+            self.commodities[key] = commodity
+            self._dirty.add(key)
+        commodity.count += 1
+        commodity.offered_bps += demand.rate_bps
+        self.demand_count += 1
+        self.arrivals += 1
+        self._mark_stale()
+
+    def _expire(self, demand: FlowDemand) -> None:
+        key = self._key(demand)
+        commodity = self.commodities.get(key)
+        if commodity is None:
+            return
+        self._accrue(self.sim.now)
+        commodity.count -= 1
+        commodity.offered_bps = max(0.0, commodity.offered_bps - demand.rate_bps)
+        self.demand_count -= 1
+        self.expiries += 1
+        if commodity.count <= 0:
+            self._drop_commodity(key, commodity)
+        self._rates_dirty = True
+        self._mark_stale()
+
+    def _drop_commodity(self, key: Tuple[int, int], commodity: Commodity) -> None:
+        if commodity.path is not None:
+            for dpid in commodity.path.dpids:
+                members = self._dpid_index.get(dpid)
+                if members is not None:
+                    members.discard(key)
+        self.commodities.pop(key, None)
+        self._dirty.discard(key)
+
+    # -------------------------------------------------------------- resolution
+    def _resolve(self, key: Tuple[int, int], commodity: Commodity,
+                 initial: bool) -> None:
+        old = commodity.path
+        if old is not None:
+            for dpid in old.dpids:
+                members = self._dpid_index.get(dpid)
+                if members is not None:
+                    members.discard(key)
+        path = self.resolver.resolve(commodity.src_dpid, commodity.dst)
+        commodity.path = path
+        commodity.links = tuple(tx_iface for _link, tx_iface in path.hops
+                                if path.delivered)
+        for dpid in path.dpids:
+            self._dpid_index.setdefault(dpid, set()).add(key)
+        if not initial:
+            self.reresolutions += 1
+            self.affected_demands += commodity.count
+
+    def _resolve_dirty(self) -> None:
+        initial = not self._initial_resolved
+        for key in list(self._dirty):
+            commodity = self.commodities.get(key)
+            if commodity is None:
+                continue
+            self._resolve(key, commodity, initial)
+        self._dirty.clear()
+        self._initial_resolved = True
+
+    # -------------------------------------------------------------- allocation
+    def reallocate(self) -> None:
+        """Bring rates up to date: resolve dirty commodities, re-run the
+        max-min allocation, refresh the per-interface load map."""
+        self._accrue(self.sim.now)
+        if not self._rates_dirty and not self._dirty:
+            return
+        self._resolve_dirty()
+        keys: List[Tuple[int, int]] = []
+        inputs: List[Tuple[tuple, float, float]] = []
+        capacities: Dict[object, float] = {}
+        offered = 0.0
+        for key, commodity in self.commodities.items():
+            offered += commodity.offered_bps
+            if commodity.path is None or not commodity.path.delivered:
+                continue
+            keys.append(key)
+            inputs.append((commodity.links, float(commodity.count),
+                           commodity.offered_bps))
+            for iface in commodity.links:
+                if iface not in capacities:
+                    link = iface.link
+                    capacities[iface] = (link.bandwidth_bps
+                                         if link is not None and link.bandwidth_bps
+                                         else float("inf"))
+        rates = max_min_allocation(inputs, capacities)
+        iface_loads: Dict[object, float] = {}
+        delivered = 0.0
+        for key, (links, _weight, _ceiling), rate in zip(keys, inputs, rates):
+            delivered += rate
+            for iface in links:
+                iface_loads[iface] = iface_loads.get(iface, 0.0) + rate
+        self._iface_loads = iface_loads
+        self.delivered_bps = delivered
+        self.offered_bps = offered
+        self._rates_dirty = False
+
+    # --------------------------------------------------------------- advancing
+    def _accrue(self, now: float) -> None:
+        """Integrate the current rates over the elapsed interval."""
+        dt = now - self._last_accrual
+        if dt <= 0.0:
+            return
+        self._last_accrual = now
+        if not self.demand_count and not self._iface_loads:
+            return
+        self.delivered_bits += self.delivered_bps * dt
+        self.offered_bits += self.offered_bps * dt
+        for iface, rate in self._iface_loads.items():
+            link = iface.link
+            capacity = (link.bandwidth_bps
+                        if link is not None and link.bandwidth_bps else 0.0)
+            iface.account_rate(rate, dt, capacity)
+
+    def finalize(self, now: Optional[float] = None) -> None:
+        """Flush accrual through ``now`` (end of the experiment)."""
+        self.reallocate()
+        self._accrue(now if now is not None else self.sim.now)
+
+    # ------------------------------------------------------------------- stats
+    @property
+    def loss_fraction(self) -> float:
+        if self.offered_bps <= 0.0:
+            return 0.0
+        return max(0.0, 1.0 - self.delivered_bps / self.offered_bps)
+
+    def stats(self) -> Dict[str, float]:
+        delivered_commodities = sum(
+            1 for c in self.commodities.values()
+            if c.path is not None and c.path.delivered)
+        return {
+            "demands": self.demand_count,
+            "commodities": len(self.commodities),
+            "delivered_commodities": delivered_commodities,
+            "offered_bps": self.offered_bps,
+            "delivered_bps": self.delivered_bps,
+            "offered_bits": self.offered_bits,
+            "delivered_bits": self.delivered_bits,
+            "resolutions": self.resolver.walks,
+            "lookups": self.resolver.lookups,
+            "reresolutions": self.reresolutions,
+            "affected_demands": self.affected_demands,
+        }
+
+    def __repr__(self) -> str:
+        return (f"<FluidEngine demands={self.demand_count} "
+                f"commodities={len(self.commodities)} "
+                f"delivered={self.delivered_bps:.0f}bps>")

@@ -1,0 +1,157 @@
+"""Resolve demands against installed flow tables — once per demand.
+
+The packet pipeline answers "where does this packet go?" per frame:
+:meth:`OpenFlowSwitch._process_frame` extracts :class:`PacketFields`,
+consults the flow table, applies the actions.  The fluid fast path asks
+the same question once per *demand* and records the answer as a
+:class:`ResolvedPath`: the resolver walks the network hop by hop, running
+the identical :meth:`FlowTable.lookup` at every switch, following the
+``OUTPUT`` action across the physical link to the next datapath — so a
+fluid path is pinned to exactly what the frames would have done (the
+equivalence test in ``tests/test_traffic.py`` enforces this).
+
+Resolution is memoized per (datapath, flow-table version, destination):
+a million demands towards a few hundred service addresses collapse into
+one table lookup per (switch, destination) pair, and a RouteMod that
+bumps a table's version invalidates only that switch's memo entries.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, Optional, Tuple
+
+from repro.net.addresses import IPv4Address
+from repro.net.ethernet import EtherType
+from repro.openflow.actions import OutputAction
+from repro.openflow.match import PacketFields
+
+#: Terminal states of a resolution walk.
+DELIVERED = "delivered"      # reached the switch owning the destination
+UNROUTED = "unrouted"        # table miss at a non-owning switch (no route)
+LOOP = "loop"                # revisited a datapath (transient routing loop)
+LINK_DOWN = "link_down"      # the chosen next hop crosses a failed link
+
+
+class ResolvedPath:
+    """The outcome of resolving one (src datapath, destination) commodity."""
+
+    __slots__ = ("status", "dpids", "hops")
+
+    def __init__(self, status: str, dpids: Tuple[int, ...], hops: tuple) -> None:
+        #: One of :data:`DELIVERED` / :data:`UNROUTED` / :data:`LOOP` /
+        #: :data:`LINK_DOWN`.
+        self.status = status
+        #: Every datapath whose flow table the walk consulted, in order
+        #: (includes the final switch, also on a miss — a route installed
+        #: there later must invalidate this path).
+        self.dpids = dpids
+        #: The links crossed, as (link, tx_interface) pairs — the transmit
+        #: side is what capacity accounting charges.
+        self.hops = hops
+
+    @property
+    def delivered(self) -> bool:
+        return self.status == DELIVERED
+
+    def __repr__(self) -> str:
+        return f"<ResolvedPath {self.status} via {list(self.dpids)}>"
+
+
+class PathResolver:
+    """Walks demands through the installed flow tables of a network."""
+
+    def __init__(self, network, owner_of: Optional[Callable[[int], Optional[int]]] = None) -> None:
+        self.network = network
+        #: destination (int address) -> datapath id owning it, for the
+        #: delivery check: RouteFlow never installs a flow for a router's
+        #: own loopback (RFClient skips ``lo`` routes), so the walk ends in
+        #: a table miss at the owner — exactly like the packet pipeline,
+        #: where that final frame goes to the controller as a PACKET_IN.
+        self.owner_of = owner_of if owner_of is not None else (lambda dst: None)
+        #: (dpid, out port) -> (peer dpid, link, tx interface); rebuilt
+        #: lazily when ports change is unnecessary — the emulator never
+        #: re-cables links, it only flips them up/down.
+        self._adjacency: Dict[Tuple[int, int], tuple] = {}
+        #: Per-datapath lookup memo: dpid -> (table version, {dst: entry}).
+        self._memo: Dict[int, list] = {}
+        self.lookups = 0
+        self.walks = 0
+        # One reusable PacketFields, mutated per lookup (lookups are
+        # serialized): the synthetic packet the pipeline would have seen —
+        # IPv4 towards the demand's destination, everything else default.
+        self._fields = PacketFields(in_port=0)
+        self._fields.dl_type = EtherType.IPV4
+        self._build_adjacency()
+
+    def _build_adjacency(self) -> None:
+        switches = self.network.switches
+        for (node_a, node_b), (port_a, port_b) in self.network.link_ports.items():
+            iface_a = switches[node_a].port(port_a).interface
+            iface_b = switches[node_b].port(port_b).interface
+            self._adjacency[(node_a, port_a)] = (node_b, iface_a.link, iface_a)
+            self._adjacency[(node_b, port_b)] = (node_a, iface_b.link, iface_b)
+
+    def invalidate(self, dpid: int) -> None:
+        """Drop the lookup memo of one datapath (its flow table changed)."""
+        self._memo.pop(dpid, None)
+
+    def _lookup(self, dpid: int, dst: int):
+        """Memoized flow-table lookup of ``dst`` at ``dpid``.
+
+        The memo is keyed by the table's version counter, so a stale entry
+        can never be returned even if :meth:`invalidate` was missed.
+        """
+        table = self.network.switches[dpid].flow_table
+        memo = self._memo.get(dpid)
+        if memo is None or memo[0] != table.version:
+            memo = [table.version, {}]
+            self._memo[dpid] = memo
+        cache = memo[1]
+        if dst in cache:
+            return cache[dst]
+        self._fields.nw_dst = IPv4Address(dst)
+        entry = table.lookup(self._fields)
+        self.lookups += 1
+        cache[dst] = entry
+        return entry
+
+    @staticmethod
+    def _out_port(entry) -> Optional[int]:
+        for action in entry.actions:
+            if isinstance(action, OutputAction):
+                return action.port
+        return None
+
+    def resolve(self, src_dpid: int, dst: int) -> ResolvedPath:
+        """Walk ``dst`` from ``src_dpid`` through the flow tables."""
+        self.walks += 1
+        dpids = [src_dpid]
+        hops = []
+        visited = {src_dpid}
+        dpid = src_dpid
+        while True:
+            entry = self._lookup(dpid, dst)
+            if entry is None:
+                status = DELIVERED if self.owner_of(dst) == dpid else UNROUTED
+                return ResolvedPath(status, tuple(dpids), tuple(hops))
+            out_port = self._out_port(entry)
+            if out_port is None:
+                # An actionless (drop) or non-output entry terminates the
+                # walk without delivery.
+                return ResolvedPath(UNROUTED, tuple(dpids), tuple(hops))
+            neighbor = self._adjacency.get((dpid, out_port))
+            if neighbor is None:
+                # Output towards an edge (host-facing) port: the demand
+                # leaves the switching fabric here — delivered.
+                return ResolvedPath(DELIVERED, tuple(dpids), tuple(hops))
+            peer, link, tx_iface = neighbor
+            if link is None or not link.up:
+                hops.append((link, tx_iface))
+                return ResolvedPath(LINK_DOWN, tuple(dpids), tuple(hops))
+            hops.append((link, tx_iface))
+            if peer in visited:
+                dpids.append(peer)
+                return ResolvedPath(LOOP, tuple(dpids), tuple(hops))
+            visited.add(peer)
+            dpids.append(peer)
+            dpid = peer

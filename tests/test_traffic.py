@@ -1,0 +1,622 @@
+"""Tests for the fluid traffic fast path.
+
+Covers the demand generators, the max-min allocator (property-based),
+the path resolver (including the fluid-vs-packet equivalence test that
+pins resolver semantics to the switch pipeline), the event-driven fluid
+engine with incremental invalidation, the utilization/source-stats
+satellites and the ``repro traffic`` experiment + CLI.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import AutoConfigFramework, FrameworkConfig, IPAddressManager
+from repro.net import Ethernet, EtherType, IPv4, IPv4Address, MACAddress, UDP
+from repro.net.ipv4 import IPProtocol
+from repro.net.link import Interface, connect
+from repro.scenarios import ScenarioSpec
+from repro.sim import Simulator
+from repro.topology.emulator import EmulatedNetwork
+from repro.topology.generators import fat_tree_topology, ring_topology, torus_topology
+from repro.traffic import (
+    DELIVERED,
+    LINK_DOWN,
+    UNROUTED,
+    DemandSpec,
+    FluidEngine,
+    PathResolver,
+    SyntheticRoutes,
+    generate_demands,
+    gravity_demands,
+    max_min_allocation,
+    service_address,
+    uniform_demands,
+)
+
+
+# ---------------------------------------------------------------------------
+# demand generators
+# ---------------------------------------------------------------------------
+def _addresses(count: int):
+    return {dpid: service_address(dpid) for dpid in range(1, count + 1)}
+
+
+class TestDemandGenerators:
+    def test_uniform_is_deterministic_and_loop_free(self):
+        addresses = _addresses(8)
+        first = uniform_demands(addresses, 500, rate_bps=100.0, seed=3)
+        second = uniform_demands(addresses, 500, rate_bps=100.0, seed=3)
+        assert len(first) == 500
+        assert [(d.src_dpid, d.dst) for d in first] == \
+            [(d.src_dpid, d.dst) for d in second]
+        assert all(int(addresses[d.src_dpid]) != d.dst for d in first)
+
+    def test_uniform_different_seed_differs(self):
+        addresses = _addresses(8)
+        first = uniform_demands(addresses, 200, rate_bps=100.0, seed=1)
+        second = uniform_demands(addresses, 200, rate_bps=100.0, seed=2)
+        assert [(d.src_dpid, d.dst) for d in first] != \
+            [(d.src_dpid, d.dst) for d in second]
+
+    def test_gravity_is_deterministic_and_skewed(self):
+        addresses = _addresses(16)
+        demands = gravity_demands(addresses, 2000, rate_bps=100.0, seed=5)
+        again = gravity_demands(addresses, 2000, rate_bps=100.0, seed=5)
+        assert [(d.src_dpid, d.dst) for d in demands] == \
+            [(d.src_dpid, d.dst) for d in again]
+        counts = {}
+        for demand in demands:
+            counts[demand.src_dpid] = counts.get(demand.src_dpid, 0) + 1
+        # The heavy-tailed masses must produce visible skew: the busiest
+        # source clearly above the uniform expectation.
+        assert max(counts.values()) > 2000 / 16 * 1.5
+
+    def test_generators_need_two_routers(self):
+        with pytest.raises(ValueError):
+            uniform_demands(_addresses(1), 10, rate_bps=1.0)
+        with pytest.raises(ValueError):
+            gravity_demands(_addresses(1), 10, rate_bps=1.0)
+
+    def test_spec_round_trip_and_validation(self):
+        spec = DemandSpec(model="gravity", count=42, rate_bps=5e6, seed=9,
+                          start_window=3.0, duration=12.0)
+        assert DemandSpec.from_dict(spec.to_dict()) == spec
+        with pytest.raises(ValueError):
+            DemandSpec(model="bimodal")
+        with pytest.raises(ValueError):
+            DemandSpec(count=0)
+        with pytest.raises(ValueError):
+            DemandSpec(rate_bps=0.0)
+
+    def test_generate_demands_dispatch_and_times(self):
+        addresses = _addresses(4)
+        spec = DemandSpec(model="uniform", count=50, rate_bps=100.0, seed=1,
+                          start_window=5.0, duration=2.0)
+        demands = generate_demands(spec, addresses)
+        assert len(demands) == 50
+        assert all(0.0 <= d.start < 5.0 for d in demands)
+        assert all(d.duration == 2.0 for d in demands)
+        assert all(d.end == d.start + 2.0 for d in demands)
+        open_ended = generate_demands(DemandSpec(count=5), addresses)
+        assert all(d.duration == float("inf") for d in open_ended)
+
+    def test_scenario_spec_carries_demands(self):
+        spec = ScenarioSpec("tmp-traffic-ring", "ring",
+                            {"num_switches": 4},
+                            demands=DemandSpec(count=7, seed=3))
+        payload = spec.to_dict()
+        assert payload["demands"]["count"] == 7
+        restored = ScenarioSpec.from_dict(payload)
+        assert restored.demands == spec.demands
+        assert hash(restored) == hash(spec)
+        assert ScenarioSpec.from_dict(
+            ScenarioSpec("tmp-no-demands", "ring",
+                         {"num_switches": 4}).to_dict()).demands is None
+
+
+# ---------------------------------------------------------------------------
+# max-min allocation (property-based)
+# ---------------------------------------------------------------------------
+_LINK_IDS = st.integers(min_value=0, max_value=4)
+_COMMODITY = st.tuples(
+    st.lists(_LINK_IDS, min_size=0, max_size=4, unique=True),
+    st.floats(min_value=1.0, max_value=8.0),
+    st.floats(min_value=1.0, max_value=1e6),
+)
+
+
+class TestMaxMinAllocation:
+    @settings(derandomize=True, max_examples=300)
+    @given(commodities=st.lists(_COMMODITY, min_size=1, max_size=8),
+           capacities=st.lists(st.floats(min_value=1.0, max_value=1e6),
+                               min_size=5, max_size=5))
+    def test_feasible_and_pareto_efficient(self, commodities, capacities):
+        caps = dict(enumerate(capacities))
+        rates = max_min_allocation(commodities, caps)
+        loads = {link: 0.0 for link in caps}
+        for (links, _w, ceiling), rate in zip(commodities, rates):
+            assert rate >= 0.0
+            assert rate <= ceiling * (1.0 + 1e-6)
+            for link in links:
+                loads[link] += rate
+        # Feasibility: no capacity unit is overcommitted.
+        for link, load in loads.items():
+            assert load <= caps[link] * (1.0 + 1e-6)
+        # Pareto efficiency / bottleneck condition: a commodity held below
+        # its ceiling must cross at least one saturated link — otherwise
+        # its rate could be raised without hurting anyone.
+        for (links, _w, ceiling), rate in zip(commodities, rates):
+            if rate < ceiling * (1.0 - 1e-6):
+                assert links, "ceiling-free commodity must get its ceiling"
+                assert any(loads[link] >= caps[link] * (1.0 - 1e-6)
+                           for link in links)
+
+    def test_equal_share_on_one_bottleneck(self):
+        rates = max_min_allocation(
+            [((0,), 1.0, 100.0), ((0,), 1.0, 100.0)], {0: 90.0})
+        assert rates == pytest.approx([45.0, 45.0])
+
+    def test_weighted_share(self):
+        rates = max_min_allocation(
+            [((0,), 3.0, 1000.0), ((0,), 1.0, 1000.0)], {0: 80.0})
+        assert rates == pytest.approx([60.0, 20.0])
+
+    def test_ceiling_pinned_commodity_releases_capacity(self):
+        rates = max_min_allocation(
+            [((0,), 1.0, 10.0), ((0,), 1.0, 1000.0)], {0: 100.0})
+        assert rates == pytest.approx([10.0, 90.0])
+
+    def test_uncongested_everyone_at_ceiling(self):
+        rates = max_min_allocation(
+            [((0, 1), 1.0, 5.0), ((1,), 2.0, 7.0)], {0: 1e9, 1: 1e9})
+        assert rates == pytest.approx([5.0, 7.0])
+
+    def test_degenerate_inputs(self):
+        assert max_min_allocation([], {}) == []
+        assert max_min_allocation([((), 1.0, 42.0)], {}) == [42.0]
+        assert max_min_allocation([((0,), 0.0, 42.0)], {0: 10.0}) == [0.0]
+        assert max_min_allocation([((0,), 1.0, 0.0)], {0: 10.0}) == [0.0]
+
+
+# ---------------------------------------------------------------------------
+# resolver on synthetic tables
+# ---------------------------------------------------------------------------
+def _torus_fixture(rows=4, cols=4):
+    sim = Simulator()
+    network = EmulatedNetwork(sim, torus_topology(rows, cols))
+    routes = SyntheticRoutes(network)
+    routes.install()
+    addresses = {dpid: service_address(dpid) for dpid in network.switches}
+    owners = {int(address): dpid for dpid, address in addresses.items()}
+    return sim, network, routes, addresses, owners
+
+
+class TestPathResolver:
+    def test_resolves_shortest_paths(self):
+        _sim, network, _routes, addresses, owners = _torus_fixture()
+        resolver = PathResolver(network, owner_of=owners.get)
+        path = resolver.resolve(1, int(addresses[2]))
+        assert path.status == DELIVERED
+        assert path.dpids[0] == 1 and path.dpids[-1] == 2
+        assert len(path.hops) == len(path.dpids) - 1
+        # 4x4 torus: 1 and 2 are adjacent.
+        assert path.dpids == (1, 2)
+
+    def test_memo_collapses_repeat_lookups(self):
+        _sim, network, _routes, addresses, owners = _torus_fixture()
+        resolver = PathResolver(network, owner_of=owners.get)
+        resolver.resolve(1, int(addresses[16]))
+        lookups_once = resolver.lookups
+        resolver.resolve(1, int(addresses[16]))
+        assert resolver.lookups == lookups_once
+        assert resolver.walks == 2
+
+    def test_version_bump_invalidates_memo(self):
+        _sim, network, routes, addresses, owners = _torus_fixture()
+        resolver = PathResolver(network, owner_of=owners.get)
+        before = resolver.resolve(4, int(addresses[1])).dpids
+        network.fail_link(1, 2)
+        routes.reroute()
+        resolver.invalidate(1)  # what the engine's table listener does
+        for dpid in network.switches:
+            resolver.invalidate(dpid)
+        after = resolver.resolve(4, int(addresses[1]))
+        assert after.status == DELIVERED
+        assert (1, 2) not in zip(after.dpids, after.dpids[1:])
+        assert (2, 1) not in zip(after.dpids, after.dpids[1:])
+        assert before[0] == after.dpids[0]
+
+    def test_unrouted_without_tables(self):
+        sim = Simulator()
+        network = EmulatedNetwork(sim, ring_topology(3))
+        resolver = PathResolver(network)
+        path = resolver.resolve(1, int(service_address(2)))
+        assert path.status == UNROUTED
+        assert path.dpids == (1,)
+
+    def test_link_down_terminates_walk(self):
+        _sim, network, _routes, addresses, owners = _torus_fixture()
+        resolver = PathResolver(network, owner_of=owners.get)
+        # Fail the link 1->2 but leave the stale route installed: the walk
+        # must stop at the dead hop, like a frame blackholed on the wire.
+        network.fail_link(1, 2)
+        path = resolver.resolve(1, int(addresses[2]))
+        assert path.status == LINK_DOWN
+        assert path.dpids == (1,)
+        assert len(path.hops) == 1
+
+    def test_miss_at_owner_is_delivery(self):
+        _sim, network, _routes, addresses, owners = _torus_fixture()
+        resolver = PathResolver(network, owner_of=owners.get)
+        # The owner's own table has no entry for its own prefix (RFClient
+        # skips lo routes) — resolving *at* the owner is a delivered miss.
+        path = resolver.resolve(2, int(addresses[2]))
+        assert path.status == DELIVERED
+        assert path.dpids == (2,)
+        assert path.hops == ()
+
+
+# ---------------------------------------------------------------------------
+# fluid engine
+# ---------------------------------------------------------------------------
+class TestFluidEngine:
+    def _engine(self, rows=4, cols=4):
+        sim, network, routes, addresses, owners = _torus_fixture(rows, cols)
+        engine = FluidEngine(sim, network, owner_of=owners.get)
+        engine.attach()
+        return sim, network, routes, addresses, engine
+
+    def test_immediate_registration_and_allocation(self):
+        _sim, _network, _routes, addresses, engine = self._engine()
+        demands = uniform_demands(addresses, 100, rate_bps=1000.0, seed=1)
+        assert engine.register(demands, schedule=False) == 100
+        engine.reallocate()
+        stats = engine.stats()
+        assert stats["demands"] == 100
+        assert stats["delivered_commodities"] == stats["commodities"]
+        assert stats["offered_bps"] == pytest.approx(100 * 1000.0)
+        assert stats["delivered_bps"] == pytest.approx(100 * 1000.0)
+        assert engine.loss_fraction == pytest.approx(0.0)
+
+    def test_arrival_and_expiry_accrue_exact_bits(self):
+        from repro.traffic import FlowDemand
+
+        sim, _network, _routes, addresses, engine = self._engine()
+        demand = FlowDemand(1, addresses[2], 1_000_000.0,
+                            start=1.0, duration=2.0)
+        engine.register([demand])
+        sim.schedule(10.0, lambda: None)
+        sim.run()
+        engine.finalize()
+        assert engine.arrivals == 1 and engine.expiries == 1
+        assert engine.demand_count == 0
+        # 1 Mbit/s for exactly 2 simulated seconds.
+        assert engine.delivered_bits == pytest.approx(2_000_000.0)
+        assert engine.offered_bits == pytest.approx(2_000_000.0)
+        # The expiry dropped the commodity entirely.
+        assert engine.stats()["commodities"] == 0
+
+    def test_bottleneck_capacity_limits_delivery(self):
+        from repro.traffic import FlowDemand
+
+        sim, network, _routes, addresses, engine = self._engine()
+        for link in network.links:
+            link.bandwidth_bps = 1000.0
+        demand = FlowDemand(1, addresses[2], 4000.0)
+        engine.register([demand], schedule=False)
+        engine.reallocate()
+        assert engine.delivered_bps == pytest.approx(1000.0)
+        assert engine.offered_bps == pytest.approx(4000.0)
+        assert engine.loss_fraction == pytest.approx(0.75)
+
+    def test_table_change_invalidates_only_crossing_commodities(self):
+        from repro.traffic import FlowDemand
+
+        _sim, network, routes, addresses, engine = self._engine()
+        # Two commodities with disjoint paths: 1->2 and 15->16 (adjacent
+        # pairs on opposite corners of the 4x4 torus).
+        engine.register([FlowDemand(1, addresses[2], 100.0),
+                         FlowDemand(15, addresses[16], 100.0)],
+                        schedule=False)
+        engine.reallocate()
+        assert engine.reresolutions == 0
+        network.fail_link(1, 2)
+        changed = routes.reroute()
+        assert changed > 0
+        engine.reallocate()
+        # The 1->2 commodity was re-resolved; whether 15->16 was depends
+        # only on whether its switches' tables changed — they didn't.
+        assert engine.reresolutions >= 1
+        assert engine.affected_demands >= 1
+        keys = {(1, int(addresses[2])), (15, int(addresses[16]))}
+        assert set(engine.commodities) == keys
+        rerouted = engine.commodities[(1, int(addresses[2]))]
+        assert rerouted.path.status == DELIVERED
+        assert len(rerouted.path.dpids) > 2  # went the long way round
+
+    def test_failure_listener_marks_crossers_dirty(self):
+        from repro.scenarios import FailureEvent, FailureSchedule
+        from repro.traffic import FlowDemand
+
+        sim, network, _routes, addresses, engine = self._engine()
+        engine.register([FlowDemand(1, addresses[2], 100.0)], schedule=False)
+        engine.reallocate()
+        assert engine.stats()["delivered_commodities"] == 1
+        network.schedule_failures(FailureSchedule((
+            FailureEvent(1.0, "link_down", 1, 2),)))
+        sim.run(until=2.0)
+        engine.reallocate()
+        # No reroute happened (tables still point at the dead link): the
+        # re-resolved commodity must now report the blackhole.
+        commodity = engine.commodities[(1, int(addresses[2]))]
+        assert commodity.path.status == LINK_DOWN
+        assert engine.stats()["delivered_commodities"] == 0
+        assert engine.reresolutions == 1
+
+    def test_inert_without_demands(self):
+        sim, network, routes, _addresses, engine = self._engine()
+        before = sim.pending()
+        routes.reroute()  # no-op diff, but exercises the listeners
+        network.fail_link(1, 2)
+        routes.reroute()
+        engine.reallocate()
+        assert engine.stats()["demands"] == 0
+        assert engine.stats()["commodities"] == 0
+        # The engine scheduled at most its coalesced reallocation tick.
+        assert sim.pending() <= before + 1
+
+
+# ---------------------------------------------------------------------------
+# fluid-vs-packet equivalence
+# ---------------------------------------------------------------------------
+def _configured_framework(topology):
+    sim = Simulator()
+    ipam = IPAddressManager()
+    config = FrameworkConfig(detect_edge_ports=False, advertise_loopbacks=True)
+    framework = AutoConfigFramework(sim, config=config, ipam=ipam)
+    network = EmulatedNetwork(sim, topology, ipam=ipam)
+    framework.attach(network)
+    configured = framework.run_until_configured(max_time=7200.0)
+    assert configured is not None
+    return sim, ipam, framework, network
+
+
+def _trace_packet(sim, network, src_dpid: int, dst_ip: IPv4Address):
+    """Inject one IPv4 frame at ``src_dpid`` and record its table lookups."""
+    trace = []
+
+    def observer(switch, _in_port, fields, entry):
+        if fields.nw_dst == dst_ip:
+            trace.append((switch.datapath_id, entry is not None))
+
+    for switch in network.switches.values():
+        switch.lookup_observer = observer
+    try:
+        packet = IPv4(src=IPv4Address("192.0.2.1"), dst=dst_ip,
+                      protocol=IPProtocol.UDP,
+                      payload=UDP(4000, 4000, b"x" * 32))
+        frame = Ethernet(src=MACAddress(0xAA), dst=MACAddress(0xBB),
+                         ethertype=EtherType.IPV4, payload=packet).encode()
+        switch = network.switches[src_dpid]
+        switch._process_frame(switch.port_numbers[0], frame)
+        sim.run(until=sim.now + 2.0)
+    finally:
+        for switch in network.switches.values():
+            switch.lookup_observer = None
+    return trace
+
+
+def _assert_equivalent(sim, network, resolver, src: int, dst_ip: IPv4Address):
+    path = resolver.resolve(src, int(dst_ip))
+    assert path.status == DELIVERED, \
+        f"{src}->{dst_ip}: resolver says {path.status}"
+    trace = _trace_packet(sim, network, src, dst_ip)
+    assert [dpid for dpid, _ in trace] == list(path.dpids), \
+        f"{src}->{dst_ip}: packet visited {trace}, resolver said {path.dpids}"
+    # Every intermediate lookup hit; the final one is the owner's miss
+    # (the frame the controller would see as a PACKET_IN).
+    assert all(hit for _, hit in trace[:-1])
+    assert trace[-1][1] is False
+
+
+class TestFluidPacketEquivalence:
+    def test_ring_all_pairs(self):
+        sim, ipam, _framework, network = _configured_framework(ring_topology(4))
+        owners = {int(ipam.router_id(dpid)): dpid for dpid in network.switches}
+        resolver = PathResolver(network, owner_of=owners.get)
+        for src in network.switches:
+            for dst in network.switches:
+                if src == dst:
+                    continue
+                _assert_equivalent(sim, network, resolver, src,
+                                   ipam.router_id(dst))
+
+    def test_fat_tree_sampled_pairs(self):
+        from repro.sim import SeededRandom
+
+        sim, ipam, _framework, network = _configured_framework(
+            fat_tree_topology(4))
+        owners = {int(ipam.router_id(dpid)): dpid for dpid in network.switches}
+        resolver = PathResolver(network, owner_of=owners.get)
+        rng = SeededRandom(13)
+        dpids = sorted(network.switches)
+        for _ in range(12):
+            src, dst = rng.sample(dpids, 2)
+            _assert_equivalent(sim, network, resolver, src,
+                               ipam.router_id(dst))
+
+
+# ---------------------------------------------------------------------------
+# satellites: utilization accounting + source stats
+# ---------------------------------------------------------------------------
+class TestUtilizationAccounting:
+    def test_packet_path_charges_serialization_time(self, sim):
+        a = Interface("a", MACAddress(1))
+        b = Interface("b", MACAddress(2))
+        link = connect(sim, a, b, delay=0.001, bandwidth_bps=1e6)
+        a.send(b"x" * 1000)  # 8000 bits at 1 Mbit/s = 8 ms on the wire
+        sim.run()
+        assert a.tx_busy_seconds == pytest.approx(0.008)
+        assert b.tx_busy_seconds == 0.0
+        stats = link.stats()
+        assert stats["busy_seconds"] == pytest.approx(0.008)
+        assert a.stats()["tx_busy_seconds"] == pytest.approx(0.008)
+
+    def test_windowed_peak_rate(self):
+        iface = Interface("w", MACAddress(3))
+        iface.account_tx(0.0, 1000.0, 0.0)
+        iface.account_tx(0.5, 1000.0, 0.0)
+        assert iface.peak_tx_bps == 0.0  # window still open
+        iface.account_tx(1.25, 500.0, 0.0)  # closes [0, 1.25): 2000 bits
+        assert iface.peak_tx_bps == pytest.approx(2000.0 / 1.25)
+        iface.account_tx(3.0, 8000.0, 0.0)  # closes [1.25, 3.0): 500 bits
+        assert iface.peak_tx_bps == pytest.approx(2000.0 / 1.25)
+
+    def test_fluid_path_charges_busy_fraction_and_peak(self):
+        iface = Interface("f", MACAddress(4))
+        iface.account_rate(5e8, 2.0, 1e9)  # half rate for 2 s = 1 s busy
+        assert iface.tx_busy_seconds == pytest.approx(1.0)
+        assert iface.peak_tx_bps == pytest.approx(5e8)
+        iface.account_rate(2e9, 1.0, 1e9)  # overload clamps at 100% busy
+        assert iface.tx_busy_seconds == pytest.approx(2.0)
+        assert iface.peak_tx_bps == pytest.approx(2e9)
+        iface.account_rate(1.0, 1.0, 0.0)  # no capacity: no busy charge
+        assert iface.tx_busy_seconds == pytest.approx(2.0)
+
+
+class _StubHost:
+    name = "stub"
+
+    def __init__(self):
+        self.sent = []
+
+    def send_udp(self, target, port, payload, src_port=0):
+        self.sent.append((target, port, payload))
+        return True
+
+
+class TestSourceStats:
+    def test_cbr_source_stats(self, sim):
+        from repro.app.traffic import ConstantBitRateSource
+
+        host = _StubHost()
+        source = ConstantBitRateSource(sim, host, IPv4Address("10.0.0.9"),
+                                       5000, rate_pps=10.0, payload_size=100)
+        source.start()
+        sim.run(until=1.05)
+        source.stop()
+        assert source.stats.packets == len(host.sent) == source.packets_sent
+        assert source.stats.bytes == source.stats.packets * 100
+        assert source.stats.first_send == pytest.approx(0.0)
+        assert source.stats.last_send == pytest.approx(1.0)
+
+    def test_poisson_source_stats(self, sim):
+        from repro.app.traffic import PoissonSource
+
+        host = _StubHost()
+        source = PoissonSource(sim, host, IPv4Address("10.0.0.9"), 5000,
+                               mean_rate_pps=50.0, payload_size=64, seed=4)
+        source.start()
+        sim.run(until=2.0)
+        source.stop()
+        sim.run(until=3.0)
+        assert source.packets_sent == source.stats.packets > 0
+        assert source.stats.bytes == source.stats.packets * 64
+        assert source.stats.first_send is not None
+        assert source.stats.last_send <= 2.0
+
+
+# ---------------------------------------------------------------------------
+# experiment + CLI
+# ---------------------------------------------------------------------------
+class TestTrafficExperiment:
+    def test_run_traffic_on_ring(self):
+        from repro.experiments import run_traffic
+
+        result = run_traffic("ring-4", demands=DemandSpec(count=30, seed=2),
+                             window=5.0, settle=1.0)
+        assert result.configured
+        assert result.demands == 30
+        assert result.delivered_commodities == result.commodities > 0
+        assert result.loss_fraction == pytest.approx(0.0)
+        assert result.delivered_bits > 0
+        assert result.top_links
+        assert all(0.0 <= link.utilization <= 1.0
+                   for link in result.top_links)
+
+    def test_run_traffic_with_finite_demands_and_json(self, tmp_path):
+        from repro.experiments import (render_traffic_table, run_traffic,
+                                       write_traffic_json)
+
+        result = run_traffic("ring-4",
+                             demands=DemandSpec(count=10, seed=1,
+                                                start_window=1.0,
+                                                duration=3.0),
+                             settle=1.0)
+        assert result.configured
+        # All demands expired inside the window: every offered bit has a
+        # matching delivered bit, then the commodities were torn down.
+        assert result.commodities == 0
+        assert result.offered_bits > 0
+        assert result.loss_fraction == pytest.approx(0.0)
+        rendered = render_traffic_table([result])
+        assert "ring-4" in rendered
+        target = write_traffic_json([result], tmp_path / "traffic.json")
+        assert target.exists() and target.read_text().startswith("[")
+
+    def test_cli_traffic(self, tmp_path, capsys):
+        from repro.cli import main
+
+        out = tmp_path / "traffic.json"
+        assert main(["traffic", "--scenario", "ring-4", "--demands", "20",
+                     "--model", "gravity", "--rate", "50000",
+                     "--window", "5", "--settle", "1",
+                     "--out", str(out)]) == 0
+        assert out.exists()
+        captured = capsys.readouterr()
+        assert "ring-4" in captured.out
+
+    def test_cli_traffic_rejects_unknown_scenario(self, capsys):
+        from repro.cli import main
+
+        assert main(["traffic", "--scenario", "no-such-scenario"]) == 2
+        assert "error" in capsys.readouterr().err
+
+
+class TestBenchFilter:
+    def test_run_benchmarks_filter(self):
+        from repro.experiments.bench import BENCHMARKS, run_benchmarks
+
+        document = run_benchmarks(quick=True, name_filter="flow_mod_*")
+        assert set(document["benchmarks"]) == {"flow_mod_codec"}
+        assert all(name in BENCHMARKS for name in document["benchmarks"])
+
+    def test_cli_bench_filter_no_match(self, capsys):
+        from repro.cli import main
+
+        assert main(["bench", "--quick", "--filter", "zzz_*"]) == 2
+        assert "no benchmark case" in capsys.readouterr().err
+
+
+class TestBenchFluidCases:
+    def test_fixture_resolves_small_torus(self):
+        from repro.experiments.bench import _torus_fluid_fixture
+
+        _sim, network, routes, engine, addresses = _torus_fluid_fixture(3, 3)
+        assert len(network.switches) == 9
+        demands = uniform_demands(addresses, 500, rate_bps=10.0, seed=3)
+        engine.register(demands, schedule=False)
+        engine.reallocate()
+        stats = engine.stats()
+        assert stats["demands"] == 500
+        assert stats["delivered_commodities"] == stats["commodities"]
+        network.fail_link(1, 2)
+        assert routes.reroute() > 0
+        engine.reallocate()
+        assert engine.stats()["delivered_commodities"] == \
+            engine.stats()["commodities"]
+        assert engine.affected_demands < 500 * 2  # incremental, not global
