@@ -265,6 +265,10 @@ def build_parser() -> argparse.ArgumentParser:
     interdomain.add_argument("--settle", type=float, default=20.0,
                              help="quiet seconds that count as converged "
                                   "(default: 20)")
+    interdomain.add_argument("--profile", action="store_true",
+                             help="report a per-phase wall-time breakdown "
+                                  "(session establishment, decision process, "
+                                  "redistribution, flow install)")
     interdomain.add_argument("--out", metavar="FILE",
                              help="write results as JSON to FILE")
     interdomain.add_argument("--csv", metavar="FILE",
@@ -596,7 +600,7 @@ def _command_interdomain(args: argparse.Namespace) -> int:
         for name in args.scenario:
             results.append(run_interdomain(
                 name, flap=not args.no_flap, flap_link=flap_link,
-                settle=args.settle))
+                settle=args.settle, profile=args.profile))
     except (ScenarioError, TopologyError, ValueError) as error:
         print(f"error: {error}", file=sys.stderr)
         return 2

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass
-from typing import Dict, List, Mapping, Optional, Union
+from typing import Dict, List, Mapping, Optional, Tuple, Union
 
 from repro.bus import ChannelFaults, MessageBus, topics
 from repro.bus.reliable import consume
@@ -82,6 +82,19 @@ class FrameworkConfig:
     #: BGP keepalive/hold timers written into every generated bgpd.conf.
     bgp_keepalive_interval: float = 10.0
     bgp_hold_time: float = 30.0
+    #: Gao-Rexford relationships between ASes, ``(asn_a, asn_b) ->
+    #: "customer"|"peer"|"provider"`` read from asn_a's perspective.
+    #: When set, the RPC server emits valley-free per-peer policies on
+    #: every eBGP neighbor statement (ingress local-preference by
+    #: relationship plus the relationship export gate).  Interdomain
+    #: scenarios derive it from the topology
+    #: (``as_relationships_from_topology``); None = no commercial policy.
+    as_relationships: Optional[Mapping[Tuple[int, int], str]] = None
+    #: Replace each AS's iBGP full mesh with a per-AS route reflector (the
+    #: lowest-dpid router of the AS becomes the hub, everyone else peers
+    #: only with it).  Cuts the O(n²) iBGP session count to O(n) for large
+    #: ASes at the cost of one extra reflection hop.
+    ibgp_route_reflector: bool = False
     #: How often the convergence monitor samples the milestone predicates.
     monitor_interval: float = 1.0
     #: Number of RouteFlow controller shards (RFServer + RFProxy pairs).
@@ -204,6 +217,9 @@ class AutoConfigFramework:
             as_map=self.config.as_map if self.config.enable_bgp else None,
             bgp_keepalive_interval=self.config.bgp_keepalive_interval,
             bgp_hold_time=self.config.bgp_hold_time,
+            as_relationships=(self.config.as_relationships
+                              if self.config.enable_bgp else None),
+            ibgp_route_reflector=self.config.ibgp_route_reflector,
             advertise_loopbacks=self.config.advertise_loopbacks)
         self.rpc_server.on_switch_configured(self.gui.mark_configured)
         self.rpc_client = RPCClient(sim, self.rpc_server,

@@ -36,6 +36,7 @@ from repro.quagga.configfile import (
 )
 from repro.routeflow.rfserver import RFServer
 from repro.sim import EventLog, Simulator
+from repro.topology.generators import RELATIONSHIP_LOCAL_PREF
 
 LOG = logging.getLogger(__name__)
 
@@ -110,6 +111,8 @@ class RPCServer:
                  as_map: Optional[Mapping[int, int]] = None,
                  bgp_keepalive_interval: float = 10.0,
                  bgp_hold_time: float = 30.0,
+                 as_relationships: Optional[Mapping[Tuple[int, int], str]] = None,
+                 ibgp_route_reflector: bool = False,
                  advertise_loopbacks: bool = False) -> None:
         self.sim = sim
         self.rfserver = rfserver
@@ -126,6 +129,21 @@ class RPCServer:
         self.as_map: Optional[Dict[int, int]] = dict(as_map) if as_map else None
         self.bgp_keepalive_interval = bgp_keepalive_interval
         self.bgp_hold_time = bgp_hold_time
+        #: ``(as_a, as_b) -> "customer"|"peer"|"provider"`` (as_b's role seen
+        #: from as_a).  When set, inter-AS neighbors carry the relationship
+        #: and a matching ingress LOCAL_PREF so the daemons implement
+        #: Gao-Rexford valley-free export.
+        self.as_relationships: Optional[Dict[Tuple[int, int], str]] = (
+            dict(as_relationships) if as_relationships else None)
+        #: Replace the per-AS iBGP full mesh (O(n²) sessions in routers per
+        #: AS) with a hub-and-spoke route-reflector topology: the lowest
+        #: dpid of each AS reflects between its clients.
+        self.ibgp_route_reflector = ibgp_route_reflector
+        self._rr_hub: Dict[int, int] = {}
+        if ibgp_route_reflector and self.as_map:
+            for dpid, asn in self.as_map.items():
+                if asn not in self._rr_hub or dpid < self._rr_hub[asn]:
+                    self._rr_hub[asn] = dpid
         #: Also put the router id on a loopback /32 and announce it into
         #: OSPF when running single-domain (interdomain always does).
         self.advertise_loopbacks = advertise_loopbacks
@@ -178,17 +196,24 @@ class RPCServer:
             hostname=f"VM-{vm_id:016x}", router_id=self.ipam.router_id(vm_id))
         if self.as_map is not None:
             state.local_as = self.as_map.get(vm_id, self.bgp_as_base + vm_id)
-            # iBGP full mesh per AS, peered over the router-id loopbacks:
-            # the new router and every already-configured router of its AS
-            # name each other, and the peers' bgpd.conf files are
-            # regenerated to include it.
+            hub = self._rr_hub.get(state.local_as)
+            # iBGP per AS, peered over the router-id loopbacks.  Default is
+            # a full mesh: the new router and every already-configured
+            # router of its AS name each other.  In route-reflector mode
+            # only hub<->spoke sessions exist (the hub marks its neighbors
+            # as clients and reflects between them), so an n-router AS runs
+            # n-1 sessions instead of n(n-1)/2.
             for other in self._vm_state.values():
                 if other.local_as != state.local_as:
                     continue
+                if hub is not None and vm_id != hub and other.vm_id != hub:
+                    continue
                 state.bgp_neighbors.append(BGPNeighbor(
-                    address=other.router_id, remote_as=state.local_as))
+                    address=other.router_id, remote_as=state.local_as,
+                    route_reflector_client=(vm_id == hub)))
                 other.bgp_neighbors.append(BGPNeighbor(
-                    address=state.router_id, remote_as=state.local_as))
+                    address=state.router_id, remote_as=state.local_as,
+                    route_reflector_client=(other.vm_id == hub)))
                 self._write_configs(other)
         self._vm_state[vm_id] = state
         vm = self.rfserver.create_vm(vm_id=vm_id, num_ports=message.num_ports,
@@ -249,12 +274,26 @@ class RPCServer:
         self.rfserver.connect_virtual_link(state_a.vm_id, iface_a, state_b.vm_id, iface_b)
         if self.as_map is not None:
             if border:
+                # With commercial relationships known, stamp the neighbor
+                # with its Gao-Rexford role and the matching ingress
+                # LOCAL_PREF (customer > peer > provider), which is what
+                # the daemons' valley-free export rule keys on.
+                rel_ab = rel_ba = None
+                if self.as_relationships is not None:
+                    rel_ab = self.as_relationships.get(
+                        (state_a.local_as, state_b.local_as))
+                    rel_ba = self.as_relationships.get(
+                        (state_b.local_as, state_a.local_as))
                 state_a.bgp_neighbors.append(BGPNeighbor(
                     address=IPv4Address(message.address_b),
-                    remote_as=state_b.local_as))
+                    remote_as=state_b.local_as, relationship=rel_ab,
+                    local_pref=RELATIONSHIP_LOCAL_PREF.get(rel_ab)
+                    if rel_ab else None))
                 state_b.bgp_neighbors.append(BGPNeighbor(
                     address=IPv4Address(message.address_a),
-                    remote_as=state_a.local_as))
+                    remote_as=state_a.local_as, relationship=rel_ba,
+                    local_pref=RELATIONSHIP_LOCAL_PREF.get(rel_ba)
+                    if rel_ba else None))
         elif self.generate_bgp:
             state_a.bgp_neighbors.append(BGPNeighbor(
                 address=IPv4Address(message.address_b),

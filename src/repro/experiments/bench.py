@@ -300,6 +300,54 @@ def bench_interdomain_3as() -> Dict[str, Any]:
             "flows": result.steady_flows}
 
 
+def bench_interdomain_convergence_50as() -> Dict[str, Any]:
+    """Interdomain at scale: a 50-AS seeded scale-free graph converges.
+
+    The preferential-attachment AS graph (transit cores, mid-tier
+    providers, stub edges under Gao-Rexford policies) is generated from a
+    fixed seed, so the topology — and with it ``sim_seconds`` and
+    ``flows`` — is deterministic and gated exactly.  Wall time gates the
+    incremental BGP hot path: best-path re-evaluation, delta-based
+    Adj-RIB-Out batching and the indexed OpenFlow flow tables.
+    """
+    from repro.experiments.interdomain import run_interdomain
+
+    def run():
+        return run_interdomain("interdomain-50as", flap=False)
+
+    wall, result = _best_of(run, repeats=2)
+    return {"wall_seconds": wall, "sim_seconds": result.configured_seconds,
+            "switches": result.num_switches, "links": result.num_links,
+            "flows": result.steady_flows}
+
+
+def bench_interdomain_churn_100as() -> Dict[str, Any]:
+    """Border-link churn on a 100-AS scale-free graph.
+
+    After convergence the highest-degree border link flaps (down 90 s,
+    then restored).  The run must verify end to end — both eBGP sessions
+    drop, withdrawals reach the switches, the sessions re-establish and
+    the exact steady-state flow count returns — or the benchmark raises.
+    ``withdrawn_flow_mods`` doubles as the delta-re-advertisement gate: a
+    regression to full-table re-announcement changes it immediately.
+    """
+    from repro.experiments.interdomain import run_interdomain
+
+    def run():
+        result = run_interdomain("interdomain-100as", flap=True)
+        if not (result.settled and result.flap is not None
+                and result.flap.verified):
+            raise RuntimeError(
+                f"churn benchmark run unhealthy: {result.flap!r}")
+        return result
+
+    wall, result = _best_of(run, repeats=2)
+    return {"wall_seconds": wall, "sim_seconds": result.configured_seconds,
+            "switches": result.num_switches, "links": result.num_links,
+            "flows": result.steady_flows,
+            "withdrawn_flow_mods": result.flap.withdrawn_flow_mods}
+
+
 def _torus_fluid_fixture(rows: int = 16, cols: int = 16):
     """A 256-router torus with synthetic RouteFlow-shaped flow tables.
 
@@ -401,13 +449,16 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "sharded_convergence_16": (bench_sharded_convergence_16, False),
     "sharded_churn_16": (bench_sharded_churn_16, False),
     "interdomain_convergence_3as": (bench_interdomain_3as, False),
+    "interdomain_convergence_50as": (bench_interdomain_convergence_50as, False),
+    "interdomain_churn_100as": (bench_interdomain_churn_100as, False),
     "demand_resolution_1m": (bench_demand_resolution_1m, False),
     "churn_under_load": (bench_churn_under_load, False),
 }
 
 #: Keys whose values must match the baseline *exactly* (determinism gate).
 EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links", "flows",
-              "demands", "commodities", "delivered", "affected")
+              "demands", "commodities", "delivered", "affected",
+              "withdrawn_flow_mods")
 
 
 def run_benchmarks(quick: bool = False,

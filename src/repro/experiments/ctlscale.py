@@ -644,7 +644,9 @@ def write_ctlscale_csv(results: Sequence[CtlScaleResult],
                          "partitioner", "switches", "links",
                          "configured_seconds", "shard", "shard_switches",
                          "route_mods", "flow_mods_installed",
-                         "flow_mods_removed", "flows_current"])
+                         "flow_mods_removed", "flows_current",
+                         "bgp_updates_sent", "bgp_withdrawals_sent",
+                         "bgp_updates_received"])
         for result in results:
             for load in result.shard_loads:
                 writer.writerow([
@@ -655,5 +657,8 @@ def write_ctlscale_csv(results: Sequence[CtlScaleResult],
                     load["switches"], load["route_mods"],
                     load["flow_mods_installed"], load["flow_mods_removed"],
                     load["flows_current"],
+                    load.get("bgp_updates_sent", 0),
+                    load.get("bgp_withdrawals_sent", 0),
+                    load.get("bgp_updates_received", 0),
                 ])
     return target

@@ -18,18 +18,21 @@ so both halves of the proxy exercise the real OpenFlow codec:
 from __future__ import annotations
 
 import logging
+import struct
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
 from repro.net.packet import DecodeError
 from repro.openflow.channel import ControlChannel
 from repro.openflow.constants import (
+    OFP_VERSION,
     OFPBadRequestCode,
     OFPErrorType,
     OFPType,
 )
-from repro.openflow.match import PacketFields
+from repro.openflow.match import MATCH_LEN, Match, PacketFields
 from repro.openflow.messages import (
+    OFP_HEADER_LEN,
     BarrierReply,
     BarrierRequest,
     EchoReply,
@@ -37,12 +40,10 @@ from repro.openflow.messages import (
     ErrorMessage,
     FeaturesReply,
     FeaturesRequest,
-    FlowMod,
     FlowRemoved,
     Hello,
     OpenFlowMessage,
     PacketIn,
-    PacketOut,
     PortStatus,
 )
 from repro.flowvisor.flowspace import FlowSpace
@@ -272,6 +273,18 @@ class FlowVisor:
     # ----------------------------------------------------- controller -> switch
     def _from_controller(self, session: _SwitchSession, slice_name: str,
                          data: bytes) -> None:
+        # Hot-path dispatch on the header type byte: flow-mods and
+        # packet-outs — the bulk of controller traffic — are forwarded from
+        # the original wire bytes (xid untouched) instead of being decoded
+        # and re-encoded just to pass through.
+        if len(data) >= OFP_HEADER_LEN and data[0] == OFP_VERSION:
+            msg_type = data[1]
+            if msg_type == OFPType.FLOW_MOD:
+                self._forward_flow_mod(session, slice_name, data)
+                return
+            if msg_type == OFPType.PACKET_OUT:
+                self._forward_packet_out(session, slice_name, data)
+                return
         try:
             message = OpenFlowMessage.decode(data)
         except DecodeError as exc:
@@ -286,12 +299,6 @@ class FlowVisor:
             return
         if isinstance(message, FeaturesRequest):
             self._answer_features(session, slice_name, message)
-            return
-        if isinstance(message, FlowMod):
-            self._forward_flow_mod(session, slice_name, message)
-            return
-        if isinstance(message, PacketOut):
-            self._forward_packet_out(session, slice_name, message)
             return
         if isinstance(message, (BarrierRequest,)) or message.msg_type == OFPType.STATS_REQUEST:
             self._forward_with_xid_translation(session, slice_name, message)
@@ -315,22 +322,31 @@ class FlowVisor:
         self._reply_to_slice(session, slice_name, reply)
 
     def _forward_flow_mod(self, session: _SwitchSession, slice_name: str,
-                          message: FlowMod) -> None:
-        if not self.flowspace.may_write(slice_name, message.match):
+                          data: bytes) -> None:
+        # Only the match is needed for the flowspace write check; the rest
+        # of the flow-mod travels through as the original bytes.
+        try:
+            match = Match.decode(data[OFP_HEADER_LEN:OFP_HEADER_LEN + MATCH_LEN])
+        except DecodeError as exc:
+            LOG.warning("%s: undecodable flow-mod from slice %s: %s",
+                        self.name, slice_name, exc)
+            return
+        if not self.flowspace.may_write(slice_name, match):
             self.flow_mods_denied += 1
+            xid = struct.unpack_from("!I", data, 4)[0]
             error = ErrorMessage(OFPErrorType.BAD_REQUEST,
-                                 OFPBadRequestCode.PERM_ERROR, xid=message.xid)
+                                 OFPBadRequestCode.PERM_ERROR, xid=xid)
             self._reply_to_slice(session, slice_name, error)
             return
         self.flow_mods_forwarded += 1
-        self._send_to_switch_raw(session, message.encode())
+        self._send_to_switch_raw(session, data)
 
     def _forward_packet_out(self, session: _SwitchSession, slice_name: str,
-                            message: PacketOut) -> None:
+                            data: bytes) -> None:
         # Packet-outs are always permitted for slices holding any write rule;
         # the paper's two slices both inject packets (LLDP probes and routed
         # data respectively).
-        self._send_to_switch_raw(session, message.encode())
+        self._send_to_switch_raw(session, data)
 
     def _forward_with_xid_translation(self, session: _SwitchSession, slice_name: str,
                                       message: OpenFlowMessage) -> None:

@@ -302,8 +302,11 @@ class IPv4Network:
         return 1 << (32 - self.prefix_len)
 
     def __contains__(self, address: Union[str, int, IPv4Address]) -> bool:
-        addr = IPv4Address(address)
-        return (addr._value & _NETMASK_INTS[self.prefix_len]) == self.network._value
+        if isinstance(address, IPv4Address):
+            value = address._value
+        else:
+            value = IPv4Address(address)._value
+        return (value & _NETMASK_INTS[self.prefix_len]) == self.network._value
 
     def hosts(self) -> Iterator[IPv4Address]:
         """Iterate usable host addresses (excludes network/broadcast for /0-/30)."""

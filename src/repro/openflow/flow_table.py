@@ -8,7 +8,7 @@ simulated time, emitting FLOW_REMOVED when the entry asked for it.
 
 from __future__ import annotations
 
-from typing import Callable, Iterable, List, Optional
+from typing import Callable, Dict, Iterable, List, Optional, Tuple
 
 from repro.openflow.actions import Action
 from repro.openflow.constants import OFPFlowModFlags, OFPPort
@@ -36,6 +36,15 @@ class FlowEntry:
         #: once: match and priority are fixed for the entry's lifetime, and
         #: the table sorts on this constantly.
         self.effective_priority = 0x10000 if match.is_exact else priority
+        #: Index keys, fixed at construction under the same immutability
+        #: assumption.  identity_key backs identical-replace and strict
+        #: flow-mods; dst_key (None unless the match is destination-prefix
+        #: shaped) backs the non-strict delete index.
+        self.identity_key = (priority, match._key())
+        self.dst_key = match.destination_prefix_key()
+        #: Install order within the owning table (assigned by add); breaks
+        #: effective-priority ties the way a stable sorted list would.
+        self.seq = 0
 
     @property
     def send_flow_removed(self) -> bool:
@@ -88,6 +97,20 @@ class FlowTable:
         #: True while any installed entry carries a timeout; lets expire()
         #: return immediately for the common all-permanent-routes table.
         self._may_expire = False
+        #: (priority, match key) -> entries with that exact identity, for
+        #: identical-replace on add and the STRICT flow-mod commands.
+        self._by_key: Dict[tuple, List[FlowEntry]] = {}
+        #: Destination-prefix entries bucketed by their own prefix length:
+        #: plen -> (dl_type, masked net) -> id(entry) -> entry.  Non-strict
+        #: deletes are destination-prefix shaped under RouteFlow, so the
+        #: covered set comes from integer prefix compares over these
+        #: buckets instead of a covers() scan of the whole table.
+        self._dst_levels: Dict[int, Dict[Tuple[int, int], Dict[int, FlowEntry]]] = {}
+        #: Entries whose match is not destination-prefix shaped, id -> entry;
+        #: the only ones a shaped non-strict delete still covers()-scans.
+        self._other: Dict[int, FlowEntry] = {}
+        #: Next entry sequence number (see FlowEntry.seq).
+        self._seq = 0
 
     # ------------------------------------------------------------- contents
     def __len__(self) -> int:
@@ -123,14 +146,13 @@ class FlowTable:
         append would put it) instead of a full re-sort per flow-mod.
         """
         entries = self._entries
-        if replace_identical and entries:
-            key = entry.match._key()
-            priority = entry.priority
-            for index, existing in enumerate(entries):
-                if existing.priority == priority and existing.match._key() == key:
-                    # add() always deduplicates, so at most one can exist.
-                    del entries[index]
-                    break
+        if replace_identical:
+            identical = self._by_key.get(entry.identity_key)
+            if identical:
+                # add() always deduplicates, so at most one can exist.
+                stale = identical[0]
+                entries.remove(stale)
+                self._unindex(stale)
         lo, hi = 0, len(entries)
         effective = entry.effective_priority
         while lo < hi:
@@ -140,9 +162,43 @@ class FlowTable:
             else:
                 lo = mid + 1
         entries.insert(lo, entry)
+        entry.seq = self._seq
+        self._seq += 1
+        self._by_key.setdefault(entry.identity_key, []).append(entry)
+        dst_key = entry.dst_key
+        if dst_key is None:
+            self._other[id(entry)] = entry
+        else:
+            dl_type, network, plen = dst_key
+            level = self._dst_levels.setdefault(plen, {})
+            level.setdefault((dl_type, network), {})[id(entry)] = entry
         if entry.idle_timeout or entry.hard_timeout:
             self._may_expire = True
         self._changed()
+
+    def _unindex(self, entry: FlowEntry) -> None:
+        """Drop an entry from the secondary indexes (not from _entries)."""
+        identical = self._by_key.get(entry.identity_key)
+        if identical is not None:
+            try:
+                identical.remove(entry)
+            except ValueError:
+                pass
+            if not identical:
+                del self._by_key[entry.identity_key]
+        dst_key = entry.dst_key
+        if dst_key is None:
+            self._other.pop(id(entry), None)
+        else:
+            dl_type, network, plen = dst_key
+            level = self._dst_levels.get(plen)
+            group = level.get((dl_type, network)) if level is not None else None
+            if group is not None:
+                group.pop(id(entry), None)
+                if not group:
+                    del level[(dl_type, network)]
+                    if not level:
+                        del self._dst_levels[plen]
 
     def modify(self, match: Match, actions: List[Action], strict: bool,
                priority: int) -> int:
@@ -159,12 +215,54 @@ class FlowTable:
     def delete(self, match: Match, strict: bool, priority: int,
                out_port: int = OFPPort.NONE) -> List[FlowEntry]:
         """Apply DELETE / DELETE_STRICT semantics; returns removed entries."""
-        removed = [e for e in self._entries
-                   if self._selected(e, match, strict, priority, out_port)]
-        if removed:
-            self._entries = [e for e in self._entries if e not in removed]
-            self._changed()
+        if strict:
+            identical = self._by_key.get((priority, match._key()), ())
+            selected = [e for e in identical if e.outputs_to(out_port)]
+        else:
+            dst_key = match.destination_prefix_key()
+            if dst_key is not None:
+                selected = self._dst_covered(dst_key, out_port)
+                if self._other:
+                    selected.extend(
+                        e for e in self._other.values()
+                        if self._selected(e, match, False, priority, out_port))
+            else:
+                selected = [e for e in self._entries
+                            if self._selected(e, match, False, priority, out_port)]
+        if not selected:
+            return []
+        for entry in selected:
+            self._unindex(entry)
+        dead = set(map(id, selected))
+        removed: List[FlowEntry] = []
+        remaining: List[FlowEntry] = []
+        for entry in self._entries:
+            (removed if id(entry) in dead else remaining).append(entry)
+        self._entries = remaining
+        self._changed()
         return removed
+
+    def _dst_covered(self, dst_key: tuple, out_port: int) -> List[FlowEntry]:
+        """Destination-prefix entries covered by a shaped delete match."""
+        dl_type, network, plen = dst_key
+        covered: List[FlowEntry] = []
+        if plen:
+            shift = 32 - plen
+            target = network >> shift
+            for entry_plen, level in self._dst_levels.items():
+                if entry_plen < plen:
+                    continue
+                for (entry_dl_type, entry_net), group in level.items():
+                    if entry_dl_type == dl_type and (entry_net >> shift) == target:
+                        covered.extend(group.values())
+        else:
+            for level in self._dst_levels.values():
+                for (entry_dl_type, _net), group in level.items():
+                    if entry_dl_type == dl_type:
+                        covered.extend(group.values())
+        if out_port != OFPPort.NONE:
+            covered = [e for e in covered if e.outputs_to(out_port)]
+        return covered
 
     def expire(self, now: float) -> List[tuple]:
         """Remove timed-out entries; returns (entry, reason) pairs."""
@@ -181,6 +279,7 @@ class FlowTable:
                     may_expire = True
             else:
                 expired.append((entry, reason))
+                self._unindex(entry)
         self._entries = remaining
         self._may_expire = may_expire
         if expired:
@@ -198,13 +297,34 @@ class FlowTable:
 
     # --------------------------------------------------------------- lookup
     def lookup(self, fields: PacketFields) -> Optional[FlowEntry]:
-        """Find the highest-precedence entry matching the packet fields."""
+        """Find the highest-precedence entry matching the packet fields.
+
+        Destination-prefix entries are resolved with one bucket probe per
+        prefix length present in the table; only the (normally empty)
+        non-shaped remainder is scanned with the full match predicate.
+        Ties follow the sorted table order: highest effective priority,
+        then earliest installation.
+        """
         self.lookup_count += 1
-        for entry in self._entries:
-            if entry.match.matches(fields):
-                self.matched_count += 1
-                return entry
-        return None
+        best: Optional[FlowEntry] = None
+        best_rank: Optional[tuple] = None
+        dl_type = fields.dl_type
+        dst = int(fields.nw_dst)
+        for plen, level in self._dst_levels.items():
+            shift = 32 - plen
+            group = level.get((dl_type, (dst >> shift) << shift if plen else 0))
+            if group:
+                for entry in group.values():
+                    rank = (-entry.effective_priority, entry.seq)
+                    if best_rank is None or rank < best_rank:
+                        best, best_rank = entry, rank
+        for entry in self._other.values():
+            rank = (-entry.effective_priority, entry.seq)
+            if (best_rank is None or rank < best_rank) and entry.match.matches(fields):
+                best, best_rank = entry, rank
+        if best is not None:
+            self.matched_count += 1
+        return best
 
     def find_overlapping(self, match: Match, priority: int) -> Optional[FlowEntry]:
         """Detect overlap for CHECK_OVERLAP flow-mods (same priority, both
@@ -219,6 +339,9 @@ class FlowTable:
     def clear(self) -> None:
         if self._entries:
             self._entries.clear()
+            self._by_key.clear()
+            self._dst_levels.clear()
+            self._other.clear()
             self._changed()
 
     def __repr__(self) -> str:

@@ -22,6 +22,16 @@ from repro.openflow.constants import OFPFlowWildcards as W
 
 MATCH_LEN = 40
 
+#: The single-bit (non-prefix) field wildcards, for covers() containment.
+_EXACT_FIELD_BITS = (
+    W.IN_PORT | W.DL_VLAN | W.DL_SRC | W.DL_DST | W.DL_TYPE
+    | W.NW_PROTO | W.TP_SRC | W.TP_DST | W.DL_VLAN_PCP | W.NW_TOS
+)
+
+#: Wildcard pattern of a "destination-prefix" match (everything wildcarded
+#: except dl_type and some nw_dst prefix), with the nw_dst bits masked out.
+_DST_SHAPE = W.ALL & ~W.DL_TYPE
+
 
 class PacketFields:
     """Fields extracted from a concrete packet for flow-table lookup."""
@@ -134,8 +144,10 @@ class Match:
         self.tp_dst = tp_dst
         # Field-tuple cache backing __eq__/__hash__; flow tables compare
         # matches constantly, so the tuple is built once and dropped by the
-        # set_* mutators below.
+        # set_* mutators below.  The prefix-length pair is cached the same
+        # way: covers()/matches() run millions of times per experiment.
         self._key_cache = None
+        self._plen_cache = None
 
     # --------------------------------------------------------- constructors
     @classmethod
@@ -203,6 +215,7 @@ class Match:
 
     def set_nw_src(self, address: IPv4Address, prefix_len: int = 32) -> "Match":
         self._key_cache = None
+        self._plen_cache = None
         self.nw_src = IPv4Address(address)
         self.wildcards &= ~W.NW_SRC_MASK
         self.wildcards |= ((32 - prefix_len) << W.NW_SRC_SHIFT) & W.NW_SRC_MASK
@@ -210,6 +223,7 @@ class Match:
 
     def set_nw_dst(self, address: IPv4Address, prefix_len: int = 32) -> "Match":
         self._key_cache = None
+        self._plen_cache = None
         self.nw_dst = IPv4Address(address)
         self.wildcards &= ~W.NW_DST_MASK
         self.wildcards |= ((32 - prefix_len) << W.NW_DST_SHIFT) & W.NW_DST_MASK
@@ -228,15 +242,27 @@ class Match:
         return self
 
     # ------------------------------------------------------------ properties
+    def _prefix_lens(self) -> tuple:
+        """(nw_src_prefix_len, nw_dst_prefix_len), cached until a mutator
+        touches the address wildcards."""
+        lens = self._plen_cache
+        if lens is None:
+            w = self.wildcards
+            src_ignored = (w & W.NW_SRC_MASK) >> W.NW_SRC_SHIFT
+            dst_ignored = (w & W.NW_DST_MASK) >> W.NW_DST_SHIFT
+            lens = self._plen_cache = (
+                32 - src_ignored if src_ignored < 32 else 0,
+                32 - dst_ignored if dst_ignored < 32 else 0,
+            )
+        return lens
+
     @property
     def nw_src_prefix_len(self) -> int:
-        ignored = (self.wildcards & W.NW_SRC_MASK) >> W.NW_SRC_SHIFT
-        return max(0, 32 - min(ignored, 32))
+        return self._prefix_lens()[0]
 
     @property
     def nw_dst_prefix_len(self) -> int:
-        ignored = (self.wildcards & W.NW_DST_MASK) >> W.NW_DST_SHIFT
-        return max(0, 32 - min(ignored, 32))
+        return self._prefix_lens()[1]
 
     @property
     def is_exact(self) -> bool:
@@ -263,9 +289,10 @@ class Match:
             return False
         if not w & W.NW_PROTO and self.nw_proto != fields.nw_proto:
             return False
-        if not self._prefix_match(self.nw_src, fields.nw_src, self.nw_src_prefix_len):
+        src_len, dst_len = self._prefix_lens()
+        if src_len and (int(self.nw_src) ^ int(fields.nw_src)) >> (32 - src_len):
             return False
-        if not self._prefix_match(self.nw_dst, fields.nw_dst, self.nw_dst_prefix_len):
+        if dst_len and (int(self.nw_dst) ^ int(fields.nw_dst)) >> (32 - dst_len):
             return False
         if not w & W.TP_SRC and self.tp_src != fields.tp_src:
             return False
@@ -283,33 +310,63 @@ class Match:
     def covers(self, other: "Match") -> bool:
         """True when every packet matched by ``other`` is matched by self.
 
-        Used for OpenFlow's non-strict delete/modify semantics.
+        Used for OpenFlow's non-strict delete/modify semantics.  Every
+        field that self constrains must also be constrained (at least as
+        tightly) by other, and the values must agree.  Flow tables call
+        this once per entry per non-strict flow-mod, so the comparison is
+        straight field-by-field rather than built on matches().
         """
-        fields = PacketFields()
-        fields.in_port = other.in_port
-        fields.dl_src = other.dl_src
-        fields.dl_dst = other.dl_dst
-        fields.dl_vlan = other.dl_vlan
-        fields.dl_vlan_pcp = other.dl_vlan_pcp
-        fields.dl_type = other.dl_type
-        fields.nw_tos = other.nw_tos
-        fields.nw_proto = other.nw_proto
-        fields.nw_src = other.nw_src
-        fields.nw_dst = other.nw_dst
-        fields.tp_src = other.tp_src
-        fields.tp_dst = other.tp_dst
-        # Every field that self constrains must also be constrained (at least
-        # as tightly) by other, and the values must agree.
         w_self, w_other = self.wildcards, other.wildcards
-        for bit in (W.IN_PORT, W.DL_VLAN, W.DL_SRC, W.DL_DST, W.DL_TYPE,
-                    W.NW_PROTO, W.TP_SRC, W.TP_DST, W.DL_VLAN_PCP, W.NW_TOS):
-            if not w_self & bit and w_other & bit:
-                return False
-        if self.nw_src_prefix_len > other.nw_src_prefix_len:
+        if w_other & _EXACT_FIELD_BITS & ~w_self:
             return False
-        if self.nw_dst_prefix_len > other.nw_dst_prefix_len:
+        if not w_self & W.IN_PORT and self.in_port != other.in_port:
             return False
-        return self.matches(fields)
+        if not w_self & W.DL_SRC and self.dl_src != other.dl_src:
+            return False
+        if not w_self & W.DL_DST and self.dl_dst != other.dl_dst:
+            return False
+        if not w_self & W.DL_VLAN and self.dl_vlan != other.dl_vlan:
+            return False
+        if not w_self & W.DL_VLAN_PCP and self.dl_vlan_pcp != other.dl_vlan_pcp:
+            return False
+        if not w_self & W.DL_TYPE and self.dl_type != other.dl_type:
+            return False
+        if not w_self & W.NW_TOS and self.nw_tos != other.nw_tos:
+            return False
+        if not w_self & W.NW_PROTO and self.nw_proto != other.nw_proto:
+            return False
+        if not w_self & W.TP_SRC and self.tp_src != other.tp_src:
+            return False
+        if not w_self & W.TP_DST and self.tp_dst != other.tp_dst:
+            return False
+        src_len, dst_len = self._prefix_lens()
+        other_src_len, other_dst_len = other._prefix_lens()
+        if src_len > other_src_len or dst_len > other_dst_len:
+            return False
+        if src_len and (int(self.nw_src) ^ int(other.nw_src)) >> (32 - src_len):
+            return False
+        if dst_len and (int(self.nw_dst) ^ int(other.nw_dst)) >> (32 - dst_len):
+            return False
+        return True
+
+    def destination_prefix_key(self) -> Optional[tuple]:
+        """``(dl_type, masked nw_dst, prefix_len)`` for a pure
+        destination-prefix match, else None.
+
+        A destination-prefix match constrains exactly dl_type plus some
+        nw_dst prefix — the shape :meth:`for_destination_prefix` builds and
+        the only shape RouteFlow installs.  Flow tables index these for
+        O(covered) non-strict deletes instead of scanning every entry.
+        """
+        if (self.wildcards | W.NW_DST_MASK) != _DST_SHAPE | W.NW_DST_MASK:
+            return None
+        prefix_len = self._prefix_lens()[1]
+        if prefix_len:
+            shift = 32 - prefix_len
+            network = (int(self.nw_dst) >> shift) << shift
+        else:
+            network = 0
+        return (self.dl_type, network, prefix_len)
 
     # -------------------------------------------------------------- encoding
     def encode(self) -> bytes:

@@ -7,10 +7,11 @@ the pieces an interdomain experiment actually measures:
 * **Session roles.**  A neighbor in the same AS forms an *iBGP* session,
   a neighbor in another AS an *eBGP* session.  The textbook rules apply:
   routes learned from an iBGP peer are never re-advertised to other iBGP
-  peers (the full-mesh assumption), eBGP-learned and locally originated
-  routes go to everyone, the AS path is prepended on eBGP egress only, and
-  iBGP-learned routes install with administrative distance 200 versus
-  eBGP's 20.
+  peers (the full-mesh assumption — unless one side of the hop is a
+  configured route-reflector client, RFC 4456 style), eBGP-learned and
+  locally originated routes go to everyone, the AS path is prepended on
+  eBGP egress only, and iBGP-learned routes install with administrative
+  distance 200 versus eBGP's 20.
 * **Per-peer policy.**  ``local-preference`` applied on ingress, ``med``
   attached on egress, and ``prefix-list ... out`` export filters — all
   honoured from the parsed configuration.
@@ -48,7 +49,7 @@ from __future__ import annotations
 
 import logging
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Any, Callable, Dict, List, Optional, Set, Tuple
 
 from repro.net.addresses import IPv4Address, IPv4Network
 from repro.quagga.configfile import BGPConfig
@@ -62,8 +63,34 @@ LOG = logging.getLogger(__name__)
 #: Default LOCAL_PREF assigned to routes that arrive without one (RFC 4271).
 DEFAULT_LOCAL_PREF = 100
 
+#: Valley-free export threshold.  The RPC server stamps eBGP ingress
+#: LOCAL_PREF by business relationship (customer 200 > peer 100 >
+#: provider 50), so a route is customer-learned — and exportable to peers
+#: and providers under Gao-Rexford — exactly when its LOCAL_PREF clears
+#: this bar.  LOCAL_PREF is transitive over iBGP, which makes the check
+#: correct on multi-border ASes too.
+VALLEY_FREE_EXPORT_MIN = 150
+
 #: One-way delivery delay of a BGP UPDATE/KEEPALIVE through the broker.
 UPDATE_DELAY = 0.05
+
+#: Interned AS-path tuples.  At internet scale most announcements share a
+#: small set of paths (everything a border re-advertises gets the same
+#: prepended path); interning collapses them to one object per distinct
+#: path, cutting memory and making the frequent path comparisons hit the
+#: tuple identity fast path.
+_AS_PATH_INTERN: Dict[Tuple[int, ...], Tuple[int, ...]] = {}
+
+
+def _intern_as_path(path: Tuple[int, ...]) -> Tuple[int, ...]:
+    return _AS_PATH_INTERN.setdefault(path, path)
+
+
+#: Sentinel distinguishing "not passed" from None in export helpers.
+_UNSET = object()
+
+#: The export basis of a prefix nobody originates or announces.
+_EMPTY_BASIS: Tuple[None, None, None] = (None, None, None)
 
 
 class BGPSessionState:
@@ -111,6 +138,14 @@ class BGPPeerSession:
     received: Dict[IPv4Network, BGPAnnouncement] = field(default_factory=dict)
     #: Adj-RIB-Out: what we last advertised to the peer.
     advertised: Dict[IPv4Network, BGPAnnouncement] = field(default_factory=dict)
+    #: This session is queued in the broker's pending set for a
+    #: (re-)establishment probe.
+    retry_pending: bool = False
+    #: Adj-RIBs as they stood when the session last went down
+    #: (graceful-restart-style retention, see
+    #: :meth:`BGPDaemon.on_session_established`).  None = nothing retained.
+    stale_received: Optional[Dict[IPv4Network, BGPAnnouncement]] = None
+    stale_advertised: Optional[Dict[IPv4Network, BGPAnnouncement]] = None
 
     @property
     def is_ibgp(self) -> bool:
@@ -126,20 +161,39 @@ class BGPSessionBroker:
 
     The broker abstracts the TCP transport: it pairs matching neighbor
     statements, runs the (delayed) session establishment handshake, and
-    delivers UPDATEs and KEEPALIVEs between established endpoints.  It
-    retries idle sessions whenever a speaker registers an address or asks
-    for a retry (the ConnectRetry timer lives in the daemons' keepalive
-    task).
+    delivers UPDATEs and KEEPALIVEs between established endpoints.
+
+    Idle sessions sit in a *pending set* keyed by the peer address they
+    are waiting for; a probe runs when that address registers, or on the
+    daemons' ConnectRetry ticks.  Only pending sessions are probed — the
+    steady state (everything established) costs nothing per tick, where a
+    full rescan of every registered speaker used to cost
+    O(speakers x sessions).
     """
 
     def __init__(self, sim: Simulator, session_delay: float = 1.0) -> None:
         self.sim = sim
         self.session_delay = session_delay
         self._speakers: Dict[IPv4Address, "BGPDaemon"] = {}
+        #: peer address -> idle sessions waiting to establish towards it.
+        self._pending: Dict[IPv4Address,
+                            List[Tuple["BGPDaemon", BGPPeerSession]]] = {}
+        #: Establishment probes attempted (the pending-set regression test
+        #: pins this to stay linear in the number of idle sessions).
+        self.probe_attempts = 0
 
     def register(self, address: IPv4Address, speaker: "BGPDaemon") -> None:
-        self._speakers[IPv4Address(address)] = speaker
-        self._try_establish_all()
+        address = IPv4Address(address)
+        self._speakers[address] = speaker
+        # Sessions elsewhere that were waiting for this address can try
+        # now, and so can the registering speaker's own idle sessions
+        # (their peers may already be registered).
+        self._probe(self._pending.pop(address, []))
+        for session in list(speaker.sessions.values()):
+            if session.state == BGPSessionState.IDLE:
+                self._try_establish(speaker, session)
+                if session.state == BGPSessionState.IDLE:
+                    self.enlist(speaker, session)
 
     def unregister_speaker(self, speaker: "BGPDaemon") -> None:
         for address in [a for a, s in self._speakers.items() if s is speaker]:
@@ -148,31 +202,47 @@ class BGPSessionBroker:
     def speaker_at(self, address: IPv4Address) -> Optional["BGPDaemon"]:
         return self._speakers.get(IPv4Address(address))
 
-    def retry(self) -> None:
-        """Re-attempt establishment of every idle session pair."""
-        self._try_establish_all()
+    def enlist(self, speaker: "BGPDaemon", session: BGPPeerSession) -> None:
+        """Queue an idle session for (re-)establishment probing."""
+        if session.retry_pending:
+            return
+        session.retry_pending = True
+        self._pending.setdefault(session.peer_address, []).append(
+            (speaker, session))
 
-    def _try_establish_all(self) -> None:
-        for speaker in list(self._speakers.values()):
-            if not speaker.running:
-                continue
-            for session in speaker.sessions.values():
-                if session.state != BGPSessionState.IDLE:
-                    continue
-                if not speaker.session_ready(session):
-                    continue
-                peer = self._speakers.get(session.peer_address)
-                if peer is None or not peer.running:
-                    continue
-                reverse = peer.sessions.get(session.local_address)
-                if reverse is None or reverse.state != BGPSessionState.IDLE \
-                        or not peer.session_ready(reverse):
-                    continue
-                session.state = BGPSessionState.OPEN_SENT
-                reverse.state = BGPSessionState.OPEN_SENT
-                self.sim.schedule(self.session_delay, self._establish,
-                                  speaker, session, peer, reverse,
-                                  label="bgp:establish")
+    def retry(self) -> None:
+        """Re-attempt establishment of every pending idle session."""
+        for address in list(self._pending):
+            self._probe(self._pending.pop(address, []))
+
+    def _probe(self, entries: List[Tuple["BGPDaemon", BGPPeerSession]]) -> None:
+        for speaker, session in entries:
+            session.retry_pending = False
+            if not speaker.running or session.state != BGPSessionState.IDLE \
+                    or speaker.sessions.get(session.peer_address) is not session:
+                continue  # daemon stopped or session replaced: drop lazily
+            self._try_establish(speaker, session)
+            if session.state == BGPSessionState.IDLE:
+                self.enlist(speaker, session)  # still idle: keep pending
+
+    def _try_establish(self, speaker: "BGPDaemon",
+                       session: BGPPeerSession) -> None:
+        self.probe_attempts += 1
+        if session.state != BGPSessionState.IDLE or not speaker.running \
+                or not speaker.session_ready(session):
+            return
+        peer = self._speakers.get(session.peer_address)
+        if peer is None or not peer.running:
+            return
+        reverse = peer.sessions.get(session.local_address)
+        if reverse is None or reverse.state != BGPSessionState.IDLE \
+                or not peer.session_ready(reverse):
+            return
+        session.state = BGPSessionState.OPEN_SENT
+        reverse.state = BGPSessionState.OPEN_SENT
+        self.sim.schedule(self.session_delay, self._establish,
+                          speaker, session, peer, reverse,
+                          label="bgp:establish")
 
     def _establish(self, speaker: "BGPDaemon", session: BGPPeerSession,
                    peer: "BGPDaemon", reverse: BGPPeerSession) -> None:
@@ -185,15 +255,17 @@ class BGPSessionBroker:
                 and peer.session_ready(reverse)):
             if session.state == BGPSessionState.OPEN_SENT:
                 session.state = BGPSessionState.IDLE
+                self.enlist(speaker, session)
             if reverse.state == BGPSessionState.OPEN_SENT:
                 reverse.state = BGPSessionState.IDLE
+                self.enlist(peer, reverse)
             return
         for sess in (session, reverse):
             sess.state = BGPSessionState.ESTABLISHED
             sess.established_at = self.sim.now
             sess.last_keepalive = self.sim.now
-        speaker.on_session_established(session)
-        peer.on_session_established(reverse)
+        speaker.on_session_established(session, reverse)
+        peer.on_session_established(reverse, session)
 
     def deliver(self, sender: "BGPDaemon", session: BGPPeerSession,
                 announcement: BGPAnnouncement, withdraw: bool = False) -> None:
@@ -203,6 +275,20 @@ class BGPSessionBroker:
         self.sim.schedule(UPDATE_DELAY, peer.receive_announcement,
                           session.peer_address, session.local_address,
                           announcement, withdraw, label="bgp:update")
+
+    def deliver_batch(self, sender: "BGPDaemon", session: BGPPeerSession,
+                      updates: List[Tuple[BGPAnnouncement, bool]],
+                      eor: bool = False, retained: bool = False) -> None:
+        """Deliver a coalesced set of (announcement, withdraw) updates as
+        one event.  ``eor=True`` marks the batch as the end of an initial
+        Adj-RIB-Out sync; ``retained`` says the sender skipped prefixes
+        the receiver retained across the session drop."""
+        peer = self._speakers.get(session.peer_address)
+        if peer is None:
+            return
+        self.sim.schedule(UPDATE_DELAY, peer.receive_update_batch,
+                          session.peer_address, session.local_address,
+                          updates, eor, retained, label="bgp:update")
 
     def deliver_keepalive(self, sender: "BGPDaemon",
                           session: BGPPeerSession) -> None:
@@ -258,6 +344,25 @@ class BGPDaemon:
         self._tracked_next_hops: Dict[IPv4Network, IPv4Address] = {}
         #: Interfaces currently without carrier (fast-fallover bookkeeping).
         self._down_interfaces: Set[str] = set()
+        #: prefix -> {peer address: (session, announcement)} mirror of the
+        #: per-session Adj-RIBs-In, so the decision process walks only the
+        #: sessions that actually hold the prefix instead of all of them.
+        self._adj_in: Dict[IPv4Network,
+                           Dict[IPv4Address,
+                                Tuple[BGPPeerSession, BGPAnnouncement]]] = {}
+        #: prefix -> (best peer, best announcement, local origination) at
+        #: the last re-evaluation; an unchanged basis means neither zebra
+        #: nor any Adj-RIB-Out can change, so the whole fan-out is skipped.
+        self._export_basis: Dict[
+            IPv4Network,
+            Tuple[Optional[IPv4Address], Optional[BGPAnnouncement],
+                  Optional[BGPAnnouncement]]] = {}
+        #: Outbound batching: while a batch is open (depth > 0), updates
+        #: buffer per peer and flush as one coalesced event per peer.
+        self._batch_depth = 0
+        self._pending_out: Dict[IPv4Address,
+                                List[Tuple[BGPAnnouncement, bool]]] = {}
+        self._pending_eor: Dict[IPv4Address, bool] = {}
         self._in_reevaluate = False
         self._fib_listener_armed = False
         self._timer = PeriodicTask(
@@ -312,6 +417,15 @@ class BGPDaemon:
         self._installed.clear()
         self._unresolved.clear()
         self._tracked_next_hops.clear()
+        # A stopped daemon loses its RIB state, so nothing can be retained
+        # across a restart from our side (peers keep their own snapshots).
+        for session in self.sessions.values():
+            session.stale_received = None
+            session.stale_advertised = None
+        self._adj_in.clear()
+        self._export_basis.clear()
+        self._pending_out.clear()
+        self._pending_eor.clear()
 
     def apply_config(self, config: BGPConfig) -> None:
         """Apply a regenerated bgpd.conf (the RPC server rewrites the file
@@ -321,6 +435,10 @@ class BGPDaemon:
         if not self.running:
             return
         self._ensure_sessions()
+        # Per-neighbor policy (local-pref, MED, prefix lists, relationship)
+        # may have changed with the rewrite; drop the skip-memo so the next
+        # re-evaluation of each prefix recomputes its exports from scratch.
+        self._export_basis.clear()
         for network in config.networks:
             if network not in self._local_networks:
                 self.announce_network(network)
@@ -357,11 +475,15 @@ class BGPDaemon:
             interface = book.get(IPv4Address(local), ("", 0))[0]
             if interface == "lo":
                 interface = ""
-            self.sessions[neighbor.address] = BGPPeerSession(
+            session = BGPPeerSession(
                 local_address=IPv4Address(local),
                 peer_address=IPv4Address(neighbor.address),
                 remote_as=neighbor.remote_as, local_as=self.local_as,
                 interface=interface)
+            self.sessions[neighbor.address] = session
+            # Queue the new session for establishment probing; the probe
+            # fires when the peer address registers or on a retry tick.
+            self.broker.enlist(self, session)
 
     def _local_address_for(self, peer: IPv4Address) -> Optional[IPv4Address]:
         """Pick the local address a session with ``peer`` binds to.
@@ -417,15 +539,32 @@ class BGPDaemon:
         session.state = BGPSessionState.IDLE
         session.established_at = None
         affected = set(session.received) | set(session.advertised)
+        if was_established:
+            # Graceful-restart-style snapshots: the peer keeps a copy of
+            # what it had received from us, we keep a copy of what we had
+            # advertised, and a re-established session re-sends only the
+            # delta.  A drop mid-handshake keeps any earlier snapshot.
+            session.stale_received = dict(session.received)
+            session.stale_advertised = dict(session.advertised)
+        for prefix in session.received:
+            self._adj_in_discard(session, prefix)
         session.received.clear()
         session.advertised.clear()
+        self._pending_out.pop(session.peer_address, None)
+        self._pending_eor.pop(session.peer_address, None)
         if was_established:
             self.sessions_lost += 1
             LOG.info("%s: BGP session with %s down (%s)", self.hostname,
                      session.peer_address, reason)
-        for prefix in sorted(affected,
-                             key=lambda p: (int(p.network), p.prefix_len)):
-            self._reevaluate(prefix)
+        self._begin_batch()
+        try:
+            for prefix in sorted(affected,
+                                 key=lambda p: (int(p.network), p.prefix_len)):
+                self._reevaluate(prefix)
+        finally:
+            self._end_batch()
+        if self.running:
+            self.broker.enlist(self, session)
 
     # ----------------------------------------------------------------- timers
     def _on_timer(self) -> None:
@@ -443,6 +582,7 @@ class BGPDaemon:
                     self._session_down(session, "hold timer expired")
                     idle = True
             elif session.state == BGPSessionState.IDLE:
+                self.broker.enlist(self, session)
                 idle = True
         if idle:
             self.broker.retry()
@@ -481,13 +621,48 @@ class BGPDaemon:
                 self._reevaluate(prefix)
 
     # -------------------------------------------------------------- reception
-    def on_session_established(self, session: BGPPeerSession) -> None:
+    def on_session_established(self, session: BGPPeerSession,
+                               reverse: Optional[BGPPeerSession] = None) -> None:
+        """Initial Adj-RIB-Out sync towards a freshly established peer.
+
+        When the broker hands us the ``reverse`` session we can see what
+        the peer retained from the previous incarnation of this session
+        (its stale Adj-RIB-In); prefixes whose advertisement is unchanged
+        are skipped and re-validated by the end-of-RIB marker instead of
+        being re-sent — a session flap re-advertises one coalesced delta.
+        """
         LOG.info("%s: BGP %s session with %s established", self.hostname,
                  "iBGP" if session.is_ibgp else "eBGP", session.peer_address)
         self.sessions_established += 1
-        for prefix in sorted(self._all_prefixes(),
-                             key=lambda p: (int(p.network), p.prefix_len)):
-            self._sync_export(session, prefix)
+        peer_stale = reverse.stale_received if reverse is not None else None
+        stale_out = session.stale_advertised
+        session.stale_advertised = None
+        retained = peer_stale is not None
+        order = lambda p: (int(p.network), p.prefix_len)
+        self._begin_batch()
+        try:
+            for prefix in sorted(self._all_prefixes(), key=order):
+                candidate = self._export_candidate(session, prefix)
+                if candidate is None:
+                    continue
+                session.advertised[prefix] = candidate
+                if retained and stale_out is not None \
+                        and stale_out.get(prefix) == candidate \
+                        and prefix in peer_stale:
+                    # The peer still holds exactly this route from the
+                    # previous session: the EOR marker revalidates it.
+                    continue
+                self.updates_sent += 1
+                self._queue_update(session, candidate)
+            if retained:
+                for prefix in sorted(set(peer_stale) - set(session.advertised),
+                                     key=order):
+                    self.withdrawals_sent += 1
+                    self._queue_update(session, peer_stale[prefix],
+                                       withdraw=True)
+            self._pending_eor[session.peer_address] = retained
+        finally:
+            self._end_batch()
 
     def receive_announcement(self, local_address: IPv4Address,
                              peer_address: IPv4Address,
@@ -503,6 +678,7 @@ class BGPDaemon:
         if withdraw:
             if session.received.pop(prefix, None) is None:
                 return
+            self._adj_in_discard(session, prefix)
         else:
             if not session.is_ibgp:
                 # eBGP ingress: LOCAL_PREF is not transitive across AS
@@ -512,23 +688,87 @@ class BGPDaemon:
                     and neighbor.local_pref is not None else DEFAULT_LOCAL_PREF
                 announcement = replace(announcement, local_pref=local_pref)
             session.received[prefix] = announcement
+            self._adj_in_set(session, announcement)
         self._reevaluate(prefix)
 
+    def receive_update_batch(self, local_address: IPv4Address,
+                             peer_address: IPv4Address,
+                             updates: List[Tuple[BGPAnnouncement, bool]],
+                             eor: bool = False,
+                             retained: bool = False) -> None:
+        """Process a coalesced update set as one event.
+
+        All triggered re-advertisements batch per peer, so a burst of N
+        updates costs each downstream peer one delivery, not N.
+        """
+        session = self.sessions.get(IPv4Address(peer_address))
+        if session is None or not session.established:
+            return
+        self._begin_batch()
+        try:
+            for announcement, withdraw in updates:
+                self.receive_announcement(local_address, peer_address,
+                                          announcement, withdraw)
+            if eor:
+                touched = {announcement.prefix for announcement, _ in updates}
+                self._handle_eor(session, retained, touched)
+        finally:
+            self._end_batch()
+
+    def _handle_eor(self, session: BGPPeerSession, retained: bool,
+                    touched: Set[IPv4Network]) -> None:
+        """End-of-RIB: promote retained stale routes, discard the rest.
+
+        ``retained=True`` means the sender deliberately skipped prefixes we
+        still hold in the stale snapshot; any snapshot entry the batch did
+        not touch is therefore still valid and re-enters the Adj-RIB-In.
+        """
+        stale = session.stale_received
+        session.stale_received = None
+        if not stale or not retained:
+            return
+        for prefix in sorted(set(stale) - touched,
+                             key=lambda p: (int(p.network), p.prefix_len)):
+            if prefix in session.received:
+                continue
+            announcement = stale[prefix]
+            session.received[prefix] = announcement
+            self._adj_in_set(session, announcement)
+            self._reevaluate(prefix)
+
     # ----------------------------------------------------------- path selection
+    def _adj_in_set(self, session: BGPPeerSession,
+                    announcement: BGPAnnouncement) -> None:
+        self._adj_in.setdefault(announcement.prefix, {})[
+            session.peer_address] = (session, announcement)
+
+    def _adj_in_discard(self, session: BGPPeerSession,
+                        prefix: IPv4Network) -> None:
+        holders = self._adj_in.get(prefix)
+        if holders is not None:
+            holders.pop(session.peer_address, None)
+            if not holders:
+                del self._adj_in[prefix]
+
     def _all_prefixes(self) -> Set[IPv4Network]:
         prefixes: Set[IPv4Network] = set(self._local_networks)
         prefixes.update(self._redistributed)
-        for session in self.sessions.values():
-            prefixes.update(session.received)
+        prefixes.update(self._adj_in)
         prefixes.update(self._installed)
         return prefixes
 
     def _best_received(self, prefix: IPv4Network
                        ) -> Optional[Tuple[BGPPeerSession, BGPAnnouncement]]:
-        """RFC 4271 decision process over the Adj-RIBs-In."""
-        candidates = [(session, session.received[prefix])
-                      for session in self.sessions.values()
-                      if session.established and prefix in session.received]
+        """RFC 4271 decision process over the Adj-RIBs-In.
+
+        Walks the per-prefix holder index, not every session: on a border
+        router with hundreds of sessions a prefix typically arrives over a
+        handful of them.
+        """
+        holders = self._adj_in.get(prefix)
+        if not holders:
+            return None
+        candidates = [item for item in holders.values() if item[0].established]
         if not candidates:
             return None
         return min(candidates, key=lambda item: (
@@ -544,12 +784,33 @@ class BGPDaemon:
 
     def _reevaluate(self, prefix: IPv4Network) -> None:
         """Recompute best path, zebra installation and Adj-RIBs-Out for a
-        prefix.  The single entry point for every BGP state change."""
+        prefix.  The single entry point for every BGP state change.
+
+        Incremental: everything downstream — the zebra installation and
+        every per-peer export — is a pure function of (best path, local
+        origination), so when that basis matches the memo from the last
+        evaluation the fan-out is skipped entirely.  IGP re-resolution does
+        not flow through here (see :meth:`_on_fib_change`).
+        """
         best = self._best_received(prefix)
+        local = self._local_origination(prefix)
+        basis = (best[0].peer_address if best is not None else None,
+                 best[1] if best is not None else None,
+                 local)
+        if basis == self._export_basis.get(prefix, _EMPTY_BASIS):
+            return
+        if basis == _EMPTY_BASIS:
+            self._export_basis.pop(prefix, None)
+        else:
+            self._export_basis[prefix] = basis
         self._update_zebra(prefix, best)
-        for session in self.sessions.values():
-            if session.established:
-                self._sync_export(session, prefix)
+        self._begin_batch()
+        try:
+            for session in self.sessions.values():
+                if session.established:
+                    self._sync_export(session, prefix, best, local)
+        finally:
+            self._end_batch()
 
     # ------------------------------------------------------------ installation
     def _update_zebra(self, prefix: IPv4Network,
@@ -646,23 +907,54 @@ class BGPDaemon:
             self._update_zebra(tracked, self._best_received(tracked))
 
     # ---------------------------------------------------------------- egress
-    def _export_candidate(self, session: BGPPeerSession,
-                          prefix: IPv4Network) -> Optional[BGPAnnouncement]:
-        """What (if anything) we should be advertising to this peer."""
-        local = self._local_origination(prefix)
+    def _reflects_between(self, source: BGPPeerSession,
+                          session: BGPPeerSession) -> bool:
+        """Route reflection (RFC 4456, simplified): an iBGP-learned route
+        passes to another iBGP peer iff either side of the hop is one of
+        our route-reflector clients.  With one reflector per AS (the RPC
+        server's hub) this is loop-free without cluster lists."""
+        for address in (source.peer_address, session.peer_address):
+            neighbor = self.config.neighbor(address)
+            if neighbor is not None and neighbor.route_reflector_client:
+                return True
+        return False
+
+    def _export_candidate(self, session: BGPPeerSession, prefix: IPv4Network,
+                          best: Any = _UNSET,
+                          local: Any = _UNSET) -> Optional[BGPAnnouncement]:
+        """What (if anything) we should be advertising to this peer.
+
+        ``best`` and ``local`` can be passed in by a caller that already
+        ran the decision process, so a re-evaluation fanning out to N
+        peers computes them once instead of N times.
+        """
+        if local is _UNSET:
+            local = self._local_origination(prefix)
         if local is not None:
             source: Optional[BGPPeerSession] = None
             candidate = local
         else:
-            best = self._best_received(prefix)
+            if best is _UNSET:
+                best = self._best_received(prefix)
             if best is None:
                 return None
             source, candidate = best
             if source is session:
                 return None  # never back to the peer it came from
-            if source.is_ibgp and session.is_ibgp:
+            if source.is_ibgp and session.is_ibgp \
+                    and not self._reflects_between(source, session):
                 return None  # iBGP routes do not transit iBGP (full mesh)
         neighbor = self.config.neighbor(session.peer_address)
+        if local is None and not session.is_ibgp and neighbor is not None \
+                and neighbor.relationship in ("peer", "provider") \
+                and candidate.as_path \
+                and candidate.local_pref < VALLEY_FREE_EXPORT_MIN:
+            # Gao-Rexford: only customer-learned or own-AS routes are
+            # exported to peers and providers — no valley paths.  An empty
+            # AS path means the route originated inside our AS (prepending
+            # happens on eBGP egress only), e.g. a redistributed border
+            # prefix relayed over iBGP from another border router.
+            return None
         export_list = neighbor.export_prefix_list if neighbor is not None else None
         if not self.config.prefix_list_permits(export_list, prefix):
             return None
@@ -674,22 +966,54 @@ class BGPDaemon:
             else 0
         return BGPAnnouncement(
             prefix=prefix, next_hop=session.local_address,
-            as_path=(self.local_as,) + candidate.as_path,
+            as_path=_intern_as_path((self.local_as,) + candidate.as_path),
             local_pref=DEFAULT_LOCAL_PREF, med=med)
 
-    def _sync_export(self, session: BGPPeerSession, prefix: IPv4Network) -> None:
-        outgoing = self._export_candidate(session, prefix)
+    def _sync_export(self, session: BGPPeerSession, prefix: IPv4Network,
+                     best: Any = _UNSET, local: Any = _UNSET) -> None:
+        outgoing = self._export_candidate(session, prefix, best, local)
         previous = session.advertised.get(prefix)
         if outgoing == previous:
             return
         if outgoing is None:
             del session.advertised[prefix]
             self.withdrawals_sent += 1
-            self.broker.deliver(self, session, previous, withdraw=True)
+            self._queue_update(session, previous, withdraw=True)
         else:
             session.advertised[prefix] = outgoing
             self.updates_sent += 1
-            self.broker.deliver(self, session, outgoing)
+            self._queue_update(session, outgoing)
+
+    # ---------------------------------------------------------- out batching
+    def _queue_update(self, session: BGPPeerSession,
+                      announcement: BGPAnnouncement,
+                      withdraw: bool = False) -> None:
+        if self._batch_depth:
+            self._pending_out.setdefault(session.peer_address, []).append(
+                (announcement, withdraw))
+        else:
+            self.broker.deliver(self, session, announcement, withdraw)
+
+    def _begin_batch(self) -> None:
+        self._batch_depth += 1
+
+    def _end_batch(self) -> None:
+        self._batch_depth -= 1
+        if self._batch_depth:
+            return
+        while self._pending_out or self._pending_eor:
+            pending, self._pending_out = self._pending_out, {}
+            eor, self._pending_eor = self._pending_eor, {}
+            targets = list(pending)
+            targets.extend(a for a in eor if a not in pending)
+            for peer_address in targets:
+                session = self.sessions.get(peer_address)
+                if session is None or not session.established:
+                    continue
+                self.broker.deliver_batch(
+                    self, session, pending.get(peer_address, []),
+                    eor=peer_address in eor,
+                    retained=eor.get(peer_address, False))
 
     # ------------------------------------------------------------------ status
     @property

@@ -103,6 +103,17 @@ class BGPNeighbor:
     #: Name of the ``ip prefix-list`` applied to routes advertised to this
     #: neighbor (``neighbor X prefix-list NAME out``).
     export_prefix_list: Optional[str] = None
+    #: Gao-Rexford business relationship of this neighbor from *our*
+    #: perspective (``neighbor X relationship customer|peer|provider``).
+    #: Towards peers and providers the daemon only exports locally
+    #: originated routes and routes whose LOCAL_PREF marks them as
+    #: customer-learned — the valley-free export rule.  None = no
+    #: relationship policy (export everything the ordinary rules allow).
+    relationship: Optional[str] = None
+    #: ``neighbor X route-reflector-client``: iBGP routes learned from (or
+    #: destined to) this neighbor are reflected across other iBGP sessions
+    #: instead of being stopped by the full-mesh no-transit rule.
+    route_reflector_client: bool = False
 
 
 #: One ``ip prefix-list`` entry: ("permit"|"deny", prefix-or-None-for-any).
@@ -128,10 +139,14 @@ class BGPConfig:
     prefix_lists: Dict[str, List[PrefixListEntry]] = field(default_factory=dict)
 
     def neighbor(self, address: IPv4Address) -> Optional[BGPNeighbor]:
-        for neighbor in self.neighbors:
-            if neighbor.address == address:
-                return neighbor
-        return None
+        # The daemon calls this per prefix per session on the decision hot
+        # path; a linear scan is O(degree) and scale-free hubs have large
+        # degree.  The index is rebuilt whenever the neighbor list grew.
+        index = self.__dict__.get("_neighbor_index")
+        if index is None or len(index) != len(self.neighbors):
+            index = {n.address: n for n in self.neighbors}
+            self.__dict__["_neighbor_index"] = index
+        return index.get(address)
 
     def prefix_list_permits(self, name: Optional[str],
                             prefix: IPv4Network) -> bool:
@@ -219,6 +234,11 @@ def generate_bgpd_conf(hostname: str, local_as: int, router_id: IPv4Address,
         if neighbor.export_prefix_list is not None:
             lines.append(f" neighbor {neighbor.address} "
                          f"prefix-list {neighbor.export_prefix_list} out")
+        if neighbor.relationship is not None:
+            lines.append(f" neighbor {neighbor.address} "
+                         f"relationship {neighbor.relationship}")
+        if neighbor.route_reflector_client:
+            lines.append(f" neighbor {neighbor.address} route-reflector-client")
     for network in networks or []:
         lines.append(f" network {network}")
     if redistribute_ospf:
@@ -351,7 +371,8 @@ def parse_bgpd_conf(text: str) -> BGPConfig:
             config.neighbors.append(BGPNeighbor(address=IPv4Address(tokens[1]),
                                                 remote_as=int(tokens[3])))
         elif tokens[0] == "neighbor" and len(tokens) >= 4 \
-                and tokens[2] in ("local-preference", "med", "prefix-list"):
+                and tokens[2] in ("local-preference", "med", "prefix-list",
+                                  "relationship"):
             neighbor = config.neighbor(IPv4Address(tokens[1]))
             if neighbor is None:
                 raise ConfigError(
@@ -360,8 +381,19 @@ def parse_bgpd_conf(text: str) -> BGPConfig:
                 neighbor.local_pref = int(tokens[3])
             elif tokens[2] == "med":
                 neighbor.med = int(tokens[3])
+            elif tokens[2] == "relationship":
+                if tokens[3] not in ("customer", "peer", "provider"):
+                    raise ConfigError(f"bad neighbor relationship: {stripped!r}")
+                neighbor.relationship = tokens[3]
             else:  # prefix-list NAME out
                 neighbor.export_prefix_list = tokens[3]
+        elif tokens[0] == "neighbor" and len(tokens) >= 3 \
+                and tokens[2] == "route-reflector-client":
+            neighbor = config.neighbor(IPv4Address(tokens[1]))
+            if neighbor is None:
+                raise ConfigError(
+                    f"policy for unknown neighbor (no remote-as yet): {stripped!r}")
+            neighbor.route_reflector_client = True
         elif tokens[0] == "network" and len(tokens) >= 2:
             config.networks.append(IPv4Network(tokens[1]))
         elif tokens[:2] == ["redistribute", "ospf"]:

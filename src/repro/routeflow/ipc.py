@@ -46,7 +46,14 @@ class RouteMod:
 
     # ---------------------------------------------------------- serialisation
     def to_json(self) -> str:
-        return json.dumps({"kind": "route_mod", **asdict(self)}, sort_keys=True)
+        # Spelled out instead of asdict(): RouteMod is serialised once per
+        # FIB change, and asdict's recursive copy shows up at 100-AS scale.
+        return json.dumps(
+            {"kind": "route_mod", "mod_type": self.mod_type,
+             "vm_id": self.vm_id, "prefix": self.prefix,
+             "next_hop": self.next_hop, "interface": self.interface,
+             "metric": self.metric},
+            sort_keys=True)
 
     @classmethod
     def from_json(cls, text: str) -> "RouteMod":

@@ -96,6 +96,20 @@ class RFProxy(ControllerApp):
         if spec.dst_mac is None:
             # Connected prefix: we can only forward once the destination host
             # is learned; the edge flow then becomes an exact /32.
+            previous = self.installed_flows.pop(key, None)
+            if previous is not None:
+                # The prefix was being *routed* until now (an alternate path
+                # carried it while the connected link was down); that flow
+                # is stale the moment the connected route wins the FIB.
+                connection = self._connection(spec.datapath_id)
+                if connection is not None:
+                    match = Match.for_destination_prefix(
+                        spec.prefix.network, spec.prefix.prefix_len)
+                    connection.send_flow_mod(
+                        match=match, actions=[],
+                        command=OFPFlowModCommand.DELETE,
+                        priority=previous.priority)
+                    self.flows_removed += 1
             self._pending_connected[key] = spec
             self._install_flows_for_known_hosts(spec)
             return

@@ -432,6 +432,15 @@ class RFServer:
 
     def load(self) -> Dict[str, int]:
         """This server's control-plane load counters (one ctlscale row)."""
+        bgp_updates_sent = 0
+        bgp_withdrawals_sent = 0
+        bgp_updates_received = 0
+        for vm in self.vms.values():
+            daemon = vm.bgp
+            if daemon is not None:
+                bgp_updates_sent += daemon.updates_sent
+                bgp_withdrawals_sent += daemon.withdrawals_sent
+                bgp_updates_received += daemon.updates_received
         return {
             "shard": self.shard_id,
             "switches": len(self.mapping.mapped_datapaths),
@@ -441,6 +450,9 @@ class RFServer:
             "flow_mods_installed": self.rfproxy.flows_installed,
             "flow_mods_removed": self.rfproxy.flows_removed,
             "flows_current": len(self.rfproxy.installed_flows),
+            "bgp_updates_sent": bgp_updates_sent,
+            "bgp_withdrawals_sent": bgp_withdrawals_sent,
+            "bgp_updates_received": bgp_updates_received,
         }
 
     def __repr__(self) -> str:

@@ -119,6 +119,25 @@ def _register_builtins() -> None:
                      {"num_ases": 3, "as_size": 4}, interdomain=True,
                      controllers=3, framework={"partitioner": "as"},
                      description="3-AS ring under 3 shards partitioned per AS"),
+        # Internet-scale interdomain (the scale-free AS family): seeded
+        # preferential-attachment AS graphs with Gao-Rexford
+        # customer/peer/provider roles and valley-free export policies.
+        ScenarioSpec("interdomain-50as", "scale-free-as",
+                     {"num_ases": 50}, interdomain=True,
+                     framework={"serialize_vm_creation": False},
+                     description="50-AS scale-free graph, valley-free policies"),
+        ScenarioSpec("interdomain-100as", "scale-free-as",
+                     {"num_ases": 100}, interdomain=True,
+                     framework={"serialize_vm_creation": False},
+                     description="100-AS scale-free graph, valley-free policies"),
+        ScenarioSpec("interdomain-200as", "scale-free-as",
+                     {"num_ases": 200, "transit_as_size": 4}, interdomain=True,
+                     controllers=8,
+                     framework={"serialize_vm_creation": False,
+                                "partitioner": "as",
+                                "ibgp_route_reflector": True},
+                     description="200-AS scale-free graph: route reflectors, "
+                                 "8 shards partitioned per AS"),
         ScenarioSpec("interdomain-3as-flap", "multi-as",
                      {"num_ases": 3, "as_size": 4}, interdomain=True,
                      failures=FailureSchedule((

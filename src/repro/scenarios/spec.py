@@ -19,6 +19,7 @@ from repro.scenarios.events import FailureSchedule
 from repro.traffic.demand import DemandSpec
 from repro.topology.generators import (
     as_map_from_topology,
+    as_relationships_from_topology,
     dumbbell_topology,
     fat_tree_topology,
     full_mesh_topology,
@@ -26,6 +27,7 @@ from repro.topology.generators import (
     multi_as_topology,
     random_topology,
     ring_topology,
+    scale_free_as_topology,
     star_topology,
     torus_topology,
     transit_stub_topology,
@@ -74,6 +76,7 @@ TOPOLOGY_FAMILIES: Dict[str, Callable[[Dict[str, Any], int], Topology]] = {
     "pan-european": _seedless(pan_european_topology),
     "multi-as": _seedless(multi_as_topology),
     "transit-stub": _seedless(transit_stub_topology),
+    "scale-free-as": _seeded(scale_free_as_topology),
 }
 
 
@@ -192,6 +195,9 @@ class ScenarioSpec:
                     f"interdomain scenario {self.name!r}: {exc}") from exc
             values["enable_bgp"] = True
             values["as_map"] = as_map
+            relationships = as_relationships_from_topology(topology)
+            if relationships:
+                values["as_relationships"] = relationships
         values.update(self.framework)
         valid = FrameworkConfig.__dataclass_fields__
         unknown = sorted(set(values) - set(valid))

@@ -427,6 +427,119 @@ def transit_stub_topology(num_stubs: int, stub_size: int = 3,
     return topology
 
 
+#: Ingress LOCAL_PREF encoding the Gao-Rexford route preference: customer
+#: routes beat peer routes beat provider routes.  The customer value doubles
+#: as the valley-free export marker (see ``repro.quagga.bgp.daemon``).
+RELATIONSHIP_LOCAL_PREF = {"customer": 200, "peer": 100, "provider": 50}
+
+
+def as_relationships_from_topology(topology: Topology) -> Dict[Tuple[int, int], str]:
+    """The AS-relationship map of a topology (empty if none was assigned)."""
+    return dict(getattr(topology, "as_relationships", {}) or {})
+
+
+def scale_free_as_topology(num_ases: int, seed: int = 0, attach: int = 2,
+                           core_ases: Optional[int] = None,
+                           transit_as_size: int = 3, stub_as_size: int = 1,
+                           delay: float = 0.001, border_delay: float = 0.002,
+                           bandwidth_bps: float = 1e9) -> Topology:
+    """An Internet-like scale-free AS graph with commercial relationships.
+
+    The AS-level graph follows preferential attachment (Barabási–Albert):
+    a clique of ``core_ases`` transit ASes peers with each other, and every
+    further AS homes onto ``attach`` distinct providers drawn from the
+    existing ASes with probability proportional to their current degree —
+    hubs attract customers, producing the heavy-tailed degree distribution
+    of the real AS graph.  Attachment links are customer→provider, clique
+    links are peer↔peer, so the provider relation is acyclic by
+    construction and every AS reaches the core valley-free.
+
+    Core (transit) ASes are rings of ``transit_as_size`` routers; all other
+    ASes have ``stub_as_size`` routers.  Border links rotate over an AS's
+    member routers so eBGP sessions spread across them.  The resulting
+    :class:`Topology` carries ``as_relationships`` (``(asn_a, asn_b) ->
+    relationship of asn_b from asn_a's perspective``) and ``as_roles``
+    (``transit`` for the clique, ``mid`` for ASes with both providers and
+    customers, ``stub`` for customer-only leaves), from which the RPC
+    server derives valley-free per-peer export policies.
+    """
+    if num_ases < 3:
+        raise TopologyError("a scale-free AS graph needs at least 3 ASes")
+    if attach < 1:
+        raise TopologyError("attach must be at least 1")
+    if transit_as_size < 1 or stub_as_size < 1:
+        raise TopologyError("AS sizes must be at least 1")
+    core = core_ases if core_ases is not None else max(2, round(num_ases * 0.06))
+    if core >= num_ases:
+        raise TopologyError("core_ases must leave room for at least one stub AS")
+    rng = SeededRandom(seed)
+
+    # ---- AS-level graph: preferential attachment over AS indices 0..n-1.
+    relationships: Dict[Tuple[int, int], str] = {}
+    as_links: List[Tuple[int, int]] = []   # (customer-or-peer, provider-or-peer)
+    #: classic BA bookkeeping: every AS appears once per unit of degree, so
+    #: a uniform draw from the list is a degree-weighted draw over ASes.
+    weighted: List[int] = []
+
+    def relate(index_a: int, index_b: int, rel_of_b: str) -> None:
+        asn_a, asn_b = BASE_ASN + index_a, BASE_ASN + index_b
+        relationships[(asn_a, asn_b)] = rel_of_b
+        inverse = {"customer": "provider", "provider": "customer",
+                   "peer": "peer"}[rel_of_b]
+        relationships[(asn_b, asn_a)] = inverse
+
+    for index_a in range(core):
+        for index_b in range(index_a + 1, core):
+            as_links.append((index_a, index_b))
+            relate(index_a, index_b, "peer")
+            weighted.extend((index_a, index_b))
+    for index in range(core, num_ases):
+        wanted = min(attach, index)
+        providers: List[int] = []
+        while len(providers) < wanted:
+            candidate = rng.choice(weighted) if weighted else rng.randint(0, index - 1)
+            if candidate not in providers:
+                providers.append(candidate)
+        for provider in providers:
+            as_links.append((index, provider))
+            relate(index, provider, "provider")
+            weighted.extend((index, provider))
+
+    # ---- Switch-level topology: rings of routers per AS, border links
+    # rotating over each AS's members.
+    topology = Topology(f"scale-free-as-{num_ases}-seed{seed}")
+    members: List[List[int]] = []
+    next_id = 1
+    for index in range(num_ases):
+        size = transit_as_size if index < core else stub_as_size
+        node_ids = list(range(next_id, next_id + size))
+        next_id += size
+        _add_as_members(topology, BASE_ASN + index, f"as{index + 1}-",
+                        node_ids, "ring", 0, 0, delay, bandwidth_bps)
+        members.append(node_ids)
+    border_slot = [0] * num_ases
+    for index_a, index_b in as_links:
+        router_a = members[index_a][border_slot[index_a] % len(members[index_a])]
+        router_b = members[index_b][border_slot[index_b] % len(members[index_b])]
+        border_slot[index_a] += 1
+        border_slot[index_b] += 1
+        topology.add_link(router_a, router_b, delay=border_delay,
+                          bandwidth_bps=bandwidth_bps)
+
+    topology.as_relationships = relationships
+    has_customers = {a for (a, b), rel in relationships.items() if rel == "customer"}
+    for index in range(num_ases):
+        asn = BASE_ASN + index
+        if index < core:
+            role = "transit"
+        elif asn in has_customers:
+            role = "mid"
+        else:
+            role = "stub"
+        topology.as_roles[asn] = role
+    return topology
+
+
 def dumbbell_topology(left_leaves: int, right_leaves: int,
                       trunk_switches: int = 0, delay: float = 0.001,
                       trunk_delay: float = 0.005,

@@ -60,6 +60,16 @@ class Topology:
         self._nodes: Dict[int, TopologyNode] = {}
         self._links: List[TopologyLink] = []
         self._hosts: List[HostAttachment] = []
+        #: Gao-Rexford business relationships between ASes of a multi-AS
+        #: topology: ``(asn_a, asn_b) -> "customer"|"peer"|"provider"``,
+        #: read as "from asn_a's perspective, asn_b is my <relationship>".
+        #: Both directions are stored.  Empty for single-domain topologies
+        #: and multi-AS generators without commercial roles.
+        self.as_relationships: Dict[Tuple[int, int], str] = {}
+        #: AS role classification of a scale-free AS graph:
+        #: ``asn -> "transit"|"mid"|"stub"``.  Empty unless the generator
+        #: assigned roles.
+        self.as_roles: Dict[int, str] = {}
 
     # --------------------------------------------------------------- building
     def add_node(self, node_id: int, name: str = "", latitude: float = 0.0,

@@ -228,21 +228,25 @@ class TestPolicy:
         assert IPv4Network(secret) not in zebra_b.fib
 
 
+def flapping_pair(sim, hold=30.0):
+    broker = BGPSessionBroker(sim, session_delay=0.5)
+    book_a = lambda: {IPv4Address("10.0.12.1"): ("eth1", 30)}
+    book_b = lambda: {IPv4Address("10.0.12.2"): ("eth1", 30)}
+    a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                               [("10.0.12.2", 65002)],
+                               address_book=book_a,
+                               keepalive_interval=hold / 3, hold_time=hold)
+    b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
+                               [("10.0.12.1", 65001)],
+                               networks=["192.168.2.0/24"],
+                               address_book=book_b,
+                               keepalive_interval=hold / 3, hold_time=hold)
+    return broker, (a, zebra_a), (b, zebra_b)
+
+
 class TestSessionLifecycle:
     def _flapping_pair(self, sim, hold=30.0):
-        broker = BGPSessionBroker(sim, session_delay=0.5)
-        book_a = lambda: {IPv4Address("10.0.12.1"): ("eth1", 30)}
-        book_b = lambda: {IPv4Address("10.0.12.2"): ("eth1", 30)}
-        a, zebra_a = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
-                                   [("10.0.12.2", 65002)],
-                                   address_book=book_a,
-                                   keepalive_interval=hold / 3, hold_time=hold)
-        b, zebra_b = build_speaker(sim, broker, 65002, "2.2.2.2", "10.0.12.2",
-                                   [("10.0.12.1", 65001)],
-                                   networks=["192.168.2.0/24"],
-                                   address_book=book_b,
-                                   keepalive_interval=hold / 3, hold_time=hold)
-        return broker, (a, zebra_a), (b, zebra_b)
+        return flapping_pair(sim, hold=hold)
 
     def test_interface_down_drops_session_and_withdraws(self, sim):
         _, (a, zebra_a), (b, _) = self._flapping_pair(sim)
@@ -363,3 +367,107 @@ class TestRedistributionAndResolution:
                                      next_hop=igp_next_hop, interface="eth1",
                                      source=RouteSource.OSPF, metric=10))
         assert prefix in zebra_a.fib
+
+
+class TestBrokerPendingSet:
+    """The broker's pending-session set: idle sessions are probed from a
+    queue keyed by the awaited peer address, so the established steady
+    state costs nothing per ConnectRetry tick and a retry sweep is linear
+    in the number of idle sessions."""
+
+    def test_steady_state_costs_no_probes(self, sim, bgp_pair):
+        broker, (a, _), (b, _) = bgp_pair
+        sim.run(until=5.0)
+        assert a.established_sessions and b.established_sessions
+        # A sweep drops entries enlisted during the handshake lazily;
+        # afterwards nothing is pending and nothing gets probed again.
+        broker.retry()
+        assert not broker._pending
+        baseline = broker.probe_attempts
+        # Dozens of keepalive/ConnectRetry ticks with nothing idle.
+        sim.run(until=300.0)
+        assert broker.probe_attempts == baseline
+
+    def test_enlist_is_idempotent(self, sim):
+        broker = BGPSessionBroker(sim)
+        a, _ = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                             [("10.0.12.9", 65009)])
+        session = a.sessions[IPv4Address("10.0.12.9")]
+        assert session.retry_pending
+        for _ in range(5):
+            broker.enlist(a, session)
+        assert len(broker._pending[IPv4Address("10.0.12.9")]) == 1
+
+    def test_retry_probes_each_idle_session_once(self, sim):
+        broker = BGPSessionBroker(sim)
+        speakers = []
+        for index in range(4):
+            daemon, _ = build_speaker(
+                sim, broker, 65001 + index, f"{index + 1}.{index + 1}.1.1",
+                f"10.0.{index + 1}.1",
+                [(f"10.0.{index + 1}.200", 64999)])  # nobody home
+            speakers.append(daemon)
+        before = broker.probe_attempts
+        broker.retry()
+        # One probe per pending session — not O(speakers x sessions).
+        assert broker.probe_attempts == before + len(speakers)
+        for daemon in speakers:
+            (session,) = daemon.sessions.values()
+            assert session.retry_pending  # still idle: re-enlisted
+
+    def test_stopped_speaker_dropped_lazily_from_pending(self, sim):
+        broker = BGPSessionBroker(sim)
+        a, _ = build_speaker(sim, broker, 65001, "1.1.1.1", "10.0.12.1",
+                             [("10.0.12.9", 65009)])
+        a.stop()
+        broker.retry()
+        assert not broker._pending
+
+
+class TestGracefulReadvertisementDelta:
+    """A re-established session re-sends only the Adj-RIB-Out delta: the
+    end-of-RIB marker revalidates whatever the peer retained unchanged."""
+
+    def test_flap_skips_unchanged_advertisements(self, sim):
+        _, (a, zebra_a), (b, _) = flapping_pair(sim)
+        sim.run(until=5.0)
+        prefix = IPv4Network("192.168.2.0/24")
+        assert prefix in zebra_a.fib
+        sent_before = b.updates_sent
+        a.interface_down("eth1")
+        b.interface_down("eth1")
+        sim.run(until=8.0)
+        assert prefix not in zebra_a.fib
+        a.interface_up("eth1")
+        b.interface_up("eth1")
+        sim.run(until=25.0)
+        assert a.sessions[IPv4Address("10.0.12.2")].established
+        # The route is back via EOR revalidation, not a re-sent UPDATE.
+        assert prefix in zebra_a.fib
+        assert b.updates_sent == sent_before
+
+    def test_flap_resends_only_the_delta(self, sim):
+        _, (a, zebra_a), (b, _) = flapping_pair(sim)
+        sim.run(until=5.0)
+        old_prefix = IPv4Network("192.168.2.0/24")
+        new_prefix = IPv4Network("172.16.0.0/16")
+        a.interface_down("eth1")
+        b.interface_down("eth1")
+        sim.run(until=8.0)
+        # While the session is down the advertiser's RIB changes: one
+        # origination appears, the old one disappears.
+        b.announce_network(new_prefix)
+        del b._local_networks[old_prefix]
+        b._reevaluate(old_prefix)
+        sent_before = b.updates_sent
+        withdrawn_before = b.withdrawals_sent
+        a.interface_up("eth1")
+        b.interface_up("eth1")
+        sim.run(until=25.0)
+        assert a.sessions[IPv4Address("10.0.12.2")].established
+        assert new_prefix in zebra_a.fib
+        assert old_prefix not in zebra_a.fib
+        # Exactly one UPDATE (the new prefix) and one withdrawal (the
+        # prefix the peer retained but the advertiser no longer exports).
+        assert b.updates_sent == sent_before + 1
+        assert b.withdrawals_sent == withdrawn_before + 1

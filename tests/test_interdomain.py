@@ -190,6 +190,17 @@ class TestInterdomainEndToEnd:
         assert verify_interdomain(framework.control_plane, as_map) == []
         assert verify_spf_rib_consistency(framework.control_plane) == []
 
+    def test_shard_loads_report_bgp_message_counts(self, small_run):
+        _, framework, _ = small_run
+        loads = framework.shard_loads()
+        for load in loads:
+            assert "bgp_updates_sent" in load
+            assert "bgp_withdrawals_sent" in load
+            assert "bgp_updates_received" in load
+        # The eBGP exchange actually happened and both directions saw it.
+        assert sum(load["bgp_updates_sent"] for load in loads) > 0
+        assert sum(load["bgp_updates_received"] for load in loads) > 0
+
     def test_border_flap_withdraws_and_recovers(self):
         """Session flap -> withdrawal -> OFPFC_DELETE -> re-advertisement."""
         topology = multi_as_topology(2, as_size=2)

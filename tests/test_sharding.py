@@ -399,6 +399,12 @@ class TestControllersKnob:
             rows = list(csv_module.DictReader(handle))
         assert len(rows) == 3  # 1 shard + 2 shards
         assert {row["shard"] for row in rows} == {"0", "1"}
+        # Per-shard BGP message counters ride along (zero without BGP).
+        for entry in payload:
+            for load in entry["shard_loads"]:
+                assert load["bgp_updates_sent"] == 0
+                assert load["bgp_updates_received"] == 0
+        assert all(row["bgp_updates_sent"] == "0" for row in rows)
 
 
 # ---------------------------------------------------------------------------
