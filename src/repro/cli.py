@@ -24,6 +24,10 @@ regenerated without writing any Python:
 * ``repro traffic --scenario NAME [--demands N] [--model uniform|gravity]``
   — run a seeded demand set through the fluid fast path and report
   delivered throughput, loss and per-link utilization.
+* ``repro te --scenario NAME [--policy none|static-ecmp|greedy|bandit]`` —
+  run the same demand set once per traffic-engineering policy and compare
+  delivered throughput, loss, path stretch and re-route counts against
+  the shortest-path baseline.
 * ``repro bench [--json FILE] [--check BASELINE] [--filter GLOB]`` — the
   hot-path benchmark suite, with machine-readable output and a
   perf-regression gate.
@@ -61,6 +65,7 @@ from repro.experiments import (
     render_failover_table,
     render_interdomain_table,
     render_sweep_table,
+    render_te_table,
     render_traffic_table,
     run_config_time_sweep,
     run_controller_split_ablation,
@@ -69,6 +74,7 @@ from repro.experiments import (
     run_interdomain,
     run_ospf_timer_ablation,
     run_sweep,
+    run_te,
     run_traffic_suite,
     run_vm_latency_ablation,
     write_failover_csv,
@@ -77,9 +83,11 @@ from repro.experiments import (
     write_interdomain_json,
     write_sweep_csv,
     write_sweep_json,
+    write_te_json,
     write_traffic_json,
 )
 from repro.experiments.ctlscale import DEFAULT_CONTROLLER_COUNTS
+from repro.experiments.te import DEFAULT_POLICIES
 from repro.traffic import DEMAND_MODELS, DemandSpec
 from repro.scenarios import (
     FailureAction,
@@ -303,6 +311,36 @@ def build_parser() -> argparse.ArgumentParser:
                               "event (default: 5)")
     traffic.add_argument("--out", metavar="FILE",
                          help="write results as JSON to FILE")
+
+    te = subparsers.add_parser(
+        "te", help="run a scenario once per traffic-engineering policy and "
+                   "compare delivered throughput against the shortest-path "
+                   "baseline")
+    te.add_argument("--scenario", metavar="NAME", required=True,
+                    help="registry scenario to run (its te/demands specs "
+                         "supply the defaults)")
+    te.add_argument("--policy", action="append", default=None,
+                    choices=list(DEFAULT_POLICIES), metavar="NAME",
+                    help="policy to run (repeatable; first is the baseline; "
+                         "choices: " + ", ".join(DEFAULT_POLICIES)
+                         + "; default: all)")
+    te.add_argument("--demands", type=int, default=None, metavar="N",
+                    help="number of demands (default: the scenario's "
+                         "demand spec)")
+    te.add_argument("--model", choices=list(DEMAND_MODELS), default=None,
+                    help="traffic matrix model (default: the scenario's)")
+    te.add_argument("--rate", type=float, default=None, metavar="BPS",
+                    help="offered rate per demand in bits/second")
+    te.add_argument("--demand-seed", type=int, default=None, metavar="N",
+                    help="seed of the demand generator")
+    te.add_argument("--window", type=float, default=30.0,
+                    help="traffic phase length for open-ended demands "
+                         "(default: 30)")
+    te.add_argument("--settle", type=float, default=5.0,
+                    help="extra seconds past the last demand/failure event "
+                         "(default: 5)")
+    te.add_argument("--out", metavar="FILE",
+                    help="write the comparison as JSON to FILE")
 
     bench = subparsers.add_parser(
         "bench", help="run the hot-path benchmark suite; optionally write a "
@@ -645,6 +683,35 @@ def _command_traffic(args: argparse.Namespace) -> int:
     return 0 if all(r.configured for r in results) else 1
 
 
+def _command_te(args: argparse.Namespace) -> int:
+    export_error = _validate_export_paths(args.out)
+    if export_error is not None:
+        print(export_error, file=sys.stderr)
+        return 2
+    try:
+        spec = get_scenario(args.scenario)
+    except ScenarioError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    overrides = {"count": args.demands, "model": args.model,
+                 "rate_bps": args.rate, "seed": args.demand_seed}
+    overrides = {key: value for key, value in overrides.items()
+                 if value is not None}
+    base = spec.demands if spec.demands is not None else DemandSpec()
+    demands = DemandSpec(**{**base.to_dict(), **overrides}) \
+        if overrides else None
+    try:
+        suite = run_te(spec, policies=args.policy, demands=demands,
+                       settle=args.settle, window=args.window)
+    except (ScenarioError, TopologyError, ValueError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_te_table(suite))
+    if args.out:
+        print(f"wrote {write_te_json(suite, args.out)}")
+    return 0 if suite.healthy else 1
+
+
 def _command_bench(args: argparse.Namespace) -> int:
     document = run_benchmarks(
         quick=args.quick,
@@ -686,6 +753,7 @@ _COMMANDS = {
     "ctlscale": _command_ctlscale,
     "interdomain": _command_interdomain,
     "traffic": _command_traffic,
+    "te": _command_te,
     "bench": _command_bench,
 }
 

@@ -437,6 +437,92 @@ def bench_churn_under_load() -> Dict[str, Any]:
             "switches": len(network.switches)}
 
 
+def bench_te_reroute_torus64() -> Dict[str, Any]:
+    """Greedy TE on the 8x8 torus scenario while the 5<->6 link flaps.
+
+    The timed region runs the full measure -> decide -> actuate loop of
+    ``repro te`` in synthetic-engine mode: utilization snapshots every
+    interval, Yen candidate paths, flow-table steers at one priority
+    level up, plus the mid-run link failure that invalidates the path
+    cache and prunes dead steers.  ``reroutes``/``steers`` are
+    deterministic and gated exactly — a drift means the policy or the
+    re-route lifecycle changed behaviour, not just speed.
+    """
+    from dataclasses import replace as dc_replace
+
+    from repro.experiments.te import DEFAULT_SETTLE, _run_policy_synthetic
+    from repro.scenarios import get
+
+    spec = get("te-torus-8x8")
+    te_spec = dc_replace(spec.te, engine="synthetic")
+
+    def run():
+        result = _run_policy_synthetic(spec, te_spec, "greedy",
+                                       spec.demands, DEFAULT_SETTLE, 30.0)
+        if not result.delivered:
+            raise RuntimeError("TE reroute benchmark run unhealthy")
+        return result
+
+    wall, result = _best_of(run, repeats=2)
+    return {"wall_seconds": wall,
+            "demands": result.demands,
+            "delivered": result.delivered_commodities,
+            "reroutes": result.reroutes,
+            "steers": result.steers}
+
+
+def bench_te_policy_sweep_1m() -> Dict[str, Any]:
+    """Greedy + bandit TE over one million demands on a 256-router torus.
+
+    Each policy gets a fresh fixture with one link scaled to 1% capacity,
+    registers 1M uniform demands and runs three measurement intervals —
+    every tick reallocates the fluid engine, snapshots 512 links and
+    steers aggregates through the flow-table actuator, so this gates the
+    cost of the TE loop *at scale*: decision time must track the hot
+    aggregates, not the million demands.  ``reroutes``/``steers`` (summed
+    over the two policies) are deterministic and gated exactly.
+    """
+    from repro.te import FlowTableActuator, TEController, TESpec, make_policy
+    from repro.traffic import uniform_demands
+
+    def run():
+        totals = {"reroutes": 0, "steers": 0}
+        stats = {}
+        for policy_name in ("greedy", "bandit"):
+            sim, network, routes, engine, addresses = _torus_fluid_fixture()
+            owners = {int(address): dpid
+                      for dpid, address in addresses.items()}
+            port_a, _port_b = network.ports_for_link(1, 2)
+            link = network.switches[1].port(port_a).interface.link
+            link.bandwidth_bps *= 0.01
+            te_spec = TESpec(policy=policy_name, engine="synthetic",
+                             interval=5.0, threshold=0.3,
+                             max_steers_per_tick=16, k_paths=4)
+            controller = TEController(sim, network, FlowTableActuator(routes),
+                                      spec=te_spec,
+                                      policy=make_policy(te_spec),
+                                      engine=engine, owner_of=owners.get)
+            demands = uniform_demands(addresses, 1_000_000, rate_bps=1_000.0,
+                                      seed=7)
+            controller.start()
+            engine.register(demands, schedule=False)
+            engine.reallocate()
+            sim.run(until=sim.now + 16.0)
+            controller.stop()
+            te_stats = controller.stats()
+            totals["reroutes"] += int(te_stats["reroutes"])
+            totals["steers"] += int(te_stats["steers"])
+            stats = engine.stats()
+        return totals, stats
+
+    wall, (totals, stats) = _best_of(run, repeats=1)
+    return {"wall_seconds": wall,
+            "demands": int(stats["demands"]),
+            "commodities": int(stats["commodities"]),
+            "reroutes": totals["reroutes"],
+            "steers": totals["steers"]}
+
+
 #: name -> (callable, included in --quick runs)
 BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "kernel_event_churn": (bench_kernel_event_churn, True),
@@ -453,12 +539,14 @@ BENCHMARKS: Dict[str, Tuple[Callable[[], Dict[str, Any]], bool]] = {
     "interdomain_churn_100as": (bench_interdomain_churn_100as, False),
     "demand_resolution_1m": (bench_demand_resolution_1m, False),
     "churn_under_load": (bench_churn_under_load, False),
+    "te_reroute_torus64": (bench_te_reroute_torus64, False),
+    "te_policy_sweep_1m": (bench_te_policy_sweep_1m, False),
 }
 
 #: Keys whose values must match the baseline *exactly* (determinism gate).
 EXACT_KEYS = ("sim_seconds", "routes", "events", "switches", "links", "flows",
               "demands", "commodities", "delivered", "affected",
-              "withdrawn_flow_mods")
+              "withdrawn_flow_mods", "reroutes", "steers")
 
 
 def run_benchmarks(quick: bool = False,

@@ -23,10 +23,16 @@ class RouteSource:
     STATIC = "static"
     OSPF = "ospf"
     BGP = "bgp"
+    #: Traffic-engineering overrides installed by the TE controller
+    #: (:mod:`repro.te`).  Distance 15 sits between static (1) and eBGP
+    #: (20): a TE steer beats every protocol-learned route to the same
+    #: prefix but never a connected or operator-pinned static route.
+    TE = "te"
 
     DISTANCES = {
         CONNECTED: 0,
         STATIC: 1,
+        TE: 15,
         OSPF: 110,
         BGP: 20,
     }

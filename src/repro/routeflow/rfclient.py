@@ -22,7 +22,7 @@ from typing import TYPE_CHECKING, Optional
 
 from repro.bus.reliable import acquire_publisher
 from repro.net.addresses import IPv4Network
-from repro.quagga.rib import Route
+from repro.quagga.rib import Route, RouteSource
 from repro.routeflow.ipc import RouteMod
 from repro.routeflow.vm import VirtualMachine
 from repro.sim import Simulator
@@ -75,6 +75,24 @@ class RFClient:
         if new is None:
             message = RouteMod.delete(vm_id=self.vm.vm_id, prefix=prefix,
                                       interface=old.interface if old else "")
+        elif (old is not None
+              and RouteSource.TE in (new.source, old.source)
+              and (new.next_hop, new.interface) != (old.next_hop, old.interface)):
+            # A TE steer (or its withdrawal) replaced the best route in
+            # place.  Mirror netlink's RTM_DELROUTE + RTM_NEWROUTE pair so
+            # the stale flow entry is strictly deleted (OFPFC_DELETE)
+            # before the new next hop is installed — the same withdrawal
+            # lifecycle a link failure rides.  Without TE routes in the
+            # RIB this branch is unreachable, keeping golden traces
+            # byte-identical.
+            removal = RouteMod.delete(vm_id=self.vm.vm_id, prefix=prefix,
+                                      interface=old.interface)
+            self.route_mods_sent += 1
+            self._publisher.publish(removal.to_json(),
+                                    label=self._routemod_label)
+            message = RouteMod.add(vm_id=self.vm.vm_id, prefix=prefix,
+                                   next_hop=new.next_hop, interface=new.interface,
+                                   metric=new.metric)
         else:
             message = RouteMod.add(vm_id=self.vm.vm_id, prefix=prefix,
                                    next_hop=new.next_hop, interface=new.interface,

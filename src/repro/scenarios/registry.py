@@ -13,6 +13,8 @@ from typing import Dict, Iterable, List
 
 from repro.scenarios.events import FailureAction, FailureEvent, FailureSchedule
 from repro.scenarios.spec import ScenarioError, ScenarioSpec
+from repro.te.spec import TESpec
+from repro.traffic.demand import DemandSpec
 
 _REGISTRY: Dict[str, ScenarioSpec] = {}
 
@@ -138,6 +140,37 @@ def _register_builtins() -> None:
                                 "ibgp_route_reflector": True},
                      description="200-AS scale-free graph: route reflectors, "
                                  "8 shards partitioned per AS"),
+        # Traffic engineering (the ``repro te`` family): a measurement
+        # loop snapshots per-link utilization and a policy steers hot
+        # destinations over Yen k-shortest paths.  The hot link named in
+        # the TESpec has its capacity scaled down before traffic starts,
+        # manufacturing the bottleneck the adaptive policies must route
+        # around.  See docs/ARCHITECTURE.md (Traffic engineering).
+        ScenarioSpec("te-torus-8x8", "torus", {"rows": 8, "cols": 8},
+                     demands=DemandSpec(model="uniform", count=200,
+                                        rate_bps=5e6, seed=5),
+                     failures=FailureSchedule((
+                         FailureEvent(20.0, FailureAction.LINK_DOWN, 5, 6),
+                         FailureEvent(60.0, FailureAction.LINK_UP, 5, 6),
+                     )),
+                     te=TESpec(policy="greedy", interval=5.0, threshold=0.4,
+                               hot_link="1:2", hot_capacity_scale=0.05),
+                     description="8x8 torus: greedy TE around an induced hot "
+                                 "link while the 5<->6 link flaps (CI smoke)"),
+        # Seed 21 funnels ~13% of the matrix across the (10, 11) row
+        # link; scaling it to 20 Mbps makes the whole funnel steerable
+        # loss.  Run with --window 90: the adaptive policies need ~30
+        # measurement ticks to spread node 11's 1.5 Gbps sink across
+        # parallel rows (multi-ingress steers).
+        ScenarioSpec("te-torus-16x16", "torus", {"rows": 16, "cols": 16},
+                     demands=DemandSpec(model="gravity", count=4000,
+                                        rate_bps=4e6, seed=21),
+                     te=TESpec(policy="greedy", engine="synthetic",
+                               interval=3.0, threshold=0.3, epsilon=0.01,
+                               hot_link="10:11", hot_capacity_scale=0.02,
+                               max_steers_per_tick=32, k_paths=8),
+                     description="16x16 torus under gravity demands with one "
+                                 "induced hot link (TE acceptance scenario)"),
         ScenarioSpec("interdomain-3as-flap", "multi-as",
                      {"num_ases": 3, "as_size": 4}, interdomain=True,
                      failures=FailureSchedule((

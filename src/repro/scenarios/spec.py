@@ -16,6 +16,7 @@ from typing import Any, Callable, Dict, Mapping, Optional
 
 from repro.core.autoconfig import FrameworkConfig
 from repro.scenarios.events import FailureSchedule
+from repro.te.spec import TESpec
 from repro.traffic.demand import DemandSpec
 from repro.topology.generators import (
     as_map_from_topology,
@@ -114,6 +115,10 @@ class ScenarioSpec:
     #: families), bgpd runs in every VM, inter-AS links speak eBGP and the
     #: convergence criterion covers the whole interdomain route exchange.
     interdomain: bool = False
+    #: Optional traffic-engineering control loop driven by ``repro te``
+    #: (like ``enable_bgp``, fully gated: None means no TE controller is
+    #: ever instantiated and no TE route can exist).
+    te: Optional[TESpec] = None
 
     def __post_init__(self) -> None:
         if not self.name:
@@ -137,7 +142,7 @@ class ScenarioSpec:
                      self.interdomain,
                      tuple(sorted(self.params.items())),
                      tuple(sorted(self.framework.items())),
-                     self.failures, self.demands))
+                     self.failures, self.demands, self.te))
 
     # Mapping proxies are not picklable, so spell out the process-pool
     # transfer in terms of plain dicts.
@@ -238,6 +243,8 @@ class ScenarioSpec:
             payload["failures"] = self.failures.to_list()
         if self.demands is not None:
             payload["demands"] = self.demands.to_dict()
+        if self.te is not None:
+            payload["te"] = self.te.to_dict()
         return payload
 
     @classmethod
@@ -245,6 +252,7 @@ class ScenarioSpec:
         """Inverse of :meth:`to_dict`."""
         failures = payload.get("failures")
         demands = payload.get("demands")
+        te = payload.get("te")
         return cls(
             name=payload["name"],
             family=payload["family"],
@@ -259,4 +267,5 @@ class ScenarioSpec:
                      if demands is not None else None),
             controllers=int(payload.get("controllers", 1)),
             interdomain=bool(payload.get("interdomain", False)),
+            te=TESpec.from_dict(te) if te is not None else None,
         )

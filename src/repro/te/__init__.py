@@ -1,0 +1,52 @@
+"""Utilization-aware traffic engineering on top of the RouteFlow plane.
+
+The paper's control platform only ever installs shortest paths.  This
+package closes the loop the ROADMAP names as the top open item: a
+measurement loop snapshots per-link utilization from the interface
+accounting both traffic paths share, a memoized Yen k-shortest-path
+engine offers alternatives, and a pluggable policy decides which
+destinations to steer — with the resulting withdrawals riding the
+standard RouteMod DELETE/ADD lifecycle down to OFPFC_DELETE.
+"""
+
+from repro.te.controller import (FlowTableActuator, TEController,
+                                 ZebraActuator)
+from repro.te.ksp import (KShortestPathEngine, adjacency_of,
+                          k_shortest_paths, shortest_path)
+from repro.te.measure import UtilizationMonitor
+from repro.te.policy import (BanditPolicy, CommodityView,
+                             GreedyLeastUtilizedPolicy, StaticECMPPolicy,
+                             Steer, SteerKey, TEPolicy, TEView, bottleneck,
+                             ecmp_split, greedy_choice, make_policy,
+                             path_links, suffix_compatible)
+from repro.te.spec import AUTO_ZEBRA_MAX_SWITCHES, ENGINE_NAMES, \
+    POLICY_NAMES, TESpec
+
+__all__ = [
+    "AUTO_ZEBRA_MAX_SWITCHES",
+    "BanditPolicy",
+    "CommodityView",
+    "ENGINE_NAMES",
+    "FlowTableActuator",
+    "GreedyLeastUtilizedPolicy",
+    "KShortestPathEngine",
+    "POLICY_NAMES",
+    "StaticECMPPolicy",
+    "Steer",
+    "SteerKey",
+    "TEController",
+    "TEPolicy",
+    "TESpec",
+    "TEView",
+    "UtilizationMonitor",
+    "ZebraActuator",
+    "adjacency_of",
+    "bottleneck",
+    "ecmp_split",
+    "greedy_choice",
+    "k_shortest_paths",
+    "make_policy",
+    "path_links",
+    "shortest_path",
+    "suffix_compatible",
+]

@@ -1,0 +1,143 @@
+"""K-shortest simple paths (Yen's algorithm) over the topology graph.
+
+Paths are node-id tuples with unit hop costs; ties break on the
+lexicographically smallest path, which makes every result deterministic
+for a given adjacency.  :class:`KShortestPathEngine` memoizes per
+(src, dst) pair and drops the whole cache when the topology version is
+bumped (a link or node failure/recovery), the same invalidation contract
+the fluid engine uses for resolved paths.
+"""
+
+from __future__ import annotations
+
+from heapq import heappop, heappush
+from typing import Callable, Dict, FrozenSet, List, Optional, Set, Tuple
+
+Path = Tuple[int, ...]
+Adjacency = Dict[int, Tuple[int, ...]]
+
+
+def shortest_path(adjacency: Adjacency, src: int, dst: int,
+                  banned_nodes: FrozenSet[int] = frozenset(),
+                  banned_edges: FrozenSet[Tuple[int, int]] = frozenset(),
+                  ) -> Optional[Path]:
+    """Lexicographically-smallest shortest path, or None when disconnected.
+
+    Dijkstra over unit costs with ``(cost, path)`` heap entries: the tuple
+    comparison makes the tie-break deterministic without a separate pass.
+    """
+    if src == dst:
+        return (src,)
+    heap: List[Tuple[int, Path]] = [(0, (src,))]
+    seen: Set[int] = set()
+    while heap:
+        cost, path = heappop(heap)
+        node = path[-1]
+        if node == dst:
+            return path
+        if node in seen:
+            continue
+        seen.add(node)
+        for peer in adjacency.get(node, ()):
+            if peer in seen or peer in banned_nodes:
+                continue
+            if (node, peer) in banned_edges:
+                continue
+            heappush(heap, (cost + 1, path + (peer,)))
+    return None
+
+
+def k_shortest_paths(adjacency: Adjacency, src: int, dst: int,
+                     k: int) -> List[Path]:
+    """Up to ``k`` loop-free paths in nondecreasing cost order (Yen).
+
+    The graph is undirected, so a spur search bans both directions of
+    every edge already consumed by a previous path sharing the root.
+    """
+    if k < 1:
+        return []
+    first = shortest_path(adjacency, src, dst)
+    if first is None:
+        return []
+    paths: List[Path] = [first]
+    candidates: List[Tuple[int, Path]] = []
+    offered: Set[Path] = set()
+    while len(paths) < k:
+        previous = paths[-1]
+        for index in range(len(previous) - 1):
+            root = previous[:index + 1]
+            banned_edges: Set[Tuple[int, int]] = set()
+            for path in paths:
+                if path[:index + 1] == root and len(path) > index + 1:
+                    banned_edges.add((path[index], path[index + 1]))
+                    banned_edges.add((path[index + 1], path[index]))
+            banned_nodes = frozenset(root[:-1])
+            spur = shortest_path(adjacency, root[-1], dst,
+                                 banned_nodes, frozenset(banned_edges))
+            if spur is None:
+                continue
+            total = root[:-1] + spur
+            if total not in offered:
+                offered.add(total)
+                heappush(candidates, (len(total) - 1, total))
+        while candidates:
+            _cost, best = heappop(candidates)
+            if best not in paths:
+                paths.append(best)
+                break
+        else:
+            break
+    return paths
+
+
+def adjacency_of(network) -> Adjacency:
+    """Sorted-neighbor adjacency over the *operationally up* links."""
+    neighbors: Dict[int, List[int]] = {node: [] for node in network.switches}
+    for (node_a, node_b), (port_a, _port_b) in network.link_ports.items():
+        link = network.switches[node_a].port(port_a).interface.link
+        if link is None or not link.up:
+            continue
+        neighbors[node_a].append(node_b)
+        neighbors[node_b].append(node_a)
+    return {node: tuple(sorted(peers)) for node, peers in neighbors.items()}
+
+
+class KShortestPathEngine:
+    """Per-(src, dst) memo of Yen results, invalidated by topology version.
+
+    ``adjacency_source`` is called lazily (once per version) so rebuilding
+    the up-link adjacency costs nothing while the topology is stable.
+    """
+
+    def __init__(self, adjacency_source: Callable[[], Adjacency],
+                 k: int = 4) -> None:
+        self._source = adjacency_source
+        self.k = k
+        self.version = 0
+        self._adjacency: Optional[Adjacency] = None
+        self._memo: Dict[Tuple[int, int], List[Path]] = {}
+        self.computations = 0
+        self.hits = 0
+
+    def invalidate(self) -> None:
+        """Bump the topology version: drop the memo and the adjacency."""
+        self.version += 1
+        self._adjacency = None
+        self._memo.clear()
+
+    @property
+    def adjacency(self) -> Adjacency:
+        if self._adjacency is None:
+            self._adjacency = self._source()
+        return self._adjacency
+
+    def paths(self, src: int, dst: int) -> List[Path]:
+        key = (src, dst)
+        cached = self._memo.get(key)
+        if cached is not None:
+            self.hits += 1
+            return cached
+        result = k_shortest_paths(self.adjacency, src, dst, self.k)
+        self.computations += 1
+        self._memo[key] = result
+        return result

@@ -12,7 +12,11 @@ quiescence:
 * **one live master per dpid** — no datapath is orphaned on a failed
   shard or mapped on two shards at once;
 * **no orphaned parked RouteMods** — a fail-stopped shard holds nothing
-  it could wrongly replay.
+  it could wrongly replay;
+* **no flow black-holes** — when the schedule flips a TE policy on and
+  off (``te_policy_flip`` ops), every registered traffic commodity is
+  routed and delivering at quiescence, even when a policy-driven
+  re-route overlapped a link failure.
 
 Shard outages are serialized (at most one shard down at a time, so a
 takeover always has a live standby) while physical link/node failures run
@@ -85,7 +89,7 @@ class ChaosOp:
     """
 
     kind: str  # shard_kill | shard_failover | reshard | link | node
-    #        | bus_degrade | bus_partition
+    #        | bus_degrade | bus_partition | te_policy_flip
     start: float
     duration: float = 0.0
     subject: int = 0  # shard id, dpid, node id, or link endpoint a
@@ -96,6 +100,11 @@ class ChaosOp:
 
     def events(self) -> List[FailureEvent]:
         end = self.start + self.duration
+        if self.kind == "te_policy_flip":
+            # TE flips are not failure events: run_chaos arms them on the
+            # sim clock directly (flip on at start, back off at end), so
+            # they contribute nothing to the failure schedule.
+            return []
         if self.kind == "bus_degrade":
             return [FailureEvent(self.start, FailureAction.BUS_DEGRADE, 0,
                                  params=self.params),
@@ -141,7 +150,8 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
                  nodes: Sequence[int] = (),
                  links: Sequence[Tuple[int, int]] = (),
                  shard_ops: int = 3, reshard_ops: int = 2,
-                 net_ops: int = 3, bus_ops: int = 0) -> List[ChaosOp]:
+                 net_ops: int = 3, bus_ops: int = 0,
+                 te_ops: int = 0) -> List[ChaosOp]:
     """Expand a seed into a churn schedule.  Deterministic in the seed.
 
     Shard outages are placed back to back on one timeline (at most one
@@ -157,6 +167,13 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
     to trigger a spurious takeover.  Serialization matters because a
     ``bus_degrade`` repair heals the *whole* bus, so overlapping windows
     would repair each other and break op-level minimization.
+
+    ``te_ops > 0`` adds a serialized timeline of TE policy flips: a
+    greedy policy with threshold 0 (every measured link is "hot", so it
+    steers aggressively every tick) switches on at the op's start and
+    back off — withdrawing every steer — at its end.  The windows are
+    placed to overlap the link/node outage timeline, exercising a
+    policy-driven re-route racing a failure.
     """
     rng = SeededRandom(seed)
     node_list = sorted(nodes)
@@ -182,6 +199,11 @@ def generate_ops(seed: int, num_shards: int = NUM_SHARDS,
         else:
             node_a, node_b = rng.choice(link_list)
             ops.append(ChaosOp("link", when, duration, node_a, node_b))
+        when += duration + rng.uniform(4.0, 10.0)
+    when = 6.0
+    for _ in range(te_ops):
+        duration = rng.uniform(8.0, 18.0)
+        ops.append(ChaosOp("te_policy_flip", when, duration))
         when += duration + rng.uniform(4.0, 10.0)
     when = 12.0
     for _ in range(bus_ops):
@@ -219,10 +241,13 @@ def run_chaos(ops: Sequence[ChaosOp], num_switches: int = NUM_SWITCHES,
     """
     lossy = bool(bus_faults) or any(
         op.kind in ("bus_degrade", "bus_partition") for op in ops)
+    te_windows = sorted((op.start, op.start + op.duration)
+                        for op in ops if op.kind == "te_policy_flip")
     sim = Simulator()
     ipam = IPAddressManager()
     config = FrameworkConfig(detect_edge_ports=False, controllers=num_shards,
                              partitioner="hash",
+                             advertise_loopbacks=bool(te_windows),
                              bus_faults=dict(bus_faults) if bus_faults else None,
                              bus_fault_seed=bus_fault_seed,
                              reliable_ipc=True if lossy else None)
@@ -241,8 +266,47 @@ def run_chaos(ops: Sequence[ChaosOp], num_switches: int = NUM_SWITCHES,
             lambda prefix, new, old: change_times.append(sim.now))
     network.add_failure_listener(_mirror_into_routeflow(network,
                                                         framework.bus))
+
+    engine = None
+    if te_windows:
+        from repro.net.addresses import IPv4Network
+        from repro.te import (GreedyLeastUtilizedPolicy, TEController,
+                              TESpec, ZebraActuator)
+        from repro.traffic import DemandSpec, generate_demands
+        from repro.traffic.fluid import FluidEngine
+
+        addresses = {dpid: ipam.router_id(dpid)
+                     for dpid in network.switches}
+        owners = {int(address): dpid for dpid, address in addresses.items()}
+        engine = FluidEngine(sim, network, owner_of=owners.get)
+        engine.attach()
+        actuator = ZebraActuator(
+            plane, network,
+            prefix_of=lambda dst: IPv4Network((addresses[dst], 32)))
+        controller = TEController(
+            sim, network, actuator,
+            spec=TESpec(interval=2.0, threshold=0.0, k_paths=4),
+            engine=engine, owner_of=owners.get)
+        controller.start()
+        engine.register(generate_demands(
+            DemandSpec(model="uniform", count=24, rate_bps=2e6, seed=1),
+            addresses))
+        for flip_on, flip_off in te_windows:
+            sim.schedule(flip_on, controller.set_policy,
+                         GreedyLeastUtilizedPolicy(threshold=0.0,
+                                                   max_moves=8),
+                         label="chaos:te-on")
+
+            def _flip_off(ctl=controller):
+                ctl.set_policy(None)
+                ctl.clear()
+
+            sim.schedule(flip_off, _flip_off, label="chaos:te-off")
+
     schedule = ops_to_schedule(ops)
     horizon = sim.now + schedule.duration
+    if te_windows:
+        horizon = max(horizon, sim.now + te_windows[-1][1])
     if schedule:
         schedule.validate_against(network.switches,
                                   ((a, b) for a, b in network.link_ports),
@@ -271,6 +335,14 @@ def run_chaos(ops: Sequence[ChaosOp], num_switches: int = NUM_SWITCHES,
                       for v in plane.ownership_violations())
     violations.extend(f"parked: {v}"
                       for v in plane.orphaned_parked_route_mods())
+    if engine is not None:
+        engine.reallocate()
+        stats = engine.stats()
+        if stats["delivered_commodities"] != stats["commodities"]:
+            violations.append(
+                f"te black-hole: {int(stats['commodities'] - stats['delivered_commodities'])}"
+                f"/{int(stats['commodities'])} commodities unrouted at "
+                f"quiescence")
     return violations
 
 
@@ -300,7 +372,8 @@ def test_chaos_schedule_preserves_invariants(seed):
     topology = ring_topology(NUM_SWITCHES)
     nodes = [node.node_id for node in topology.nodes]
     links = [(link.node_a, link.node_b) for link in topology.links]
-    ops = generate_ops(seed, nodes=nodes, links=links, bus_ops=CHAOS_BUS)
+    ops = generate_ops(seed, nodes=nodes, links=links, bus_ops=CHAOS_BUS,
+                       te_ops=1)
     run_kwargs = ({"bus_faults": LOSSY_PROFILE, "bus_fault_seed": seed}
                   if CHAOS_BUS else {})
     violations = run_chaos(ops, **run_kwargs)
@@ -329,6 +402,20 @@ def test_lossy_bus_chaos_fixed_seed():
     assert run_chaos(ops, bus_faults=LOSSY_PROFILE, bus_fault_seed=1) == []
 
 
+def test_te_flip_over_link_failure_fixed_seed():
+    """Tier-1 anchor for the TE re-route lifecycle under churn: a greedy
+    policy flips on over a window that overlaps the link/node outage
+    timeline, steers aggressively (threshold 0), then withdraws — and no
+    commodity may stay black-holed once everything is repaired.
+    """
+    topology = ring_topology(NUM_SWITCHES)
+    nodes = [node.node_id for node in topology.nodes]
+    links = [(link.node_a, link.node_b) for link in topology.links]
+    ops = generate_ops(2, nodes=nodes, links=links, te_ops=2)
+    assert any(op.kind == "te_policy_flip" for op in ops)
+    assert run_chaos(ops) == []
+
+
 # ---------------------------------------------------------------------------
 # generator sanity: the harness itself must be deterministic and balanced
 # ---------------------------------------------------------------------------
@@ -347,9 +434,15 @@ class TestGenerator:
         nodes = [node.node_id for node in topology.nodes]
         links = [(link.node_a, link.node_b) for link in topology.links]
         for seed in range(20):
-            for op in generate_ops(seed, nodes=nodes, links=links, bus_ops=2):
+            for op in generate_ops(seed, nodes=nodes, links=links, bus_ops=2,
+                                   te_ops=2):
                 events = op.events()
-                if op.kind == "reshard":
+                if op.kind == "te_policy_flip":
+                    # Flips ride the sim clock, not the failure schedule;
+                    # the repair is the flip-off at start + duration.
+                    assert events == []
+                    assert op.duration > 0.0
+                elif op.kind == "reshard":
                     assert len(events) == 1
                 else:
                     down, up = events
